@@ -1,0 +1,49 @@
+"""Micro-benchmarks: model fitting throughput.
+
+Library characterisation fits four models to thousands of 50k-sample
+distributions, so per-fit cost is the flow's bottleneck.  These
+benchmarks time each model's ``fit`` on a representative bimodal
+population (pytest-benchmark statistics; compare across commits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import get_model
+from repro.stats.mixtures import Mixture
+from repro.stats.skew_normal import SkewNormal
+
+
+@pytest.fixture(scope="module")
+def samples() -> np.ndarray:
+    mixture = Mixture(
+        (0.6, 0.4),
+        (
+            SkewNormal.from_moments(1.0, 0.05, 0.6),
+            SkewNormal.from_moments(1.25, 0.04, -0.3),
+        ),
+    )
+    return mixture.rvs(5000, rng=0)
+
+
+@pytest.mark.parametrize("name", ["LVF", "LVF2", "Norm2", "LESN", "Gaussian"])
+def test_fit_throughput(benchmark, samples, name):
+    model_cls = get_model(name)
+    model = benchmark(model_cls.fit, samples)
+    assert model.moments().std > 0.0
+
+
+def test_binning_evaluation_throughput(benchmark, samples):
+    from repro.binning import evaluate_models
+    from repro.models import fit_model
+    from repro.stats import EmpiricalDistribution
+
+    golden = EmpiricalDistribution(samples)
+    models = {
+        "LVF": fit_model("LVF", samples),
+        "LVF2": fit_model("LVF2", samples),
+    }
+    report = benchmark(evaluate_models, models, golden)
+    assert report["LVF2"]["binning_reduction"] > 0.0

@@ -1,0 +1,52 @@
+"""Benchmark: regenerate Table 1 (scenario binning error reductions).
+
+Paper values (x, larger is better):
+
+    Scenario      LVF2    Norm2   LESN   LVF
+    2 Peaks       12.65    1.01    1.02   1
+    Multi-Peaks   29.65    7.67   10.68   1
+    Saddle         9.62    5.06    1.88   1
+    Minor Saddle  16.27   10.58    0.84   1
+    Kurtosis       8.63    8.16    3.43   1
+
+Shape targets asserted here: LVF2 wins every scenario with a large
+margin over LVF; Norm2 is competitive on Kurtosis (the paper's own
+observation that kurtosis does not need skewed components).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import paper_scale
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.paper_experiment
+def test_table1_binning_error_reduction(benchmark):
+    n_samples = 50_000 if paper_scale() else 20_000
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs={"n_samples": n_samples, "seed": 0},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+
+    for scenario, row in result.reductions.items():
+        assert row["LVF"] == pytest.approx(1.0)
+        assert row["LVF2"] > 3.0, scenario
+        if scenario == "Kurtosis":
+            # Paper: LVF2 8.63x vs Norm2 8.16x — statistically tied
+            # (skewless components suffice for kurtosis, §4.1).  Allow
+            # either to edge ahead, within a narrow band.
+            assert row["LVF2"] > 0.8 * row["Norm2"]
+        else:
+            # LVF2 leads the four skew-dominated scenarios outright.
+            assert result.winner(scenario) == "LVF2", scenario
+    # Norm2 is strong on Kurtosis (paper: 8.16x).
+    assert result.reductions["Kurtosis"]["Norm2"] > 3.0
+    # LESN never dominates the mixture models on these shapes.
+    for scenario, row in result.reductions.items():
+        assert row["LESN"] < row["LVF2"], scenario

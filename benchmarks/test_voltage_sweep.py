@@ -1,0 +1,38 @@
+"""Extension bench: supply-voltage sweep toward near-threshold.
+
+Shows the transregional substrate reproducing the motivation of the
+paper's related work: as Vdd drops toward the threshold, the golden
+delay skewness grows (long tails) and the single-SN LVF degrades,
+while LVF2 stays robust across the range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import paper_scale
+from repro.experiments.voltage_sweep import run_voltage_sweep
+
+
+@pytest.mark.paper_experiment
+def test_voltage_sweep_near_threshold(benchmark):
+    n_samples = 50_000 if paper_scale() else 15_000
+    result = benchmark.pedantic(
+        run_voltage_sweep,
+        kwargs={"n_samples": n_samples},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(result.to_text())
+
+    # Tails lengthen toward threshold: skewness grows monotonically-ish
+    # (compare the endpoints).
+    assert result.skewness[-1] > result.skewness[0]
+    # LVF2 never falls behind the LVF baseline at any corner.
+    for vdd in result.supplies:
+        assert result.reductions[vdd]["LVF2"] > 0.8
+    # In the strongly skewed near-threshold corner, the flexible
+    # models beat the 3-moment LVF clearly.
+    lowest = result.supplies[-1]
+    assert result.reductions[lowest]["LVF2"] > 1.2

@@ -1,0 +1,119 @@
+"""Backward compatibility (paper §3.3 / Eq. 10), demonstrated on text.
+
+Builds two Liberty libraries for the same cell — a conventional LVF
+library and an LVF2 library — and shows the §3.3 contract in action:
+
+1. an LVF2-capable reader consumes the plain-LVF library and resolves
+   each grid point to ``LVF2(lambda = 0, theta1 = theta_LVF)``, which
+   is *exactly* the LVF skew-normal (Eq. 10);
+2. a legacy reader consuming the LVF2 library simply ignores the seven
+   extension LUTs and still finds valid moment-matched LVF tables;
+3. both libraries coexist in one file format with no conflicts.
+
+Run:  python examples/liberty_backward_compat.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.liberty import read_library
+
+LVF_ONLY = """
+library (legacy_lvf) {
+  time_unit : "1ns";
+  lu_table_template (t2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.05");
+    index_2 ("0.001, 0.01");
+  }
+  cell (NAND2_X1) {
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : A;
+        cell_fall (t2x2) { values ("0.011, 0.018", "0.013, 0.022"); }
+        ocv_mean_shift_cell_fall (t2x2) { values ("0.0004, 0.0006", "0.0005, 0.0008"); }
+        ocv_std_dev_cell_fall (t2x2) { values ("0.0016, 0.0025", "0.0019, 0.0031"); }
+        ocv_skewness_cell_fall (t2x2) { values ("0.41, 0.38", "0.44, 0.35"); }
+      }
+    }
+  }
+}
+"""
+
+LVF2_EXTENDED = """
+library (extended_lvf2) {
+  time_unit : "1ns";
+  lu_table_template (t2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.05");
+    index_2 ("0.001, 0.01");
+  }
+  cell (NAND2_X1) {
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : A;
+        cell_fall (t2x2) { values ("0.011, 0.018", "0.013, 0.022"); }
+        ocv_mean_shift_cell_fall (t2x2) { values ("0.0011, 0.0013", "0.0012, 0.0016"); }
+        ocv_std_dev_cell_fall (t2x2) { values ("0.0024, 0.0034", "0.0027, 0.0040"); }
+        ocv_skewness_cell_fall (t2x2) { values ("0.62, 0.55", "0.60, 0.52"); }
+        ocv_mean_shift1_cell_fall (t2x2) { values ("0.0002, 0.0004", "0.0003, 0.0005"); }
+        ocv_std_dev1_cell_fall (t2x2) { values ("0.0015, 0.0023", "0.0017, 0.0028"); }
+        ocv_skewness1_cell_fall (t2x2) { values ("0.35, 0.32", "0.36, 0.30"); }
+        ocv_weight2_cell_fall (t2x2) { values ("0.22, 0.18", "0.20, 0.15"); }
+        ocv_mean_shift2_cell_fall (t2x2) { values ("0.0043, 0.0052", "0.0047, 0.0066"); }
+        ocv_std_dev2_cell_fall (t2x2) { values ("0.0018, 0.0027", "0.0021, 0.0033"); }
+        ocv_skewness2_cell_fall (t2x2) { values ("0.15, 0.12", "0.14, 0.10"); }
+      }
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    # --- 1. LVF2 reader on a legacy LVF library (Eq. 10) --------------
+    legacy = read_library(LVF_ONLY)
+    arc = legacy.cell("NAND2_X1").pins["Y"].arc_to("A")
+    tables = arc.tables["cell_fall"]
+    print(f"legacy library: LVF2 extension present = {legacy.is_lvf2}")
+    model = tables.lvf2_at(0, 0)
+    lvf = tables.lvf.lvf_at(0, 0)
+    grid = np.linspace(lvf.mu - 4 * lvf.sigma, lvf.mu + 4 * lvf.sigma, 5)
+    print("Eq. 10 check — LVF2(lambda=0) pdf equals LVF pdf:")
+    for x, a, b in zip(grid, model.pdf(grid), lvf.pdf(grid)):
+        print(f"  x={x * 1e3:7.3f} ps  lvf2={a:10.4f}  lvf={b:10.4f}")
+    assert np.allclose(model.pdf(grid), lvf.pdf(grid))
+    print("  -> identical (backward compatible)\n")
+
+    # --- 2. LVF2 library: both views coexist ---------------------------
+    extended = read_library(LVF2_EXTENDED)
+    arc = extended.cell("NAND2_X1").pins["Y"].arc_to("A")
+    tables = arc.tables["cell_fall"]
+    mixture = tables.lvf2_at(0, 0)
+    legacy_view = tables.lvf.lvf_at(0, 0)
+    print(f"extended library: LVF2 extension present = {extended.is_lvf2}")
+    print(
+        f"  LVF2 view:  lambda={mixture.weight:.2f}  "
+        f"mu1={mixture.component1.mu * 1e3:.3f} ps  "
+        f"mu2={mixture.component2.mu * 1e3:.3f} ps"
+    )
+    print(
+        f"  legacy view: single SN with mu="
+        f"{legacy_view.mu * 1e3:.3f} ps sigma="
+        f"{legacy_view.sigma * 1e3:.3f} ps (moment-matched overall)"
+    )
+
+    # --- 3. Round-trip keeps both layers --------------------------------
+    text = extended.to_text()
+    again = read_library(text)
+    assert again.is_lvf2
+    print("\nwrite -> parse round trip preserves the LVF2 extension: OK")
+
+
+if __name__ == "__main__":
+    main()

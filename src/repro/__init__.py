@@ -1,0 +1,38 @@
+"""LVF2 — statistical timing modelling for yield estimation and speed binning.
+
+Reproduction of Zhou et al., "LVF2: A Statistical Timing Model based on
+Gaussian Mixture for Yield Estimation and Speed Binning" (DAC 2024).
+
+Top-level convenience re-exports cover the public API a downstream user
+touches first: the timing models, the binning/yield metrics, and the
+Liberty reader/writer.  Subsystem detail lives in the subpackages:
+
+- :mod:`repro.stats`    — distributions, moments, EM, LHS
+- :mod:`repro.models`   — LVF, LVF2, Norm2, LESN, and friends
+- :mod:`repro.binning`  — speed bins, yield, error metrics, pricing
+- :mod:`repro.liberty`  — Liberty format parse/write with LVF2 extension
+- :mod:`repro.circuits` — transistor-level Monte-Carlo substrate
+- :mod:`repro.ssta`     — block-based statistical timing analysis
+- :mod:`repro.experiments` — regeneration of every paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    CharacterizationError,
+    FittingError,
+    LibertyError,
+    ParameterError,
+    ReproError,
+    SSTAError,
+)
+
+__all__ = [
+    "CharacterizationError",
+    "FittingError",
+    "LibertyError",
+    "ParameterError",
+    "ReproError",
+    "SSTAError",
+    "__version__",
+]

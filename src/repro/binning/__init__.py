@@ -1,0 +1,43 @@
+"""Speed binning, yield estimation and accuracy metrics (paper §2.1, §4)."""
+
+from repro.binning.bins import (
+    PAPER_SIGMA_LEVELS,
+    BinningScheme,
+    DistributionLike,
+    sigma_binning,
+)
+from repro.binning.metrics import (
+    DistributionScore,
+    binning_error,
+    cdf_rmse,
+    error_reduction,
+    evaluate_distribution,
+    evaluate_models,
+    geometric_mean,
+    sigma_yield,
+    yield_error,
+)
+from repro.binning.pricing import (
+    PriceProfile,
+    expected_revenue,
+    revenue_error,
+)
+
+__all__ = [
+    "PAPER_SIGMA_LEVELS",
+    "BinningScheme",
+    "DistributionLike",
+    "DistributionScore",
+    "PriceProfile",
+    "binning_error",
+    "cdf_rmse",
+    "error_reduction",
+    "evaluate_distribution",
+    "evaluate_models",
+    "expected_revenue",
+    "geometric_mean",
+    "revenue_error",
+    "sigma_binning",
+    "sigma_yield",
+    "yield_error",
+]

@@ -1,0 +1,117 @@
+"""Speed-bin construction and bin probabilities (paper §2.1).
+
+A binning process with boundaries ``T_1 < T_2 < ... < T_n`` defines
+``n + 1`` bins; the probability of bin ``i`` is Eq. (1):
+
+    P(Bin_1)     = P(t < T_1)
+    P(Bin_i)     = P(t < T_i) - P(t <= T_{i-1})     2 <= i <= n
+    P(Bin_{n+1}) = 1 - P(t <= T_n)
+
+The paper's experiments place the boundaries at the *golden*
+``mu +/- {3, 2, 1, 0} sigma`` points, giving eight bins; the same
+boundaries are then applied to each fitted model, so bin-probability
+error measures pure distribution-shape error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.stats.moments import MomentSummary
+
+__all__ = [
+    "DistributionLike",
+    "BinningScheme",
+    "sigma_binning",
+    "PAPER_SIGMA_LEVELS",
+]
+
+#: The paper's bin boundaries: mu +/- 3, 2, 1 sigma and mu (8 bins).
+PAPER_SIGMA_LEVELS = (-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0)
+
+
+class DistributionLike(Protocol):
+    """Anything exposing a CDF — fitted models and empirical goldens."""
+
+    def cdf(self, x: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class BinningScheme:
+    """An ordered set of speed-bin boundaries.
+
+    Attributes:
+        boundaries: Strictly increasing boundary values
+            ``(T_1, ..., T_n)``.
+    """
+
+    boundaries: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) < 1:
+            raise ParameterError("need at least one bin boundary")
+        diffs = np.diff(self.boundaries)
+        if np.any(diffs <= 0.0):
+            raise ParameterError(
+                f"boundaries must be strictly increasing: {self.boundaries}"
+            )
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins (boundaries + 1)."""
+        return len(self.boundaries) + 1
+
+    def bin_probabilities(self, dist: DistributionLike) -> np.ndarray:
+        """Eq. (1): probability mass of each bin under ``dist``.
+
+        Returns:
+            Array of length ``n_bins`` summing to 1 (up to the CDF's
+            own normalisation error, which is clipped).
+        """
+        cdf_values = np.asarray(
+            dist.cdf(np.asarray(self.boundaries, dtype=float)), dtype=float
+        )
+        cdf_values = np.clip(cdf_values, 0.0, 1.0)
+        padded = np.concatenate(([0.0], cdf_values, [1.0]))
+        probabilities = np.diff(padded)
+        return np.clip(probabilities, 0.0, 1.0)
+
+    def assign(self, samples: np.ndarray) -> np.ndarray:
+        """Bin index (0-based) for each sample — the tester's sort."""
+        return np.searchsorted(
+            np.asarray(self.boundaries, dtype=float),
+            np.asarray(samples, dtype=float),
+            side="right",
+        )
+
+    def counts(self, samples: np.ndarray) -> np.ndarray:
+        """Histogram of samples over the bins."""
+        return np.bincount(self.assign(samples), minlength=self.n_bins)
+
+    def usable_range(self) -> tuple[float, float]:
+        """``(T_min, T_max)`` — the outermost boundaries (Fig. 2)."""
+        return (self.boundaries[0], self.boundaries[-1])
+
+
+def sigma_binning(
+    golden: MomentSummary,
+    levels: Sequence[float] = PAPER_SIGMA_LEVELS,
+) -> BinningScheme:
+    """Build the paper's μ±kσ binning from golden moments.
+
+    Args:
+        golden: Moments of the golden (Monte-Carlo) distribution.
+        levels: Sigma multipliers, default ``(-3,-2,-1,0,1,2,3)``.
+
+    Returns:
+        A :class:`BinningScheme` with ``len(levels) + 1`` bins.
+    """
+    boundaries = tuple(
+        golden.mean + float(level) * golden.std for level in sorted(levels)
+    )
+    return BinningScheme(boundaries)

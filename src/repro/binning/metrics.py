@@ -1,0 +1,220 @@
+"""Accuracy metrics: binning error, 3σ yield, CDF RMSE (paper §4).
+
+The paper scores every model against the golden Monte-Carlo samples
+with three metrics and normalises them as *error reductions* relative
+to the LVF baseline (Eq. 12):
+
+    error_reduction = |baseline - golden| / |result - golden|
+
+so LVF itself always scores 1× and larger is better.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.bins import (
+    PAPER_SIGMA_LEVELS,
+    BinningScheme,
+    DistributionLike,
+    sigma_binning,
+)
+from repro.errors import ParameterError
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = [
+    "DistributionScore",
+    "binning_error",
+    "cdf_rmse",
+    "error_reduction",
+    "evaluate_distribution",
+    "evaluate_models",
+    "sigma_yield",
+    "yield_error",
+]
+
+
+def binning_error(
+    model: DistributionLike,
+    golden: EmpiricalDistribution,
+    scheme: BinningScheme | None = None,
+) -> float:
+    """Mean absolute bin-probability error over the paper's 8 bins.
+
+    Args:
+        model: Fitted distribution under test.
+        golden: Golden Monte-Carlo samples.
+        scheme: Bin boundaries; defaults to the golden μ±{1,2,3}σ
+            scheme of §4.
+
+    Returns:
+        ``mean_i |P_model(Bin_i) - P_golden(Bin_i)|``.
+    """
+    bins = scheme or sigma_binning(golden.moments())
+    model_probs = bins.bin_probabilities(model)
+    golden_probs = bins.bin_probabilities(golden)
+    return float(np.mean(np.abs(model_probs - golden_probs)))
+
+
+def sigma_yield(
+    dist: DistributionLike,
+    golden: EmpiricalDistribution,
+    k: float = 3.0,
+    *,
+    two_sided: bool = False,
+) -> float:
+    """Yield at the golden ``mu + k sigma`` design target.
+
+    ``T_max = mu_golden + k * sigma_golden`` is the target delay chips
+    must satisfy (§2.1); the k-sigma yield is ``P(t <= T_max)``.  With
+    ``two_sided`` the leakage-limited lower cut ``T_min = mu - k sigma``
+    is applied as well.
+    """
+    summary = golden.moments()
+    upper = summary.sigma_point(k)
+    value = float(np.asarray(dist.cdf(np.asarray(upper))))
+    if two_sided:
+        lower = summary.sigma_point(-k)
+        value -= float(np.asarray(dist.cdf(np.asarray(lower))))
+    return value
+
+
+def yield_error(
+    model: DistributionLike,
+    golden: EmpiricalDistribution,
+    k: float = 3.0,
+    *,
+    two_sided: bool = False,
+) -> float:
+    """Absolute k-sigma yield error of ``model`` vs the golden samples."""
+    return abs(
+        sigma_yield(model, golden, k, two_sided=two_sided)
+        - sigma_yield(golden, golden, k, two_sided=two_sided)
+    )
+
+
+def cdf_rmse(
+    model: DistributionLike,
+    golden: EmpiricalDistribution,
+    *,
+    n_points: int = 256,
+    spread: float = 4.0,
+) -> float:
+    """RMSE between model and empirical CDFs on a μ±spread·σ grid.
+
+    This is the Fig. 4 indicator used to quantify the multi-Gaussian
+    phenomenon across the slew-load table.
+    """
+    grid = golden.grid(n_points=n_points, spread=spread)
+    model_cdf = np.asarray(model.cdf(grid), dtype=float)
+    golden_cdf = golden.cdf(grid)
+    return float(np.sqrt(np.mean((model_cdf - golden_cdf) ** 2)))
+
+
+def error_reduction(
+    baseline_error: float, model_error: float, *, floor: float = 1e-12
+) -> float:
+    """Eq. (12): ``|baseline - golden| / |result - golden|``.
+
+    Both arguments are already absolute errors versus golden.  A model
+    error below ``floor`` is floored to avoid infinite ratios when a
+    model nails the golden value to numerical precision.
+    """
+    if baseline_error < 0.0 or model_error < 0.0:
+        raise ParameterError("errors must be non-negative")
+    return baseline_error / max(model_error, floor)
+
+
+@dataclass(frozen=True)
+class DistributionScore:
+    """All three §4 metrics for one model on one distribution.
+
+    Attributes:
+        binning: Mean absolute bin-probability error.
+        yield3sigma: Absolute 3σ-yield error.
+        rmse: CDF RMSE.
+    """
+
+    binning: float
+    yield3sigma: float
+    rmse: float
+
+    def reductions(self, baseline: "DistributionScore") -> "DistributionScore":
+        """Error-reduction factors of ``self`` versus ``baseline``."""
+        return DistributionScore(
+            binning=error_reduction(baseline.binning, self.binning),
+            yield3sigma=error_reduction(
+                baseline.yield3sigma, self.yield3sigma
+            ),
+            rmse=error_reduction(baseline.rmse, self.rmse),
+        )
+
+
+def evaluate_distribution(
+    model: DistributionLike,
+    golden: EmpiricalDistribution,
+    scheme: BinningScheme | None = None,
+) -> DistributionScore:
+    """Score one model on the three §4 metrics."""
+    return DistributionScore(
+        binning=binning_error(model, golden, scheme),
+        yield3sigma=yield_error(model, golden),
+        rmse=cdf_rmse(model, golden),
+    )
+
+
+def evaluate_models(
+    models: Mapping[str, DistributionLike],
+    golden: EmpiricalDistribution,
+    *,
+    baseline: str = "LVF",
+    levels: Sequence[float] = PAPER_SIGMA_LEVELS,
+) -> dict[str, dict[str, float]]:
+    """Score several models and normalise against the baseline.
+
+    Args:
+        models: Mapping of model name to fitted distribution; must
+            include ``baseline``.
+        golden: Golden Monte-Carlo samples.
+        baseline: Name of the Eq.-12 baseline model (LVF in the paper).
+        levels: Sigma levels for the bin boundaries.
+
+    Returns:
+        ``{name: {"binning", "yield3sigma", "rmse",
+        "binning_reduction", "yield_reduction", "rmse_reduction"}}``.
+    """
+    if baseline not in models:
+        raise ParameterError(
+            f"baseline model {baseline!r} missing from models"
+        )
+    scheme = sigma_binning(golden.moments(), levels)
+    scores = {
+        name: evaluate_distribution(model, golden, scheme)
+        for name, model in models.items()
+    }
+    base = scores[baseline]
+    report: dict[str, dict[str, float]] = {}
+    for name, score in scores.items():
+        reduction = score.reductions(base)
+        report[name] = {
+            "binning": score.binning,
+            "yield3sigma": score.yield3sigma,
+            "rmse": score.rmse,
+            "binning_reduction": reduction.binning,
+            "yield_reduction": reduction.yield3sigma,
+            "rmse_reduction": reduction.rmse,
+        }
+    return report
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the right average for ratio metrics."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ParameterError("geometric mean of empty sequence")
+    if np.any(array <= 0.0):
+        raise ParameterError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))

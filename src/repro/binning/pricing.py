@@ -1,0 +1,102 @@
+"""Bin pricing and revenue estimation (paper Fig. 2).
+
+Chips below ``T_min`` are leakage-faulty, chips above ``T_max`` miss
+the design target; usable bins in between are priced by speed —
+"faster chips will be sold higher, and profit decreases as the
+performance drops".  Expected revenue per manufactured chip under a
+timing distribution is the price-weighted bin-probability sum; the
+revenue *estimation error* of a model is the business-facing
+consequence of a bad distribution fit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.bins import BinningScheme, DistributionLike
+from repro.errors import ParameterError
+
+__all__ = ["PriceProfile", "expected_revenue", "revenue_error"]
+
+
+@dataclass(frozen=True)
+class PriceProfile:
+    """Per-bin prices over a binning scheme.
+
+    Attributes:
+        scheme: The speed bins.
+        prices: One price per bin (``scheme.n_bins`` entries).  The
+            first bin (below ``T_min``, leaky parts) and the last bin
+            (slower than ``T_max``) are conventionally priced 0.
+    """
+
+    scheme: BinningScheme
+    prices: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.prices) != self.scheme.n_bins:
+            raise ParameterError(
+                f"need {self.scheme.n_bins} prices, got {len(self.prices)}"
+            )
+        if any(price < 0.0 for price in self.prices):
+            raise ParameterError("prices must be non-negative")
+
+    @classmethod
+    def monotone(
+        cls,
+        scheme: BinningScheme,
+        top_price: float,
+        *,
+        decay: float = 0.75,
+    ) -> "PriceProfile":
+        """Fig. 2 style profile: fastest usable bin priced highest.
+
+        Bins 2..n get geometrically decaying prices; the faulty first
+        bin and the too-slow last bin get 0.
+
+        Args:
+            scheme: The speed bins.
+            top_price: Price of the fastest usable bin.
+            decay: Multiplicative decay per slower bin, in (0, 1].
+        """
+        if not 0.0 < decay <= 1.0:
+            raise ParameterError(f"decay must lie in (0, 1], got {decay}")
+        if top_price <= 0.0:
+            raise ParameterError("top_price must be positive")
+        usable = scheme.n_bins - 2
+        prices = [0.0]
+        prices.extend(top_price * decay**index for index in range(usable))
+        prices.append(0.0)
+        return cls(scheme, tuple(prices))
+
+
+def expected_revenue(
+    profile: PriceProfile, dist: DistributionLike
+) -> float:
+    """Expected revenue per chip under ``dist``."""
+    probabilities = profile.scheme.bin_probabilities(dist)
+    return float(np.dot(probabilities, np.asarray(profile.prices)))
+
+
+def revenue_error(
+    profile: PriceProfile,
+    model: DistributionLike,
+    golden: DistributionLike,
+) -> float:
+    """Absolute expected-revenue error of ``model`` vs ``golden``."""
+    return abs(
+        expected_revenue(profile, model) - expected_revenue(profile, golden)
+    )
+
+
+def revenue_profile_sweep(
+    profile: PriceProfile,
+    dist: DistributionLike,
+    volumes: Sequence[float],
+) -> np.ndarray:
+    """Revenue at several production volumes (chips manufactured)."""
+    per_chip = expected_revenue(profile, dist)
+    return per_chip * np.asarray(volumes, dtype=float)

@@ -1,0 +1,91 @@
+"""Transistor-level Monte-Carlo substrate (the SPICE surrogate).
+
+Replaces the paper's TSMC 22nm + SPICE setup with an analytic,
+mechanism-faithful gate timing engine; see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.circuits.adaptive import (
+    AdaptivePlan,
+    AdaptiveResult,
+    characterize_adaptive,
+    multi_gaussian_indicator,
+    plan_adaptive,
+)
+from repro.circuits.cells import (
+    CELL_TYPES,
+    CellDefinition,
+    build_cell,
+    standard_cell_library,
+)
+from repro.circuits.characterize import (
+    PAPER_LOADS,
+    PAPER_SLEWS,
+    ArcCharacterization,
+    CharacterizationConfig,
+    characterize_arc,
+    characterize_library,
+    characterized_arc_to_liberty,
+)
+from repro.circuits.gate import (
+    ArcSimResult,
+    ArcTopology,
+    GateTimingEngine,
+    Stage,
+)
+from repro.circuits.mosfet import (
+    NMOS_22NM,
+    PMOS_22NM,
+    DeviceParams,
+    Transistor,
+)
+from repro.circuits.process import (
+    TT_GLOBAL_LOCAL_MC,
+    ProcessCorner,
+    TransistorVariations,
+    VariationModel,
+)
+from repro.circuits.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.circuits.wire import PiWire, wire_chain
+
+__all__ = [
+    "AdaptivePlan",
+    "AdaptiveResult",
+    "ArcCharacterization",
+    "ArcSimResult",
+    "ArcTopology",
+    "CELL_TYPES",
+    "CellDefinition",
+    "CharacterizationConfig",
+    "DeviceParams",
+    "GateTimingEngine",
+    "NMOS_22NM",
+    "PAPER_LOADS",
+    "PAPER_SLEWS",
+    "PMOS_22NM",
+    "PiWire",
+    "ProcessCorner",
+    "SCENARIOS",
+    "Scenario",
+    "Stage",
+    "TT_GLOBAL_LOCAL_MC",
+    "Transistor",
+    "TransistorVariations",
+    "VariationModel",
+    "build_cell",
+    "characterize_adaptive",
+    "characterize_arc",
+    "characterize_library",
+    "characterized_arc_to_liberty",
+    "get_scenario",
+    "multi_gaussian_indicator",
+    "plan_adaptive",
+    "scenario_names",
+    "standard_cell_library",
+    "wire_chain",
+]

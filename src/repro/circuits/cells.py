@@ -1,0 +1,372 @@
+"""The 25 standard combinational cell types of paper Table 2.
+
+Each cell type is described by the switching topology of its timing
+arcs: which conduction stacks drive the output for a given input edge,
+how deep they are, whether internal nodes create charge-sharing
+regimes, and how compound cells chain stages (AND = NAND + INV ...).
+
+The topologies are electrical caricatures, not layout-accurate
+netlists — but they carry exactly the structure the paper's statistics
+depend on: stack depth (skew), internal nodes (multi-Gaussian),
+pass-gate path competition (XOR/MUX richness) and drive strength
+(mismatch scaling via Pelgrom).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.circuits.gate import ArcTopology, Stage
+from repro.circuits.mosfet import NMOS_22NM, PMOS_22NM, Transistor
+from repro.errors import ParameterError
+
+__all__ = [
+    "CellDefinition",
+    "CELL_TYPES",
+    "build_cell",
+    "standard_cell_library",
+]
+
+#: The 25 cell types of Table 2, with input counts.
+CELL_TYPES: dict[str, int] = {
+    "INV": 1,
+    "BUFF": 1,
+    "NAND2": 2,
+    "NAND3": 3,
+    "NAND4": 4,
+    "AND2": 2,
+    "AND3": 3,
+    "AND4": 4,
+    "NOR2": 2,
+    "NOR3": 3,
+    "NOR4": 4,
+    "OR2": 2,
+    "OR3": 3,
+    "OR4": 4,
+    "XOR2": 2,
+    "XOR3": 3,
+    "XOR4": 4,
+    "XNOR2": 2,
+    "XNOR3": 3,
+    "XNOR4": 4,
+    "MUX2": 3,  # 2 data + 1 select
+    "MUX3": 5,  # 3 data + 2 select
+    "MUX4": 6,  # 4 data + 2 select
+    "FA": 3,  # A, B, CI
+    "HA": 2,  # A, B
+}
+
+#: PMOS/NMOS width ratio compensating mobility (beta sizing).
+_BETA = 1.8
+#: Internal-node capacitance per unit stack width (pF).
+_INTERNAL_CAP = 0.0012
+#: Output parasitic per unit of attached device width (pF).
+_PARASITIC_CAP = 0.0005
+
+
+def _phase(cell: str, pin: str, transition: str, salt: str = "") -> float:
+    """Deterministic per-arc regime phase in [-0.6, 0.6].
+
+    Spreads the charge-sharing confrontation diagonals of different
+    arcs across the slew-load plane, as observed in Fig. 4.
+    """
+    digest = hashlib.sha256(
+        f"{cell}|{pin}|{transition}|{salt}".encode()
+    ).digest()
+    return (digest[0] / 255.0 - 0.5) * 1.2
+
+
+def _nmos(width: float) -> Transistor:
+    return Transistor(NMOS_22NM, width)
+
+
+def _pmos(width: float) -> Transistor:
+    return Transistor(PMOS_22NM, width * _BETA)
+
+
+def _series(device, width: float, depth: int) -> tuple[Transistor, ...]:
+    """Series stack; devices widened by depth to equalise drive."""
+    scaled = width * (1.0 + 0.5 * (depth - 1))
+    return tuple(device(scaled) for _ in range(depth))
+
+
+@dataclass(frozen=True)
+class CellDefinition:
+    """One concrete cell (type + drive strength) with its arcs.
+
+    Attributes:
+        name: Instance name, e.g. ``"NAND2_X2"``.
+        cell_type: Type key into :data:`CELL_TYPES`.
+        drive: Drive strength multiplier (X1 = 1.0).
+        inputs: Ordered input pin names.
+        output: Output pin name.
+        function: Boolean function string for the Liberty ``function``
+            attribute.
+        arcs: ``(input_pin, transition) -> ArcTopology``.
+    """
+
+    name: str
+    cell_type: str
+    drive: float
+    inputs: tuple[str, ...]
+    output: str
+    function: str
+    arcs: dict[tuple[str, str], ArcTopology] = field(default_factory=dict)
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self.arcs)
+
+    def arc(self, input_pin: str, transition: str) -> ArcTopology:
+        """Lookup one arc.
+
+        Raises:
+            ParameterError: For unknown pin/transition combinations.
+        """
+        try:
+            return self.arcs[(input_pin, transition)]
+        except KeyError:
+            raise ParameterError(
+                f"{self.name} has no arc {input_pin}->{transition}"
+            ) from None
+
+    def input_capacitance(self, input_pin: str) -> float:
+        """Loading of ``input_pin`` (pF): gate caps of its transistors."""
+        for (pin, _), topology in self.arcs.items():
+            if pin == input_pin:
+                return topology.input_capacitance()
+        raise ParameterError(f"{self.name} has no input {input_pin}")
+
+
+# ----------------------------------------------------------------------
+# Stage builders per structural family
+# ----------------------------------------------------------------------
+def _inv_stage(width: float, transition: str) -> Stage:
+    device = _pmos if transition == "rise" else _nmos
+    return Stage(
+        paths=((device(width),),),
+        parasitic_cap=_PARASITIC_CAP * width * (1.0 + _BETA),
+    )
+
+
+def _nand_stage(
+    width: float, n: int, transition: str, phase: float
+) -> Stage:
+    """NAND pull network for one switching input."""
+    if transition == "fall":
+        # Output falls through the full NMOS series stack.
+        return Stage(
+            paths=(_series(_nmos, width, n),),
+            parasitic_cap=_PARASITIC_CAP * width * n * (1.0 + _BETA),
+            internal_cap=_INTERNAL_CAP * width * (n - 1),
+            regime_phase=phase,
+        )
+    # Output rises through the single switching PMOS.
+    return Stage(
+        paths=((_pmos(width),),),
+        parasitic_cap=_PARASITIC_CAP * width * n * (1.0 + _BETA),
+    )
+
+
+def _nor_stage(
+    width: float, n: int, transition: str, phase: float
+) -> Stage:
+    if transition == "rise":
+        return Stage(
+            paths=(_series(_pmos, width, n),),
+            parasitic_cap=_PARASITIC_CAP * width * n * (1.0 + _BETA),
+            internal_cap=_INTERNAL_CAP * width * _BETA * (n - 1),
+            regime_phase=phase,
+        )
+    return Stage(
+        paths=((_nmos(width),),),
+        parasitic_cap=_PARASITIC_CAP * width * n * (1.0 + _BETA),
+    )
+
+
+def _passgate_stage(
+    width: float, depth: int, transition: str, phase: float, gain: float
+) -> Stage:
+    """XOR/XNOR/MUX style stage: two competing conduction paths."""
+    primary = _pmos if transition == "rise" else _nmos
+    secondary = _nmos if transition == "rise" else _pmos
+    return Stage(
+        paths=(
+            _series(primary, width, depth),
+            _series(secondary, width * 0.9, depth),
+        ),
+        parasitic_cap=_PARASITIC_CAP * width * 2 * depth,
+        internal_cap=_INTERNAL_CAP * width * depth,
+        regime_phase=phase,
+        regime_gain=gain,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cell construction
+# ----------------------------------------------------------------------
+def _input_names(cell_type: str, count: int) -> tuple[str, ...]:
+    if cell_type.startswith("MUX"):
+        data = int(cell_type[3:])
+        selects = 1 if data == 2 else 2
+        return tuple(f"D{i}" for i in range(data)) + tuple(
+            f"S{i}" for i in range(selects)
+        )
+    if cell_type == "FA":
+        return ("A", "B", "CI")
+    if cell_type == "HA":
+        return ("A", "B")
+    return tuple("ABCD"[:count])
+
+
+def _function_string(cell_type: str, inputs: tuple[str, ...]) -> str:
+    joined_and = "&".join(inputs)
+    joined_or = "|".join(inputs)
+    if cell_type == "INV":
+        return f"!{inputs[0]}"
+    if cell_type == "BUFF":
+        return inputs[0]
+    if cell_type.startswith("NAND"):
+        return f"!({joined_and})"
+    if cell_type.startswith("AND"):
+        return f"({joined_and})"
+    if cell_type.startswith("NOR"):
+        return f"!({joined_or})"
+    if cell_type.startswith("OR"):
+        return f"({joined_or})"
+    if cell_type.startswith("XNOR"):
+        return "!(" + "^".join(inputs) + ")"
+    if cell_type.startswith("XOR"):
+        return "^".join(inputs)
+    if cell_type.startswith("MUX"):
+        return "mux(" + ",".join(inputs) + ")"
+    if cell_type == "FA":
+        return "A^B^CI"
+    if cell_type == "HA":
+        return "A^B"
+    raise ParameterError(f"unknown cell type {cell_type!r}")
+
+
+def _arc_stages(
+    cell_type: str,
+    pin: str,
+    transition: str,
+    width: float,
+    n_inputs: int,
+) -> tuple[Stage, ...]:
+    """Build the stage chain of one arc for a given cell family."""
+    phase = _phase(cell_type, pin, transition)
+    if cell_type == "INV":
+        return (_inv_stage(width, transition),)
+    if cell_type == "BUFF":
+        inner = "fall" if transition == "rise" else "rise"
+        return (
+            _inv_stage(width * 0.5, inner),
+            _inv_stage(width, transition),
+        )
+    if cell_type.startswith("NAND"):
+        return (_nand_stage(width, n_inputs, transition, phase),)
+    if cell_type.startswith("NOR"):
+        return (_nor_stage(width, n_inputs, transition, phase),)
+    if cell_type.startswith("AND"):
+        inner = "fall" if transition == "rise" else "rise"
+        return (
+            _nand_stage(width * 0.6, n_inputs, inner, phase),
+            _inv_stage(width, transition),
+        )
+    if cell_type.startswith("OR"):
+        inner = "fall" if transition == "rise" else "rise"
+        return (
+            _nor_stage(width * 0.6, n_inputs, inner, phase),
+            _inv_stage(width, transition),
+        )
+    if cell_type.startswith(("XOR", "XNOR")):
+        depth = 2 if n_inputs == 2 else 3
+        gain = 2.0 if cell_type.startswith("XOR") else 2.8
+        return (
+            _passgate_stage(width, depth, transition, phase, gain),
+        )
+    if cell_type.startswith("MUX"):
+        # Transmission-gate mux: TG stage into an output inverter.
+        inner = "fall" if transition == "rise" else "rise"
+        return (
+            _passgate_stage(width * 0.7, 2, inner, phase, 2.4),
+            _inv_stage(width, transition),
+        )
+    if cell_type == "FA":
+        # Sum = two cascaded XOR-like pass stages.
+        return (
+            _passgate_stage(width * 0.7, 2, transition, phase, 2.2),
+            _passgate_stage(
+                width,
+                2,
+                transition,
+                _phase(cell_type, pin, transition, "s2"),
+                2.2,
+            ),
+        )
+    if cell_type == "HA":
+        inner = "fall" if transition == "rise" else "rise"
+        return (
+            _passgate_stage(width * 0.7, 2, inner, phase, 2.2),
+            _inv_stage(width, transition),
+        )
+    raise ParameterError(f"unknown cell type {cell_type!r}")
+
+
+def build_cell(cell_type: str, drive: float = 1.0) -> CellDefinition:
+    """Construct one cell definition.
+
+    Args:
+        cell_type: A key of :data:`CELL_TYPES`.
+        drive: Strength multiplier; the instance is named
+            ``{type}_X{drive}``.
+
+    Raises:
+        ParameterError: For unknown types or non-positive drives.
+    """
+    if cell_type not in CELL_TYPES:
+        raise ParameterError(
+            f"unknown cell type {cell_type!r}; "
+            f"known: {', '.join(sorted(CELL_TYPES))}"
+        )
+    if drive <= 0.0:
+        raise ParameterError(f"drive must be positive, got {drive}")
+    n_inputs = CELL_TYPES[cell_type]
+    inputs = _input_names(cell_type, n_inputs)
+    drive_label = f"{drive:g}".replace(".", "P")
+    name = f"{cell_type}_X{drive_label}"
+    cell = CellDefinition(
+        name=name,
+        cell_type=cell_type,
+        drive=drive,
+        inputs=inputs,
+        output="Y",
+        function=_function_string(cell_type, inputs),
+    )
+    for pin in inputs:
+        for transition in ("rise", "fall"):
+            stages = _arc_stages(
+                cell_type, pin, transition, drive, n_inputs
+            )
+            cell.arcs[(pin, transition)] = ArcTopology(
+                cell=name,
+                input_pin=pin,
+                output_transition=transition,
+                stages=stages,
+            )
+    return cell
+
+
+def standard_cell_library(
+    drives: tuple[float, ...] = (1.0, 2.0),
+    cell_types: tuple[str, ...] | None = None,
+) -> list[CellDefinition]:
+    """Build the benchmark library: every type at every drive."""
+    names = cell_types if cell_types is not None else tuple(CELL_TYPES)
+    return [
+        build_cell(cell_type, drive)
+        for cell_type in names
+        for drive in drives
+    ]

@@ -1,0 +1,299 @@
+"""Library characterisation driver (paper §4.2).
+
+Runs the Monte-Carlo gate engine over the 8x8 slew-load grid for every
+arc of every cell, producing per-condition golden sample sets, fitting
+the timing models, and exporting fitted LVF2 libraries to Liberty.
+
+The paper's grid axes are reproduced: loads are the exact capacitance
+breakpoints visible in Fig. 4; slews span the same three decades
+geometrically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.cells import CellDefinition
+from repro.circuits.gate import ArcSimResult, GateTimingEngine
+from repro.errors import CharacterizationError
+from repro.liberty.library import Cell as LibCell
+from repro.liberty.library import Library, Pin, TimingArc
+from repro.liberty.lvf2_attrs import LVF2Tables
+from repro.liberty.tables import Table, TableTemplate
+from repro.models.lvf2 import LVF2Model
+
+__all__ = [
+    "PAPER_LOADS",
+    "PAPER_SLEWS",
+    "CharacterizationConfig",
+    "ArcCharacterization",
+    "characterize_arc",
+    "characterized_arc_to_liberty",
+    "characterize_library",
+]
+
+#: Output-load breakpoints (pF) — the exact Fig. 4 axis values.
+PAPER_LOADS = (
+    0.00015,
+    0.00722,
+    0.02136,
+    0.04965,
+    0.10623,
+    0.21938,
+    0.44569,
+    0.89830,
+)
+
+#: Input-slew breakpoints (ns) — geometric over the same decades.
+PAPER_SLEWS = (
+    0.00123,
+    0.00316,
+    0.00812,
+    0.02086,
+    0.05359,
+    0.13767,
+    0.35366,
+    0.87715,
+)
+
+
+def _condition_seed(
+    seed: int, arc_name: str, i: int, j: int
+) -> int:
+    """Stable per-condition RNG seed (independent across conditions)."""
+    digest = hashlib.sha256(
+        f"{seed}|{arc_name}|{i}|{j}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """Knobs of a characterisation run.
+
+    Attributes:
+        slews: Input-transition breakpoints (ns).
+        loads: Output-load breakpoints (pF).
+        n_samples: Monte-Carlo population per condition (paper: 50k).
+        seed: Base seed; per-condition seeds are derived from it.
+        use_lhs: Latin-hypercube stratification.
+    """
+
+    slews: tuple[float, ...] = PAPER_SLEWS
+    loads: tuple[float, ...] = PAPER_LOADS
+    n_samples: int = 50_000
+    seed: int = 2024
+    use_lhs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 16:
+            raise CharacterizationError(
+                f"n_samples must be >= 16, got {self.n_samples}"
+            )
+        if not self.slews or not self.loads:
+            raise CharacterizationError("need at least one slew and load")
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return (len(self.slews), len(self.loads))
+
+    def template(self) -> TableTemplate:
+        """Liberty table template matching the grid."""
+        rows, cols = self.grid_shape
+        return TableTemplate(
+            name=f"delay_template_{rows}x{cols}",
+            variable_1="input_net_transition",
+            variable_2="total_output_net_capacitance",
+            index_1=self.slews,
+            index_2=self.loads,
+        )
+
+
+@dataclass
+class ArcCharacterization:
+    """All Monte-Carlo data for one arc over the slew-load grid.
+
+    Attributes:
+        cell: Cell instance name.
+        input_pin: Arc input.
+        transition: Output transition, ``rise`` or ``fall``.
+        config: The run configuration.
+        delay_samples: ``(n_slews, n_loads)`` object grid of sample
+            arrays.
+        transition_samples: Same for output transition time.
+        nominal_delay: Variation-free delay grid.
+        nominal_transition: Variation-free transition grid.
+    """
+
+    cell: str
+    input_pin: str
+    transition: str
+    config: CharacterizationConfig
+    delay_samples: np.ndarray
+    transition_samples: np.ndarray
+    nominal_delay: np.ndarray
+    nominal_transition: np.ndarray
+
+    def samples(self, quantity: str, i: int, j: int) -> np.ndarray:
+        """Golden samples of ``"delay"`` or ``"transition"`` at (i, j)."""
+        if quantity == "delay":
+            return self.delay_samples[i, j]
+        if quantity == "transition":
+            return self.transition_samples[i, j]
+        raise CharacterizationError(
+            f"quantity must be delay/transition, got {quantity!r}"
+        )
+
+    def fit_grid(
+        self, quantity: str, fitter=LVF2Model.fit
+    ) -> np.ndarray:
+        """Fit a model at every grid point; returns an object grid."""
+        shape = self.config.grid_shape
+        models = np.empty(shape, dtype=object)
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                models[i, j] = fitter(self.samples(quantity, i, j))
+        return models
+
+
+def characterize_arc(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    input_pin: str,
+    transition: str,
+    config: CharacterizationConfig,
+) -> ArcCharacterization:
+    """Monte-Carlo characterise one arc over the full grid."""
+    topology = cell.arc(input_pin, transition)
+    shape = config.grid_shape
+    delay_samples = np.empty(shape, dtype=object)
+    transition_samples = np.empty(shape, dtype=object)
+    nominal_delay = np.empty(shape)
+    nominal_transition = np.empty(shape)
+    for i, slew in enumerate(config.slews):
+        for j, load in enumerate(config.loads):
+            result: ArcSimResult = engine.simulate_arc(
+                topology,
+                slew,
+                load,
+                config.n_samples,
+                rng=_condition_seed(config.seed, topology.name, i, j),
+                use_lhs=config.use_lhs,
+            )
+            delay_samples[i, j] = result.delay
+            transition_samples[i, j] = result.transition
+            nominal_delay[i, j] = result.nominal_delay
+            nominal_transition[i, j] = result.nominal_transition
+    return ArcCharacterization(
+        cell=cell.name,
+        input_pin=input_pin,
+        transition=transition,
+        config=config,
+        delay_samples=delay_samples,
+        transition_samples=transition_samples,
+        nominal_delay=nominal_delay,
+        nominal_transition=nominal_transition,
+    )
+
+
+def characterized_arc_to_liberty(
+    rise: ArcCharacterization,
+    fall: ArcCharacterization,
+    *,
+    timing_sense: str = "negative_unate",
+    collapse_by_bic: bool = False,
+) -> TimingArc:
+    """Fit LVF2 grids for both edges and build a Liberty timing arc.
+
+    Args:
+        rise: Characterisation of the output-rise edge.
+        fall: Characterisation of the output-fall edge.
+        timing_sense: Liberty unateness attribute.
+        collapse_by_bic: Apply the §3.4 fallback — grid points whose
+            data do not support two components are stored as plain LVF.
+    """
+    if (rise.cell, rise.input_pin) != (fall.cell, fall.input_pin):
+        raise CharacterizationError(
+            "rise/fall characterisations are for different arcs"
+        )
+    config = rise.config
+    template = config.template()
+    arc = TimingArc(
+        related_pin=rise.input_pin,
+        timing_sense=timing_sense,
+        timing_type="combinational",
+    )
+    quantity_map = {
+        "cell_rise": (rise, "delay"),
+        "rise_transition": (rise, "transition"),
+        "cell_fall": (fall, "delay"),
+        "fall_transition": (fall, "transition"),
+    }
+    for base, (char, quantity) in quantity_map.items():
+        nominal_grid = (
+            char.nominal_delay
+            if quantity == "delay"
+            else char.nominal_transition
+        )
+        nominal = Table(
+            template.name, config.slews, config.loads, nominal_grid
+        )
+        models = char.fit_grid(quantity)
+        if collapse_by_bic:
+            for index in np.ndindex(models.shape):
+                model = models[index]
+                collapsed = model.collapse_by_bic(
+                    char.samples(quantity, *index)
+                )
+                if collapsed is not model:
+                    models[index] = LVF2Model.from_lvf(collapsed)
+        arc.tables[base] = LVF2Tables.from_models(base, nominal, models)
+    return arc
+
+
+def characterize_library(
+    engine: GateTimingEngine,
+    cells: Sequence[CellDefinition],
+    config: CharacterizationConfig,
+    *,
+    library_name: str = "repro_tt_0p8v_25c",
+) -> Library:
+    """Characterise a cell list into a complete LVF2 Liberty library."""
+    template = config.template()
+    library = Library(
+        name=library_name,
+        attributes={
+            "technology": "cmos",
+            "delay_model": "table_lookup",
+            "time_unit": "1ns",
+            "nom_voltage": f"{engine.corner.vdd:g}",
+            "nom_temperature": f"{engine.corner.temperature:g}",
+        },
+    )
+    library.templates[template.name] = template
+    for cell in cells:
+        lib_cell = LibCell(name=cell.name, area=1.0 + cell.drive)
+        for pin_name in cell.inputs:
+            lib_cell.pins[pin_name] = Pin(
+                name=pin_name,
+                direction="input",
+                capacitance=cell.input_capacitance(pin_name),
+            )
+        output = Pin(
+            name=cell.output, direction="output", function=cell.function
+        )
+        for pin_name in cell.inputs:
+            rise = characterize_arc(
+                engine, cell, pin_name, "rise", config
+            )
+            fall = characterize_arc(
+                engine, cell, pin_name, "fall", config
+            )
+            output.arcs.append(characterized_arc_to_liberty(rise, fall))
+        lib_cell.pins[output.name] = output
+        library.cells[cell.name] = lib_cell
+    return library

@@ -1,0 +1,196 @@
+"""Transregional MOSFET drive model (alpha-power law + subthreshold).
+
+The analytic SPICE surrogate at the heart of the Monte-Carlo substrate.
+Delay variability at 22nm / 0.8 V is dominated by how the device drive
+current responds to threshold-voltage mismatch; the response is
+strongly non-linear (the source of skew and heavy tails in timing
+distributions), so the model blends:
+
+- the Sakurai-Newton alpha-power law in strong inversion,
+  ``Id ~ K (Vgs - Vth)^alpha``;
+- an exponential subthreshold law below ``Vth``,
+  ``Id ~ I0 exp((Vgs - Vth) / (n vT))``;
+
+joined with a smoothplus interpolation so the drive and its derivatives
+are continuous through the near-threshold region — the region in which
+[5], [6], [7] (LN / LSN / LESN) were developed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.circuits.process import ProcessCorner
+
+__all__ = ["DeviceParams", "Transistor", "NMOS_22NM", "PMOS_22NM"]
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Technology parameters of one device flavour (NMOS / PMOS).
+
+    Attributes:
+        vth0: Nominal threshold voltage magnitude in volts.
+        alpha: Velocity-saturation exponent (2 = long channel,
+            ~1.2-1.4 at 22nm).
+        k_drive: Drive factor in mA/V^alpha per unit width.
+        subthreshold_slope: Ideality factor ``n`` of the subthreshold
+            exponential.
+        gamma_dibl: Drain-induced barrier lowering coefficient; lowers
+            the effective Vth with drain bias.
+    """
+
+    vth0: float
+    alpha: float
+    k_drive: float
+    subthreshold_slope: float = 1.35
+    gamma_dibl: float = 0.04
+
+    def __post_init__(self) -> None:
+        if self.vth0 <= 0.0:
+            raise ParameterError(f"vth0 must be positive, got {self.vth0}")
+        if not 1.0 <= self.alpha <= 2.0:
+            raise ParameterError(
+                f"alpha must lie in [1, 2], got {self.alpha}"
+            )
+        if self.k_drive <= 0.0:
+            raise ParameterError("k_drive must be positive")
+
+
+#: Representative 22nm-class device flavours (0.8 V supply).
+NMOS_22NM = DeviceParams(vth0=0.36, alpha=1.30, k_drive=1.00)
+PMOS_22NM = DeviceParams(vth0=0.38, alpha=1.35, k_drive=0.55)
+
+
+@dataclass(frozen=True)
+class Transistor:
+    """One transistor instance: flavour, drive width, local variation.
+
+    Attributes:
+        params: Device flavour.
+        width_factor: Width in unit-drive multiples (Xn drive
+            strengths scale this).
+    """
+
+    params: DeviceParams
+    width_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_factor <= 0.0:
+            raise ParameterError(
+                f"width_factor must be positive, got {self.width_factor}"
+            )
+
+    # ------------------------------------------------------------------
+    def effective_vth(
+        self,
+        dvth: np.ndarray,
+        corner: ProcessCorner,
+        *,
+        dlength: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-sample threshold voltage including global shift and DIBL.
+
+        Short-channel effect: a shorter channel (negative ``dlength``)
+        lowers Vth — this couples the length and threshold variations,
+        one of the "confronting variations" mechanisms of paper §4.3.
+        """
+        vth = self.params.vth0 + corner.global_vth_shift + np.asarray(
+            dvth, dtype=float
+        )
+        if dlength is not None:
+            # Vth roll-off: ~60 mV per 10% channel shortening at 22nm.
+            vth = vth + 0.6 * self.params.vth0 * np.asarray(
+                dlength, dtype=float
+            )
+        vth = vth - self.params.gamma_dibl * corner.vdd
+        return vth
+
+    def drive_current(
+        self,
+        vgs: np.ndarray | float,
+        dvth: np.ndarray,
+        corner: ProcessCorner,
+        *,
+        dlength: np.ndarray | None = None,
+        dmobility: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Saturation drive current (mA) for gate overdrive ``vgs``.
+
+        Transregional blend: ``Id = K' * softplus_n(vgs - vth)^alpha``
+        where ``softplus_n`` has the subthreshold thermal width, so the
+        current decays exponentially below threshold instead of
+        clipping to zero — the mechanism behind the long right tails of
+        near-threshold delay distributions.
+        """
+        vth = self.effective_vth(dvth, corner, dlength=dlength)
+        overdrive = np.asarray(vgs, dtype=float) - vth
+        width = (
+            self.params.subthreshold_slope * corner.thermal_voltage * 2.0
+        )
+        # Smooth max(overdrive, 0) with subthreshold-width rounding:
+        # softplus(x) = width * log(1 + exp(x / width)).
+        scaled = overdrive / width
+        smooth = width * np.logaddexp(0.0, scaled)
+        mobility = 1.0
+        if dmobility is not None:
+            mobility = 1.0 + np.asarray(dmobility, dtype=float)
+        length = 1.0
+        if dlength is not None:
+            length = 1.0 + np.asarray(dlength, dtype=float)
+        gain = (
+            self.params.k_drive
+            * self.width_factor
+            * mobility
+            / np.maximum(length, 0.5)
+        )
+        return gain * smooth**self.params.alpha
+
+    def effective_resistance(
+        self,
+        dvth: np.ndarray,
+        corner: ProcessCorner,
+        *,
+        dlength: np.ndarray | None = None,
+        dmobility: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Switching resistance in kOhm: ``~ Vdd / (2 Id(Vdd))``.
+
+        The standard effective-resistance abstraction for RC gate-delay
+        estimation; per-sample because the drive current is.
+        """
+        current = self.drive_current(
+            corner.vdd,
+            dvth,
+            corner,
+            dlength=dlength,
+            dmobility=dmobility,
+        )
+        return corner.vdd / (2.0 * np.maximum(current, 1e-12))
+
+    def nominal_resistance(self, corner: ProcessCorner) -> float:
+        """Effective resistance with all variations at zero."""
+        zero = np.zeros(1)
+        return float(
+            self.effective_resistance(zero, corner, dlength=zero,
+                                      dmobility=zero)[0]
+        )
+
+    def input_capacitance(self) -> float:
+        """Gate capacitance in pF (unit-width normalised)."""
+        # ~0.8 fF per unit-width finger at 22nm-class dimensions.
+        return 0.0008 * self.width_factor
+
+    def switching_threshold_shift(
+        self, dvth: np.ndarray, corner: ProcessCorner
+    ) -> np.ndarray:
+        """Relative shift of the gate switching point due to mismatch.
+
+        Used to translate input-slew interaction into delay: a higher
+        device Vth means the gate reacts later on a slow input ramp.
+        """
+        return np.asarray(dvth, dtype=float) / corner.vdd

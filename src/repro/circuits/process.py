@@ -1,0 +1,197 @@
+"""Process-variation model and corners.
+
+The paper characterises at the TSMC 22nm ``TTGlobal_LocalMC`` corner:
+global (die-to-die) parameters pinned at typical, local (within-die
+mismatch) parameters Monte-Carlo sampled.  This module reproduces that
+statistical structure with a generic 22nm-class parameter set:
+
+- threshold voltage ``Vth`` mismatch, Pelgrom scaling
+  ``sigma(dVth) = A_VT / sqrt(W * L)``;
+- effective channel-length variation ``dL``;
+- carrier-mobility variation ``dmu`` (relative).
+
+Samples are drawn with Latin hypercube sampling
+(:mod:`repro.stats.lhs`), matching the paper's "LHS SPICE Monte Carlo".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.stats.lhs import latin_hypercube
+
+__all__ = [
+    "ProcessCorner",
+    "TransistorVariations",
+    "VariationModel",
+    "TT_GLOBAL_LOCAL_MC",
+]
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """Operating corner: supply, temperature and global skew.
+
+    Attributes:
+        name: Corner label.
+        vdd: Supply voltage in volts (paper: 0.8 V).
+        temperature: Junction temperature in Celsius (paper: 25 C).
+        global_vth_shift: Die-to-die Vth shift in volts (0 at TT).
+        global_length_shift: Die-to-die channel-length shift, relative.
+        sample_local: Whether local mismatch is Monte-Carlo sampled.
+    """
+
+    name: str
+    vdd: float = 0.8
+    temperature: float = 25.0
+    global_vth_shift: float = 0.0
+    global_length_shift: float = 0.0
+    sample_local: bool = True
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0.0:
+            raise ParameterError(f"vdd must be positive, got {self.vdd}")
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q in volts at the corner temperature."""
+        return 8.617333262e-5 * (self.temperature + 273.15)
+
+    def with_supply(self, vdd: float) -> "ProcessCorner":
+        """Same corner at a different supply (near-threshold studies)."""
+        return replace(self, vdd=vdd)
+
+
+#: The paper's characterisation corner.
+TT_GLOBAL_LOCAL_MC = ProcessCorner(
+    name="TTGlobal_LocalMC", vdd=0.8, temperature=25.0
+)
+
+
+@dataclass(frozen=True)
+class TransistorVariations:
+    """Sampled local variations for a set of transistors.
+
+    Arrays have shape ``(n_samples, n_transistors)``.
+
+    Attributes:
+        dvth: Threshold-voltage deltas in volts.
+        dlength: Relative channel-length deltas (dL / L).
+        dmobility: Relative mobility deltas (dmu / mu).
+    """
+
+    dvth: np.ndarray
+    dlength: np.ndarray
+    dmobility: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = {
+            self.dvth.shape,
+            self.dlength.shape,
+            self.dmobility.shape,
+        }
+        if len(shapes) != 1:
+            raise ParameterError(
+                f"variation arrays must share a shape, got {shapes}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.dvth.shape[0])
+
+    @property
+    def n_transistors(self) -> int:
+        return int(self.dvth.shape[1])
+
+    def for_transistor(self, index: int) -> "TransistorVariations":
+        """Single-transistor slice, kept 2-D."""
+        return TransistorVariations(
+            self.dvth[:, index : index + 1],
+            self.dlength[:, index : index + 1],
+            self.dmobility[:, index : index + 1],
+        )
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Local-mismatch statistics for a 22nm-class process.
+
+    Attributes:
+        avt: Pelgrom Vth-mismatch coefficient in V * um (typical
+            2-3 mV*um at 22nm).
+        sigma_length_rel: Relative sigma of channel length.
+        sigma_mobility_rel: Relative sigma of mobility.
+        nominal_width: Reference transistor width in um (unit drive).
+        nominal_length: Reference channel length in um.
+    """
+
+    avt: float = 0.0025
+    sigma_length_rel: float = 0.02
+    sigma_mobility_rel: float = 0.03
+    nominal_width: float = 0.10
+    nominal_length: float = 0.022
+
+    def vth_sigma(self, width_factor: float = 1.0) -> float:
+        """Pelgrom sigma for a device of ``width_factor`` unit widths."""
+        if width_factor <= 0.0:
+            raise ParameterError(
+                f"width factor must be positive, got {width_factor}"
+            )
+        area = (self.nominal_width * width_factor) * self.nominal_length
+        return self.avt / np.sqrt(area)
+
+    def sample(
+        self,
+        n_samples: int,
+        width_factors: np.ndarray,
+        *,
+        rng: np.random.Generator | int | None = None,
+        use_lhs: bool = True,
+    ) -> TransistorVariations:
+        """Draw local mismatch for ``len(width_factors)`` transistors.
+
+        Args:
+            n_samples: Monte-Carlo population size (paper: 50k).
+            width_factors: Drive-strength multiplier per transistor;
+                wider devices have smaller Vth mismatch (Pelgrom).
+            rng: Seed or generator.
+            use_lhs: Stratify with Latin hypercube sampling (the
+                paper's scheme); plain iid normals when False.
+
+        Returns:
+            :class:`TransistorVariations` of shape
+            ``(n_samples, n_transistors)``.
+        """
+        factors = np.asarray(width_factors, dtype=float)
+        if factors.ndim != 1 or factors.size == 0:
+            raise ParameterError("width_factors must be a non-empty 1-D array")
+        n_transistors = factors.size
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        n_dims = 3 * n_transistors
+        if use_lhs:
+            from scipy.special import ndtri
+
+            normals = ndtri(
+                latin_hypercube(n_samples, n_dims, rng=generator)
+            )
+        else:
+            normals = generator.standard_normal((n_samples, n_dims))
+        vth_sigmas = np.array(
+            [self.vth_sigma(factor) for factor in factors]
+        )
+        dvth = normals[:, :n_transistors] * vth_sigmas
+        dlength = (
+            normals[:, n_transistors : 2 * n_transistors]
+            * self.sigma_length_rel
+        )
+        dmobility = (
+            normals[:, 2 * n_transistors :] * self.sigma_mobility_rel
+        )
+        return TransistorVariations(dvth, dlength, dmobility)

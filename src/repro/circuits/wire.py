@@ -1,0 +1,76 @@
+"""Pi-model RC interconnect (used by the H-tree benchmark, paper §4.4).
+
+Each wire segment is the classic lumped Pi model: half the total
+capacitance at each end, the full resistance in between.  Delay
+contributions follow the Elmore metric, which is what block-based SSTA
+uses for wire stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["PiWire", "wire_chain"]
+
+
+@dataclass(frozen=True)
+class PiWire:
+    """One Pi-model wire segment.
+
+    Attributes:
+        resistance: Total segment resistance in kOhm.
+        capacitance: Total segment capacitance in pF.
+    """
+
+    resistance: float
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance < 0.0 or self.capacitance < 0.0:
+            raise ParameterError(
+                "wire resistance and capacitance must be non-negative"
+            )
+
+    @property
+    def near_cap(self) -> float:
+        """Capacitance lumped at the driver end (pF)."""
+        return 0.5 * self.capacitance
+
+    @property
+    def far_cap(self) -> float:
+        """Capacitance lumped at the receiver end (pF)."""
+        return 0.5 * self.capacitance
+
+    def elmore_delay(self, load_cap: float) -> float:
+        """Elmore delay (ns) driving ``load_cap`` pF at the far end."""
+        if load_cap < 0.0:
+            raise ParameterError("load capacitance must be non-negative")
+        return self.resistance * (self.far_cap + load_cap)
+
+    def driver_load(self, load_cap: float) -> float:
+        """Total capacitance presented to the driving gate (pF).
+
+        First-order: the full wire capacitance plus the far load
+        (resistive shielding ignored, as in library-level STA).
+        """
+        return self.capacitance + load_cap
+
+    def scaled(self, factor: float) -> "PiWire":
+        """Wire of ``factor`` times the length (R and C scale linearly)."""
+        if factor <= 0.0:
+            raise ParameterError("length factor must be positive")
+        return PiWire(self.resistance * factor, self.capacitance * factor)
+
+
+def wire_chain(segments: list[PiWire], load_cap: float) -> float:
+    """Elmore delay (ns) through a chain of Pi segments into a load."""
+    total = 0.0
+    downstream = load_cap
+    for segment in reversed(segments):
+        total += segment.elmore_delay(downstream)
+        downstream = segment.driver_load(downstream)
+    return total

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+- ``models``        — list registered timing models
+- ``fit``           — fit a model to samples from a file and report
+- ``scenario``      — sample a Fig. 3 scenario and compare all models
+- ``characterize``  — Monte-Carlo characterise cells into a `.lib`
+- ``liberty``       — parse and summarise a Liberty file
+- ``bench``         — regenerate the paper's tables and figures
+- ``fo4``           — print the technology FO4 delay
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_samples(path: str) -> np.ndarray:
+    """Load samples from ``.npy`` or whitespace-separated text / stdin."""
+    if path == "-":
+        return np.loadtxt(sys.stdin)
+    if path.endswith(".npy"):
+        return np.load(path)
+    return np.loadtxt(path)
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    from repro.models import available_models, get_model
+
+    for name in available_models():
+        cls = get_model(name)
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:10s} {doc}")
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    from repro.binning import evaluate_models
+    from repro.models import fit_model
+    from repro.stats import EmpiricalDistribution
+
+    samples = _load_samples(args.samples)
+    model = fit_model(args.model, samples)
+    summary = model.moments()
+    print(
+        f"{args.model}: mean={summary.mean:.6g} std={summary.std:.6g} "
+        f"skew={summary.skewness:+.4g} kurt={summary.kurtosis:+.4g} "
+        f"params={model.n_parameters}"
+    )
+    if args.score:
+        golden = EmpiricalDistribution(samples)
+        report = evaluate_models(
+            {args.model: model, "LVF": fit_model("LVF", samples)},
+            golden,
+        )
+        row = report[args.model]
+        print(
+            f"binning_reduction={row['binning_reduction']:.2f}x "
+            f"yield_reduction={row['yield_reduction']:.2f}x "
+            f"rmse_reduction={row['rmse_reduction']:.2f}x"
+        )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.circuits import get_scenario, scenario_names
+    from repro.experiments import score_paper_models
+
+    names = [args.name] if args.name else list(scenario_names())
+    for name in names:
+        scenario = get_scenario(name)
+        samples = scenario.sample(args.samples, rng=args.seed)
+        report = score_paper_models(samples)
+        print(f"{name}:")
+        for model, row in report.items():
+            print(
+                f"  {model:6s} binning={row['binning_reduction']:8.2f}x "
+                f"yield={row['yield_reduction']:8.2f}x "
+                f"rmse={row['rmse_reduction']:8.2f}x"
+            )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.circuits import (
+        CharacterizationConfig,
+        GateTimingEngine,
+        TT_GLOBAL_LOCAL_MC,
+        build_cell,
+        characterize_library,
+    )
+    from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    grid = args.grid
+    config = CharacterizationConfig(
+        slews=PAPER_SLEWS[:grid],
+        loads=PAPER_LOADS[:grid],
+        n_samples=args.samples,
+        seed=args.seed,
+    )
+    cells = [build_cell(name, args.drive) for name in args.cells]
+    library = characterize_library(engine, cells, config)
+    text = library.to_text()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(
+            f"wrote {args.out}: {len(library.cells)} cells, "
+            f"{grid}x{grid} grid, {args.samples} samples/condition"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_liberty(args: argparse.Namespace) -> int:
+    from repro.liberty import read_library
+
+    with open(args.library) as handle:
+        library = read_library(handle.read())
+    print(f"library {library.name}: {len(library.cells)} cells")
+    print(f"LVF2 extension present: {library.is_lvf2}")
+    for cell in library.cells.values():
+        arcs = cell.arcs()
+        statistical = sum(arc.is_statistical for _, arc in arcs)
+        lvf2 = sum(arc.is_lvf2 for _, arc in arcs)
+        print(
+            f"  {cell.name:14s} arcs={len(arcs)} "
+            f"statistical={statistical} lvf2={lvf2}"
+        )
+    if args.roundtrip:
+        out = args.roundtrip
+        with open(out, "w") as handle:
+            handle.write(library.to_text())
+        print(f"round-tripped to {out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.liberty import read_library
+    from repro.liberty.validate import Severity, validate_library
+
+    with open(args.library) as handle:
+        library = read_library(handle.read())
+    diagnostics = validate_library(library)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    errors = sum(
+        1 for d in diagnostics if d.severity is Severity.ERROR
+    )
+    print(
+        f"{len(diagnostics)} diagnostics ({errors} errors) in "
+        f"library {library.name}"
+    )
+    return 1 if errors else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    if args.paper:
+        os.environ["REPRO_PAPER"] = "1"
+    from repro.experiments import run_all
+
+    suite = run_all(
+        scenario_samples=args.samples, progress=not args.quiet
+    )
+    print(suite.to_text())
+    return 0
+
+
+def _cmd_fo4(_: argparse.Namespace) -> int:
+    from repro.circuits import GateTimingEngine, TT_GLOBAL_LOCAL_MC
+    from repro.ssta import fo4_condition, fo4_delay
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    delay = fo4_delay(engine)
+    slew, load = fo4_condition(engine)
+    print(f"FO4 delay: {delay * 1e3:.3f} ps")
+    print(f"FO4 condition: slew={slew * 1e3:.3f} ps load={load:.5f} pF")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "LVF2 statistical timing models, Liberty LVF2 extension, "
+            "Monte-Carlo characterisation and SSTA (DAC'24 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list registered timing models")
+
+    fit = sub.add_parser("fit", help="fit a model to a sample file")
+    fit.add_argument("samples", help=".npy / text file or '-' for stdin")
+    fit.add_argument("--model", default="LVF2")
+    fit.add_argument(
+        "--score",
+        action="store_true",
+        help="also report error reductions vs LVF",
+    )
+
+    scenario = sub.add_parser(
+        "scenario", help="evaluate models on the Fig. 3 scenarios"
+    )
+    scenario.add_argument("--name", default=None)
+    scenario.add_argument("--samples", type=int, default=50_000)
+    scenario.add_argument("--seed", type=int, default=0)
+
+    characterize = sub.add_parser(
+        "characterize", help="characterise cells into a Liberty library"
+    )
+    characterize.add_argument(
+        "--cells", nargs="+", default=["INV", "NAND2"]
+    )
+    characterize.add_argument("--drive", type=float, default=1.0)
+    characterize.add_argument("--samples", type=int, default=2000)
+    characterize.add_argument(
+        "--grid", type=int, default=3, help="grid points per axis (<=8)"
+    )
+    characterize.add_argument("--seed", type=int, default=2024)
+    characterize.add_argument("--out", default=None)
+
+    liberty = sub.add_parser("liberty", help="inspect a Liberty file")
+    liberty.add_argument("library")
+    liberty.add_argument(
+        "--roundtrip", default=None, help="write the re-serialised text"
+    )
+
+    validate = sub.add_parser(
+        "validate", help="lint a Liberty file (LVF/LVF2 contracts)"
+    )
+    validate.add_argument("library")
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's tables and figures"
+    )
+    bench.add_argument("--paper", action="store_true")
+    bench.add_argument("--samples", type=int, default=50_000)
+    bench.add_argument("--quiet", action="store_true")
+
+    sub.add_parser("fo4", help="print the technology FO4 delay")
+    return parser
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "fit": _cmd_fit,
+    "scenario": _cmd_scenario,
+    "characterize": _cmd_characterize,
+    "liberty": _cmd_liberty,
+    "validate": _cmd_validate,
+    "bench": _cmd_bench,
+    "fo4": _cmd_fo4,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

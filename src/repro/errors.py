@@ -1,0 +1,69 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subsystems
+raise the more specific subclasses below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FittingError(ReproError):
+    """A statistical model could not be fitted to the given samples.
+
+    Raised for degenerate inputs (too few samples, zero variance, NaNs)
+    and for optimisation failures that cannot be recovered by fallbacks.
+    """
+
+
+class ConvergenceWarningError(FittingError):
+    """An iterative fit (EM, moment matching) failed to converge."""
+
+
+class ParameterError(ReproError):
+    """A distribution or model received invalid parameters."""
+
+
+class LibertyError(ReproError):
+    """Base class for Liberty-format errors."""
+
+
+class LibertySyntaxError(LibertyError):
+    """The Liberty source text could not be tokenised or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class LibertySemanticError(LibertyError):
+    """The Liberty AST is well-formed but semantically inconsistent.
+
+    Examples: a LUT whose value count does not match its index lengths,
+    an LVF2 group missing a mandatory companion attribute.
+    """
+
+
+class CharacterizationError(ReproError):
+    """A Monte-Carlo characterisation run could not be completed."""
+
+
+class SSTAError(ReproError):
+    """A statistical timing-analysis operation failed.
+
+    Examples: propagating through a graph with cycles, or querying an
+    arrival time for a node that was never reached.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received an inconsistent configuration."""

@@ -1,0 +1,49 @@
+"""Regeneration of every table and figure in the paper's evaluation."""
+
+from repro.experiments.clt_convergence import CLTResult, run_clt_convergence
+from repro.experiments.common import (
+    PAPER_MODELS,
+    fit_paper_models,
+    format_table,
+    paper_scale,
+    score_paper_models,
+)
+from repro.experiments.fig3 import Fig3Panel, Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, diagonal_contrast, run_fig4
+from repro.experiments.fig5 import PAPER_FIG5_POINTS, Fig5Result, run_fig5
+from repro.experiments.runner import ExperimentSuite, run_all
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result, run_table1
+from repro.experiments.table2 import (
+    PAPER_TABLE2_OVERALL,
+    Table2Config,
+    Table2Result,
+    run_table2,
+)
+
+__all__ = [
+    "CLTResult",
+    "ExperimentSuite",
+    "Fig3Panel",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "PAPER_FIG5_POINTS",
+    "PAPER_MODELS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2_OVERALL",
+    "Table1Result",
+    "Table2Config",
+    "Table2Result",
+    "diagonal_contrast",
+    "fit_paper_models",
+    "format_table",
+    "paper_scale",
+    "run_all",
+    "run_clt_convergence",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_table1",
+    "run_table2",
+    "score_paper_models",
+]

@@ -1,0 +1,119 @@
+"""Shared experiment plumbing.
+
+Every experiment module regenerates one paper table or figure and
+returns a typed result with a ``to_text()`` renderer that prints the
+same rows/series the paper reports.  This module holds the pieces they
+share: fitting the four compared models, scoring them with the §4
+metrics, and formatting aligned text tables.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.binning.metrics import evaluate_models
+from repro.errors import FittingError
+from repro.models import PAPER_MODELS, TimingModel, get_model
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = [
+    "PAPER_MODELS",
+    "fit_paper_models",
+    "score_paper_models",
+    "format_table",
+    "paper_scale",
+]
+
+
+def paper_scale() -> bool:
+    """Whether to run experiments at full paper scale.
+
+    Controlled by the ``REPRO_PAPER`` environment variable; default is
+    a CI-sized configuration with identical structure.
+    """
+    return os.environ.get("REPRO_PAPER", "0") not in ("0", "", "false")
+
+
+def fit_paper_models(
+    samples: np.ndarray,
+    model_names: Sequence[str] = PAPER_MODELS,
+) -> dict[str, TimingModel]:
+    """Fit the paper's four models to one golden sample set.
+
+    A model that fails to fit (e.g. LESN on data with non-positive
+    values) falls back to the LVF fit so every table cell stays
+    populated — mirroring how a characterisation flow would degrade.
+    """
+    models: dict[str, TimingModel] = {}
+    fallback = get_model("LVF").fit(samples)
+    for name in model_names:
+        try:
+            models[name] = get_model(name).fit(samples)
+        except FittingError:
+            models[name] = fallback
+    return models
+
+
+def score_paper_models(
+    samples: np.ndarray,
+    model_names: Sequence[str] = PAPER_MODELS,
+    *,
+    baseline: str = "LVF",
+) -> dict[str, dict[str, float]]:
+    """Fit + §4-score the paper's models against golden ``samples``."""
+    golden = EmpiricalDistribution(samples)
+    models = fit_paper_models(samples, model_names)
+    return evaluate_models(models, golden, baseline=baseline)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table (the report format)."""
+    rendered_rows = [
+        [
+            f"{value:.2f}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(
+            len(str(header)),
+            *(len(row[index]) for row in rendered_rows),
+        )
+        if rendered_rows
+        else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(
+            str(header).ljust(width)
+            for header, width in zip(headers, widths)
+        )
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                value.ljust(width) for value, width in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def geometric_mean_over(
+    mapping: Mapping[str, float], keys: Sequence[str]
+) -> float:
+    """Geometric mean of ``mapping[key]`` over ``keys``."""
+    values = np.array([mapping[key] for key in keys], dtype=float)
+    return float(np.exp(np.mean(np.log(np.maximum(values, 1e-12)))))

@@ -1,0 +1,110 @@
+"""Figure 5: binning error reduction along two critical paths.
+
+Regenerates both §4.4 benchmarks — the 16-bit carry adder and the
+6-stage H-tree — as error-reduction-vs-FO4-depth series for all four
+models, and reports the paper's two comparison points per path: the
+reduction near 8 FO4 and at the path end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.gate import GateTimingEngine
+from repro.circuits.process import TT_GLOBAL_LOCAL_MC
+from repro.experiments.common import PAPER_MODELS, paper_scale
+from repro.ssta.fo4 import fo4_delay
+from repro.ssta.paths import (
+    build_carry_adder_path,
+    build_htree_path,
+    simulate_path_stages,
+)
+from repro.ssta.propagate import PathPropagationResult, propagate_path
+
+__all__ = ["Fig5Result", "run_fig5", "PAPER_FIG5_POINTS"]
+
+#: The paper's quoted Fig. 5 comparison points for LVF2.
+PAPER_FIG5_POINTS = {
+    "adder": {"at_8fo4": 2.0, "at_end": 1.15},
+    "htree": {"at_8fo4": 8.0, "at_end": 2.68},
+}
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Both Fig. 5 panels.
+
+    Attributes:
+        fo4: The FO4 normalisation delay (ns).
+        adder: Propagation result for the 16-bit carry adder.
+        htree: Propagation result for the 6-stage H-tree.
+    """
+
+    fo4: float
+    adder: PathPropagationResult
+    htree: PathPropagationResult
+
+    def to_text(self) -> str:
+        lines = [
+            "Figure 5 — binning error reduction along critical paths",
+            f"FO4 = {self.fo4 * 1e3:.2f} ps",
+        ]
+        for name, result in (("adder", self.adder), ("htree", self.htree)):
+            lines.append(
+                f"{name}: depth {result.fo4_depths[-1]:.1f} FO4, "
+                f"{len(result.stage_names)} stages"
+            )
+            header = "  depth(FO4) " + " ".join(
+                f"{model:>6s}" for model in PAPER_MODELS
+            )
+            lines.append(header)
+            for index, depth in enumerate(result.fo4_depths):
+                lines.append(
+                    f"  {depth:10.1f} "
+                    + " ".join(
+                        f"{result.reductions[model][index]:6.2f}"
+                        for model in PAPER_MODELS
+                    )
+                )
+            lines.append(
+                f"  LVF2 at ~8 FO4: "
+                f"{result.reduction_at_depth('LVF2', 8.0):.2f}x "
+                f"(paper {PAPER_FIG5_POINTS[name]['at_8fo4']:.2f}x); "
+                f"at end: {result.final_reduction('LVF2'):.2f}x "
+                f"(paper {PAPER_FIG5_POINTS[name]['at_end']:.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+def run_fig5(
+    *,
+    n_samples: int | None = None,
+    seed: int = 3,
+    engine: GateTimingEngine | None = None,
+    adder_bits: int = 16,
+    htree_levels: int = 6,
+) -> Fig5Result:
+    """Regenerate Figure 5.
+
+    Args:
+        n_samples: Monte-Carlo population per stage (paper scale: 50k).
+        seed: RNG seed for the stage simulations.
+        engine: Timing engine override.
+        adder_bits: Carry-adder width.
+        htree_levels: H-tree depth.
+    """
+    samples = n_samples or (50_000 if paper_scale() else 10_000)
+    sim = engine or GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    fo4 = fo4_delay(sim)
+    results = {}
+    for name, path in (
+        ("adder", build_carry_adder_path(adder_bits)),
+        ("htree", build_htree_path(htree_levels)),
+    ):
+        simulations = simulate_path_stages(
+            sim, path, samples, seed=seed
+        )
+        results[name] = propagate_path(simulations, fo4=fo4)
+    return Fig5Result(
+        fo4=fo4, adder=results["adder"], htree=results["htree"]
+    )

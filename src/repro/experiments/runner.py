@@ -1,0 +1,78 @@
+"""Run-everything orchestration for the paper's evaluation section.
+
+``run_all`` executes each experiment at the configured scale and
+assembles a single text report mirroring the paper's §4 — this is what
+``python -m repro bench`` prints and what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.clt_convergence import CLTResult, run_clt_convergence
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Config, Table2Result, run_table2
+
+__all__ = ["ExperimentSuite", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentSuite:
+    """Results of all paper experiments."""
+
+    fig3: Fig3Result
+    table1: Table1Result
+    table2: Table2Result
+    fig4: Fig4Result
+    fig5: Fig5Result
+    clt: CLTResult
+
+    def to_text(self) -> str:
+        sections = [
+            self.fig3.to_text(),
+            self.table1.to_text(),
+            self.table2.to_text(),
+            self.fig4.to_text(),
+            self.fig5.to_text(),
+            self.clt.to_text(),
+        ]
+        divider = "\n" + "=" * 72 + "\n"
+        return divider.join(sections)
+
+
+def run_all(
+    *,
+    scenario_samples: int = 50_000,
+    table2_config: Table2Config | None = None,
+    progress: bool = False,
+) -> ExperimentSuite:
+    """Execute every experiment of the paper's evaluation section."""
+    if progress:
+        print("fig3: scenario fits ...")
+    fig3 = run_fig3(scenario_samples)
+    if progress:
+        print("table1: scenario binning ...")
+    table1 = run_table1(scenario_samples)
+    if progress:
+        print("table2: library assessment ...")
+    table2 = run_table2(table2_config, progress=progress)
+    if progress:
+        print("fig4: accuracy pattern ...")
+    fig4 = run_fig4()
+    if progress:
+        print("fig5: path propagation ...")
+    fig5 = run_fig5()
+    if progress:
+        print("clt: convergence ...")
+    clt = run_clt_convergence()
+    return ExperimentSuite(
+        fig3=fig3,
+        table1=table1,
+        table2=table2,
+        fig4=fig4,
+        fig5=fig5,
+        clt=clt,
+    )

@@ -1,0 +1,301 @@
+"""Table 2: standard-cell library assessment among models.
+
+For every cell type: Monte-Carlo characterise each arc over the
+slew-load grid, fit all four models to every delay and transition
+distribution, and average the binning / 3σ-yield error reductions per
+cell type — the exact structure of the paper's Table 2, including the
+"Overall" row that yields the abstract's headline numbers
+(LVF2: 7.74x / 9.56x binning, 4.79x / 7.18x yield in the paper).
+
+Scale is configurable: the default configuration shrinks the grid,
+sample count and drive list so the full 25-type table regenerates in
+CI time; set ``REPRO_PAPER=1`` (or pass a custom config) for the
+paper-scale 8x8 x 50k run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.binning.bins import sigma_binning
+from repro.binning.metrics import (
+    binning_error,
+    error_reduction,
+    yield_error,
+)
+from repro.circuits.cells import CELL_TYPES, build_cell
+from repro.circuits.characterize import (
+    PAPER_LOADS,
+    PAPER_SLEWS,
+    CharacterizationConfig,
+    characterize_arc,
+)
+from repro.circuits.gate import GateTimingEngine
+from repro.circuits.process import TT_GLOBAL_LOCAL_MC
+from repro.experiments.common import (
+    PAPER_MODELS,
+    fit_paper_models,
+    format_table,
+    paper_scale,
+)
+from repro.stats.empirical import EmpiricalDistribution
+
+__all__ = [
+    "Table2Config",
+    "Table2Row",
+    "Table2Result",
+    "run_table2",
+    "PAPER_TABLE2_OVERALL",
+]
+
+#: The paper's "Overall" row (error reductions, x).
+PAPER_TABLE2_OVERALL = {
+    "delay_binning": {"LVF2": 7.74, "Norm2": 3.83, "LESN": 4.54},
+    "transition_binning": {"LVF2": 9.56, "Norm2": 3.96, "LESN": 5.55},
+    "delay_yield": {"LVF2": 4.79, "Norm2": 4.19, "LESN": 4.05},
+    "transition_yield": {"LVF2": 7.18, "Norm2": 5.44, "LESN": 6.34},
+}
+
+_METRICS = (
+    "delay_binning",
+    "transition_binning",
+    "delay_yield",
+    "transition_yield",
+)
+
+
+@dataclass(frozen=True)
+class Table2Config:
+    """Scale knobs for the library assessment.
+
+    Attributes:
+        cell_types: Cell types to characterise (default: all 25).
+        drives: Drive strengths per type.
+        n_samples: Monte-Carlo population per condition.
+        slews: Input-slew breakpoints.
+        loads: Output-load breakpoints.
+        max_arcs_per_cell: Cap on (input x transition) arcs per cell;
+            0 means all.
+        seed: Base RNG seed.
+    """
+
+    cell_types: tuple[str, ...] = tuple(CELL_TYPES)
+    drives: tuple[float, ...] = (1.0,)
+    n_samples: int = 4000
+    slews: tuple[float, ...] = (PAPER_SLEWS[1], PAPER_SLEWS[4])
+    loads: tuple[float, ...] = (PAPER_LOADS[2], PAPER_LOADS[5])
+    max_arcs_per_cell: int = 2
+    seed: int = 2024
+
+    @classmethod
+    def paper(cls) -> "Table2Config":
+        """Full paper-scale configuration (8x8 grid, 50k samples)."""
+        return cls(
+            drives=(1.0, 2.0),
+            n_samples=50_000,
+            slews=PAPER_SLEWS,
+            loads=PAPER_LOADS,
+            max_arcs_per_cell=0,
+        )
+
+    @classmethod
+    def auto(cls) -> "Table2Config":
+        """Paper scale when ``REPRO_PAPER=1``, CI scale otherwise."""
+        return cls.paper() if paper_scale() else cls()
+
+
+@dataclass
+class Table2Row:
+    """Accumulated error reductions for one cell type."""
+
+    cell_type: str
+    n_arcs: int = 0
+    #: metric -> model -> list of per-distribution reductions.
+    reductions: dict[str, dict[str, list[float]]] = field(
+        default_factory=lambda: {
+            metric: {model: [] for model in PAPER_MODELS}
+            for metric in _METRICS
+        }
+    )
+
+    def mean_reduction(self, metric: str, model: str) -> float:
+        values = self.reductions[metric][model]
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """The full Table 2: per-type rows plus the overall average."""
+
+    rows: dict[str, Table2Row]
+    config: Table2Config
+
+    def overall(self, metric: str, model: str) -> float:
+        """Average reduction over all per-type means (paper's last row)."""
+        values = [
+            row.mean_reduction(metric, model)
+            for row in self.rows.values()
+            if row.n_arcs > 0
+        ]
+        return float(np.nanmean(values))
+
+    def headline(self) -> dict[str, dict[str, float]]:
+        """The four Overall numbers per model (abstract's headline)."""
+        return {
+            metric: {
+                model: self.overall(metric, model)
+                for model in PAPER_MODELS
+            }
+            for metric in _METRICS
+        }
+
+    def to_text(self) -> str:
+        headers = ["Cell", "Arcs"]
+        for metric in _METRICS:
+            short = metric.replace("transition", "tran").replace(
+                "delay", "dly"
+            )
+            headers.extend(f"{short}:{m}" for m in ("LVF2", "Norm2", "LESN"))
+        rows = []
+        for name, row in self.rows.items():
+            cells: list[object] = [name, row.n_arcs]
+            for metric in _METRICS:
+                for model in ("LVF2", "Norm2", "LESN"):
+                    cells.append(row.mean_reduction(metric, model))
+            rows.append(cells)
+        overall: list[object] = ["Overall", sum(r.n_arcs for r in self.rows.values())]
+        for metric in _METRICS:
+            for model in ("LVF2", "Norm2", "LESN"):
+                overall.append(self.overall(metric, model))
+        rows.append(overall)
+        return format_table(
+            headers,
+            rows,
+            title=(
+                "Table 2 — library assessment, error reduction (x) "
+                "vs LVF (binning and 3-sigma yield)"
+            ),
+        )
+
+
+def _arc_list(cell, cap: int) -> list[tuple[str, str]]:
+    arcs = [
+        (pin, transition)
+        for pin in cell.inputs
+        for transition in ("rise", "fall")
+    ]
+    if cap > 0:
+        arcs = arcs[:cap]
+    return arcs
+
+
+def run_table2(
+    config: Table2Config | None = None,
+    *,
+    engine: GateTimingEngine | None = None,
+    progress: bool = False,
+) -> Table2Result:
+    """Regenerate Table 2.
+
+    Args:
+        config: Scale configuration (:meth:`Table2Config.auto` default).
+        engine: Timing engine; defaults to the TTGlobal_LocalMC corner.
+        progress: Print one line per cell type as it completes.
+    """
+    cfg = config or Table2Config.auto()
+    sim = engine or GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    char_config = CharacterizationConfig(
+        slews=cfg.slews,
+        loads=cfg.loads,
+        n_samples=cfg.n_samples,
+        seed=cfg.seed,
+    )
+    rows: dict[str, Table2Row] = {}
+    for cell_type in cfg.cell_types:
+        row = Table2Row(cell_type=cell_type)
+        for drive in cfg.drives:
+            cell = build_cell(cell_type, drive)
+            for pin, transition in _arc_list(
+                cell, cfg.max_arcs_per_cell
+            ):
+                characterization = characterize_arc(
+                    sim, cell, pin, transition, char_config
+                )
+                row.n_arcs += 1
+                for quantity, metric_prefix in (
+                    ("delay", "delay"),
+                    ("transition", "transition"),
+                ):
+                    for i in range(len(cfg.slews)):
+                        for j in range(len(cfg.loads)):
+                            samples = characterization.samples(
+                                quantity, i, j
+                            )
+                            _score_condition(
+                                row, metric_prefix, samples
+                            )
+        rows[cell_type] = row
+        if progress:
+            print(
+                f"{cell_type:6s} arcs={row.n_arcs:3d} "
+                f"dly_bin LVF2="
+                f"{row.mean_reduction('delay_binning', 'LVF2'):.2f}"
+            )
+    return Table2Result(rows=rows, config=cfg)
+
+
+def _score_condition(
+    row: Table2Row, metric_prefix: str, samples: np.ndarray
+) -> None:
+    """Fit all models on one distribution and record reductions."""
+    golden = EmpiricalDistribution(samples)
+    summary = golden.moments()
+    scheme = sigma_binning(summary)
+    models = fit_paper_models(samples)
+    binning_errors = {
+        name: binning_error(model, golden, scheme)
+        for name, model in models.items()
+    }
+    # The 3-sigma yield is only a meaningful score when the golden
+    # sample actually resolves the tail: with a short-tailed (e.g.
+    # strongly bimodal) distribution, mu + 3 sigma can lie beyond
+    # every sample, making every model's error 0/0.  Such saturated
+    # conditions are skipped for the yield metric (binning still
+    # scores — the bins resolve the bulk).
+    tail_count = int(np.sum(samples > summary.sigma_point(3.0)))
+    score_yield = tail_count >= 5
+    if score_yield:
+        yield_errors = {
+            name: yield_error(model, golden)
+            for name, model in models.items()
+        }
+    # A model whose error falls below the golden sampling resolution
+    # (1/n in probability) yields an effectively infinite ratio; cap
+    # each recorded reduction at the largest *resolvable* ratio,
+    # baseline_error / (1/n), so per-type averages stay meaningful.
+    n = float(samples.size)
+    binning_cap = max(1.0, binning_errors["LVF"] * n)
+    for name in PAPER_MODELS:
+        row.reductions[f"{metric_prefix}_binning"][name].append(
+            min(
+                error_reduction(
+                    binning_errors["LVF"], binning_errors[name]
+                ),
+                binning_cap,
+            )
+        )
+        if score_yield:
+            yield_cap = max(1.0, yield_errors["LVF"] * n)
+            row.reductions[f"{metric_prefix}_yield"][name].append(
+                min(
+                    error_reduction(
+                        yield_errors["LVF"], yield_errors[name]
+                    ),
+                    yield_cap,
+                )
+            )

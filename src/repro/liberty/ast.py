@@ -1,0 +1,157 @@
+"""Liberty abstract syntax tree.
+
+Liberty (the `.lib` format, Synopsys [4]) is a nested-group language:
+
+    library (my_lib) {
+        time_unit : "1ns";
+        lu_table_template (tmpl_8x8) {
+            variable_1 : input_net_transition;
+            index_1 ("0.01, 0.02, ...");
+        }
+        cell (NAND2_X1) { ... }
+    }
+
+Three statement kinds exist inside a group: *simple attributes*
+(``name : value;``), *complex attributes* (``name (v1, v2, ...);``) and
+nested *groups* (``name (args) { ... }``).  The AST keeps statements in
+source order so a parse → write round-trip is stable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import LibertySemanticError
+
+__all__ = ["SimpleAttribute", "ComplexAttribute", "Group", "Statement"]
+
+
+@dataclass
+class SimpleAttribute:
+    """``name : value;`` — value is kept verbatim (unquoted)."""
+
+    name: str
+    value: str
+
+    def format_value(self) -> str:
+        """Value as written back to Liberty text (re-quoted if needed)."""
+        text = self.value
+        needs_quotes = any(
+            ch in text for ch in " \t,;(){}"
+        ) or text == ""
+        return f'"{text}"' if needs_quotes else text
+
+
+@dataclass
+class ComplexAttribute:
+    """``name (v1, v2, ...);`` — values kept verbatim per argument."""
+
+    name: str
+    values: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Group:
+    """``name (args) { statements }``."""
+
+    name: str
+    args: list[str] = field(default_factory=list)
+    statements: list["Statement"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """First argument — the conventional group name (cell name...)."""
+        return self.args[0] if self.args else ""
+
+    def groups(self, name: str | None = None) -> Iterator["Group"]:
+        """Iterate nested groups, optionally filtered by group type."""
+        for statement in self.statements:
+            if isinstance(statement, Group):
+                if name is None or statement.name == name:
+                    yield statement
+
+    def group(self, name: str, label: str | None = None) -> "Group":
+        """First nested group of type ``name`` (and label, if given).
+
+        Raises:
+            LibertySemanticError: When absent.
+        """
+        for candidate in self.groups(name):
+            if label is None or candidate.label == label:
+                return candidate
+        where = f"{name}({label})" if label else name
+        raise LibertySemanticError(
+            f"group {self.name}({self.label}) has no {where} subgroup"
+        )
+
+    def find_group(
+        self, name: str, label: str | None = None
+    ) -> "Group | None":
+        """Like :meth:`group` but returns ``None`` when absent."""
+        for candidate in self.groups(name):
+            if label is None or candidate.label == label:
+                return candidate
+        return None
+
+    def attributes(self) -> Iterator[SimpleAttribute]:
+        for statement in self.statements:
+            if isinstance(statement, SimpleAttribute):
+                yield statement
+
+    def complex_attributes(
+        self, name: str | None = None
+    ) -> Iterator[ComplexAttribute]:
+        for statement in self.statements:
+            if isinstance(statement, ComplexAttribute):
+                if name is None or statement.name == name:
+                    yield statement
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Value of the first simple attribute ``name``, else default."""
+        for attribute in self.attributes():
+            if attribute.name == name:
+                return attribute.value
+        return default
+
+    def get_complex(self, name: str) -> list[str] | None:
+        """Values of the first complex attribute ``name``, else None."""
+        for attribute in self.complex_attributes(name):
+            return attribute.values
+        return None
+
+    # ------------------------------------------------------------------
+    # Mutation helpers (used by the writer-side builders)
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: str) -> None:
+        """Set (or replace) a simple attribute."""
+        for attribute in self.attributes():
+            if attribute.name == name:
+                attribute.value = value
+                return
+        self.statements.append(SimpleAttribute(name, value))
+
+    def set_complex(self, name: str, values: list[str]) -> None:
+        """Set (or replace) a complex attribute."""
+        for attribute in self.complex_attributes(name):
+            attribute.values = list(values)
+            return
+        self.statements.append(ComplexAttribute(name, list(values)))
+
+    def add_group(self, group: "Group") -> "Group":
+        self.statements.append(group)
+        return group
+
+    def remove(self, name: str) -> bool:
+        """Remove the first statement (any kind) called ``name``."""
+        for index, statement in enumerate(self.statements):
+            if statement.name == name:
+                del self.statements[index]
+                return True
+        return False
+
+
+Statement = SimpleAttribute | ComplexAttribute | Group

@@ -1,0 +1,121 @@
+"""LVF attribute naming and moment-LUT groups (paper §2.2).
+
+For each base timing quantity (``cell_rise``, ``cell_fall``,
+``rise_transition``, ``fall_transition``) LVF stores four LUTs:
+
+- ``<base>``                      — nominal values
+- ``ocv_mean_shift_<base>``       — mean minus nominal
+- ``ocv_std_dev_<base>``          — standard deviation
+- ``ocv_skewness_<base>``         — skewness
+
+and ``mean = nominal + mean_shift``.  This module owns the naming
+conventions and the grid-point extraction of a fitted
+:class:`~repro.models.lvf.LVFModel` from the LUT set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LibertySemanticError
+from repro.liberty.tables import Table
+from repro.models.lvf import LVFModel
+
+__all__ = [
+    "BASE_QUANTITIES",
+    "LVF_PREFIXES",
+    "LVFTables",
+    "lvf_attr_name",
+]
+
+#: The four base quantities characterised per timing arc.
+BASE_QUANTITIES = (
+    "cell_rise",
+    "cell_fall",
+    "rise_transition",
+    "fall_transition",
+)
+
+#: LVF moment-LUT prefixes, in (mean_shift, std_dev, skewness) order.
+LVF_PREFIXES = ("ocv_mean_shift", "ocv_std_dev", "ocv_skewness")
+
+
+def lvf_attr_name(prefix: str, base: str) -> str:
+    """Compose an LVF LUT group name, e.g. ``ocv_std_dev_cell_rise``."""
+    return f"{prefix}_{base}"
+
+
+@dataclass(frozen=True)
+class LVFTables:
+    """The conventional LVF LUT set for one base quantity.
+
+    Attributes:
+        base: Base quantity name (``cell_rise`` ...).
+        nominal: Nominal-value LUT.
+        mean_shift: ``ocv_mean_shift`` LUT (``None`` -> all zero).
+        std_dev: ``ocv_std_dev`` LUT.
+        skewness: ``ocv_skewness`` LUT (``None`` -> all zero).
+    """
+
+    base: str
+    nominal: Table
+    mean_shift: Table | None
+    std_dev: Table | None
+    skewness: Table | None
+
+    def __post_init__(self) -> None:
+        shape = self.nominal.values.shape
+        for name in ("mean_shift", "std_dev", "skewness"):
+            table = getattr(self, name)
+            if table is not None and table.values.shape != shape:
+                raise LibertySemanticError(
+                    f"{lvf_attr_name('ocv_' + name, self.base)} shape "
+                    f"{table.values.shape} != nominal shape {shape}"
+                )
+
+    @property
+    def has_variation(self) -> bool:
+        """True when statistical (LVF) data is present at all."""
+        return self.std_dev is not None
+
+    def _value(self, table: Table | None, i: int, j: int | None) -> float:
+        if table is None:
+            return 0.0
+        return table.value_at(i, j)
+
+    def lvf_at(self, i: int, j: int | None = None) -> LVFModel:
+        """The LVF skew-normal at grid point ``(i, j)``.
+
+        Raises:
+            LibertySemanticError: When no ``ocv_std_dev`` LUT exists —
+                a nominal-only library has no statistical model.
+        """
+        if self.std_dev is None:
+            raise LibertySemanticError(
+                f"{self.base}: no ocv_std_dev LUT; "
+                "library carries no variation data"
+            )
+        nominal = self.nominal.value_at(i, j)
+        mean = nominal + self._value(self.mean_shift, i, j)
+        sigma = self.std_dev.value_at(i, j)
+        gamma = self._value(self.skewness, i, j)
+        return LVFModel(mean, sigma, gamma, nominal=nominal)
+
+    def moment_grids(self) -> dict[str, np.ndarray]:
+        """All moment grids as arrays (zeros where LUTs are absent)."""
+        shape = self.nominal.values.shape
+        def grid(table: Table | None) -> np.ndarray:
+            return (
+                table.values.copy()
+                if table is not None
+                else np.zeros(shape)
+            )
+
+        return {
+            "nominal": self.nominal.values.copy(),
+            "mean_shift": grid(self.mean_shift),
+            "std_dev": grid(self.std_dev),
+            "skewness": grid(self.skewness),
+        }

@@ -1,0 +1,279 @@
+"""Generalised k-component Liberty extension (paper §3.3, last remark).
+
+"Although LVF2 assumes only two Gaussian components, one can easily
+extend the library to support more components by following similar
+attribute naming conventions."  This module does exactly that: for
+component ``k >= 2`` the LUT names are
+
+    ocv_weight<k>_<base>
+    ocv_mean_shift<k>_<base>
+    ocv_std_dev<k>_<base>
+    ocv_skewness<k>_<base>
+
+with component 1 keeping the LVF2 convention (suffix ``1``, defaults
+inherited from plain LVF).  The resolver produces a
+:class:`~repro.models.lvfk.LVFkModel` per grid point; the emitter
+writes a fitted k-component model grid back to a ``timing`` group.
+
+The LVF2 path (:mod:`repro.liberty.lvf2_attrs`) remains the primary,
+strictly-validated format; this extension interoperates with it — a
+k=2 LVFk group is exactly an LVF2 group.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LibertySemanticError
+from repro.liberty.ast import Group
+from repro.liberty.lvf_attrs import BASE_QUANTITIES, LVFTables
+from repro.liberty.tables import Table, TableTemplate
+from repro.models.lvf import LVFModel
+from repro.models.lvfk import LVFkModel
+
+__all__ = ["LVFkTables", "lvfk_attr_name", "parse_lvfk_timing_group"]
+
+_STAT_RE = re.compile(
+    r"^ocv_(mean_shift|std_dev|skewness|weight)(\d*)_(.+)$"
+)
+
+
+def lvfk_attr_name(kind: str, component: int, base: str) -> str:
+    """Compose a k-component LUT name, e.g. ``ocv_weight3_cell_rise``.
+
+    Args:
+        kind: ``mean_shift`` / ``std_dev`` / ``skewness`` / ``weight``.
+        component: 1-based component index (``weight`` needs >= 2).
+        base: Base quantity (``cell_rise`` ...).
+    """
+    if kind not in ("mean_shift", "std_dev", "skewness", "weight"):
+        raise LibertySemanticError(f"unknown LUT kind {kind!r}")
+    if component < 1 or (kind == "weight" and component < 2):
+        raise LibertySemanticError(
+            f"invalid component {component} for kind {kind!r}"
+        )
+    return f"ocv_{kind}{component}_{base}"
+
+
+@dataclass(frozen=True)
+class LVFkTables:
+    """Arbitrary-order mixture LUT set for one base quantity.
+
+    Attributes:
+        lvf: The conventional LVF tables (component-1 defaults).
+        components: ``{k: {"mean_shift"/"std_dev"/"skewness"/"weight":
+            Table}}`` for k >= 1.  Component 1 has no weight (it takes
+            the remainder); absent component-1 LUTs inherit from LVF.
+    """
+
+    lvf: LVFTables
+    components: dict[int, dict[str, Table]]
+
+    def __post_init__(self) -> None:
+        shape = self.lvf.nominal.values.shape
+        for index, tables in self.components.items():
+            for kind, table in tables.items():
+                if table.values.shape != shape:
+                    raise LibertySemanticError(
+                        f"ocv_{kind}{index}_{self.lvf.base} shape "
+                        f"{table.values.shape} != grid {shape}"
+                    )
+            if index >= 2:
+                missing = {
+                    "weight",
+                    "mean_shift",
+                    "std_dev",
+                    "skewness",
+                } - set(tables)
+                if missing:
+                    raise LibertySemanticError(
+                        f"component {index} of {self.lvf.base} is "
+                        f"missing LUTs: {sorted(missing)}"
+                    )
+
+    @property
+    def order(self) -> int:
+        """Highest component index present (1 = plain LVF)."""
+        return max(self.components, default=1)
+
+    def _component1(self, i: int, j: int | None) -> LVFModel:
+        nominal = self.lvf.nominal.value_at(i, j)
+        own = self.components.get(1, {})
+
+        def pick(kind: str, fallback: Table | None) -> Table | None:
+            return own.get(kind, fallback)
+
+        shift = pick("mean_shift", self.lvf.mean_shift)
+        std = pick("std_dev", self.lvf.std_dev)
+        skew = pick("skewness", self.lvf.skewness)
+        if std is None:
+            raise LibertySemanticError(
+                f"{self.lvf.base}: no sigma LUT for component 1"
+            )
+        return LVFModel(
+            nominal + (shift.value_at(i, j) if shift else 0.0),
+            std.value_at(i, j),
+            skew.value_at(i, j) if skew else 0.0,
+            nominal=nominal,
+        )
+
+    def lvfk_at(self, i: int, j: int | None = None) -> LVFkModel:
+        """Resolve the k-component mixture at grid point ``(i, j)``."""
+        nominal = self.lvf.nominal.value_at(i, j)
+        components = [self._component1(i, j)]
+        weights = []
+        for index in sorted(k for k in self.components if k >= 2):
+            tables = self.components[index]
+            weight = tables["weight"].value_at(i, j)
+            if weight <= 0.0:
+                continue
+            weights.append(weight)
+            components.append(
+                LVFModel(
+                    nominal + tables["mean_shift"].value_at(i, j),
+                    tables["std_dev"].value_at(i, j),
+                    tables["skewness"].value_at(i, j),
+                    nominal=nominal,
+                )
+            )
+        total_extra = sum(weights)
+        if total_extra >= 1.0:
+            raise LibertySemanticError(
+                f"{self.lvf.base}@({i},{j}): component weights sum to "
+                f"{total_extra:.4f} >= 1"
+            )
+        all_weights = (1.0 - total_extra, *weights)
+        return LVFkModel(all_weights, tuple(components))
+
+
+def parse_lvfk_timing_group(
+    group: Group,
+    base: str,
+    templates: dict[str, TableTemplate] | None = None,
+) -> LVFkTables:
+    """Extract the k-component LUT set of ``base`` from a timing group.
+
+    Raises:
+        LibertySemanticError: If the nominal LUT is missing or any
+            component's LUT set is incomplete.
+    """
+    if base not in BASE_QUANTITIES:
+        raise LibertySemanticError(f"unknown base quantity {base!r}")
+    templates = templates or {}
+    nominal_group = group.find_group(base)
+    if nominal_group is None:
+        raise LibertySemanticError(
+            f"timing group has no {base} nominal LUT"
+        )
+    nominal = Table.from_group(
+        nominal_group, templates.get(nominal_group.label)
+    )
+    plain: dict[str, Table] = {}
+    components: dict[int, dict[str, Table]] = {}
+    for child in group.groups():
+        match = _STAT_RE.match(child.name)
+        if match is None or match.group(3) != base:
+            continue
+        kind, index_text, _ = match.groups()
+        table = Table.from_group(child, templates.get(child.label))
+        if index_text == "":
+            plain[kind] = table
+        else:
+            index = int(index_text)
+            components.setdefault(index, {})[kind] = table
+    lvf = LVFTables(
+        base=base,
+        nominal=nominal,
+        mean_shift=plain.get("mean_shift"),
+        std_dev=plain.get("std_dev"),
+        skewness=plain.get("skewness"),
+    )
+    return LVFkTables(lvf=lvf, components=components)
+
+
+def lvfk_models_to_group(
+    base: str,
+    nominal: Table,
+    models: np.ndarray,
+    group: Group,
+) -> None:
+    """Append the k-component LUTs of a fitted model grid to ``group``.
+
+    Args:
+        base: Base quantity name.
+        nominal: Nominal LUT (defines the grid).
+        models: Object grid of :class:`LVFkModel`.
+        group: Target ``timing`` group (mutated in place).
+    """
+    grid = np.asarray(models, dtype=object)
+    if grid.shape != nominal.values.shape:
+        raise LibertySemanticError(
+            f"models shape {grid.shape} != nominal shape "
+            f"{nominal.values.shape}"
+        )
+    order = max(
+        grid[index].n_components for index in np.ndindex(grid.shape)
+    )
+    group.add_group(nominal.to_group(base))
+
+    def table_of(extract) -> Table:
+        values = np.empty(grid.shape)
+        for index in np.ndindex(grid.shape):
+            values[index] = extract(grid[index], nominal.values[index])
+        return Table(
+            nominal.template, nominal.index_1, nominal.index_2, values
+        )
+
+    def component(model: LVFkModel, k: int) -> LVFModel | None:
+        ordered = sorted(
+            zip(model.weights, model.components),
+            key=lambda pair: pair[1].mu,
+        )
+        if k - 1 < len(ordered):
+            return ordered[k - 1][1]
+        return None
+
+    def weight_of(model: LVFkModel, k: int) -> float:
+        ordered = sorted(
+            zip(model.weights, model.components),
+            key=lambda pair: pair[1].mu,
+        )
+        if k - 1 < len(ordered):
+            return ordered[k - 1][0]
+        return 0.0
+
+    for k in range(1, order + 1):
+        def shift(model, nom, k=k):
+            comp = component(model, k)
+            return (comp.mu - nom) if comp else 0.0
+
+        def std(model, nom, k=k):
+            comp = component(model, k)
+            return comp.sigma if comp else 1.0
+
+        def skew(model, nom, k=k):
+            comp = component(model, k)
+            return comp.gamma if comp else 0.0
+
+        group.add_group(
+            table_of(shift).to_group(
+                lvfk_attr_name("mean_shift", k, base)
+            )
+        )
+        group.add_group(
+            table_of(std).to_group(lvfk_attr_name("std_dev", k, base))
+        )
+        group.add_group(
+            table_of(skew).to_group(
+                lvfk_attr_name("skewness", k, base)
+            )
+        )
+        if k >= 2:
+            group.add_group(
+                table_of(
+                    lambda model, nom, k=k: weight_of(model, k)
+                ).to_group(lvfk_attr_name("weight", k, base))
+            )

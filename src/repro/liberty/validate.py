@@ -1,0 +1,220 @@
+"""Semantic validation (lint) for Liberty libraries.
+
+Characterisation flows emit libraries consumed by third-party STA
+tools; a library that parses but carries inconsistent statistical data
+fails silently at signoff.  :func:`validate_library` walks a parsed
+:class:`~repro.liberty.library.Library` and reports every violation of
+the LVF / LVF2 contracts as a typed diagnostic:
+
+- LUT indices must be strictly increasing;
+- ``ocv_std_dev`` (and ``ocv_std_dev1/2``) values must be positive;
+- ``ocv_skewness`` values must be SN-attainable (|gamma| < 0.9953);
+- ``ocv_weight2`` must lie in [0, 1], and any nonzero weight needs the
+  full second-component LUT set (§3.3);
+- nominal delays/transitions must be positive;
+- every LUT of an arc must share the arc's grid shape;
+- referenced table templates must exist.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.liberty.library import Library, TimingArc
+from repro.liberty.lvf2_attrs import LVF2Tables
+from repro.liberty.tables import Table
+from repro.stats.skew_normal import MAX_SKEWNESS
+
+__all__ = ["Severity", "Diagnostic", "validate_library"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, in increasing order of gravity."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding.
+
+    Attributes:
+        severity: How bad it is.
+        location: Dotted path, e.g. ``NAND2_X1.Y.A.cell_rise``.
+        message: Human-readable description.
+    """
+
+    severity: Severity
+    location: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity.value}] {self.location}: {self.message}"
+
+
+def _check_indices(
+    table: Table, location: str
+) -> Iterator[Diagnostic]:
+    for axis_name, axis in (
+        ("index_1", table.index_1),
+        ("index_2", table.index_2),
+    ):
+        if not axis:
+            continue
+        diffs = np.diff(axis)
+        if np.any(diffs <= 0.0):
+            yield Diagnostic(
+                Severity.ERROR,
+                location,
+                f"{axis_name} is not strictly increasing: {axis}",
+            )
+        if any(value < 0.0 for value in axis):
+            yield Diagnostic(
+                Severity.ERROR,
+                location,
+                f"{axis_name} contains negative breakpoints",
+            )
+
+
+def _check_positive(
+    table: Table | None, location: str, what: str
+) -> Iterator[Diagnostic]:
+    if table is None:
+        return
+    if np.any(table.values <= 0.0):
+        count = int(np.count_nonzero(table.values <= 0.0))
+        yield Diagnostic(
+            Severity.ERROR,
+            location,
+            f"{what} has {count} non-positive entries",
+        )
+
+
+def _check_skewness(
+    table: Table | None, location: str, what: str
+) -> Iterator[Diagnostic]:
+    if table is None:
+        return
+    excess = np.abs(table.values) >= MAX_SKEWNESS
+    if np.any(excess):
+        worst = float(np.max(np.abs(table.values)))
+        yield Diagnostic(
+            Severity.WARNING,
+            location,
+            f"{what} exceeds the SN-attainable bound "
+            f"({worst:.4f} >= {MAX_SKEWNESS:.4f}); "
+            "tools will clamp it",
+        )
+
+
+def _check_arc_tables(
+    tables: LVF2Tables, location: str, grid_shape: tuple[int, ...]
+) -> Iterator[Diagnostic]:
+    lvf = tables.lvf
+    yield from _check_indices(lvf.nominal, location)
+    yield from _check_positive(lvf.nominal, location, "nominal")
+    yield from _check_positive(lvf.std_dev, location, "ocv_std_dev")
+    yield from _check_positive(
+        tables.std_dev1, location, "ocv_std_dev1"
+    )
+    yield from _check_skewness(lvf.skewness, location, "ocv_skewness")
+    yield from _check_skewness(
+        tables.skewness1, location, "ocv_skewness1"
+    )
+    yield from _check_skewness(
+        tables.skewness2, location, "ocv_skewness2"
+    )
+    if tables.weight2 is not None:
+        weights = tables.weight2.values
+        nonzero = np.any(weights > 0.0)
+        if nonzero:
+            yield from _check_positive(
+                tables.std_dev2, location, "ocv_std_dev2"
+            )
+        if not nonzero:
+            yield Diagnostic(
+                Severity.INFO,
+                location,
+                "ocv_weight2 is all-zero; the LVF2 extension LUTs are "
+                "redundant (plain LVF suffices, Eq. 10)",
+            )
+    if lvf.nominal.values.shape != grid_shape:
+        yield Diagnostic(
+            Severity.ERROR,
+            location,
+            f"grid shape {lvf.nominal.values.shape} differs from the "
+            f"arc's first quantity {grid_shape}",
+        )
+
+
+def _validate_arc(
+    arc: TimingArc, location: str
+) -> Iterator[Diagnostic]:
+    if not arc.related_pin:
+        yield Diagnostic(
+            Severity.ERROR, location, "timing arc has no related_pin"
+        )
+    if not arc.tables:
+        yield Diagnostic(
+            Severity.WARNING,
+            location,
+            "timing arc carries no timing tables",
+        )
+        return
+    first_shape = next(iter(arc.tables.values())).lvf.nominal.values.shape
+    if not arc.is_statistical:
+        yield Diagnostic(
+            Severity.WARNING,
+            location,
+            "arc has nominal tables but no LVF variation data",
+        )
+    for base, tables in arc.tables.items():
+        yield from _check_arc_tables(
+            tables, f"{location}.{base}", first_shape
+        )
+
+
+def validate_library(library: Library) -> list[Diagnostic]:
+    """Validate a parsed library; returns all diagnostics found.
+
+    An empty list means the library satisfies every LVF/LVF2 contract
+    this linter knows about.
+    """
+    diagnostics: list[Diagnostic] = []
+    if not library.cells:
+        diagnostics.append(
+            Diagnostic(
+                Severity.WARNING, library.name, "library has no cells"
+            )
+        )
+    for cell in library.cells.values():
+        if not cell.output_pins:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    cell.name,
+                    "cell has no output pins",
+                )
+            )
+        for pin, arc in cell.arcs():
+            location = f"{cell.name}.{pin.name}.{arc.related_pin}"
+            if (
+                arc.related_pin
+                and arc.related_pin not in cell.pins
+            ):
+                diagnostics.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        location,
+                        f"related_pin {arc.related_pin!r} is not a pin "
+                        "of the cell",
+                    )
+                )
+            diagnostics.extend(_validate_arc(arc, location))
+    return diagnostics

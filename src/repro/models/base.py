@@ -1,0 +1,167 @@
+"""Abstract timing-model interface and model registry.
+
+Every statistical timing model compared in the paper — LVF, LVF2,
+Norm2, LESN — plus the extension models implements
+:class:`TimingModel`: fit from Monte-Carlo samples, then answer
+pdf/cdf/ppf/moment queries.  The registry maps the paper's model names
+to classes so experiments and the CLI can select models by string.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Any, ClassVar, TypeVar
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.stats.moments import MomentSummary
+
+__all__ = [
+    "TimingModel",
+    "available_models",
+    "get_model",
+    "fit_model",
+    "register_model",
+]
+
+_MODEL_REGISTRY: dict[str, type["TimingModel"]] = {}
+
+ModelT = TypeVar("ModelT", bound="TimingModel")
+
+
+def register_model(cls: type[ModelT]) -> type[ModelT]:
+    """Class decorator adding ``cls`` to the global model registry."""
+    name = cls.name
+    if not name:
+        raise ParameterError(f"{cls.__name__} must define a model name")
+    if name in _MODEL_REGISTRY:
+        raise ParameterError(f"model name {name!r} already registered")
+    _MODEL_REGISTRY[name] = cls
+    return cls
+
+
+def available_models() -> tuple[str, ...]:
+    """Names of all registered models, sorted."""
+    return tuple(sorted(_MODEL_REGISTRY))
+
+
+def get_model(name: str) -> type["TimingModel"]:
+    """Look up a model class by registry name.
+
+    Raises:
+        ParameterError: For unknown names, listing what is available.
+    """
+    try:
+        return _MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_models())
+        raise ParameterError(
+            f"unknown model {name!r}; available: {known}"
+        ) from None
+
+
+def fit_model(name: str, samples: np.ndarray, **kwargs: Any) -> "TimingModel":
+    """Convenience: ``get_model(name).fit(samples, **kwargs)``."""
+    return get_model(name).fit(samples, **kwargs)
+
+
+class TimingModel(abc.ABC):
+    """A fitted statistical model of one timing distribution.
+
+    Subclasses are immutable once fitted.  The class attribute ``name``
+    is the registry key (and the label used in the paper's tables);
+    ``n_parameters`` is the number of free scalars, used for BIC-based
+    model-order decisions (the "when to fall back to LVF" insight of
+    paper §3.4).
+    """
+
+    #: Registry key, e.g. ``"LVF2"``.
+    name: ClassVar[str] = ""
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def fit(cls: type[ModelT], samples: np.ndarray, **kwargs: Any) -> ModelT:
+        """Fit the model to 1-D Monte-Carlo samples.
+
+        Raises:
+            FittingError: For degenerate inputs.
+        """
+
+    # ------------------------------------------------------------------
+    # Distribution queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Probability density at ``x``."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Cumulative distribution function at ``x``."""
+
+    @abc.abstractmethod
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        """Quantile function at probabilities ``q``."""
+
+    @abc.abstractmethod
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Draw ``size`` samples from the fitted distribution."""
+
+    @abc.abstractmethod
+    def moments(self) -> MomentSummary:
+        """Analytic moments of the fitted distribution."""
+
+    @property
+    @abc.abstractmethod
+    def n_parameters(self) -> int:
+        """Number of free scalar parameters (for AIC/BIC)."""
+
+    # ------------------------------------------------------------------
+    # Defaults shared by all models
+    # ------------------------------------------------------------------
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        """Log-density; subclasses override when a stabler form exists."""
+        with np.errstate(divide="ignore"):
+            return np.log(self.pdf(x))
+
+    def sf(self, x: np.ndarray) -> np.ndarray:
+        """Survival function ``1 - cdf``."""
+        return 1.0 - self.cdf(x)
+
+    def loglik(self, samples: np.ndarray) -> float:
+        """Total log-likelihood of ``samples`` under the model."""
+        return float(np.sum(self.logpdf(np.asarray(samples, dtype=float))))
+
+    def aic(self, samples: np.ndarray) -> float:
+        """Akaike information criterion (lower is better)."""
+        return 2.0 * self.n_parameters - 2.0 * self.loglik(samples)
+
+    def bic(self, samples: np.ndarray) -> float:
+        """Bayesian information criterion (lower is better)."""
+        n = np.asarray(samples).size
+        return self.n_parameters * math.log(n) - 2.0 * self.loglik(samples)
+
+    def sigma_point(self, k: float) -> float:
+        """``mean + k * std`` of the fitted distribution."""
+        return self.moments().sigma_point(k)
+
+    def probability_between(self, lower: float, upper: float) -> float:
+        """``P(lower < X <= upper)`` under the model."""
+        if upper < lower:
+            raise ParameterError(
+                f"upper bound {upper} below lower bound {lower}"
+            )
+        return float(self.cdf(upper) - self.cdf(lower))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        summary = self.moments()
+        return (
+            f"<{type(self).__name__} mean={summary.mean:.6g} "
+            f"std={summary.std:.6g} skew={summary.skewness:.4g}>"
+        )

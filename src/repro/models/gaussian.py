@@ -1,0 +1,106 @@
+"""Single-Gaussian timing model.
+
+The historical baseline ([2] in the paper): cell delay as a plain
+normal distribution.  Kept both as the simplest reference model and as
+the component family used by :class:`repro.models.norm2.Norm2Model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+from scipy.special import log_ndtr, ndtr, ndtri
+
+from repro.errors import ParameterError
+from repro.models.base import TimingModel, register_model
+from repro.stats.moments import (
+    MomentSummary,
+    validate_samples,
+    weighted_moments,
+)
+
+__all__ = ["GaussianModel"]
+
+
+@register_model
+@dataclass(frozen=True, repr=False)
+class GaussianModel(TimingModel):
+    """Normal distribution fitted by the first two sample moments."""
+
+    name = "Gaussian"
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not (self.sigma > 0.0 and math.isfinite(self.sigma)):
+            raise ParameterError(
+                f"sigma must be positive and finite, got {self.sigma}"
+            )
+
+    @classmethod
+    def fit(cls, samples: np.ndarray, **kwargs: Any) -> "GaussianModel":
+        data = validate_samples(samples)
+        sigma = float(data.std())
+        if sigma == 0.0:
+            from repro.errors import FittingError
+
+            raise FittingError("samples have zero variance")
+        return cls(float(data.mean()), sigma)
+
+    @classmethod
+    def fit_weighted(
+        cls, samples: np.ndarray, weights: np.ndarray
+    ) -> "GaussianModel":
+        """Weighted fit — the Norm2 EM M-step for one component."""
+        summary = weighted_moments(samples, weights)
+        return cls(summary.mean, summary.std)
+
+    def _z(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=float) - self.mu) / self.sigma
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        z = self._z(x)
+        return np.exp(-0.5 * z * z) / (
+            self.sigma * math.sqrt(2.0 * math.pi)
+        )
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        z = self._z(x)
+        return (
+            -0.5 * z * z
+            - math.log(self.sigma)
+            - 0.5 * math.log(2.0 * math.pi)
+        )
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return ndtr(self._z(x))
+
+    def logcdf(self, x: np.ndarray) -> np.ndarray:
+        return log_ndtr(self._z(x))
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        quantiles = np.asarray(q, dtype=float)
+        if np.any((quantiles < 0.0) | (quantiles > 1.0)):
+            raise ParameterError("quantiles must lie in [0, 1]")
+        return self.mu + self.sigma * ndtri(quantiles)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        return generator.normal(self.mu, self.sigma, size)
+
+    def moments(self) -> MomentSummary:
+        return MomentSummary(self.mu, self.sigma, 0.0, 0.0, count=0)
+
+    @property
+    def n_parameters(self) -> int:
+        return 2

@@ -1,0 +1,195 @@
+"""Log-normal and log-skew-normal timing models.
+
+The historical near-threshold models the paper's related work cites:
+log-normal (Keller et al. [5]) and log-skew-normal (Balef et al. [6]).
+Both are implemented as extension baselines — LESN generalises them by
+adding the kurtosis degree of freedom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+from scipy.special import ndtr, ndtri
+
+from repro.errors import FittingError, ParameterError
+from repro.models.base import TimingModel, register_model
+from repro.stats.moments import MomentSummary, sample_moments, validate_samples
+from repro.stats.skew_normal import SkewNormal
+
+__all__ = ["LogNormalModel", "LogSkewNormalModel"]
+
+
+def _require_positive(samples: np.ndarray, model: str) -> np.ndarray:
+    data = validate_samples(samples)
+    if np.any(data <= 0.0):
+        raise FittingError(
+            f"{model} requires strictly positive samples "
+            f"(min = {data.min():.4g})"
+        )
+    return data
+
+
+@register_model
+@dataclass(frozen=True, repr=False)
+class LogNormalModel(TimingModel):
+    """``log X ~ N(mu_log, sigma_log^2)`` (the LN model of [5])."""
+
+    name = "LN"
+
+    mu_log: float
+    sigma_log: float
+
+    def __post_init__(self) -> None:
+        if not (self.sigma_log > 0.0 and math.isfinite(self.sigma_log)):
+            raise ParameterError(
+                f"sigma_log must be positive, got {self.sigma_log}"
+            )
+
+    @classmethod
+    def fit(cls, samples: np.ndarray, **kwargs: Any) -> "LogNormalModel":
+        data = _require_positive(samples, cls.name)
+        logs = np.log(data)
+        sigma = float(logs.std())
+        if sigma == 0.0:
+            raise FittingError("log-samples have zero variance")
+        return cls(float(logs.mean()), sigma)
+
+    def _z(self, x: np.ndarray) -> np.ndarray:
+        return (np.log(x) - self.mu_log) / self.sigma_log
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        values = np.asarray(x, dtype=float)
+        flat = np.atleast_1d(values).astype(float)
+        out = np.zeros_like(flat)
+        positive = flat > 0.0
+        z = self._z(flat[positive])
+        out[positive] = np.exp(-0.5 * z * z) / (
+            flat[positive] * self.sigma_log * math.sqrt(2.0 * math.pi)
+        )
+        return out[0] if values.ndim == 0 else out.reshape(values.shape)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        values = np.asarray(x, dtype=float)
+        flat = np.atleast_1d(values).astype(float)
+        out = np.zeros_like(flat)
+        positive = flat > 0.0
+        out[positive] = ndtr(self._z(flat[positive]))
+        return out[0] if values.ndim == 0 else out.reshape(values.shape)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        quantiles = np.asarray(q, dtype=float)
+        if np.any((quantiles < 0.0) | (quantiles > 1.0)):
+            raise ParameterError("quantiles must lie in [0, 1]")
+        return np.exp(self.mu_log + self.sigma_log * ndtri(quantiles))
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        return np.exp(
+            generator.normal(self.mu_log, self.sigma_log, size)
+        )
+
+    def moments(self) -> MomentSummary:
+        ess = math.exp(self.sigma_log**2)
+        mean = math.exp(self.mu_log + 0.5 * self.sigma_log**2)
+        std = mean * math.sqrt(ess - 1.0)
+        skew = (ess + 2.0) * math.sqrt(ess - 1.0)
+        kurt = ess**4 + 2.0 * ess**3 + 3.0 * ess**2 - 6.0
+        return MomentSummary(mean, std, skew, kurt, count=0)
+
+    @property
+    def n_parameters(self) -> int:
+        return 2
+
+
+@register_model
+@dataclass(frozen=True, repr=False)
+class LogSkewNormalModel(TimingModel):
+    """``log X`` skew-normal (the LSN model of [6])."""
+
+    name = "LSN"
+
+    log_sn: SkewNormal
+    _moments: MomentSummary = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Linear-domain moments via the SN moment generating function:
+        # E[exp(k Y)] = 2 exp(k xi + k^2 omega^2 / 2) Phi(delta omega k).
+        sn = self.log_sn
+        delta = sn.alpha / math.sqrt(1.0 + sn.alpha**2)
+
+        def raw(order: int) -> float:
+            return (
+                2.0
+                * math.exp(order * sn.xi + 0.5 * (order * sn.omega) ** 2)
+                * ndtr(delta * sn.omega * order)
+            )
+
+        r1, r2, r3, r4 = raw(1), raw(2), raw(3), raw(4)
+        variance = r2 - r1 * r1
+        if variance <= 0.0:
+            raise ParameterError("degenerate log-skew-normal parameters")
+        std = math.sqrt(variance)
+        m3 = r3 - 3.0 * r1 * r2 + 2.0 * r1**3
+        m4 = r4 - 4.0 * r1 * r3 + 6.0 * r1 * r1 * r2 - 3.0 * r1**4
+        object.__setattr__(
+            self,
+            "_moments",
+            MomentSummary(
+                r1, std, m3 / std**3, m4 / std**4 - 3.0, count=0
+            ),
+        )
+
+    @classmethod
+    def fit(
+        cls, samples: np.ndarray, **kwargs: Any
+    ) -> "LogSkewNormalModel":
+        data = _require_positive(samples, cls.name)
+        summary = sample_moments(np.log(data))
+        return cls(
+            SkewNormal.from_moments(
+                summary.mean, summary.std, summary.skewness
+            )
+        )
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        values = np.asarray(x, dtype=float)
+        flat = np.atleast_1d(values).astype(float)
+        out = np.zeros_like(flat)
+        positive = flat > 0.0
+        out[positive] = self.log_sn.pdf(np.log(flat[positive])) / flat[
+            positive
+        ]
+        return out[0] if values.ndim == 0 else out.reshape(values.shape)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        values = np.asarray(x, dtype=float)
+        flat = np.atleast_1d(values).astype(float)
+        out = np.zeros_like(flat)
+        positive = flat > 0.0
+        out[positive] = self.log_sn.cdf(np.log(flat[positive]))
+        return out[0] if values.ndim == 0 else out.reshape(values.shape)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_sn.ppf(q))
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return np.exp(self.log_sn.rvs(size, rng=rng))
+
+    def moments(self) -> MomentSummary:
+        return self._moments
+
+    @property
+    def n_parameters(self) -> int:
+        return 3

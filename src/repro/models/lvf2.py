@@ -1,0 +1,325 @@
+"""LVF2: the paper's statistical timing model (§3).
+
+A two-component mixture of skew-normals (Eq. 4):
+
+    f(x) = (1 - lambda) * f_SN(x | theta1) + lambda * f_SN(x | theta2)
+
+fitted by EM (Eqs. 5-9) with k-means + method-of-moments
+initialisation.  Each component is an :class:`repro.models.lvf.LVFModel`
+so the mixture carries exactly the seven Liberty attributes of §3.3:
+``(lambda, mu1, sigma1, gamma1, mu2, sigma2, gamma2)``.
+
+Backward compatibility (Eq. 10): when ``lambda == 0`` (or the EM fit
+collapses), the model *is* a plain LVF distribution; :meth:`to_lvf`
+returns it and the Liberty writer emits only the conventional LVF
+attributes for it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+from scipy.optimize import minimize
+from scipy.special import expit, logit
+
+from repro.errors import FittingError, ParameterError
+from repro.models.base import TimingModel, register_model
+from repro.models.lvf import LVFModel
+from repro.stats.em import (
+    ComponentFamily,
+    EMConfig,
+    fit_mixture_em,
+    fit_mixture_em_multi,
+)
+from repro.stats.mixtures import Mixture
+from repro.stats.moments import MomentSummary
+from repro.stats.skew_normal import SkewNormal, moments_to_params
+
+__all__ = ["LVF2Model", "SKEW_NORMAL_FAMILY"]
+
+#: Component family wiring LVFModel (skew-normal) into the EM driver.
+SKEW_NORMAL_FAMILY = ComponentFamily(
+    name="skew-normal",
+    fit=LVFModel.fit,
+    fit_weighted=LVFModel.fit_weighted,
+)
+
+
+@register_model
+@dataclass(frozen=True, repr=False)
+class LVF2Model(TimingModel):
+    """Weighted pair of skew-normals, the LVF2 distribution (Eq. 4).
+
+    Attributes:
+        weight: Mixing weight ``lambda`` of the second component
+            (``ocv_weight2`` in the Liberty extension).
+        component1: First skew-normal as an LVF moment triple.
+        component2: Second skew-normal, or ``None`` for a collapsed /
+            plain-LVF model (``lambda = 0``, Eq. 10).
+        nominal: Optional nominal corner value carried through to the
+            Liberty mean-shift attributes.
+    """
+
+    name = "LVF2"
+
+    weight: float
+    component1: LVFModel
+    component2: LVFModel | None = None
+    nominal: float | None = None
+    _mixture: Mixture = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ParameterError(
+                f"weight must lie in [0, 1], got {self.weight}"
+            )
+        if self.component2 is None and self.weight != 0.0:
+            raise ParameterError(
+                "weight must be 0 when the second component is absent"
+            )
+        if self.component2 is None:
+            mixture = Mixture((1.0,), (self.component1,))
+        else:
+            mixture = Mixture(
+                (1.0 - self.weight, self.weight),
+                (self.component1, self.component2),
+            )
+        object.__setattr__(self, "_mixture", mixture)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        samples: np.ndarray,
+        *,
+        config: EMConfig | None = None,
+        refine: str = "none",
+        **kwargs: Any,
+    ) -> "LVF2Model":
+        """Fit by EM (paper §3.2).
+
+        Args:
+            samples: Golden Monte-Carlo samples.
+            config: EM loop settings.
+            refine: ``"none"`` for the plain EM (moment-based M-step)
+                or ``"mle"`` to follow EM with a direct L-BFGS ascent
+                of the full log-likelihood (Eq. 5).
+
+        Returns:
+            Fitted model; collapses to ``lambda = 0`` when the data do
+            not support two components.
+        """
+        if refine not in ("none", "mle"):
+            raise ParameterError(
+                f"refine must be 'none' or 'mle', got {refine!r}"
+            )
+        # Multi-start EM: k-means and concentric seeds, plus a warm
+        # start from the Gaussian-mixture (Norm2) solution — skew-normal
+        # mixtures strictly generalise Gaussian ones, so starting on
+        # Norm2's basin guarantees LVF2 never loses to it in likelihood.
+        extra_initials = []
+        norm2_start = cls._norm2_warm_start(samples, config)
+        if norm2_start is not None:
+            extra_initials.append(norm2_start)
+        result = fit_mixture_em_multi(
+            samples,
+            SKEW_NORMAL_FAMILY,
+            n_components=2,
+            config=config,
+            extra_initials=extra_initials,
+        )
+        mixture = result.mixture
+        if mixture.n_components == 1:
+            model = cls(0.0, mixture.components[0], None)
+        else:
+            model = cls(
+                float(mixture.weights[1]),
+                mixture.components[0],
+                mixture.components[1],
+            )
+        if refine == "mle" and not model.is_collapsed:
+            model = model.refine_mle(samples)
+        return model
+
+    @classmethod
+    def _norm2_warm_start(
+        cls, samples: np.ndarray, config: EMConfig | None
+    ) -> Mixture | None:
+        """Gaussian-EM solution recast as zero-skew SN components."""
+        from repro.models.norm2 import GAUSSIAN_FAMILY
+
+        try:
+            gaussian = fit_mixture_em(
+                samples, GAUSSIAN_FAMILY, n_components=2, config=config
+            )
+        except FittingError:
+            return None
+        if gaussian.mixture.n_components != 2:
+            return None
+        components = tuple(
+            LVFModel(component.mu, component.sigma, 0.0)
+            for component in gaussian.mixture.components
+        )
+        return Mixture(gaussian.mixture.weights, components)
+
+    @classmethod
+    def from_lvf(cls, lvf: LVFModel) -> "LVF2Model":
+        """Eq. 10: interpret a plain LVF triple as LVF2 with lambda=0."""
+        return cls(0.0, lvf, None, nominal=lvf.nominal)
+
+    def refine_mle(self, samples: np.ndarray) -> "LVF2Model":
+        """Maximise the observed-data log-likelihood directly.
+
+        EM with a moment-based M-step is a conditional-maximisation
+        scheme; this optional pass polishes its output with L-BFGS on
+        the direct parameterisation ``(logit lambda, xi_i, log omega_i,
+        alpha_i)``.  Returns the better of the two fits by likelihood.
+        """
+        if self.component2 is None:
+            return self
+        data = np.asarray(samples, dtype=float).ravel()
+        sn1 = self.component1.skew_normal
+        sn2 = self.component2.skew_normal
+        start = np.array(
+            [
+                logit(min(max(self.weight, 1e-6), 1.0 - 1e-6)),
+                sn1.xi,
+                math.log(sn1.omega),
+                sn1.alpha,
+                sn2.xi,
+                math.log(sn2.omega),
+                sn2.alpha,
+            ]
+        )
+
+        def negative_loglik(params: np.ndarray) -> float:
+            lam = float(expit(params[0]))
+            try:
+                mix = Mixture(
+                    (1.0 - lam, lam),
+                    (
+                        SkewNormal(
+                            params[1], math.exp(params[2]), params[3]
+                        ),
+                        SkewNormal(
+                            params[4], math.exp(params[5]), params[6]
+                        ),
+                    ),
+                )
+            except (ParameterError, OverflowError):
+                return 1e12
+            value = mix.loglik(data)
+            return 1e12 if not math.isfinite(value) else -value
+
+        result = minimize(
+            negative_loglik, start, method="L-BFGS-B",
+            options={"maxiter": 300},
+        )
+        if not math.isfinite(result.fun) or -result.fun <= self.loglik(data):
+            return self
+        lam = float(expit(result.x[0]))
+        first = LVFModel.from_skew_normal(
+            SkewNormal(result.x[1], math.exp(result.x[2]), result.x[3])
+        )
+        second = LVFModel.from_skew_normal(
+            SkewNormal(result.x[4], math.exp(result.x[5]), result.x[6])
+        )
+        if first.mu > second.mu:
+            first, second = second, first
+            lam = 1.0 - lam
+        return LVF2Model(lam, first, second, nominal=self.nominal)
+
+    def collapse_by_bic(self, samples: np.ndarray) -> TimingModel:
+        """Return plain LVF when BIC prefers it (paper §3.4 insight).
+
+        The CLT analysis says LVF2's advantage vanishes for
+        near-Gaussian data; a BIC comparison against the 3-parameter
+        LVF fit implements the "when to switch back" rule and saves
+        library storage.
+        """
+        lvf = LVFModel.fit(samples)
+        if self.is_collapsed or lvf.bic(samples) <= self.bic(samples):
+            return lvf
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mixture(self) -> Mixture:
+        return self._mixture
+
+    @property
+    def is_collapsed(self) -> bool:
+        """True when the model is effectively a plain LVF (Eq. 10)."""
+        return self.component2 is None or self.weight == 0.0
+
+    def to_lvf(self) -> LVFModel:
+        """Project to the backward-compatible LVF triple.
+
+        For a collapsed model this is exact (Eq. 10); otherwise it is
+        the moment-matched single skew-normal of the mixture — what a
+        legacy LVF-only tool would effectively see.
+        """
+        if self.is_collapsed:
+            return self.component1
+        summary = self.moments()
+        return LVFModel(
+            summary.mean, summary.std, summary.skewness, nominal=self.nominal
+        )
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.pdf(x)
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.logpdf(x)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.cdf(x)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return self._mixture.ppf(q)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return self._mixture.rvs(size, rng=rng)
+
+    def moments(self) -> MomentSummary:
+        return self._mixture.moments()
+
+    @property
+    def n_parameters(self) -> int:
+        return 3 if self.is_collapsed else 7
+
+    def parameters(self) -> dict[str, float | None]:
+        """The seven LVF2 parameters, keyed by Liberty-style names."""
+        second = self.component2
+        return {
+            "weight2": self.weight,
+            "mean1": self.component1.mu,
+            "std_dev1": self.component1.sigma,
+            "skewness1": self.component1.gamma,
+            "mean2": second.mu if second else None,
+            "std_dev2": second.sigma if second else None,
+            "skewness2": second.gamma if second else None,
+        }
+
+    def decomposition(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Weighted component densities (Fig. 3 bottom row).
+
+        Returns ``((1-lambda) f1(x), lambda f2(x))``; the second array
+        is zero for a collapsed model.
+        """
+        x = np.asarray(x, dtype=float)
+        first = (1.0 - self.weight) * self.component1.pdf(x)
+        if self.component2 is None:
+            return first, np.zeros_like(x)
+        return first, self.weight * self.component2.pdf(x)

@@ -1,0 +1,135 @@
+"""LVFk: skew-normal mixtures with more than two components.
+
+Paper §3.3: "Although LVF2 assumes only two Gaussian components, one can
+easily extend the library to support more components by following
+similar attribute naming conventions."  This module is that extension —
+a k-component mixture of skew-normals with the same EM fit, registered
+as ``LVF3`` and ``LVF4`` plus a general factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.models.base import TimingModel, register_model
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import SKEW_NORMAL_FAMILY
+from repro.stats.em import EMConfig, fit_mixture_em
+from repro.stats.mixtures import Mixture
+from repro.stats.moments import MomentSummary
+
+__all__ = ["LVFkModel", "LVF3Model", "LVF4Model", "fit_lvfk"]
+
+
+@dataclass(frozen=True, repr=False)
+class LVFkModel(TimingModel):
+    """General k-component skew-normal mixture.
+
+    The fitted component count may be lower than requested when EM
+    collapses degenerate components (graceful model-order reduction).
+    """
+
+    name: ClassVar[str] = "LVFk"
+    #: Requested component count for registered subclasses.
+    order: ClassVar[int] = 0
+
+    weights: tuple[float, ...]
+    components: tuple[LVFModel, ...]
+    _mixture: Mixture = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.components):
+            raise ParameterError(
+                "weights and components must have equal length"
+            )
+        object.__setattr__(
+            self, "_mixture", Mixture(self.weights, self.components)
+        )
+
+    @classmethod
+    def fit(
+        cls,
+        samples: np.ndarray,
+        *,
+        n_components: int | None = None,
+        config: EMConfig | None = None,
+        **kwargs: Any,
+    ) -> "LVFkModel":
+        """EM fit with ``n_components`` skew-normal components."""
+        count = n_components or cls.order or 3
+        if count < 2:
+            raise ParameterError(
+                f"LVFk needs at least 2 components, got {count}"
+            )
+        result = fit_mixture_em(
+            samples, SKEW_NORMAL_FAMILY, n_components=count, config=config
+        )
+        return cls(
+            tuple(result.mixture.weights),
+            tuple(result.mixture.components),
+        )
+
+    @property
+    def mixture(self) -> Mixture:
+        return self._mixture
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.pdf(x)
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.logpdf(x)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.cdf(x)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return self._mixture.ppf(q)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return self._mixture.rvs(size, rng=rng)
+
+    def moments(self) -> MomentSummary:
+        return self._mixture.moments()
+
+    @property
+    def n_parameters(self) -> int:
+        # k-1 free weights plus 3 moments per component.
+        return (self.n_components - 1) + 3 * self.n_components
+
+
+@register_model
+class LVF3Model(LVFkModel):
+    """Three-component skew-normal mixture."""
+
+    name = "LVF3"
+    order = 3
+
+
+@register_model
+class LVF4Model(LVFkModel):
+    """Four-component skew-normal mixture."""
+
+    name = "LVF4"
+    order = 4
+
+
+def fit_lvfk(
+    samples: np.ndarray,
+    n_components: int,
+    *,
+    config: EMConfig | None = None,
+) -> LVFkModel:
+    """Fit an arbitrary-order skew-normal mixture."""
+    return LVFkModel.fit(
+        samples, n_components=n_components, config=config
+    )

@@ -1,0 +1,139 @@
+"""Norm2: two-component Gaussian mixture timing model.
+
+The GMM-based SSTA model of Takahashi et al. [10], used by the paper as
+the "mixture but no skewness" comparison point.  Five parameters:
+``(lambda, mu1, sigma1, mu2, sigma2)``; fitted with the same EM loop as
+LVF2 but with plain-Gaussian components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.models.base import TimingModel, register_model
+from repro.models.gaussian import GaussianModel
+from repro.stats.em import ComponentFamily, EMConfig, fit_mixture_em_multi
+from repro.stats.mixtures import Mixture
+from repro.stats.moments import MomentSummary
+
+__all__ = ["Norm2Model", "GAUSSIAN_FAMILY"]
+
+#: Component family wiring GaussianModel into the generic EM driver.
+GAUSSIAN_FAMILY = ComponentFamily(
+    name="normal",
+    fit=GaussianModel.fit,
+    fit_weighted=GaussianModel.fit_weighted,
+)
+
+
+@register_model
+@dataclass(frozen=True, repr=False)
+class Norm2Model(TimingModel):
+    """Weighted pair of Gaussians ``(1-lambda) N1 + lambda N2``.
+
+    Attributes:
+        weight: Mixing weight ``lambda`` of the second component.
+        component1: First (lower-mean) Gaussian.
+        component2: Second Gaussian, or ``None`` when the fit collapsed
+            to a single component.
+    """
+
+    name = "Norm2"
+
+    weight: float
+    component1: GaussianModel
+    component2: GaussianModel | None = None
+    _mixture: Mixture = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weight <= 1.0:
+            raise ParameterError(
+                f"weight must lie in [0, 1], got {self.weight}"
+            )
+        if self.component2 is None and self.weight != 0.0:
+            raise ParameterError(
+                "weight must be 0 when the second component is absent"
+            )
+        if self.component2 is None:
+            mixture = Mixture((1.0,), (self.component1,))
+        else:
+            mixture = Mixture(
+                (1.0 - self.weight, self.weight),
+                (self.component1, self.component2),
+            )
+        object.__setattr__(self, "_mixture", mixture)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(
+        cls,
+        samples: np.ndarray,
+        *,
+        config: EMConfig | None = None,
+        **kwargs: Any,
+    ) -> "Norm2Model":
+        """EM fit with k-means + moment initialisation (paper §3.2).
+
+        Multi-start (k-means and concentric seeds), best likelihood
+        wins.
+        """
+        result = fit_mixture_em_multi(
+            samples, GAUSSIAN_FAMILY, n_components=2, config=config
+        )
+        mixture = result.mixture
+        if mixture.n_components == 1:
+            return cls(0.0, mixture.components[0], None)
+        return cls(
+            float(mixture.weights[1]),
+            mixture.components[0],
+            mixture.components[1],
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def mixture(self) -> Mixture:
+        return self._mixture
+
+    @property
+    def is_collapsed(self) -> bool:
+        """True when the fit degenerated to a single Gaussian."""
+        return self.component2 is None or self.weight == 0.0
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.pdf(x)
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.logpdf(x)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        return self._mixture.cdf(x)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        return self._mixture.ppf(q)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        return self._mixture.rvs(size, rng=rng)
+
+    def moments(self) -> MomentSummary:
+        return self._mixture.moments()
+
+    @property
+    def n_parameters(self) -> int:
+        return 2 if self.is_collapsed else 5
+
+    def parameters(self) -> tuple[float, float, float, float, float]:
+        """The five-tuple ``(lambda, mu1, sigma1, mu2, sigma2)``."""
+        second = self.component2 or self.component1
+        return (
+            self.weight,
+            self.component1.mu,
+            self.component1.sigma,
+            second.mu,
+            second.sigma,
+        )

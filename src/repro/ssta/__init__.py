@@ -1,0 +1,64 @@
+"""Block-based statistical static timing analysis (paper §3.4, §4.4)."""
+
+from repro.ssta.clt import (
+    BERRY_ESSEEN_CONSTANT,
+    CLTConvergenceRow,
+    berry_esseen_bound,
+    convergence_table,
+    normalized_sup_distance,
+    third_absolute_moment,
+)
+from repro.ssta.fo4 import fo4_condition, fo4_delay
+from repro.ssta.graph import TimingGraph, golden_operators, model_operators
+from repro.ssta.netlist import (
+    GateInstance,
+    Netlist,
+    NetlistSSTAResult,
+    random_netlist,
+    run_netlist_ssta,
+)
+from repro.ssta.ops import (
+    clark_max,
+    shift_model,
+    statistical_max,
+    sum_models,
+    summed_moments,
+)
+from repro.ssta.paths import (
+    PathStage,
+    StageSimulation,
+    build_carry_adder_path,
+    build_htree_path,
+    simulate_path_stages,
+)
+from repro.ssta.propagate import PathPropagationResult, propagate_path
+
+__all__ = [
+    "BERRY_ESSEEN_CONSTANT",
+    "CLTConvergenceRow",
+    "GateInstance",
+    "Netlist",
+    "NetlistSSTAResult",
+    "PathPropagationResult",
+    "PathStage",
+    "StageSimulation",
+    "TimingGraph",
+    "berry_esseen_bound",
+    "build_carry_adder_path",
+    "build_htree_path",
+    "clark_max",
+    "convergence_table",
+    "fo4_condition",
+    "fo4_delay",
+    "golden_operators",
+    "model_operators",
+    "normalized_sup_distance",
+    "propagate_path",
+    "random_netlist",
+    "run_netlist_ssta",
+    "shift_model",
+    "simulate_path_stages",
+    "statistical_max",
+    "sum_models",
+    "summed_moments",
+]

@@ -1,0 +1,49 @@
+"""FO4 (fanout-of-4) delay normalisation.
+
+The paper reports path depths in FO4 units — the delay of an inverter
+driving four copies of itself, the classic technology-independent
+yardstick ([17]: optimal logic depth is 6-8 FO4 per pipeline stage).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.cells import build_cell
+from repro.circuits.gate import GateTimingEngine
+
+__all__ = ["fo4_delay", "fo4_condition"]
+
+
+def fo4_condition(
+    engine: GateTimingEngine, *, drive: float = 1.0, iterations: int = 4
+) -> tuple[float, float]:
+    """Self-consistent (slew, load) of an FO4 inverter stage.
+
+    The input slew of an FO4 stage is the output transition of an
+    identical FO4 stage; a few fixed-point iterations converge it.
+
+    Returns:
+        ``(slew_ns, load_pf)`` of the FO4 operating point.
+    """
+    inverter = build_cell("INV", drive)
+    arc = inverter.arc("A", "fall")
+    load = 4.0 * inverter.input_capacitance("A")
+    slew = 0.01
+    for _ in range(iterations):
+        result = engine.simulate_arc(arc, slew, load, 1, rng=0)
+        slew = result.nominal_transition
+    return (slew, load)
+
+
+def fo4_delay(
+    engine: GateTimingEngine, *, drive: float = 1.0
+) -> float:
+    """Nominal FO4 inverter delay in ns (average of both edges)."""
+    inverter = build_cell("INV", drive)
+    slew, load = fo4_condition(engine, drive=drive)
+    total = 0.0
+    for transition in ("rise", "fall"):
+        result = engine.simulate_arc(
+            inverter.arc("A", transition), slew, load, 1, rng=0
+        )
+        total += result.nominal_delay
+    return total / 2.0

@@ -1,0 +1,168 @@
+"""Timing graph and block-based propagation.
+
+A thin DAG layer over :mod:`networkx`: nodes are circuit pins/nets,
+edges carry *delay objects* (golden sample arrays or fitted timing
+models — anything the supplied operators understand).  Propagation is
+the classic block-based scheme [20]: topological order, arrival =
+MAX over fan-in of (arrival + edge delay).
+
+The operators are injected so one graph serves every model family and
+the Monte-Carlo golden:
+
+- golden:   ``sum = a + d`` on sample arrays, ``max = np.maximum``
+- models:   :func:`repro.ssta.ops.sum_models`,
+            :func:`repro.ssta.ops.statistical_max`
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.errors import SSTAError
+
+__all__ = ["TimingGraph", "golden_operators", "model_operators"]
+
+SumOp = Callable[[Any, Any], Any]
+MaxOp = Callable[[Any, Any], Any]
+
+
+def golden_operators() -> tuple[SumOp, MaxOp]:
+    """Sum/max operators for per-sample golden arrays."""
+    import numpy as np
+
+    return (lambda a, d: a + d, np.maximum)
+
+
+def model_operators() -> tuple[SumOp, MaxOp]:
+    """Sum/max operators for fitted timing models."""
+    from repro.ssta.ops import statistical_max, sum_models
+
+    return (sum_models, statistical_max)
+
+
+@dataclass
+class TimingGraph:
+    """A DAG of timing arcs with pluggable delay algebra."""
+
+    _graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_arc(
+        self, source: Hashable, target: Hashable, delay: Any
+    ) -> None:
+        """Add a timing arc carrying ``delay``.
+
+        Raises:
+            SSTAError: If the arc would create a cycle.
+        """
+        self._graph.add_edge(source, target, delay=delay)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(source, target)
+            raise SSTAError(
+                f"arc {source!r} -> {target!r} would create a cycle"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_arcs(self) -> int:
+        return self._graph.number_of_edges()
+
+    def sources(self) -> list[Hashable]:
+        """Primary inputs: nodes with no fan-in."""
+        return [
+            node
+            for node in self._graph.nodes
+            if self._graph.in_degree(node) == 0
+        ]
+
+    def sinks(self) -> list[Hashable]:
+        """Primary outputs: nodes with no fan-out."""
+        return [
+            node
+            for node in self._graph.nodes
+            if self._graph.out_degree(node) == 0
+        ]
+
+    def delay(self, source: Hashable, target: Hashable) -> Any:
+        try:
+            return self._graph.edges[source, target]["delay"]
+        except KeyError:
+            raise SSTAError(
+                f"no arc {source!r} -> {target!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def arrival_times(
+        self,
+        sum_op: SumOp,
+        max_op: MaxOp,
+        *,
+        source_arrivals: dict[Hashable, Any] | None = None,
+    ) -> dict[Hashable, Any]:
+        """Block-based forward propagation.
+
+        Args:
+            sum_op: ``arrival (+) arc delay``.
+            max_op: Fan-in merge.
+            source_arrivals: Optional initial arrival objects for
+                primary inputs; inputs not listed start at "zero"
+                (i.e. the first arc delay passes through unchanged).
+
+        Returns:
+            Arrival object per reachable node.  A source with no
+            explicit arrival maps to ``None``.
+        """
+        if self._graph.number_of_nodes() == 0:
+            raise SSTAError("cannot propagate through an empty graph")
+        arrivals: dict[Hashable, Any] = dict(source_arrivals or {})
+        for node in self.sources():
+            arrivals.setdefault(node, None)
+        for node in nx.topological_sort(self._graph):
+            candidates = []
+            for predecessor in self._graph.predecessors(node):
+                delay = self._graph.edges[predecessor, node]["delay"]
+                upstream = arrivals.get(predecessor)
+                if upstream is None:
+                    candidates.append(delay)
+                else:
+                    candidates.append(sum_op(upstream, delay))
+            if not candidates:
+                continue  # source node, arrival already set
+            merged = candidates[0]
+            for candidate in candidates[1:]:
+                merged = max_op(merged, candidate)
+            arrivals[node] = merged
+        return arrivals
+
+    def arrival_at(
+        self,
+        node: Hashable,
+        sum_op: SumOp,
+        max_op: MaxOp,
+        **kwargs: Any,
+    ) -> Any:
+        """Arrival object at a single node.
+
+        Raises:
+            SSTAError: When the node was never reached.
+        """
+        arrivals = self.arrival_times(sum_op, max_op, **kwargs)
+        if node not in arrivals or arrivals[node] is None:
+            raise SSTAError(f"node {node!r} has no arrival time")
+        return arrivals[node]
+
+    @classmethod
+    def chain(cls, delays: Iterable[Any]) -> "TimingGraph":
+        """Build a simple path graph ``n0 -> n1 -> ...`` from delays."""
+        graph = cls()
+        for index, delay in enumerate(delays):
+            graph.add_arc(f"n{index}", f"n{index + 1}", delay)
+        if graph.n_arcs == 0:
+            raise SSTAError("chain needs at least one delay")
+        return graph

@@ -1,0 +1,339 @@
+"""Statistical sum / max operators for block-based SSTA (paper §4.4).
+
+Block-based SSTA [20] propagates arrival-time distributions through a
+timing graph with two operations:
+
+- ``SUM`` for an arc traversal (arrival + arc delay): implemented per
+  model family by *cumulant addition* — cumulants of independent sums
+  add exactly, and each family re-materialises a distribution from the
+  cumulants it can represent (3 for SN, 4 for LESN, component-wise for
+  mixtures).  This is exactly the propagation scheme whose accumulated
+  matching error the paper discusses.
+
+- ``MAX`` for a fan-in merge: a generic independence-based numeric
+  operator (``F_max = F_a * F_b`` on a grid, re-fitted into the model
+  family through deterministic quantile samples), with the classic
+  Clark moment approximation available for Gaussians.
+
+Mixture models stay mixtures under SUM: the pairwise component sums
+give ``k*k`` components, which are reduced back to 2 by
+moment-preserving largest-gap clustering so LVF2 stays the
+seven-parameter format along an arbitrarily deep path.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import singledispatch
+
+import numpy as np
+
+from repro.errors import SSTAError
+from repro.models.base import TimingModel
+from repro.models.gaussian import GaussianModel
+from repro.models.lesn import LESNModel
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.models.norm2 import Norm2Model
+from repro.stats.mixtures import mixture_moments
+from repro.stats.moments import MomentSummary
+
+__all__ = [
+    "sum_models",
+    "shift_model",
+    "statistical_max",
+    "clark_max",
+    "summed_moments",
+]
+
+
+def summed_moments(a: MomentSummary, b: MomentSummary) -> MomentSummary:
+    """Four-moment summary of an independent sum (cumulants add)."""
+    mean = a.mean + b.mean
+    variance = a.variance + b.variance
+    third = a.skewness * a.std**3 + b.skewness * b.std**3
+    fourth_cum = a.kurtosis * a.std**4 + b.kurtosis * b.std**4
+    std = math.sqrt(variance)
+    return MomentSummary(
+        mean,
+        std,
+        third / std**3,
+        fourth_cum / std**4,
+        count=0,
+    )
+
+
+# ----------------------------------------------------------------------
+# SUM
+# ----------------------------------------------------------------------
+@singledispatch
+def sum_models(a: TimingModel, b: TimingModel) -> TimingModel:
+    """Distribution of the independent sum ``A + B``, family of ``a``.
+
+    Raises:
+        SSTAError: When no propagation rule exists for the family of
+            ``a``.
+    """
+    raise SSTAError(
+        f"no SUM rule for model family {type(a).__name__}"
+    )
+
+
+@sum_models.register
+def _sum_gaussian(a: GaussianModel, b: TimingModel) -> GaussianModel:
+    summary = summed_moments(a.moments(), b.moments())
+    return GaussianModel(summary.mean, summary.std)
+
+
+@sum_models.register
+def _sum_lvf(a: LVFModel, b: TimingModel) -> LVFModel:
+    """Three-cumulant propagation; the classic SN block-based rule."""
+    summary = summed_moments(a.moments(), b.moments())
+    return LVFModel(summary.mean, summary.std, summary.skewness)
+
+
+@sum_models.register
+def _sum_lesn(a: LESNModel, b: TimingModel) -> LESNModel:
+    """Four-cumulant propagation + LESN re-materialisation.
+
+    The re-materialisation (moment matching) step is where the §4.4
+    "error introduced during moment matching, which accumulates during
+    propagation" enters.
+    """
+    summary = summed_moments(a.moments(), b.moments())
+    return LESNModel.from_linear_moments(summary)
+
+
+def _pairwise_mixture_sum(
+    a_weights,
+    a_components,
+    b_weights,
+    b_components,
+    combine,
+) -> tuple[list[float], list]:
+    weights: list[float] = []
+    components: list = []
+    for wa, ca in zip(a_weights, a_components):
+        for wb, cb in zip(b_weights, b_components):
+            weight = wa * wb
+            if weight <= 0.0:
+                continue
+            weights.append(weight)
+            components.append(combine(ca, cb))
+    return weights, components
+
+
+def _largest_gap_reduction(
+    weights: list[float],
+    components: list,
+    materialize,
+) -> tuple[list[float], list]:
+    """Reduce a >2-component mixture to 2 by largest-gap clustering.
+
+    Components are sorted by mean and split at the widest gap between
+    neighbouring means — the natural grouping for the ``2 x 2``
+    pairwise-sum structure, where the larger-separation parent mixture
+    dominates the mode layout.  Each group is collapsed to one
+    component matching the group's exact sub-mixture moments, so the
+    reduced mixture preserves the full mixture's mean and variance
+    exactly (and skewness up to family representability).
+    """
+    order = np.argsort([c.moments().mean for c in components])
+    weights = [weights[i] for i in order]
+    components = [components[i] for i in order]
+    means = [c.moments().mean for c in components]
+    gaps = np.diff(means)
+    split = int(np.argmax(gaps)) + 1
+    reduced_weights: list[float] = []
+    reduced_components: list = []
+    for group in (slice(0, split), slice(split, None)):
+        group_weights = weights[group]
+        group_components = components[group]
+        total = sum(group_weights)
+        if total <= 0.0:
+            continue
+        if len(group_components) == 1:
+            reduced_weights.append(total)
+            reduced_components.append(group_components[0])
+            continue
+        summary = mixture_moments(
+            [w / total for w in group_weights],
+            [c.moments() for c in group_components],
+        )
+        reduced_weights.append(total)
+        reduced_components.append(materialize(summary))
+    return reduced_weights, reduced_components
+
+
+def _sum_mixture(a, b, component_sum, model_cls, collapse, materialize):
+    """Shared mixture SUM: exact pairwise sum + largest-gap reduction.
+
+    The pairwise sum of a ``k``- and an ``l``-component mixture is an
+    exact ``k*l``-component mixture (each pair summed in-family by
+    cumulant addition).  When that exceeds the format's two
+    components, the mixture is reduced by moment-preserving
+    largest-gap clustering, keeping the propagated mean/variance exact
+    along arbitrarily deep paths.
+    """
+    b_weights, b_components = _as_mixture(b)
+    weights, components = _pairwise_mixture_sum(
+        a.mixture.weights,
+        a.mixture.components,
+        b_weights,
+        b_components,
+        component_sum,
+    )
+    if len(components) > 2:
+        weights, components = _largest_gap_reduction(
+            weights, components, materialize
+        )
+    order = np.argsort([c.moments().mean for c in components])
+    components = [components[i] for i in order]
+    weights = [weights[i] for i in order]
+    if len(components) == 1:
+        return collapse(components[0])
+    total = sum(weights)
+    return model_cls(weights[1] / total, components[0], components[1])
+
+
+@sum_models.register
+def _sum_norm2(a: Norm2Model, b: TimingModel) -> Norm2Model:
+    return _sum_mixture(
+        a,
+        b,
+        lambda ca, cb: GaussianModel(
+            *_gaussian_params(summed_moments(ca.moments(), cb.moments()))
+        ),
+        Norm2Model,
+        lambda component: Norm2Model(0.0, component, None),
+        lambda summary: GaussianModel(summary.mean, summary.std),
+    )
+
+
+@sum_models.register
+def _sum_lvf2(a: LVF2Model, b: TimingModel) -> LVF2Model:
+    return _sum_mixture(
+        a,
+        b,
+        lambda ca, cb: _lvf_from_summary(
+            summed_moments(ca.moments(), cb.moments())
+        ),
+        LVF2Model,
+        lambda component: LVF2Model(0.0, component, None),
+        _lvf_from_summary,
+    )
+
+
+def _lvf_from_summary(summary: MomentSummary) -> LVFModel:
+    return LVFModel(summary.mean, summary.std, summary.skewness)
+
+
+def _gaussian_params(summary: MomentSummary) -> tuple[float, float]:
+    return (summary.mean, summary.std)
+
+
+def _as_mixture(model: TimingModel) -> tuple[tuple, tuple]:
+    """View any model as a (weights, components) mixture."""
+    if isinstance(model, (Norm2Model, LVF2Model)):
+        return (model.mixture.weights, model.mixture.components)
+    return ((1.0,), (model,))
+
+
+# ----------------------------------------------------------------------
+# Shift (deterministic offset, e.g. Elmore wire delay)
+# ----------------------------------------------------------------------
+def shift_model(model: TimingModel, offset: float) -> TimingModel:
+    """Distribution of ``X + offset`` in the same family."""
+    if isinstance(model, GaussianModel):
+        return GaussianModel(model.mu + offset, model.sigma)
+    if isinstance(model, LVFModel):
+        return LVFModel(
+            model.mu + offset, model.sigma, model.gamma,
+            nominal=model.nominal,
+        )
+    if isinstance(model, Norm2Model):
+        second = model.component2
+        return Norm2Model(
+            model.weight,
+            GaussianModel(
+                model.component1.mu + offset, model.component1.sigma
+            ),
+            None
+            if second is None
+            else GaussianModel(second.mu + offset, second.sigma),
+        )
+    if isinstance(model, LVF2Model):
+        second = model.component2
+        return LVF2Model(
+            model.weight,
+            shift_model(model.component1, offset),
+            None if second is None else shift_model(second, offset),
+            nominal=model.nominal,
+        )
+    if isinstance(model, LESNModel):
+        summary = model.moments()
+        return LESNModel.from_linear_moments(
+            MomentSummary(
+                summary.mean + offset,
+                summary.std,
+                summary.skewness,
+                summary.kurtosis,
+            )
+        )
+    raise SSTAError(
+        f"no SHIFT rule for model family {type(model).__name__}"
+    )
+
+
+# ----------------------------------------------------------------------
+# MAX
+# ----------------------------------------------------------------------
+def clark_max(a: GaussianModel, b: GaussianModel) -> GaussianModel:
+    """Clark's two-moment Gaussian max approximation (independent)."""
+    theta = math.sqrt(a.sigma**2 + b.sigma**2)
+    if theta == 0.0:
+        return GaussianModel(max(a.mu, b.mu), max(a.sigma, b.sigma))
+    from scipy.special import ndtr
+
+    alpha = (a.mu - b.mu) / theta
+    phi = math.exp(-0.5 * alpha * alpha) / math.sqrt(2.0 * math.pi)
+    big_phi = float(ndtr(alpha))
+    mean = a.mu * big_phi + b.mu * (1.0 - big_phi) + theta * phi
+    second = (
+        (a.mu**2 + a.sigma**2) * big_phi
+        + (b.mu**2 + b.sigma**2) * (1.0 - big_phi)
+        + (a.mu + b.mu) * theta * phi
+    )
+    variance = max(second - mean * mean, 1e-18)
+    return GaussianModel(mean, math.sqrt(variance))
+
+
+def statistical_max(
+    a: TimingModel,
+    b: TimingModel,
+    *,
+    n_grid: int = 2048,
+    n_quantiles: int = 4096,
+) -> TimingModel:
+    """Distribution of ``max(A, B)`` (independent), family of ``a``.
+
+    Numeric and family-agnostic: the max CDF is the product of CDFs;
+    the result is re-fitted into ``a``'s family from deterministic
+    quantile pseudo-samples of that CDF.
+    """
+    moments_a = a.moments()
+    moments_b = b.moments()
+    lo = min(
+        moments_a.sigma_point(-8.0), moments_b.sigma_point(-8.0)
+    )
+    hi = max(moments_a.sigma_point(8.0), moments_b.sigma_point(8.0))
+    grid = np.linspace(lo, hi, n_grid)
+    cdf = np.asarray(a.cdf(grid)) * np.asarray(b.cdf(grid))
+    cdf = np.clip(cdf, 0.0, 1.0)
+    cdf = np.maximum.accumulate(cdf)
+    if cdf[-1] <= 0.0:
+        raise SSTAError("max CDF vanished on the evaluation grid")
+    cdf = cdf / cdf[-1]
+    probabilities = (np.arange(n_quantiles) + 0.5) / n_quantiles
+    pseudo_samples = np.interp(probabilities, cdf, grid)
+    return type(a).fit(pseudo_samples)

@@ -1,0 +1,223 @@
+"""Benchmark critical paths (paper §4.4).
+
+Two benchmarks validate the models under SSTA propagation:
+
+- a **16-bit carry adder** whose critical path is the carry chain —
+  about 30 FO4 of depth with mixed-stack full-adder stages;
+- a **6-stage H-tree** clock spine — each stage two buffer cells plus
+  a Pi-model wire, about 95 FO4 of depth, slower CLT convergence
+  because the buffer stages are structurally identical.
+
+A path is a list of :class:`PathStage`; the golden distribution is the
+per-sample sum of independently Monte-Carlo-simulated stages (local
+mismatch is independent across cells), plus deterministic Elmore wire
+delays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.cells import CellDefinition, build_cell
+from repro.circuits.gate import GateTimingEngine
+from repro.circuits.wire import PiWire
+from repro.errors import SSTAError
+
+__all__ = [
+    "PathStage",
+    "StageSimulation",
+    "build_carry_adder_path",
+    "build_htree_path",
+    "simulate_path_stages",
+]
+
+
+@dataclass(frozen=True)
+class PathStage:
+    """One cell traversal on a critical path.
+
+    Attributes:
+        name: Stage label for reports.
+        cell: Cell definition.
+        input_pin: Arc input pin.
+        transition: Output transition of the arc.
+        load: Output load in pF (receiver gate + wire).
+        wire: Optional Pi wire between this stage and the next;
+            contributes a deterministic Elmore delay.
+    """
+
+    name: str
+    cell: CellDefinition
+    input_pin: str
+    transition: str
+    load: float
+    wire: PiWire | None = None
+
+    def wire_delay(self) -> float:
+        """Elmore delay of the attached wire into this stage's load."""
+        if self.wire is None:
+            return 0.0
+        return self.wire.elmore_delay(self.load)
+
+
+@dataclass(frozen=True)
+class StageSimulation:
+    """Monte-Carlo result of one stage.
+
+    Attributes:
+        stage: The simulated stage.
+        delay: Per-sample stage delay (cell + wire) in ns.
+        nominal: Variation-free stage delay in ns.
+        slew_in: Input slew used (from the previous stage's nominal
+            output transition).
+    """
+
+    stage: PathStage
+    delay: np.ndarray
+    nominal: float
+    slew_in: float
+
+
+def build_carry_adder_path(
+    bits: int = 16, *, drive: float = 1.0
+) -> list[PathStage]:
+    """Critical path of a ripple-carry adder: the carry chain.
+
+    Bit 0 generates the carry through the half-adder-style AND stage;
+    every further bit propagates it through the full-adder carry
+    network (pass stages), terminating in the sum XOR of the last bit.
+    """
+    if bits < 2:
+        raise SSTAError(f"adder needs >= 2 bits, got {bits}")
+    full_adder = build_cell("FA", drive)
+    xor2 = build_cell("XOR2", drive)
+    and2 = build_cell("AND2", drive)
+    fa_load = full_adder.input_capacitance("CI") * 1.5
+    stages: list[PathStage] = [
+        PathStage(
+            name="b0:generate",
+            cell=and2,
+            input_pin="A",
+            transition="rise",
+            load=fa_load,
+        )
+    ]
+    for bit in range(1, bits - 1):
+        transition = "rise" if bit % 2 else "fall"
+        stages.append(
+            PathStage(
+                name=f"b{bit}:carry",
+                cell=full_adder,
+                input_pin="CI",
+                transition=transition,
+                load=fa_load,
+            )
+        )
+    stages.append(
+        PathStage(
+            name=f"b{bits - 1}:sum",
+            cell=xor2,
+            input_pin="B",
+            transition="rise",
+            load=4.0 * xor2.input_capacitance("A"),
+        )
+    )
+    return stages
+
+
+def build_htree_path(
+    levels: int = 6,
+    *,
+    drive: float = 2.0,
+    wire_resistance: float = 0.9,
+    wire_capacitance: float = 0.055,
+) -> list[PathStage]:
+    """Root-to-leaf path of an H-tree clock spine.
+
+    Each level: two buffer cells and a Pi-model wire (paper §4.4).
+    Wire lengths halve at each level of an H-tree, so R and C shrink
+    geometrically toward the leaves.
+    """
+    if levels < 1:
+        raise SSTAError(f"H-tree needs >= 1 level, got {levels}")
+    buffer_cell = build_cell("BUFF", drive)
+    buffer_cap = buffer_cell.input_capacitance("A")
+    stages: list[PathStage] = []
+    for level in range(levels):
+        scale = 0.62**level
+        wire = PiWire(
+            wire_resistance * scale, wire_capacitance * scale
+        )
+        # First buffer drives the second through a short branch stub.
+        stages.append(
+            PathStage(
+                name=f"L{level}:buf0",
+                cell=buffer_cell,
+                input_pin="A",
+                transition="rise" if level % 2 == 0 else "fall",
+                load=buffer_cap + 0.1 * wire.capacitance,
+            )
+        )
+        # Second buffer drives the level's wire into the next level.
+        stages.append(
+            PathStage(
+                name=f"L{level}:buf1",
+                cell=buffer_cell,
+                input_pin="A",
+                transition="fall" if level % 2 == 0 else "rise",
+                load=wire.driver_load(buffer_cap),
+                wire=wire,
+            )
+        )
+    return stages
+
+
+def _stage_seed(seed: int, stage: PathStage, index: int) -> int:
+    digest = hashlib.sha256(
+        f"{seed}|{index}|{stage.name}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def simulate_path_stages(
+    engine: GateTimingEngine,
+    stages: list[PathStage],
+    n_samples: int,
+    *,
+    seed: int = 0,
+    initial_slew: float = 0.01,
+) -> list[StageSimulation]:
+    """Monte-Carlo simulate every stage of a path.
+
+    Stage input slews are chained through nominal output transitions
+    (the standard single-scenario STA simplification); local mismatch
+    is sampled independently per stage, so the golden path delay is
+    the per-sample sum of stage delays plus wire constants.
+    """
+    if not stages:
+        raise SSTAError("path has no stages")
+    results: list[StageSimulation] = []
+    slew = initial_slew
+    for index, stage in enumerate(stages):
+        topology = stage.cell.arc(stage.input_pin, stage.transition)
+        simulated = engine.simulate_arc(
+            topology,
+            slew,
+            stage.load,
+            n_samples,
+            rng=_stage_seed(seed, stage, index),
+        )
+        wire_delay = stage.wire_delay()
+        results.append(
+            StageSimulation(
+                stage=stage,
+                delay=simulated.delay + wire_delay,
+                nominal=simulated.nominal_delay + wire_delay,
+                slew_in=slew,
+            )
+        )
+        slew = simulated.nominal_transition
+    return results

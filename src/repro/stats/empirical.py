@@ -1,0 +1,115 @@
+"""Empirical-distribution utilities.
+
+The paper's "golden" reference for every metric is the raw SPICE
+Monte-Carlo sample set.  :class:`EmpiricalDistribution` wraps such a
+sample set with the same query surface the parametric models expose
+(cdf / ppf / moments / bin probabilities), so golden and model values
+are computed through one code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.stats.moments import MomentSummary, sample_moments, validate_samples
+
+__all__ = ["EmpiricalDistribution", "ecdf", "cdf_grid"]
+
+
+def ecdf(samples: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Empirical CDF of ``samples`` evaluated at points ``x``.
+
+    Uses the right-continuous convention ``F(x) = #{s <= x} / n``.
+    """
+    sorted_samples = np.sort(np.asarray(samples, dtype=float).ravel())
+    positions = np.searchsorted(sorted_samples, np.asarray(x, float), "right")
+    return positions / sorted_samples.size
+
+
+def cdf_grid(
+    samples: np.ndarray, n_points: int = 256, spread: float = 4.0
+) -> np.ndarray:
+    """Evaluation grid spanning ``mean +/- spread * std`` of ``samples``.
+
+    This is the grid on which CDF RMSE (the Fig. 4 indicator) is scored.
+    """
+    array = validate_samples(samples)
+    mean = float(array.mean())
+    std = float(array.std())
+    if std == 0.0:
+        raise ParameterError("cannot build a grid for constant samples")
+    return np.linspace(mean - spread * std, mean + spread * std, n_points)
+
+
+@dataclass(frozen=True)
+class EmpiricalDistribution:
+    """A golden Monte-Carlo sample set with a distribution interface."""
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        array = validate_samples(self.samples)
+        object.__setattr__(self, "samples", array)
+
+    @cached_property
+    def _sorted(self) -> np.ndarray:
+        return np.sort(self.samples)
+
+    @property
+    def size(self) -> int:
+        return int(self.samples.size)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        positions = np.searchsorted(
+            self._sorted, np.asarray(x, dtype=float), side="right"
+        )
+        return positions / self._sorted.size
+
+    def sf(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 - self.cdf(x)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        """Empirical quantiles (linear interpolation between order stats)."""
+        quantiles = np.asarray(q, dtype=float)
+        if np.any((quantiles < 0.0) | (quantiles > 1.0)):
+            raise ParameterError("quantiles must lie in [0, 1]")
+        return np.quantile(self._sorted, quantiles)
+
+    def moments(self) -> MomentSummary:
+        return sample_moments(self.samples)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Bootstrap resample."""
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        return generator.choice(self.samples, size=size, replace=True)
+
+    def histogram(
+        self, n_bins: int = 100
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Density histogram ``(bin_centers, density)`` for plotting."""
+        density, edges = np.histogram(
+            self.samples, bins=n_bins, density=True
+        )
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        return centers, density
+
+    def grid(self, n_points: int = 256, spread: float = 4.0) -> np.ndarray:
+        return cdf_grid(self.samples, n_points=n_points, spread=spread)
+
+    def probability_between(self, lower: float, upper: float) -> float:
+        """``P(lower < X <= upper)`` under the empirical law."""
+        if upper < lower:
+            raise ParameterError(
+                f"upper bound {upper} below lower bound {lower}"
+            )
+        return float(self.cdf(upper) - self.cdf(lower))

@@ -1,0 +1,361 @@
+"""The extended skew-normal (ESN) distribution.
+
+The LESN model of Jin et al. [7] — one of the baselines in the paper's
+experiments — models the *logarithm* of a delay as extended skew-normal.
+The ESN adds a hidden-truncation parameter ``tau`` to the skew-normal,
+which frees the fourth moment: an SN's kurtosis is pinned by its
+skewness, an ESN's is not, enabling the kurtosis matching that gives
+LESN its tail accuracy.
+
+Standardised ESN density (Azzalini's parameterisation):
+
+    f(z | alpha, tau) = phi(z) * Phi(tau * sqrt(1 + alpha^2) + alpha z)
+                        / Phi(tau)
+
+Cumulants follow from the derivatives of ``zeta0(t) = log Phi(t)``:
+with ``delta = alpha / sqrt(1 + alpha^2)``,
+
+    kappa1 = delta * zeta1(tau)
+    kappa2 = 1 + delta^2 * zeta2(tau)
+    kappa3 = delta^3 * zeta3(tau)
+    kappa4 = delta^4 * zeta4(tau)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq, least_squares
+from scipy.special import log_ndtr, ndtr
+
+from repro.errors import ParameterError
+from repro.stats.moments import MomentSummary
+
+__all__ = ["ExtendedSkewNormal", "esn_standard_cumulants", "zeta_derivatives"]
+
+
+def zeta_derivatives(tau: float) -> tuple[float, float, float, float]:
+    """First four derivatives of ``log Phi`` at ``tau``.
+
+    Uses the recursions
+
+        zeta1 = phi(tau) / Phi(tau)
+        zeta2 = -zeta1 * (tau + zeta1)
+        zeta3 = -zeta2 * tau - zeta1 - 2 * zeta1 * zeta2
+        zeta4 = -zeta3 * tau - 2 * zeta2 - 2 * (zeta2^2 + zeta1 * zeta3)
+
+    with an asymptotic-safe evaluation of ``zeta1`` for very negative
+    ``tau`` (where ``Phi(tau)`` underflows).
+    """
+    # zeta1 = exp(log phi - log Phi); stable for tau << 0.
+    log_phi = -0.5 * tau * tau - 0.5 * math.log(2.0 * math.pi)
+    zeta1 = math.exp(log_phi - log_ndtr(tau))
+    zeta2 = -zeta1 * (tau + zeta1)
+    zeta3 = -zeta2 * tau - zeta1 - 2.0 * zeta1 * zeta2
+    zeta4 = (
+        -zeta3 * tau
+        - 2.0 * zeta2
+        - 2.0 * (zeta2 * zeta2 + zeta1 * zeta3)
+    )
+    return (zeta1, zeta2, zeta3, zeta4)
+
+
+def esn_standard_cumulants(
+    alpha: float, tau: float
+) -> tuple[float, float, float, float]:
+    """Cumulants ``(kappa1..kappa4)`` of the standardised ESN."""
+    delta = alpha / math.sqrt(1.0 + alpha * alpha)
+    z1, z2, z3, z4 = zeta_derivatives(tau)
+    return (
+        delta * z1,
+        1.0 + delta * delta * z2,
+        delta**3 * z3,
+        delta**4 * z4,
+    )
+
+
+def _standard_skew_kurt(alpha: float, tau: float) -> tuple[float, float]:
+    """Skewness and excess kurtosis of the standardised ESN."""
+    k1, k2, k3, k4 = esn_standard_cumulants(alpha, tau)
+    if k2 <= 0.0:
+        return (math.nan, math.nan)
+    return (k3 / k2**1.5, k4 / (k2 * k2))
+
+
+@dataclass(frozen=True)
+class ExtendedSkewNormal:
+    """Extended skew-normal with location/scale ``(xi, omega)``.
+
+    Attributes:
+        xi: Location.
+        omega: Scale (positive).
+        alpha: Shape (skewness direction).
+        tau: Hidden-truncation (tail/kurtosis) parameter; ``tau=0``
+            recovers the plain skew-normal.
+    """
+
+    xi: float
+    omega: float
+    alpha: float
+    tau: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.omega > 0.0 and math.isfinite(self.omega)):
+            raise ParameterError(
+                f"omega must be positive and finite, got {self.omega}"
+            )
+        for name in ("xi", "alpha", "tau"):
+            if not math.isfinite(getattr(self, name)):
+                raise ParameterError(f"{name} must be finite")
+
+    # ------------------------------------------------------------------
+    @property
+    def delta(self) -> float:
+        return self.alpha / math.sqrt(1.0 + self.alpha**2)
+
+    def _z(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=float) - self.xi) / self.omega
+
+    def logpdf(self, x: np.ndarray) -> np.ndarray:
+        z = self._z(x)
+        sqrt_term = math.sqrt(1.0 + self.alpha**2)
+        return (
+            -0.5 * z * z
+            - 0.5 * math.log(2.0 * math.pi)
+            - math.log(self.omega)
+            + log_ndtr(self.tau * sqrt_term + self.alpha * z)
+            - log_ndtr(self.tau)
+        )
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        return np.exp(self.logpdf(x))
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """CDF via the hidden-truncation bivariate-normal identity.
+
+        ``F(z) = Phi2(z, tau; rho=-delta) / Phi(tau)`` where ``Phi2`` is
+        the bivariate standard-normal CDF.  For very negative ``tau``
+        the identity divides two underflowing quantities, so the CDF
+        falls back to trapezoid integration of the (log-stable) pdf.
+        """
+        z = np.atleast_1d(self._z(x)).astype(float)
+        tau_mass = ndtr(self.tau)
+        if tau_mass < 1e-10:
+            values = self._cdf_by_quadrature(z)
+        else:
+            values = _bvn_cdf(z, self.tau, -self.delta) / tau_mass
+        values = np.clip(values, 0.0, 1.0)
+        if np.ndim(x) == 0:
+            return float(values[0])
+        return values
+
+    def _cdf_by_quadrature(self, z: np.ndarray) -> np.ndarray:
+        """Trapezoid-integrated CDF in standardised coordinates."""
+        summary = self.moments()
+        z_mean = (summary.mean - self.xi) / self.omega
+        z_std = summary.std / self.omega
+        lo = min(float(np.min(z)), z_mean - 10.0 * z_std)
+        hi = max(float(np.max(z)), z_mean + 10.0 * z_std)
+        grid = np.linspace(lo, hi, 4001)
+        pdf = np.exp(
+            self.logpdf(self.xi + self.omega * grid)
+        ) * self.omega
+        cumulative = np.concatenate(
+            (
+                [0.0],
+                np.cumsum(
+                    0.5 * (pdf[1:] + pdf[:-1]) * np.diff(grid)
+                ),
+            )
+        )
+        if cumulative[-1] > 0.0:
+            cumulative = cumulative / max(cumulative[-1], 1.0)
+        return np.interp(z, grid, cumulative)
+
+    def ppf(self, q: np.ndarray) -> np.ndarray:
+        """Quantiles by bracketed root finding on :meth:`cdf`."""
+        quantiles = np.asarray(q, dtype=float)
+        scalar = quantiles.ndim == 0
+        flat = np.atleast_1d(quantiles)
+        if np.any((flat < 0.0) | (flat > 1.0)):
+            raise ParameterError("quantiles must lie in [0, 1]")
+        summary = self.moments()
+        out = np.empty(flat.shape, dtype=float)
+        for index, prob in enumerate(flat):
+            if prob <= 0.0:
+                out[index] = -math.inf
+            elif prob >= 1.0:
+                out[index] = math.inf
+            else:
+                lo = summary.mean - 12.0 * summary.std
+                hi = summary.mean + 12.0 * summary.std
+                while float(self.cdf(lo)) > prob:
+                    lo -= 8.0 * summary.std
+                while float(self.cdf(hi)) < prob:
+                    hi += 8.0 * summary.std
+                out[index] = brentq(
+                    lambda value: float(self.cdf(value)) - prob, lo, hi
+                )
+        return out[0] if scalar else out.reshape(quantiles.shape)
+
+    def rvs(
+        self, size: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Sample via the conditioning representation.
+
+        With ``(X0, X1)`` standard bivariate normal of correlation
+        ``delta``, the law of ``X1 | X0 > -tau`` is ESN(alpha, tau).
+        """
+        generator = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+        delta = self.delta
+        # Inverse-survival sampling of X0 | X0 > -tau: the survival
+        # function of the conditioned variable is uniform on
+        # (0, Phi(tau)), which stays exact even when Phi(tau)
+        # underflows toward 0 (extreme hidden truncation).
+        from scipy.special import ndtri
+
+        tail_mass = ndtr(self.tau)
+        uniforms = np.clip(
+            generator.uniform(size=size) * tail_mass, 1e-300, 1.0
+        )
+        truncated = -ndtri(uniforms)
+        noise = generator.standard_normal(size)
+        z = delta * truncated + math.sqrt(1.0 - delta * delta) * noise
+        return self.xi + self.omega * z
+
+    def moments(self) -> MomentSummary:
+        """Analytic four-moment summary."""
+        k1, k2, k3, k4 = esn_standard_cumulants(self.alpha, self.tau)
+        mean = self.xi + self.omega * k1
+        std = self.omega * math.sqrt(k2)
+        skew = k3 / k2**1.5
+        kurt = k4 / (k2 * k2)
+        return MomentSummary(mean, std, skew, kurt, count=0)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_moments(
+        cls,
+        mean: float,
+        std: float,
+        skew: float,
+        kurtosis: float,
+    ) -> "ExtendedSkewNormal":
+        """Fit an ESN matching four moments (the LESN fitting core).
+
+        Solves for ``(alpha, tau)`` such that the standardised ESN has
+        the requested skewness and excess kurtosis (least-squares with
+        multiple starts), then sets ``omega`` and ``xi`` from the
+        variance and mean.  Falls back to the skewness-only SN solution
+        (``tau = 0``) when the pair is unattainable.
+        """
+        if not (std > 0.0 and math.isfinite(std)):
+            raise ParameterError(
+                f"std must be positive and finite, got {std}"
+            )
+
+        def residuals(params: np.ndarray) -> np.ndarray:
+            alpha, tau = params
+            got_skew, got_kurt = _standard_skew_kurt(alpha, tau)
+            if not (math.isfinite(got_skew) and math.isfinite(got_kurt)):
+                return np.array([1e6, 1e6, 1e6])
+            # Tiny ridge on tau: the (skew, kurt) map is nearly flat in
+            # whole regions of the (alpha, tau) plane, and extreme tau
+            # representations are numerically hostile (Phi(tau)
+            # underflows in the CDF identity).  Prefer the small-|tau|
+            # representative of equivalent solutions.
+            return np.array(
+                [
+                    got_skew - skew,
+                    got_kurt - kurtosis,
+                    2e-3 * tau,
+                ]
+            )
+
+        starts = [
+            (math.copysign(2.0, skew if skew else 1.0), -1.0),
+            (math.copysign(5.0, skew if skew else 1.0), -3.0),
+            (math.copysign(1.0, skew if skew else 1.0), 1.0),
+            (math.copysign(8.0, skew if skew else 1.0), -6.0),
+            (0.5, 0.0),
+        ]
+        best_params: tuple[float, float] | None = None
+        best_cost = math.inf
+        stale = 0
+        for start in starts:
+            result = least_squares(
+                residuals,
+                x0=np.asarray(start, dtype=float),
+                bounds=(
+                    np.array([-60.0, -12.0]),
+                    np.array([60.0, 12.0]),
+                ),
+                xtol=1e-10,
+                ftol=1e-10,
+            )
+            # Judge fits on the moment residuals only; the tau ridge is
+            # a tie-breaker, not an accuracy criterion.
+            shape_cost = float(result.fun[0] ** 2 + result.fun[1] ** 2)
+            if shape_cost < 0.8 * best_cost:
+                stale = 0
+            else:
+                stale += 1
+            if shape_cost < best_cost:
+                best_cost = shape_cost
+                best_params = (float(result.x[0]), float(result.x[1]))
+            # Converged well inside the attainable region, or two
+            # consecutive starts brought no real improvement (boundary
+            # targets: every start lands on the same frontier point).
+            if best_cost < 1e-10 or stale >= 2:
+                break
+        if best_params is None:
+            best_params = (0.0, 0.0)
+        alpha, tau = best_params
+        k1, k2, _, _ = esn_standard_cumulants(alpha, tau)
+        omega = std / math.sqrt(k2)
+        xi = mean - omega * k1
+        return cls(xi, omega, alpha, tau)
+
+
+def _bvn_cdf(z: np.ndarray, h: float, rho: float) -> np.ndarray:
+    """Bivariate standard-normal CDF ``P(X <= z, Y <= h)`` with corr rho.
+
+    Owen (1956):
+
+        Phi2(z, h; rho) = (Phi(z) + Phi(h)) / 2
+                          - T(z, a_z) - T(h, a_h) - beta
+
+    where ``a_z = (h - rho z) / (z sqrt(1 - rho^2))``, ``a_h`` is the
+    symmetric expression, and ``beta = 1/2`` iff ``z h < 0``.  The
+    formula requires nonzero arguments; exact zeros are nudged by 1e-14,
+    which is exact to machine precision because the CDF is continuous.
+    """
+    from scipy.special import owens_t
+
+    z = np.asarray(z, dtype=float).copy()
+    if abs(rho) >= 1.0 - 1e-12:
+        # Degenerate correlation: comonotone / antimonotone limits.
+        if rho > 0:
+            return ndtr(np.minimum(z, h))
+        return np.clip(ndtr(z) - ndtr(-h), 0.0, 1.0)
+    nudge = 1e-14
+    z[z == 0.0] = nudge
+    if h == 0.0:
+        h = nudge
+    denom = math.sqrt(1.0 - rho * rho)
+    a_z = (h - rho * z) / (z * denom)
+    a_h = (z - rho * h) / (h * denom)
+    beta = np.where(z * h < 0.0, 0.5, 0.0)
+    values = (
+        0.5 * (ndtr(z) + ndtr(h))
+        - owens_t(z, a_z)
+        - owens_t(h, a_h)
+        - beta
+    )
+    return np.clip(values, 0.0, 1.0)

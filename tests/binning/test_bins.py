@@ -1,0 +1,99 @@
+"""Tests for repro.binning.bins (paper Eq. 1, §2.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binning.bins import (
+    PAPER_SIGMA_LEVELS,
+    BinningScheme,
+    sigma_binning,
+)
+from repro.errors import ParameterError
+from repro.models.gaussian import GaussianModel
+from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.moments import MomentSummary
+
+
+class TestBinningScheme:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ParameterError):
+            BinningScheme((1.0, 1.0))
+        with pytest.raises(ParameterError):
+            BinningScheme((2.0, 1.0))
+        with pytest.raises(ParameterError):
+            BinningScheme(())
+
+    def test_n_bins(self):
+        assert BinningScheme((0.0,)).n_bins == 2
+        assert BinningScheme((0.0, 1.0, 2.0)).n_bins == 4
+
+    def test_gaussian_bin_probabilities(self):
+        """Eq. 1 with known Gaussian masses at mu +/- k sigma."""
+        scheme = sigma_binning(MomentSummary(0.0, 1.0, 0.0, 0.0))
+        probs = scheme.bin_probabilities(GaussianModel(0.0, 1.0))
+        assert probs.shape == (8,)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-12)
+        # Outermost bins: Phi(-3) ~ 0.00135.
+        assert probs[0] == pytest.approx(0.00135, abs=1e-4)
+        assert probs[-1] == pytest.approx(0.00135, abs=1e-4)
+        # Central bins: Phi(1) - Phi(0) ~ 0.3413.
+        assert probs[3] == pytest.approx(0.3413, abs=1e-3)
+        assert probs[4] == pytest.approx(0.3413, abs=1e-3)
+
+    def test_empirical_bin_probabilities_sum_to_one(
+        self, gaussian_samples
+    ):
+        golden = EmpiricalDistribution(gaussian_samples)
+        scheme = sigma_binning(golden.moments())
+        probs = scheme.bin_probabilities(golden)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_assign_and_counts(self):
+        scheme = BinningScheme((1.0, 2.0))
+        samples = np.array([0.5, 1.0, 1.5, 2.5])
+        np.testing.assert_array_equal(
+            scheme.assign(samples), [0, 1, 1, 2]
+        )
+        np.testing.assert_array_equal(
+            scheme.counts(samples), [1, 2, 1]
+        )
+
+    def test_usable_range(self):
+        scheme = BinningScheme((1.0, 2.0, 3.0))
+        assert scheme.usable_range() == (1.0, 3.0)
+
+
+class TestSigmaBinning:
+    def test_paper_levels_give_eight_bins(self):
+        scheme = sigma_binning(MomentSummary(1.0, 0.1, 0.0, 0.0))
+        assert scheme.n_bins == 8
+        assert len(PAPER_SIGMA_LEVELS) == 7
+
+    def test_boundaries_at_sigma_points(self):
+        summary = MomentSummary(1.0, 0.1, 0.0, 0.0)
+        scheme = sigma_binning(summary)
+        assert scheme.boundaries[0] == pytest.approx(0.7)
+        assert scheme.boundaries[3] == pytest.approx(1.0)
+        assert scheme.boundaries[-1] == pytest.approx(1.3)
+
+    def test_custom_levels(self):
+        scheme = sigma_binning(
+            MomentSummary(0.0, 1.0, 0.0, 0.0), levels=(-1.0, 1.0)
+        )
+        assert scheme.boundaries == (-1.0, 1.0)
+
+
+@given(
+    mean=st.floats(-10, 10),
+    std=st.floats(0.01, 5),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_bin_probabilities_sum_to_one(mean, std):
+    scheme = sigma_binning(MomentSummary(mean, std, 0.0, 0.0))
+    probs = scheme.bin_probabilities(GaussianModel(mean, std))
+    assert probs.sum() == pytest.approx(1.0, abs=1e-10)
+    assert np.all(probs >= 0.0)

@@ -1,0 +1,127 @@
+"""Tests for repro.binning.metrics (paper §4 metrics and Eq. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.binning.metrics import (
+    DistributionScore,
+    binning_error,
+    cdf_rmse,
+    error_reduction,
+    evaluate_distribution,
+    evaluate_models,
+    geometric_mean,
+    sigma_yield,
+    yield_error,
+)
+from repro.errors import ParameterError
+from repro.models.gaussian import GaussianModel
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.stats.empirical import EmpiricalDistribution
+
+
+@pytest.fixture
+def golden(bimodal_samples):
+    return EmpiricalDistribution(bimodal_samples)
+
+
+class TestBinningError:
+    def test_zero_for_golden_itself(self, golden):
+        assert binning_error(golden, golden) == 0.0
+
+    def test_positive_for_wrong_model(self, golden):
+        model = GaussianModel(0.0, 1.0)  # nowhere near the data
+        assert binning_error(model, golden) > 0.05
+
+    def test_lvf2_beats_lvf_on_bimodal(self, golden, bimodal_samples):
+        lvf2 = LVF2Model.fit(bimodal_samples)
+        lvf = LVFModel.fit(bimodal_samples)
+        assert binning_error(lvf2, golden) < binning_error(lvf, golden)
+
+
+class TestSigmaYield:
+    def test_golden_yield_matches_counting(self, golden):
+        target = golden.moments().sigma_point(3.0)
+        expected = float(np.mean(golden.samples <= target))
+        assert sigma_yield(golden, golden) == pytest.approx(expected)
+
+    def test_two_sided(self, golden):
+        one_sided = sigma_yield(golden, golden, two_sided=False)
+        two_sided = sigma_yield(golden, golden, two_sided=True)
+        assert two_sided <= one_sided
+
+    def test_yield_error_zero_for_golden(self, golden):
+        assert yield_error(golden, golden) == 0.0
+
+
+class TestCDFRMSE:
+    def test_zero_for_golden(self, golden):
+        assert cdf_rmse(golden, golden) == 0.0
+
+    def test_scale(self, golden):
+        value = cdf_rmse(GaussianModel(0.0, 1.0), golden)
+        assert 0.0 < value <= 1.0
+
+
+class TestErrorReduction:
+    def test_eq12(self):
+        assert error_reduction(0.1, 0.02) == pytest.approx(5.0)
+
+    def test_baseline_scores_one(self):
+        assert error_reduction(0.05, 0.05) == pytest.approx(1.0)
+
+    def test_floored_for_perfect_model(self):
+        assert error_reduction(0.1, 0.0) == pytest.approx(1e11)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            error_reduction(-0.1, 0.1)
+
+
+class TestEvaluate:
+    def test_distribution_score_reductions(self):
+        score = DistributionScore(0.02, 0.01, 0.005)
+        base = DistributionScore(0.04, 0.04, 0.02)
+        reduction = score.reductions(base)
+        assert reduction.binning == pytest.approx(2.0)
+        assert reduction.yield3sigma == pytest.approx(4.0)
+        assert reduction.rmse == pytest.approx(4.0)
+
+    def test_evaluate_distribution_fields(self, golden, bimodal_samples):
+        model = LVFModel.fit(bimodal_samples)
+        score = evaluate_distribution(model, golden)
+        assert score.binning >= 0.0
+        assert score.yield3sigma >= 0.0
+        assert score.rmse >= 0.0
+
+    def test_evaluate_models_baseline_is_one(
+        self, golden, bimodal_samples
+    ):
+        models = {
+            "LVF": LVFModel.fit(bimodal_samples),
+            "LVF2": LVF2Model.fit(bimodal_samples),
+        }
+        report = evaluate_models(models, golden)
+        assert report["LVF"]["binning_reduction"] == pytest.approx(1.0)
+        assert report["LVF"]["rmse_reduction"] == pytest.approx(1.0)
+        assert report["LVF2"]["binning_reduction"] > 1.0
+
+    def test_missing_baseline_raises(self, golden, bimodal_samples):
+        with pytest.raises(ParameterError):
+            evaluate_models(
+                {"LVF2": LVF2Model.fit(bimodal_samples)}, golden
+            )
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ParameterError):
+            geometric_mean([])
+        with pytest.raises(ParameterError):
+            geometric_mean([1.0, -1.0])

@@ -1,0 +1,74 @@
+"""Tests for repro.binning.pricing (paper Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.binning.bins import BinningScheme
+from repro.binning.pricing import (
+    PriceProfile,
+    expected_revenue,
+    revenue_error,
+    revenue_profile_sweep,
+)
+from repro.errors import ParameterError
+from repro.models.gaussian import GaussianModel
+
+
+@pytest.fixture
+def scheme():
+    return BinningScheme((-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0))
+
+
+class TestPriceProfile:
+    def test_length_validated(self, scheme):
+        with pytest.raises(ParameterError):
+            PriceProfile(scheme, (1.0, 2.0))
+
+    def test_negative_price_rejected(self, scheme):
+        prices = tuple([0.0] + [1.0] * 6 + [-1.0])
+        with pytest.raises(ParameterError):
+            PriceProfile(scheme, prices)
+
+    def test_monotone_profile_shape(self, scheme):
+        profile = PriceProfile.monotone(scheme, 100.0, decay=0.5)
+        assert profile.prices[0] == 0.0  # leaky bin
+        assert profile.prices[-1] == 0.0  # too-slow bin
+        usable = profile.prices[1:-1]
+        assert usable[0] == 100.0
+        assert list(usable) == sorted(usable, reverse=True)
+
+    def test_monotone_validates(self, scheme):
+        with pytest.raises(ParameterError):
+            PriceProfile.monotone(scheme, 0.0)
+        with pytest.raises(ParameterError):
+            PriceProfile.monotone(scheme, 10.0, decay=1.5)
+
+
+class TestRevenue:
+    def test_expected_revenue_bounds(self, scheme):
+        profile = PriceProfile.monotone(scheme, 100.0)
+        revenue = expected_revenue(profile, GaussianModel(0.0, 1.0))
+        assert 0.0 < revenue < 100.0
+
+    def test_faster_distribution_earns_more(self, scheme):
+        """Shifting the delay distribution left (faster) raises revenue."""
+        profile = PriceProfile.monotone(scheme, 100.0, decay=0.6)
+        slow = expected_revenue(profile, GaussianModel(0.5, 1.0))
+        fast = expected_revenue(profile, GaussianModel(-0.5, 1.0))
+        assert fast > slow
+
+    def test_revenue_error_symmetric(self, scheme):
+        profile = PriceProfile.monotone(scheme, 100.0)
+        a = GaussianModel(0.0, 1.0)
+        b = GaussianModel(0.3, 1.1)
+        assert revenue_error(profile, a, b) == pytest.approx(
+            revenue_error(profile, b, a)
+        )
+
+    def test_volume_sweep(self, scheme):
+        profile = PriceProfile.monotone(scheme, 10.0)
+        revenue = revenue_profile_sweep(
+            profile, GaussianModel(0.0, 1.0), [1.0, 2.0]
+        )
+        assert revenue[1] == pytest.approx(2.0 * revenue[0])

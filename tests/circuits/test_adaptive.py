@@ -1,0 +1,115 @@
+"""Tests for accuracy-pattern-guided adaptive characterisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.adaptive import (
+    characterize_adaptive,
+    multi_gaussian_indicator,
+    plan_adaptive,
+)
+from repro.circuits.cells import build_cell
+from repro.circuits.characterize import CharacterizationConfig
+from repro.errors import CharacterizationError
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CharacterizationConfig(
+        slews=(0.00316, 0.00812, 0.02086),
+        loads=(0.00722, 0.02136, 0.04965),
+        n_samples=4000,
+        seed=5,
+    )
+
+
+class TestIndicator:
+    def test_positive_on_bimodal(self, bimodal_samples):
+        assert multi_gaussian_indicator(bimodal_samples) > 0.01
+
+    def test_near_zero_on_gaussian(self, gaussian_samples):
+        assert multi_gaussian_indicator(gaussian_samples) < 0.005
+
+
+class TestPlan:
+    def test_probe_smaller_than_full_enforced(self, engine, config):
+        with pytest.raises(CharacterizationError):
+            plan_adaptive(
+                engine,
+                build_cell("NAND2"),
+                "A",
+                "fall",
+                config,
+                probe_samples=config.n_samples,
+            )
+
+    def test_plan_structure(self, engine, config):
+        plan, probes = plan_adaptive(
+            engine,
+            build_cell("NAND2"),
+            "A",
+            "fall",
+            config,
+            probe_samples=600,
+        )
+        assert plan.indicator.shape == (3, 3)
+        assert plan.suspect.shape == (3, 3)
+        assert probes[0, 0].shape == (600,)
+        # Band keys cover i+j = 0..4.
+        assert set(plan.band_scores) == set(range(5))
+
+    def test_band_completion_marks_whole_band(self, engine, config):
+        plan, _ = plan_adaptive(
+            engine,
+            build_cell("NAND2"),
+            "A",
+            "fall",
+            config,
+            probe_samples=600,
+            point_threshold=1e9,  # only the band rule can fire
+            band_threshold=0.002,
+        )
+        for band, score in plan.band_scores.items():
+            if score > 0.002:
+                for i in range(3):
+                    j = band - i
+                    if 0 <= j < 3:
+                        assert plan.suspect[i, j]
+
+
+class TestCharacterizeAdaptive:
+    @pytest.fixture(scope="class")
+    def result(self, engine, config):
+        return characterize_adaptive(
+            engine,
+            build_cell("NAND2"),
+            "A",
+            "fall",
+            config,
+            probe_samples=600,
+        )
+
+    def test_model_grid_complete(self, result):
+        assert result.models.shape == (3, 3)
+        for index in np.ndindex(result.models.shape):
+            assert result.models[index].moments().std > 0.0
+
+    def test_budget_accounting(self, result, config):
+        probe_total = 9 * 600
+        full_total = result.plan.n_suspect * config.n_samples
+        assert result.samples_spent == probe_total + full_total
+        assert result.samples_uniform == 9 * config.n_samples
+
+    def test_saves_samples_when_pattern_sparse(self, result):
+        # Unless every band is suspect, the adaptive flow spends less.
+        if result.plan.n_suspect < result.plan.n_points:
+            assert result.savings > 0.0
+
+    def test_suspect_points_get_mixture_capable_fits(self, result):
+        for index in np.ndindex(result.models.shape):
+            model = result.models[index]
+            if not result.plan.suspect[index]:
+                # Non-suspect points are stored as collapsed LVF2.
+                assert model.is_collapsed

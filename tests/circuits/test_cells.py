@@ -1,0 +1,134 @@
+"""Tests for the 25 standard-cell definitions (paper Table 2 set)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.cells import (
+    CELL_TYPES,
+    build_cell,
+    standard_cell_library,
+)
+from repro.errors import ParameterError
+
+
+class TestCatalogue:
+    def test_twenty_five_types(self):
+        assert len(CELL_TYPES) == 25
+
+    def test_paper_families_present(self):
+        for family in (
+            "INV",
+            "BUFF",
+            "NAND2",
+            "NAND4",
+            "AND3",
+            "NOR4",
+            "OR2",
+            "XOR4",
+            "XNOR3",
+            "MUX4",
+            "FA",
+            "HA",
+        ):
+            assert family in CELL_TYPES
+
+
+class TestBuildCell:
+    def test_unknown_type(self):
+        with pytest.raises(ParameterError, match="unknown cell type"):
+            build_cell("NAND9")
+
+    def test_invalid_drive(self):
+        with pytest.raises(ParameterError):
+            build_cell("INV", 0.0)
+
+    def test_naming_convention(self):
+        assert build_cell("NAND2", 1.0).name == "NAND2_X1"
+        assert build_cell("NAND2", 0.5).name == "NAND2_X0P5"
+
+    def test_arc_count_two_per_input(self):
+        for cell_type, n_inputs in (
+            ("INV", 1),
+            ("NAND3", 3),
+            ("MUX2", 3),
+            ("FA", 3),
+        ):
+            cell = build_cell(cell_type)
+            assert cell.n_arcs == 2 * n_inputs
+
+    def test_arc_lookup_and_errors(self):
+        cell = build_cell("NAND2")
+        arc = cell.arc("A", "fall")
+        assert arc.output_transition == "fall"
+        with pytest.raises(ParameterError):
+            cell.arc("Z", "fall")
+
+    def test_nand_fall_is_stacked(self):
+        for n in (2, 3, 4):
+            arc = build_cell(f"NAND{n}").arc("A", "fall")
+            assert arc.stages[0].stack_depth == n
+            assert arc.stages[0].has_charge_sharing
+
+    def test_nand_rise_single_pmos(self):
+        arc = build_cell("NAND2").arc("A", "rise")
+        assert arc.stages[0].stack_depth == 1
+
+    def test_nor_mirrors_nand(self):
+        arc = build_cell("NOR3").arc("A", "rise")
+        assert arc.stages[0].stack_depth == 3
+
+    def test_compound_gates_two_stages(self):
+        for cell_type in ("AND2", "OR3", "BUFF", "MUX2", "HA"):
+            arc = build_cell(cell_type).arc(
+                build_cell(cell_type).inputs[0], "rise"
+            )
+            assert len(arc.stages) == 2
+
+    def test_xor_has_competing_paths(self):
+        arc = build_cell("XOR2").arc("A", "rise")
+        assert len(arc.stages[0].paths) == 2
+        assert arc.stages[0].has_charge_sharing
+
+    def test_mux_inputs(self):
+        assert build_cell("MUX2").inputs == ("D0", "D1", "S0")
+        assert build_cell("MUX4").inputs == (
+            "D0",
+            "D1",
+            "D2",
+            "D3",
+            "S0",
+            "S1",
+        )
+
+    def test_function_strings(self):
+        assert build_cell("NAND2").function == "!(A&B)"
+        assert build_cell("XOR3").function == "A^B^C"
+        assert build_cell("INV").function == "!A"
+
+    def test_drive_scales_widths(self):
+        x1 = build_cell("INV", 1.0).arc("A", "fall")
+        x4 = build_cell("INV", 4.0).arc("A", "fall")
+        assert x4.width_factors()[0] == pytest.approx(
+            4.0 * x1.width_factors()[0]
+        )
+
+    def test_input_capacitance_positive(self):
+        cell = build_cell("NAND2")
+        assert cell.input_capacitance("A") > 0.0
+        with pytest.raises(ParameterError):
+            cell.input_capacitance("Q")
+
+
+class TestLibraryBuilder:
+    def test_all_types_all_drives(self):
+        cells = standard_cell_library(drives=(1.0, 2.0))
+        assert len(cells) == 50
+        names = {cell.name for cell in cells}
+        assert "XNOR4_X2" in names
+
+    def test_subset(self):
+        cells = standard_cell_library(
+            drives=(1.0,), cell_types=("INV", "FA")
+        )
+        assert [cell.cell_type for cell in cells] == ["INV", "FA"]

@@ -1,0 +1,143 @@
+"""Tests for the gate timing engine (the SPICE surrogate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.cells import build_cell
+from repro.circuits.gate import ArcTopology, GateTimingEngine, Stage
+from repro.circuits.mosfet import NMOS_22NM, Transistor
+from repro.errors import CharacterizationError, ParameterError
+from repro.models.lvf2 import LVF2Model
+from repro.stats.moments import sample_moments
+
+
+class TestStage:
+    def test_needs_paths(self):
+        with pytest.raises(ParameterError):
+            Stage(paths=())
+        with pytest.raises(ParameterError):
+            Stage(paths=((),))
+
+    def test_stack_depth(self):
+        stage = Stage(
+            paths=(
+                (Transistor(NMOS_22NM),) * 3,
+                (Transistor(NMOS_22NM),),
+            )
+        )
+        assert stage.stack_depth == 3
+        assert stage.n_transistors == 4
+
+    def test_charge_sharing_requires_depth(self):
+        shallow = Stage(
+            paths=((Transistor(NMOS_22NM),),), internal_cap=0.001
+        )
+        assert not shallow.has_charge_sharing
+        deep = Stage(
+            paths=((Transistor(NMOS_22NM),) * 2,), internal_cap=0.001
+        )
+        assert deep.has_charge_sharing
+
+
+class TestArcTopology:
+    def test_validation(self):
+        stage = Stage(paths=((Transistor(NMOS_22NM),),))
+        with pytest.raises(ParameterError):
+            ArcTopology("X", "A", "sideways", (stage,))
+        with pytest.raises(ParameterError):
+            ArcTopology("X", "A", "rise", ())
+
+    def test_width_factors_order(self):
+        topology = build_cell("NAND2").arc("A", "fall")
+        widths = topology.width_factors()
+        assert widths.shape == (topology.n_transistors,)
+        assert np.all(widths > 0.0)
+
+
+class TestSimulateArc:
+    def test_result_shapes(self, engine):
+        topology = build_cell("INV").arc("A", "fall")
+        result = engine.simulate_arc(topology, 0.01, 0.01, 500, rng=0)
+        assert result.delay.shape == (500,)
+        assert result.transition.shape == (500,)
+        assert result.nominal_delay > 0.0
+        assert result.nominal_transition > 0.0
+
+    def test_all_delays_positive(self, engine):
+        topology = build_cell("NAND3").arc("B", "fall")
+        result = engine.simulate_arc(topology, 0.02, 0.05, 2000, rng=1)
+        assert np.all(result.delay > 0.0)
+        assert np.all(result.transition > 0.0)
+
+    def test_reproducible_with_seed(self, engine):
+        topology = build_cell("INV").arc("A", "rise")
+        a = engine.simulate_arc(topology, 0.01, 0.01, 200, rng=7)
+        b = engine.simulate_arc(topology, 0.01, 0.01, 200, rng=7)
+        np.testing.assert_array_equal(a.delay, b.delay)
+
+    def test_invalid_conditions(self, engine):
+        topology = build_cell("INV").arc("A", "fall")
+        with pytest.raises(CharacterizationError):
+            engine.simulate_arc(topology, 0.0, 0.01, 10)
+        with pytest.raises(CharacterizationError):
+            engine.simulate_arc(topology, 0.01, -1.0, 10)
+        with pytest.raises(CharacterizationError):
+            engine.simulate_arc(topology, 0.01, 0.01, 0)
+
+    def test_delay_monotone_in_load(self, engine):
+        topology = build_cell("INV").arc("A", "fall")
+        delays = [
+            engine.simulate_arc(
+                topology, 0.01, load, 1, rng=0
+            ).nominal_delay
+            for load in (0.001, 0.01, 0.1, 0.5)
+        ]
+        assert delays == sorted(delays)
+
+    def test_delay_increases_with_slew(self, engine):
+        topology = build_cell("INV").arc("A", "fall")
+        fast = engine.simulate_arc(topology, 0.005, 0.01, 1, rng=0)
+        slow = engine.simulate_arc(topology, 0.10, 0.01, 1, rng=0)
+        assert slow.nominal_delay > fast.nominal_delay
+
+    def test_distribution_is_skewed(self, engine):
+        """Single-stage delay: right-skewed from the Vth nonlinearity."""
+        topology = build_cell("INV").arc("A", "fall")
+        result = engine.simulate_arc(topology, 0.01, 0.01, 20_000, rng=3)
+        assert sample_moments(result.delay).skewness > 0.2
+
+    def test_stacked_gate_can_be_bimodal(self, engine):
+        """Charge-sharing regime switching produces a real mixture."""
+        topology = build_cell("NAND2").arc("A", "fall")
+        # Condition near the confrontation diagonal.
+        result = engine.simulate_arc(
+            topology, 0.0081, 0.0072, 20_000, rng=4
+        )
+        model = LVF2Model.fit(result.delay)
+        assert not model.is_collapsed
+        assert 0.05 < model.weight < 0.95
+        separation = model.component2.mu - model.component1.mu
+        assert separation > model.component1.sigma
+
+    def test_nominal_matches_zero_variation_sample(self, engine):
+        topology = build_cell("NOR2").arc("A", "rise")
+        result = engine.simulate_arc(topology, 0.01, 0.02, 10, rng=0)
+        # Nominal equals the same computation with variations zeroed —
+        # by construction, but guard the plumbing.
+        again = engine.simulate_arc(topology, 0.01, 0.02, 10, rng=1)
+        assert result.nominal_delay == pytest.approx(
+            again.nominal_delay
+        )
+
+    def test_multistage_slower_than_single(self, engine):
+        inv = build_cell("INV").arc("A", "fall")
+        buf = build_cell("BUFF").arc("A", "fall")
+        inv_delay = engine.simulate_arc(
+            inv, 0.01, 0.01, 1, rng=0
+        ).nominal_delay
+        buf_delay = engine.simulate_arc(
+            buf, 0.01, 0.01, 1, rng=0
+        ).nominal_delay
+        assert buf_delay > inv_delay

@@ -1,0 +1,112 @@
+"""Tests for the transregional MOSFET drive model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.mosfet import (
+    NMOS_22NM,
+    PMOS_22NM,
+    DeviceParams,
+    Transistor,
+)
+from repro.circuits.process import TT_GLOBAL_LOCAL_MC
+from repro.errors import ParameterError
+
+CORNER = TT_GLOBAL_LOCAL_MC
+ZERO = np.zeros(1)
+
+
+class TestDeviceParams:
+    def test_flavours_sane(self):
+        assert NMOS_22NM.vth0 < CORNER.vdd
+        assert PMOS_22NM.k_drive < NMOS_22NM.k_drive  # hole mobility
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            DeviceParams(vth0=-0.1, alpha=1.3, k_drive=1.0)
+        with pytest.raises(ParameterError):
+            DeviceParams(vth0=0.3, alpha=3.0, k_drive=1.0)
+        with pytest.raises(ParameterError):
+            DeviceParams(vth0=0.3, alpha=1.3, k_drive=0.0)
+
+
+class TestTransistor:
+    def test_width_validation(self):
+        with pytest.raises(ParameterError):
+            Transistor(NMOS_22NM, 0.0)
+
+    def test_drive_current_positive_and_monotone_in_vgs(self):
+        device = Transistor(NMOS_22NM)
+        currents = [
+            float(device.drive_current(v, ZERO, CORNER)[0])
+            for v in (0.2, 0.4, 0.6, 0.8)
+        ]
+        assert all(c > 0.0 for c in currents)
+        assert currents == sorted(currents)
+
+    def test_subthreshold_exponential_decay(self):
+        """Below Vth the current decays ~ exponentially."""
+        device = Transistor(NMOS_22NM)
+        low = float(device.drive_current(0.10, ZERO, CORNER)[0])
+        lower = float(device.drive_current(0.05, ZERO, CORNER)[0])
+        ratio = low / lower
+        assert ratio > 1.5  # strong sensitivity below threshold
+
+    def test_higher_vth_means_less_current(self):
+        device = Transistor(NMOS_22NM)
+        fast = device.drive_current(
+            CORNER.vdd, np.array([-0.05]), CORNER
+        )[0]
+        slow = device.drive_current(
+            CORNER.vdd, np.array([+0.05]), CORNER
+        )[0]
+        assert fast > slow
+
+    def test_nonlinear_vth_response_skews_current(self):
+        """The drive response to Gaussian dVth is non-Gaussian."""
+        device = Transistor(NMOS_22NM)
+        rng = np.random.default_rng(0)
+        dvth = rng.normal(0.0, 0.05, 50_000)
+        resistance = device.effective_resistance(dvth, CORNER)
+        from repro.stats.moments import sample_moments
+
+        assert sample_moments(resistance).skewness > 0.2
+
+    def test_width_scales_current(self):
+        narrow = Transistor(NMOS_22NM, 1.0)
+        wide = Transistor(NMOS_22NM, 4.0)
+        ratio = float(
+            wide.drive_current(CORNER.vdd, ZERO, CORNER)[0]
+            / narrow.drive_current(CORNER.vdd, ZERO, CORNER)[0]
+        )
+        assert ratio == pytest.approx(4.0)
+
+    def test_short_channel_lowers_vth(self):
+        device = Transistor(NMOS_22NM)
+        nominal = device.effective_vth(ZERO, CORNER, dlength=ZERO)[0]
+        short = device.effective_vth(
+            ZERO, CORNER, dlength=np.array([-0.1])
+        )[0]
+        assert short < nominal
+
+    def test_nominal_resistance_magnitude(self):
+        # A 22nm-class unit inverter NMOS: order 1 kOhm.
+        resistance = Transistor(NMOS_22NM).nominal_resistance(CORNER)
+        assert 0.3 < resistance < 5.0
+
+    def test_mobility_variation_scales_current(self):
+        device = Transistor(NMOS_22NM)
+        base = device.drive_current(
+            CORNER.vdd, ZERO, CORNER, dmobility=ZERO
+        )[0]
+        boosted = device.drive_current(
+            CORNER.vdd, ZERO, CORNER, dmobility=np.array([0.1])
+        )[0]
+        assert boosted == pytest.approx(1.1 * base, rel=1e-9)
+
+    def test_input_capacitance_scales_with_width(self):
+        assert Transistor(NMOS_22NM, 2.0).input_capacitance() == (
+            pytest.approx(2.0 * Transistor(NMOS_22NM).input_capacitance())
+        )

@@ -1,0 +1,125 @@
+"""Tests for the process-variation model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.process import (
+    TT_GLOBAL_LOCAL_MC,
+    ProcessCorner,
+    TransistorVariations,
+    VariationModel,
+)
+from repro.errors import ParameterError
+
+
+class TestProcessCorner:
+    def test_paper_corner(self):
+        assert TT_GLOBAL_LOCAL_MC.vdd == 0.8
+        assert TT_GLOBAL_LOCAL_MC.temperature == 25.0
+        assert TT_GLOBAL_LOCAL_MC.global_vth_shift == 0.0
+
+    def test_thermal_voltage(self):
+        # kT/q at 25C ~ 25.7 mV.
+        assert TT_GLOBAL_LOCAL_MC.thermal_voltage == pytest.approx(
+            0.0257, abs=3e-4
+        )
+
+    def test_with_supply(self):
+        low = TT_GLOBAL_LOCAL_MC.with_supply(0.5)
+        assert low.vdd == 0.5
+        assert low.name == TT_GLOBAL_LOCAL_MC.name
+
+    def test_invalid_vdd(self):
+        with pytest.raises(ParameterError):
+            ProcessCorner(name="bad", vdd=0.0)
+
+
+class TestVariationModel:
+    def test_pelgrom_scaling(self):
+        model = VariationModel()
+        # Wider devices mismatch less: sigma ~ 1/sqrt(W).
+        assert model.vth_sigma(4.0) == pytest.approx(
+            model.vth_sigma(1.0) / 2.0
+        )
+
+    def test_vth_sigma_magnitude(self):
+        # 22nm-class minimal device: tens of mV.
+        sigma = VariationModel().vth_sigma(1.0)
+        assert 0.02 < sigma < 0.08
+
+    def test_invalid_width(self):
+        with pytest.raises(ParameterError):
+            VariationModel().vth_sigma(0.0)
+
+    def test_sample_shapes(self):
+        model = VariationModel()
+        variations = model.sample(100, np.array([1.0, 2.0, 4.0]), rng=0)
+        assert variations.n_samples == 100
+        assert variations.n_transistors == 3
+
+    def test_sample_statistics(self):
+        model = VariationModel()
+        variations = model.sample(20_000, np.array([1.0, 4.0]), rng=1)
+        assert variations.dvth[:, 0].std() == pytest.approx(
+            model.vth_sigma(1.0), rel=0.03
+        )
+        assert variations.dvth[:, 1].std() == pytest.approx(
+            model.vth_sigma(4.0), rel=0.03
+        )
+        assert variations.dlength.std() == pytest.approx(
+            model.sigma_length_rel, rel=0.05
+        )
+        assert variations.dmobility.std() == pytest.approx(
+            model.sigma_mobility_rel, rel=0.05
+        )
+
+    def test_sample_zero_mean(self):
+        variations = VariationModel().sample(
+            20_000, np.array([1.0]), rng=2
+        )
+        assert variations.dvth.mean() == pytest.approx(0.0, abs=1e-3)
+
+    def test_lhs_vs_iid(self):
+        """LHS stratification shrinks the mean's sampling error."""
+        model = VariationModel()
+        lhs_means = [
+            model.sample(256, np.array([1.0]), rng=i).dvth.mean()
+            for i in range(15)
+        ]
+        iid_means = [
+            model.sample(
+                256, np.array([1.0]), rng=i, use_lhs=False
+            ).dvth.mean()
+            for i in range(15)
+        ]
+        assert np.std(lhs_means) < np.std(iid_means)
+
+    def test_empty_width_factors(self):
+        with pytest.raises(ParameterError):
+            VariationModel().sample(10, np.array([]))
+
+    def test_reproducible(self):
+        model = VariationModel()
+        a = model.sample(50, np.array([1.0]), rng=9)
+        b = model.sample(50, np.array([1.0]), rng=9)
+        np.testing.assert_array_equal(a.dvth, b.dvth)
+
+
+class TestTransistorVariations:
+    def test_shape_consistency_enforced(self):
+        with pytest.raises(ParameterError):
+            TransistorVariations(
+                np.zeros((5, 2)), np.zeros((5, 3)), np.zeros((5, 2))
+            )
+
+    def test_for_transistor_slice(self):
+        variations = VariationModel().sample(
+            20, np.array([1.0, 2.0]), rng=0
+        )
+        single = variations.for_transistor(1)
+        assert single.n_transistors == 1
+        np.testing.assert_array_equal(
+            single.dvth[:, 0], variations.dvth[:, 1]
+        )

@@ -1,0 +1,71 @@
+"""Tests for the Fig. 3 scenario generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
+from repro.errors import ParameterError
+from repro.stats.moments import sample_moments
+
+
+class TestCatalogue:
+    def test_five_scenarios_in_table1_order(self):
+        assert scenario_names() == (
+            "2 Peaks",
+            "Multi-Peaks",
+            "Saddle",
+            "Minor Saddle",
+            "Kurtosis",
+        )
+
+    def test_lookup(self):
+        assert get_scenario("Saddle").name == "Saddle"
+        with pytest.raises(ParameterError, match="unknown scenario"):
+            get_scenario("Shoulders")
+
+
+class TestShapes:
+    def test_sampling_reproducible(self):
+        scenario = get_scenario("2 Peaks")
+        a = scenario.sample(500, rng=1)
+        b = scenario.sample(500, rng=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_two_peaks_is_bimodal(self):
+        samples = get_scenario("2 Peaks").sample(20_000, rng=0)
+        density, edges = np.histogram(samples, bins=80, density=True)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        # Two local maxima separated by a valley below both peaks.
+        peak_region_a = density[centers < 1.13].max()
+        peak_region_b = density[centers > 1.13].max()
+        valley = density[
+            (centers > 1.10) & (centers < 1.22)
+        ].min()
+        assert valley < 0.6 * min(peak_region_a, peak_region_b)
+
+    def test_kurtosis_scenario_leptokurtic(self):
+        samples = get_scenario("Kurtosis").sample(50_000, rng=0)
+        summary = sample_moments(samples)
+        assert summary.kurtosis > 1.0
+        # Single-peaked: modest |skewness|.
+        assert abs(summary.skewness) < 0.6
+
+    def test_minor_saddle_dominant_weight(self):
+        scenario = get_scenario("Minor Saddle")
+        assert max(scenario.mixture.weights) >= 0.7
+
+    def test_multi_peaks_has_more_than_two_components(self):
+        assert get_scenario("Multi-Peaks").mixture.n_components > 2
+
+    def test_all_scenarios_have_positive_support_spread(self):
+        for scenario in SCENARIOS.values():
+            samples = scenario.sample(2000, rng=3)
+            assert samples.std() > 0.0
+            summary = scenario.mixture.moments()
+            assert summary.std > 0.0

@@ -1,0 +1,63 @@
+"""Tests for the Pi-model wire."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.wire import PiWire, wire_chain
+from repro.errors import ParameterError
+
+
+class TestPiWire:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PiWire(-1.0, 0.1)
+        with pytest.raises(ParameterError):
+            PiWire(1.0, -0.1)
+
+    def test_half_caps(self):
+        wire = PiWire(1.0, 0.2)
+        assert wire.near_cap == pytest.approx(0.1)
+        assert wire.far_cap == pytest.approx(0.1)
+
+    def test_elmore_delay(self):
+        wire = PiWire(2.0, 0.2)
+        # R * (C/2 + C_load).
+        assert wire.elmore_delay(0.3) == pytest.approx(2.0 * 0.4)
+        with pytest.raises(ParameterError):
+            wire.elmore_delay(-0.1)
+
+    def test_driver_load(self):
+        wire = PiWire(1.0, 0.2)
+        assert wire.driver_load(0.05) == pytest.approx(0.25)
+
+    def test_scaled(self):
+        wire = PiWire(1.0, 0.2).scaled(0.5)
+        assert wire.resistance == pytest.approx(0.5)
+        assert wire.capacitance == pytest.approx(0.1)
+        with pytest.raises(ParameterError):
+            wire.scaled(0.0)
+
+
+class TestWireChain:
+    def test_single_segment_matches_elmore(self):
+        wire = PiWire(1.0, 0.2)
+        assert wire_chain([wire], 0.1) == pytest.approx(
+            wire.elmore_delay(0.1)
+        )
+
+    def test_chain_additive_structure(self):
+        near = PiWire(1.0, 0.2)
+        far = PiWire(0.5, 0.1)
+        total = wire_chain([near, far], 0.05)
+        # Far segment drives the load; near segment drives far + load.
+        expected = far.elmore_delay(0.05) + near.elmore_delay(
+            far.driver_load(0.05)
+        )
+        assert total == pytest.approx(expected)
+
+    def test_longer_chain_slower(self):
+        wire = PiWire(1.0, 0.1)
+        assert wire_chain([wire] * 3, 0.05) > wire_chain(
+            [wire] * 2, 0.05
+        )

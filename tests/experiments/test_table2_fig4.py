@@ -1,0 +1,82 @@
+"""CI-scale tests for the Table 2 and Fig. 4 experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import diagonal_contrast, run_fig4
+from repro.experiments.table2 import Table2Config, run_table2
+
+
+class TestTable2Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = Table2Config(
+            cell_types=("INV", "NAND2", "XOR2"),
+            drives=(1.0,),
+            n_samples=1500,
+            slews=(0.008, 0.05),
+            loads=(0.007, 0.1),
+            max_arcs_per_cell=2,
+            seed=7,
+        )
+        return run_table2(config)
+
+    def test_rows_and_arcs(self, result):
+        assert set(result.rows) == {"INV", "NAND2", "XOR2"}
+        for row in result.rows.values():
+            assert row.n_arcs == 2
+
+    def test_all_metrics_populated(self, result):
+        row = result.rows["NAND2"]
+        for metric in (
+            "delay_binning",
+            "transition_binning",
+            "delay_yield",
+            "transition_yield",
+        ):
+            value = row.mean_reduction(metric, "LVF2")
+            assert np.isfinite(value) and value > 0.0
+
+    def test_lvf2_beats_lvf_overall(self, result):
+        assert result.overall("delay_binning", "LVF2") > 1.0
+        assert result.overall("transition_binning", "LVF2") > 1.0
+
+    def test_headline_structure(self, result):
+        headline = result.headline()
+        assert set(headline) == {
+            "delay_binning",
+            "transition_binning",
+            "delay_yield",
+            "transition_yield",
+        }
+
+    def test_to_text_includes_overall(self, result):
+        text = result.to_text()
+        assert "Overall" in text
+        assert "NAND2" in text
+
+
+class TestDiagonalContrast:
+    def test_banded_beats_noise(self):
+        rng = np.random.default_rng(0)
+        noise = np.exp(rng.normal(0.0, 0.3, (8, 8)))
+        banded = np.ones((8, 8))
+        for i in range(8):
+            for j in range(8):
+                banded[i, j] = 5.0 if (i - j) % 3 == 0 else 1.0
+        assert diagonal_contrast(banded) > 2.0 * diagonal_contrast(
+            noise
+        )
+
+
+class TestFig4Small:
+    def test_heatmaps_generated(self, engine):
+        result = run_fig4(n_samples=800, engine=engine)
+        assert result.delay_heatmap.shape == (8, 8)
+        assert result.transition_heatmap.shape == (8, 8)
+        assert np.all(result.delay_heatmap > 0.0)
+        # Somewhere on the grid LVF2 clearly helps.
+        assert result.delay_heatmap.max() > 1.5
+        assert "Figure 4" in result.to_text()

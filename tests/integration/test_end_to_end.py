@@ -1,0 +1,174 @@
+"""Integration tests across subsystems.
+
+These exercise the flows a downstream user runs: characterise ->
+fit -> write Liberty -> re-read -> evaluate, and simulate -> propagate
+-> score, plus failure injection along the way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.binning import evaluate_models, sigma_binning
+from repro.circuits import (
+    CharacterizationConfig,
+    build_cell,
+    characterize_arc,
+    characterized_arc_to_liberty,
+)
+from repro.errors import FittingError, LibertySyntaxError
+from repro.liberty import Library, read_library
+from repro.liberty.tables import TableTemplate
+from repro.models import LVF2Model, LVFModel, fit_model
+from repro.ssta import (
+    build_htree_path,
+    propagate_path,
+    simulate_path_stages,
+    sum_models,
+)
+from repro.stats import EmpiricalDistribution
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CharacterizationConfig(
+        slews=(0.008, 0.05),
+        loads=(0.007, 0.1),
+        n_samples=1200,
+        seed=3,
+    )
+
+
+class TestCharacterizeToLiberty:
+    def test_full_pipeline(self, engine, config):
+        """characterise -> fit -> .lib text -> parse -> same models."""
+        cell = build_cell("NAND2")
+        rise = characterize_arc(engine, cell, "A", "rise", config)
+        fall = characterize_arc(engine, cell, "A", "fall", config)
+        arc = characterized_arc_to_liberty(rise, fall)
+
+        library = Library(name="pipe")
+        template = config.template()
+        library.templates[template.name] = template
+        from repro.liberty.library import Cell, Pin
+
+        lib_cell = Cell(name="NAND2_X1")
+        output = Pin(name="Y", direction="output")
+        output.arcs.append(arc)
+        lib_cell.pins["Y"] = output
+        library.cells["NAND2_X1"] = lib_cell
+
+        text = library.to_text()
+        reparsed = read_library(text)
+        arc_back = reparsed.cell("NAND2_X1").pins["Y"].arc_to("A")
+
+        for i in range(2):
+            for j in range(2):
+                golden = EmpiricalDistribution(
+                    fall.samples("delay", i, j)
+                )
+                model = arc_back.tables["cell_fall"].lvf2_at(i, j)
+                # The stored model still scores well against the
+                # original Monte-Carlo samples after the text round
+                # trip.
+                scheme = sigma_binning(golden.moments())
+                probs_model = scheme.bin_probabilities(model)
+                probs_golden = scheme.bin_probabilities(golden)
+                assert np.max(
+                    np.abs(probs_model - probs_golden)
+                ) < 0.05
+
+    def test_collapse_by_bic_reduces_storage(self, engine, config):
+        cell = build_cell("INV")
+        rise = characterize_arc(engine, cell, "A", "rise", config)
+        fall = characterize_arc(engine, cell, "A", "fall", config)
+        arc = characterized_arc_to_liberty(
+            rise, fall, collapse_by_bic=True
+        )
+        # INV has no internal nodes; BIC should collapse most points.
+        assert arc.is_statistical
+
+
+class TestModelComparisonFlow:
+    def test_evaluation_ranking_on_bimodal_cell(self, engine, config):
+        cell = build_cell("NAND3")
+        fall = characterize_arc(engine, cell, "A", "fall", config)
+        samples = fall.samples("delay", 0, 0)
+        golden = EmpiricalDistribution(samples)
+        models = {
+            name: fit_model(name, samples)
+            for name in ("LVF2", "Norm2", "LVF")
+        }
+        report = evaluate_models(models, golden)
+        assert report["LVF2"]["rmse_reduction"] >= (
+            0.8 * report["Norm2"]["rmse_reduction"]
+        )
+
+
+class TestSSTAFlow:
+    def test_htree_propagation_end_to_end(self, engine):
+        path = build_htree_path(2)
+        sims = simulate_path_stages(engine, path, 3000, seed=9)
+        result = propagate_path(sims, ("LVF2", "LVF"), fo4=0.013)
+        # Propagated LVF2 keeps the exact golden mean at the sink.
+        golden_mean = result.golden[-1].moments().mean
+        assert result.cumulative_nominal[-1] == pytest.approx(
+            golden_mean, rel=0.1
+        )
+
+    def test_mixture_sum_consistency_with_golden(
+        self, engine, rng
+    ):
+        cell = build_cell("NAND2")
+        topology = cell.arc("A", "fall")
+        sim_a = engine.simulate_arc(topology, 0.008, 0.007, 30_000, rng=1)
+        sim_b = engine.simulate_arc(topology, 0.02, 0.02, 30_000, rng=2)
+        model_a = LVF2Model.fit(sim_a.delay)
+        model_b = LVF2Model.fit(sim_b.delay)
+        total = sum_models(model_a, model_b)
+        golden = sim_a.delay + sim_b.delay
+        scheme = sigma_binning(
+            EmpiricalDistribution(golden).moments()
+        )
+        probs_model = scheme.bin_probabilities(total)
+        probs_golden = scheme.bin_probabilities(
+            EmpiricalDistribution(golden)
+        )
+        assert np.max(np.abs(probs_model - probs_golden)) < 0.03
+
+
+class TestFailureInjection:
+    def test_constant_samples_rejected_everywhere(self):
+        constant = np.full(1000, 0.5)
+        for name in ("LVF", "LVF2", "Norm2", "Gaussian"):
+            with pytest.raises(FittingError):
+                fit_model(name, constant)
+
+    def test_nan_samples_rejected(self):
+        bad = np.array([1.0, np.nan] * 100)
+        with pytest.raises(FittingError):
+            LVFModel.fit(bad)
+
+    def test_malformed_liberty_reports_location(self):
+        source = "library (l) {\n  cell (X) {\n    area 1.0;\n  }\n}"
+        with pytest.raises(LibertySyntaxError):
+            read_library(source)
+
+    def test_table_values_shape_mismatch_detected(self):
+        from repro.errors import LibertySemanticError
+        from repro.liberty.parser import parse_group
+        from repro.liberty.tables import Table
+
+        group = parse_group(
+            'cell_rise (t) {'
+            ' index_1 ("0.1, 0.2");'
+            ' index_2 ("1, 2");'
+            ' values ("10, 20, 30"); }'
+        )
+        with pytest.raises(LibertySemanticError):
+            Table.from_group(group)
+
+    def test_tiny_sample_count_rejected(self):
+        with pytest.raises(FittingError):
+            LVF2Model.fit(np.array([1.0, 2.0, 3.0]))

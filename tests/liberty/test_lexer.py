@@ -1,0 +1,98 @@
+"""Tests for the Liberty tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LibertySyntaxError
+from repro.liberty.lexer import TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [
+        token.text
+        for token in tokenize(source)
+        if token.kind is not TokenKind.EOF
+    ]
+
+
+class TestBasics:
+    def test_punctuation(self):
+        assert kinds("(){}:;,") == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.COLON,
+            TokenKind.SEMI,
+            TokenKind.COMMA,
+            TokenKind.EOF,
+        ]
+
+    def test_atoms(self):
+        assert texts("cell_rise 1.25 1ns -3e-2") == [
+            "cell_rise",
+            "1.25",
+            "1ns",
+            "-3e-2",
+        ]
+
+    def test_string_quotes_stripped(self):
+        tokens = list(tokenize('"0.1, 0.2"'))
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "0.1, 0.2"
+
+    def test_eof_always_last(self):
+        assert kinds("")[-1] is TokenKind.EOF
+
+
+class TestComments:
+    def test_block_comment_skipped(self):
+        assert texts("a /* comment ; { } */ b") == ["a", "b"]
+
+    def test_line_comment_skipped(self):
+        assert texts("a // junk\nb") == ["a", "b"]
+
+    def test_hash_comment_skipped(self):
+        assert texts("a # junk\nb") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LibertySyntaxError, match="comment"):
+            list(tokenize("a /* never closed"))
+
+
+class TestStrings:
+    def test_continuation_inside_string(self):
+        source = '"0.1, 0.2, \\\n 0.3"'
+        tokens = list(tokenize(source))
+        assert tokens[0].text == "0.1, 0.2,  0.3"
+
+    def test_escaped_quote(self):
+        tokens = list(tokenize(r'"say \"hi\""'))
+        assert tokens[0].text == 'say "hi"'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LibertySyntaxError, match="string"):
+            list(tokenize('"never closed'))
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        tokens = list(tokenize("a\n  bb"))
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            list(tokenize('x\n"oops'))
+        except LibertySyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LibertySyntaxError")
+
+    def test_continuation_between_tokens(self):
+        assert texts("a \\\n b") == ["a", "b"]

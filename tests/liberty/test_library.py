@@ -1,0 +1,133 @@
+"""Tests for the Liberty library data model and full round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertySemanticError
+from repro.liberty.library import Library, read_library
+
+LVF2_SOURCE = """
+library (demo_tt) {
+  time_unit : "1ns";
+  delay_model : table_lookup;
+  nom_voltage : 0.8;
+  lu_table_template (t2x2) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.05");
+    index_2 ("0.001, 0.01");
+  }
+  cell (INV_X1) {
+    area : 1.2;
+    pin (A) { direction : input; capacitance : 0.002; }
+    pin (Y) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : A;
+        timing_sense : negative_unate;
+        cell_rise (t2x2) { values ("0.10, 0.20", "0.12, 0.25"); }
+        ocv_mean_shift_cell_rise (t2x2) { values ("0, 0", "0.001, 0.002"); }
+        ocv_std_dev_cell_rise (t2x2) { values ("0.01, 0.02", "0.012, 0.022"); }
+        ocv_skewness_cell_rise (t2x2) { values ("0.3, 0.4", "0.2, 0.1"); }
+        ocv_weight2_cell_rise (t2x2) { values ("0, 0.3", "0, 0"); }
+        ocv_mean_shift2_cell_rise (t2x2) { values ("0.02, 0.05", "0, 0"); }
+        ocv_std_dev2_cell_rise (t2x2) { values ("0.005, 0.008", "1, 1"); }
+        ocv_skewness2_cell_rise (t2x2) { values ("0, -0.2", "0, 0"); }
+      }
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def library() -> Library:
+    return read_library(LVF2_SOURCE)
+
+
+class TestParsing:
+    def test_library_metadata(self, library):
+        assert library.name == "demo_tt"
+        assert library.attributes["time_unit"] == "1ns"
+        assert "t2x2" in library.templates
+
+    def test_cell_and_pins(self, library):
+        cell = library.cell("INV_X1")
+        assert cell.area == pytest.approx(1.2)
+        assert cell.pins["A"].direction == "input"
+        assert cell.pins["A"].capacitance == pytest.approx(0.002)
+        assert cell.pins["Y"].function == "!A"
+        assert [p.name for p in cell.input_pins] == ["A"]
+        assert [p.name for p in cell.output_pins] == ["Y"]
+
+    def test_unknown_cell_raises(self, library):
+        with pytest.raises(LibertySemanticError, match="no cell"):
+            library.cell("NAND9")
+
+    def test_arc_lookup(self, library):
+        arc = library.cell("INV_X1").pins["Y"].arc_to("A")
+        assert arc.timing_sense == "negative_unate"
+        assert arc.is_statistical
+        assert arc.is_lvf2
+        with pytest.raises(LibertySemanticError):
+            library.cell("INV_X1").pins["Y"].arc_to("B")
+
+    def test_lvf2_flag(self, library):
+        assert library.is_lvf2
+
+    def test_top_level_must_be_library(self):
+        from repro.liberty.parser import parse_liberty
+
+        with pytest.raises(LibertySemanticError):
+            Library.from_group(parse_liberty("cell (X) { }"))
+
+
+class TestResolution:
+    def test_lvf2_model_at_grid_point(self, library):
+        arc = library.cell("INV_X1").pins["Y"].arc_to("A")
+        tables = arc.tables["cell_rise"]
+        model = tables.lvf2_at(0, 1)
+        assert model.weight == pytest.approx(0.3)
+        # mean1 = nominal + mean_shift = 0.20 + 0.
+        assert model.component1.mu == pytest.approx(0.20)
+        # mean2 = nominal + mean_shift2 = 0.25.
+        assert model.component2.mu == pytest.approx(0.25)
+
+    def test_collapsed_point(self, library):
+        arc = library.cell("INV_X1").pins["Y"].arc_to("A")
+        assert arc.tables["cell_rise"].lvf2_at(0, 0).is_collapsed
+
+
+class TestRoundTrip:
+    def test_full_roundtrip_preserves_models(self, library):
+        text = library.to_text()
+        reparsed = read_library(text)
+        before = (
+            library.cell("INV_X1")
+            .pins["Y"]
+            .arc_to("A")
+            .tables["cell_rise"]
+            .lvf2_at(0, 1)
+        )
+        after = (
+            reparsed.cell("INV_X1")
+            .pins["Y"]
+            .arc_to("A")
+            .tables["cell_rise"]
+            .lvf2_at(0, 1)
+        )
+        grid = np.linspace(0.1, 0.4, 60)
+        np.testing.assert_allclose(
+            before.pdf(grid), after.pdf(grid), rtol=1e-5, atol=1e-8
+        )
+
+    def test_roundtrip_is_fixed_point(self, library):
+        text_one = library.to_text()
+        text_two = read_library(text_one).to_text()
+        assert text_one == text_two
+
+    def test_lvf2_survives_roundtrip(self, library):
+        assert read_library(library.to_text()).is_lvf2

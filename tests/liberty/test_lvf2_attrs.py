@@ -1,0 +1,183 @@
+"""Tests for the LVF2 Liberty extension (paper §3.3, Eq. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertySemanticError
+from repro.liberty.lvf2_attrs import (
+    LVF2_PREFIXES,
+    LVF2Tables,
+    lvf2_attr_name,
+)
+from repro.liberty.lvf_attrs import LVFTables
+from repro.liberty.tables import Table
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+
+
+def _table(values) -> Table:
+    grid = np.asarray(values, dtype=float)
+    return Table(
+        "t",
+        tuple(range(grid.shape[0])),
+        tuple(range(grid.shape[1])),
+        grid,
+    )
+
+
+@pytest.fixture
+def lvf_tables():
+    return LVFTables(
+        base="cell_rise",
+        nominal=_table([[0.10, 0.20]]),
+        mean_shift=_table([[0.01, 0.02]]),
+        std_dev=_table([[0.02, 0.03]]),
+        skewness=_table([[0.3, -0.2]]),
+    )
+
+
+class TestNaming:
+    def test_seven_prefixes(self):
+        assert len(LVF2_PREFIXES) == 7
+
+    def test_attr_name(self):
+        assert (
+            lvf2_attr_name("ocv_weight2", "cell_fall")
+            == "ocv_weight2_cell_fall"
+        )
+
+    def test_paper_typo_accepted(self):
+        assert (
+            lvf2_attr_name("ocv_mean_shfit1", "cell_rise")
+            == "ocv_mean_shift1_cell_rise"
+        )
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(LibertySemanticError):
+            lvf2_attr_name("ocv_bogus", "cell_rise")
+
+
+class TestBackwardCompatibility:
+    def test_plain_lvf_resolves_to_collapsed_lvf2(self, lvf_tables):
+        """Eq. 10: an LVF-only library reads as lambda = 0 LVF2."""
+        tables = LVF2Tables(lvf=lvf_tables)
+        assert not tables.is_lvf2
+        model = tables.lvf2_at(0, 0)
+        assert isinstance(model, LVF2Model)
+        assert model.is_collapsed
+        reference = lvf_tables.lvf_at(0, 0)
+        grid = np.linspace(0.0, 0.3, 50)
+        np.testing.assert_allclose(model.pdf(grid), reference.pdf(grid))
+
+    def test_component1_inherits_lvf_defaults(self, lvf_tables):
+        """§3.3: absent component-1 LUTs inherit the LVF moments."""
+        tables = LVF2Tables(
+            lvf=lvf_tables,
+            weight2=_table([[0.25, 0.0]]),
+            mean_shift2=_table([[0.05, 0.0]]),
+            std_dev2=_table([[0.01, 1.0]]),
+            skewness2=_table([[0.0, 0.0]]),
+        )
+        model = tables.lvf2_at(0, 0)
+        assert not model.is_collapsed
+        reference = lvf_tables.lvf_at(0, 0)
+        assert model.component1.mu == pytest.approx(reference.mu)
+        assert model.component1.sigma == pytest.approx(reference.sigma)
+        assert model.component2.mu == pytest.approx(0.15)
+        assert model.weight == pytest.approx(0.25)
+
+    def test_zero_weight_point_collapses(self, lvf_tables):
+        tables = LVF2Tables(
+            lvf=lvf_tables,
+            weight2=_table([[0.25, 0.0]]),
+            mean_shift2=_table([[0.05, 0.0]]),
+            std_dev2=_table([[0.01, 1.0]]),
+            skewness2=_table([[0.0, 0.0]]),
+        )
+        assert tables.lvf2_at(0, 1).is_collapsed
+
+    def test_explicit_component1_overrides(self, lvf_tables):
+        tables = LVF2Tables(
+            lvf=lvf_tables,
+            std_dev1=_table([[0.05, 0.06]]),
+        )
+        model = tables.lvf2_at(0, 0)
+        assert model.component1.sigma == pytest.approx(0.05)
+
+
+class TestValidation:
+    def test_weight_range_checked(self, lvf_tables):
+        with pytest.raises(LibertySemanticError, match="weight2"):
+            LVF2Tables(
+                lvf=lvf_tables,
+                weight2=_table([[1.5, 0.0]]),
+                mean_shift2=_table([[0.0, 0.0]]),
+                std_dev2=_table([[1.0, 1.0]]),
+                skewness2=_table([[0.0, 0.0]]),
+            )
+
+    def test_incomplete_second_component_rejected(self, lvf_tables):
+        with pytest.raises(LibertySemanticError, match="incomplete"):
+            LVF2Tables(lvf=lvf_tables, weight2=_table([[0.3, 0.0]]))
+
+    def test_shape_mismatch_rejected(self, lvf_tables):
+        with pytest.raises(LibertySemanticError, match="shape"):
+            LVF2Tables(
+                lvf=lvf_tables,
+                std_dev1=_table([[0.05, 0.06], [0.05, 0.06]]),
+            )
+
+
+class TestFromModels:
+    def test_grid_of_mixtures_roundtrip(self, lvf_tables):
+        nominal = lvf_tables.nominal
+        models = np.empty((1, 2), dtype=object)
+        models[0, 0] = LVF2Model(
+            0.3,
+            LVFModel(0.11, 0.02, 0.2),
+            LVFModel(0.16, 0.01, -0.1),
+            nominal=0.10,
+        )
+        models[0, 1] = LVF2Model.from_lvf(LVFModel(0.22, 0.03, -0.2))
+        tables = LVF2Tables.from_models("cell_rise", nominal, models)
+        assert tables.is_lvf2
+        resolved = tables.lvf2_at(0, 0)
+        assert resolved.weight == pytest.approx(0.3)
+        assert resolved.component1.mu == pytest.approx(0.11)
+        assert resolved.component2.mu == pytest.approx(0.16)
+        assert tables.lvf2_at(0, 1).is_collapsed
+
+    def test_all_collapsed_emits_plain_lvf(self, lvf_tables):
+        nominal = lvf_tables.nominal
+        models = np.empty((1, 2), dtype=object)
+        models[0, 0] = LVF2Model.from_lvf(LVFModel(0.11, 0.02, 0.2))
+        models[0, 1] = LVF2Model.from_lvf(LVFModel(0.22, 0.03, -0.2))
+        tables = LVF2Tables.from_models("cell_rise", nominal, models)
+        assert not tables.is_lvf2
+        assert tables.weight2 is None
+
+    def test_backward_lvf_view_moment_matches(self, lvf_tables):
+        """The emitted plain-LVF LUTs carry the mixture's moments."""
+        nominal = lvf_tables.nominal
+        mixture = LVF2Model(
+            0.4,
+            LVFModel(0.10, 0.02, 0.3),
+            LVFModel(0.18, 0.015, 0.0),
+        )
+        models = np.empty((1, 2), dtype=object)
+        models[0, 0] = mixture
+        models[0, 1] = mixture
+        tables = LVF2Tables.from_models("cell_rise", nominal, models)
+        legacy = tables.lvf.lvf_at(0, 0)
+        summary = mixture.moments()
+        assert legacy.mu == pytest.approx(summary.mean)
+        assert legacy.sigma == pytest.approx(summary.std)
+
+    def test_shape_mismatch(self, lvf_tables):
+        models = np.empty((2, 2), dtype=object)
+        with pytest.raises(LibertySemanticError, match="shape"):
+            LVF2Tables.from_models(
+                "cell_rise", lvf_tables.nominal, models
+            )

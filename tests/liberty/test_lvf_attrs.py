@@ -1,0 +1,108 @@
+"""Tests for the LVF attribute binding (paper §2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertySemanticError
+from repro.liberty.lvf_attrs import (
+    BASE_QUANTITIES,
+    LVFTables,
+    lvf_attr_name,
+)
+from repro.liberty.tables import Table
+
+
+def _table(values: np.ndarray) -> Table:
+    grid = np.asarray(values, dtype=float)
+    return Table(
+        "t",
+        tuple(range(grid.shape[0])),
+        tuple(range(grid.shape[1])),
+        grid,
+    )
+
+
+@pytest.fixture
+def tables():
+    return LVFTables(
+        base="cell_rise",
+        nominal=_table([[0.10, 0.20], [0.15, 0.30]]),
+        mean_shift=_table([[0.01, 0.02], [0.0, 0.0]]),
+        std_dev=_table([[0.02, 0.03], [0.025, 0.04]]),
+        skewness=_table([[0.3, -0.2], [0.0, 0.5]]),
+    )
+
+
+class TestNaming:
+    def test_base_quantities(self):
+        assert BASE_QUANTITIES == (
+            "cell_rise",
+            "cell_fall",
+            "rise_transition",
+            "fall_transition",
+        )
+
+    def test_attr_name_composition(self):
+        assert (
+            lvf_attr_name("ocv_std_dev", "cell_rise")
+            == "ocv_std_dev_cell_rise"
+        )
+
+
+class TestLVFTables:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(LibertySemanticError, match="shape"):
+            LVFTables(
+                base="cell_rise",
+                nominal=_table([[1.0, 2.0]]),
+                mean_shift=None,
+                std_dev=_table([[1.0], [2.0]]),
+                skewness=None,
+            )
+
+    def test_lvf_at_composes_mean(self, tables):
+        model = tables.lvf_at(0, 1)
+        # mean = nominal + mean_shift (paper §2.2).
+        assert model.mu == pytest.approx(0.22)
+        assert model.sigma == pytest.approx(0.03)
+        assert model.gamma == pytest.approx(-0.2, abs=1e-9)
+        assert model.nominal == pytest.approx(0.20)
+        assert model.mean_shift == pytest.approx(0.02)
+
+    def test_missing_optional_tables_default_zero(self):
+        tables = LVFTables(
+            base="cell_rise",
+            nominal=_table([[0.1]]),
+            mean_shift=None,
+            std_dev=_table([[0.02]]),
+            skewness=None,
+        )
+        model = tables.lvf_at(0, 0)
+        assert model.mu == pytest.approx(0.1)
+        assert model.gamma == 0.0
+
+    def test_no_std_dev_raises(self):
+        tables = LVFTables(
+            base="cell_rise",
+            nominal=_table([[0.1]]),
+            mean_shift=None,
+            std_dev=None,
+            skewness=None,
+        )
+        assert not tables.has_variation
+        with pytest.raises(LibertySemanticError, match="std_dev"):
+            tables.lvf_at(0, 0)
+
+    def test_moment_grids(self, tables):
+        grids = tables.moment_grids()
+        assert set(grids) == {
+            "nominal",
+            "mean_shift",
+            "std_dev",
+            "skewness",
+        }
+        np.testing.assert_allclose(
+            grids["nominal"], tables.nominal.values
+        )

@@ -1,0 +1,181 @@
+"""Tests for the generalised k-component Liberty extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LibertySemanticError
+from repro.liberty.ast import Group
+from repro.liberty.lvfk_attrs import (
+    LVFkTables,
+    lvfk_attr_name,
+    lvfk_models_to_group,
+    parse_lvfk_timing_group,
+)
+from repro.liberty.parser import parse_group
+from repro.liberty.tables import Table
+from repro.liberty.writer import write_liberty
+from repro.models.lvf import LVFModel
+from repro.models.lvfk import LVFkModel
+
+THREE_COMPONENT = """
+timing () {
+  related_pin : A;
+  cell_rise (t) {
+    index_1 ("0.01, 0.05");
+    index_2 ("0.001, 0.01");
+    values ("0.1, 0.2", "0.12, 0.25");
+  }
+  ocv_std_dev_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.01, 0.02", "0.012, 0.022");
+  }
+  ocv_skewness_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.2, 0.3", "0.25, 0.1");
+  }
+  ocv_weight2_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.2, 0.2", "0.2, 0.2");
+  }
+  ocv_mean_shift2_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.03, 0.04", "0.03, 0.05");
+  }
+  ocv_std_dev2_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.008, 0.009", "0.008, 0.01");
+  }
+  ocv_skewness2_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.1, 0.1", "0.1, 0.1");
+  }
+  ocv_weight3_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.1, 0.0", "0.1, 0.1");
+  }
+  ocv_mean_shift3_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.07, 0.08", "0.07, 0.09");
+  }
+  ocv_std_dev3_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.006, 0.006", "0.006, 0.007");
+  }
+  ocv_skewness3_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0, 0", "0, 0");
+  }
+}
+"""
+
+
+class TestNaming:
+    def test_attr_name(self):
+        assert (
+            lvfk_attr_name("weight", 3, "cell_fall")
+            == "ocv_weight3_cell_fall"
+        )
+        assert (
+            lvfk_attr_name("std_dev", 1, "cell_rise")
+            == "ocv_std_dev1_cell_rise"
+        )
+
+    def test_validation(self):
+        with pytest.raises(LibertySemanticError):
+            lvfk_attr_name("variance", 2, "cell_rise")
+        with pytest.raises(LibertySemanticError):
+            lvfk_attr_name("weight", 1, "cell_rise")
+
+
+class TestParse:
+    @pytest.fixture
+    def tables(self) -> LVFkTables:
+        group = parse_group(THREE_COMPONENT)
+        return parse_lvfk_timing_group(group, "cell_rise")
+
+    def test_order_detected(self, tables):
+        assert tables.order == 3
+
+    def test_resolution_three_components(self, tables):
+        model = tables.lvfk_at(0, 0)
+        assert model.n_components == 3
+        assert sum(model.weights) == pytest.approx(1.0)
+        # weight1 = 1 - 0.2 - 0.1.
+        assert model.weights[0] == pytest.approx(0.7)
+        means = [c.mu for c in model.components]
+        assert means[0] == pytest.approx(0.1)  # nominal + 0
+        assert means[1] == pytest.approx(0.13)  # + mean_shift2
+        assert means[2] == pytest.approx(0.17)  # + mean_shift3
+
+    def test_zero_weight_component_dropped(self, tables):
+        model = tables.lvfk_at(0, 1)  # weight3 = 0 there
+        assert model.n_components == 2
+
+    def test_unknown_base(self):
+        group = parse_group(THREE_COMPONENT)
+        with pytest.raises(LibertySemanticError):
+            parse_lvfk_timing_group(group, "power")
+
+    def test_missing_nominal(self):
+        group = parse_group("timing () { related_pin : A; }")
+        with pytest.raises(LibertySemanticError, match="nominal"):
+            parse_lvfk_timing_group(group, "cell_rise")
+
+    def test_incomplete_component_rejected(self):
+        source = THREE_COMPONENT.replace(
+            """  ocv_mean_shift3_cell_rise (t) {
+    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");
+    values ("0.07, 0.08", "0.07, 0.09");
+  }
+""",
+            "",
+        )
+        group = parse_group(source)
+        with pytest.raises(LibertySemanticError, match="missing"):
+            parse_lvfk_timing_group(group, "cell_rise")
+
+    def test_overweight_rejected_at_resolution(self):
+        source = THREE_COMPONENT.replace(
+            'ocv_weight2_cell_rise (t) {\n    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");\n    values ("0.2, 0.2", "0.2, 0.2");',
+            'ocv_weight2_cell_rise (t) {\n    index_1 ("0.01, 0.05"); index_2 ("0.001, 0.01");\n    values ("0.95, 0.2", "0.2, 0.2");',
+        )
+        tables = parse_lvfk_timing_group(
+            parse_group(source), "cell_rise"
+        )
+        with pytest.raises(LibertySemanticError, match="sum"):
+            tables.lvfk_at(0, 0)
+
+
+class TestEmit:
+    def test_roundtrip_through_group(self):
+        nominal = Table(
+            "t", (0.01, 0.05), (0.001,), np.array([[0.1], [0.12]])
+        )
+        model = LVFkModel(
+            (0.5, 0.3, 0.2),
+            (
+                LVFModel(0.10, 0.01, 0.2),
+                LVFModel(0.13, 0.008, 0.1),
+                LVFModel(0.17, 0.006, 0.0),
+            ),
+        )
+        grid = np.empty((2, 1), dtype=object)
+        grid[0, 0] = model
+        grid[1, 0] = model
+        group = Group("timing", [])
+        group.set("related_pin", "A")
+        lvfk_models_to_group("cell_rise", nominal, grid, group)
+        text = write_liberty(group)
+        assert "ocv_weight3_cell_rise" in text
+
+        from repro.liberty.parser import parse_group as reparse
+
+        tables = parse_lvfk_timing_group(reparse(text), "cell_rise")
+        resolved = tables.lvfk_at(0, 0)
+        assert resolved.n_components == 3
+        x = np.linspace(0.05, 0.25, 60)
+        np.testing.assert_allclose(
+            resolved.pdf(x), model.pdf(x), rtol=1e-4, atol=1e-6
+        )

@@ -1,0 +1,111 @@
+"""Tests for the Liberty parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LibertySyntaxError
+from repro.liberty.ast import ComplexAttribute, Group, SimpleAttribute
+from repro.liberty.parser import parse_group, parse_liberty
+
+
+class TestStatements:
+    def test_simple_attribute(self):
+        statement = parse_group("time_unit : 1ns;")
+        assert isinstance(statement, SimpleAttribute)
+        assert statement.name == "time_unit"
+        assert statement.value == "1ns"
+
+    def test_quoted_value(self):
+        statement = parse_group('time_unit : "1ns";')
+        assert statement.value == "1ns"
+
+    def test_multi_token_value(self):
+        statement = parse_group("voltage : 0.5 * VDD;")
+        assert statement.value == "0.5 * VDD"
+
+    def test_complex_attribute(self):
+        statement = parse_group('index_1 ("0.1, 0.2");')
+        assert isinstance(statement, ComplexAttribute)
+        assert statement.values == ["0.1, 0.2"]
+
+    def test_complex_multiple_args(self):
+        statement = parse_group("capacitive_load_unit (1, pf);")
+        assert statement.values == ["1", "pf"]
+
+    def test_group_with_nested(self):
+        statement = parse_group(
+            "cell (INV) { area : 1.0; pin (A) { direction : input; } }"
+        )
+        assert isinstance(statement, Group)
+        assert statement.label == "INV"
+        assert statement.get("area") == "1.0"
+        pin = statement.group("pin", "A")
+        assert pin.get("direction") == "input"
+
+    def test_empty_args_group(self):
+        statement = parse_group("timing () { related_pin : A; }")
+        assert isinstance(statement, Group)
+        assert statement.args == []
+
+
+class TestFile:
+    def test_library_roundtrip_structure(self):
+        source = """
+        library (lib) {
+            cell (A) { area : 1; }
+            cell (B) { area : 2; }
+        }
+        """
+        library = parse_liberty(source)
+        assert library.name == "library"
+        assert [g.label for g in library.groups("cell")] == ["A", "B"]
+
+    def test_missing_semicolons_tolerated(self):
+        source = "library (l) { cell (A) { area : 1; } }"
+        assert parse_liberty(source).label == "l"
+
+    def test_rejects_attribute_at_top_level(self):
+        with pytest.raises(LibertySyntaxError):
+            parse_liberty("foo : bar;")
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(LibertySyntaxError, match="trailing"):
+            parse_liberty("library (l) { } extra")
+
+    def test_unclosed_group(self):
+        with pytest.raises(LibertySyntaxError, match="unclosed|expected"):
+            parse_liberty("library (l) { cell (A) {")
+
+    def test_missing_value(self):
+        with pytest.raises(LibertySyntaxError, match="no value"):
+            parse_liberty("library (l) { attr : ; }")
+
+    def test_error_location_reported(self):
+        try:
+            parse_liberty("library (l) {\n  bad ! ;\n}")
+        except LibertySyntaxError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LibertySyntaxError")
+
+
+class TestGroupQueries:
+    def test_group_lookup_error(self):
+        library = parse_liberty("library (l) { }")
+        from repro.errors import LibertySemanticError
+
+        with pytest.raises(LibertySemanticError):
+            library.group("cell", "MISSING")
+
+    def test_find_group_returns_none(self):
+        library = parse_liberty("library (l) { }")
+        assert library.find_group("cell") is None
+
+    def test_set_and_remove(self):
+        library = parse_liberty("library (l) { a : 1; }")
+        library.set("a", "2")
+        assert library.get("a") == "2"
+        assert library.remove("a")
+        assert library.get("a") is None
+        assert not library.remove("a")

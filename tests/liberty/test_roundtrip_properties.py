@@ -1,0 +1,121 @@
+"""Property-based round-trip tests on generated Liberty libraries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.liberty.ast import Group
+from repro.liberty.library import Library, read_library
+from repro.liberty.lvf2_attrs import LVF2Tables
+from repro.liberty.lvf_attrs import LVFTables
+from repro.liberty.tables import Table
+from repro.liberty.writer import write_liberty
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+
+
+@st.composite
+def lvf2_grids(draw):
+    """Random 2x2 LVF2 model grids with a nominal table."""
+    nominal = Table(
+        "t",
+        (0.01, 0.05),
+        (0.001, 0.01),
+        np.array(
+            [
+                [draw(st.floats(0.01, 0.5)), draw(st.floats(0.01, 0.5))],
+                [draw(st.floats(0.01, 0.5)), draw(st.floats(0.01, 0.5))],
+            ]
+        ),
+    )
+    models = np.empty((2, 2), dtype=object)
+    for index in np.ndindex(2, 2):
+        mu1 = draw(st.floats(0.02, 0.4))
+        sigma1 = draw(st.floats(0.001, 0.05))
+        gamma1 = draw(st.floats(-0.9, 0.9))
+        if draw(st.booleans()):
+            weight = draw(st.floats(0.05, 0.95))
+            mu2 = mu1 + draw(st.floats(0.01, 0.2))
+            sigma2 = draw(st.floats(0.001, 0.05))
+            gamma2 = draw(st.floats(-0.9, 0.9))
+            models[index] = LVF2Model(
+                weight,
+                LVFModel(mu1, sigma1, gamma1),
+                LVFModel(mu2, sigma2, gamma2),
+            )
+        else:
+            models[index] = LVF2Model.from_lvf(
+                LVFModel(mu1, sigma1, gamma1)
+            )
+    return nominal, models
+
+
+@given(data=lvf2_grids())
+@settings(max_examples=15, deadline=None)
+def test_property_model_grid_survives_text_roundtrip(data):
+    """Any fitted grid written to .lib text resolves back to the same
+    distributions (up to LUT float formatting)."""
+    nominal, models = data
+    tables = LVF2Tables.from_models("cell_rise", nominal, models)
+
+    # Wrap in a minimal library.
+    library_group = Group("library", ["prop"])
+    cell = Group("cell", ["X"])
+    pin = Group("pin", ["Y"])
+    pin.set("direction", "output")
+    timing = Group("timing", [])
+    timing.set("related_pin", "A")
+    lvf = tables.lvf
+    timing.add_group(lvf.nominal.to_group("cell_rise"))
+    for prefix, table in (
+        ("ocv_mean_shift", lvf.mean_shift),
+        ("ocv_std_dev", lvf.std_dev),
+        ("ocv_skewness", lvf.skewness),
+        ("ocv_mean_shift1", tables.mean_shift1),
+        ("ocv_std_dev1", tables.std_dev1),
+        ("ocv_skewness1", tables.skewness1),
+        ("ocv_weight2", tables.weight2),
+        ("ocv_mean_shift2", tables.mean_shift2),
+        ("ocv_std_dev2", tables.std_dev2),
+        ("ocv_skewness2", tables.skewness2),
+    ):
+        if table is not None:
+            timing.add_group(table.to_group(f"{prefix}_cell_rise"))
+    pin.add_group(timing)
+    cell.add_group(pin)
+    library_group.add_group(cell)
+
+    text = write_liberty(library_group)
+    reparsed = read_library(text)
+    arc = reparsed.cell("X").pins["Y"].arc_to("A")
+    for index in np.ndindex(2, 2):
+        original = models[index]
+        resolved = arc.tables["cell_rise"].lvf2_at(*index)
+        summary_a = original.moments()
+        summary_b = resolved.moments()
+        assert summary_b.mean == pytest.approx(
+            summary_a.mean, rel=1e-4, abs=1e-7
+        )
+        assert summary_b.std == pytest.approx(
+            summary_a.std, rel=1e-3, abs=1e-8
+        )
+
+
+@given(
+    name=st.text(alphabet="abc_", min_size=1, max_size=8),
+    n_cells=st.integers(0, 3),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_empty_cells_roundtrip(name, n_cells):
+    library = Library(name=name)
+    for index in range(n_cells):
+        from repro.liberty.library import Cell
+
+        library.cells[f"C{index}"] = Cell(name=f"C{index}", area=index)
+    text = library.to_text()
+    reparsed = read_library(text)
+    assert reparsed.name == name
+    assert set(reparsed.cells) == set(library.cells)

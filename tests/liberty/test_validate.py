@@ -1,0 +1,139 @@
+"""Tests for the Liberty semantic validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liberty.library import read_library
+from repro.liberty.validate import Severity, validate_library
+
+CLEAN = """
+library (ok) {
+  lu_table_template (t) {
+    variable_1 : input_net_transition;
+    variable_2 : total_output_net_capacitance;
+    index_1 ("0.01, 0.05");
+    index_2 ("0.001, 0.01");
+  }
+  cell (INV_X1) {
+    pin (A) { direction : input; }
+    pin (Y) {
+      direction : output;
+      timing () {
+        related_pin : A;
+        cell_rise (t) { values ("0.1, 0.2", "0.12, 0.25"); }
+        ocv_mean_shift_cell_rise (t) { values ("0, 0", "0, 0"); }
+        ocv_std_dev_cell_rise (t) { values ("0.01, 0.02", "0.01, 0.02"); }
+        ocv_skewness_cell_rise (t) { values ("0.3, 0.4", "0.2, 0.1"); }
+      }
+    }
+  }
+}
+"""
+
+
+def _with(replacement: str, original: str) -> str:
+    return CLEAN.replace(original, replacement)
+
+
+def _errors(diagnostics):
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+class TestCleanLibrary:
+    def test_no_errors(self):
+        diagnostics = validate_library(read_library(CLEAN))
+        assert _errors(diagnostics) == []
+
+
+class TestViolations:
+    def test_non_increasing_index(self):
+        source = _with('index_1 ("0.05, 0.05");', 'index_1 ("0.01, 0.05");')
+        diagnostics = validate_library(read_library(source))
+        assert any(
+            "not strictly increasing" in d.message
+            for d in _errors(diagnostics)
+        )
+
+    def test_non_positive_sigma(self):
+        source = _with(
+            'ocv_std_dev_cell_rise (t) { values ("0.01, 0", "0.01, 0.02"); }',
+            'ocv_std_dev_cell_rise (t) { values ("0.01, 0.02", "0.01, 0.02"); }',
+        )
+        diagnostics = validate_library(read_library(source))
+        assert any(
+            "ocv_std_dev" in d.message and "non-positive" in d.message
+            for d in _errors(diagnostics)
+        )
+
+    def test_unattainable_skewness_warns(self):
+        source = _with(
+            'ocv_skewness_cell_rise (t) { values ("1.3, 0.4", "0.2, 0.1"); }',
+            'ocv_skewness_cell_rise (t) { values ("0.3, 0.4", "0.2, 0.1"); }',
+        )
+        diagnostics = validate_library(read_library(source))
+        warnings = [
+            d for d in diagnostics if d.severity is Severity.WARNING
+        ]
+        assert any("SN-attainable" in d.message for d in warnings)
+
+    def test_unknown_related_pin(self):
+        source = _with("related_pin : B;", "related_pin : A;")
+        diagnostics = validate_library(read_library(source))
+        assert any(
+            "not a pin" in d.message for d in _errors(diagnostics)
+        )
+
+    def test_nominal_only_arc_warns(self):
+        source = CLEAN
+        for lut in (
+            "ocv_mean_shift_cell_rise",
+            "ocv_std_dev_cell_rise",
+            "ocv_skewness_cell_rise",
+        ):
+            start = source.index(lut)
+            end = source.index("}", start) + 1
+            source = source[:start] + source[end:]
+        diagnostics = validate_library(read_library(source))
+        assert any(
+            "no LVF variation data" in d.message for d in diagnostics
+        )
+
+    def test_empty_library_warns(self):
+        diagnostics = validate_library(read_library("library (e) { }"))
+        assert any("no cells" in d.message for d in diagnostics)
+
+    def test_all_zero_weight2_info(self):
+        source = _with(
+            """ocv_skewness_cell_rise (t) { values ("0.3, 0.4", "0.2, 0.1"); }
+        ocv_weight2_cell_rise (t) { values ("0, 0", "0, 0"); }
+        ocv_mean_shift2_cell_rise (t) { values ("0, 0", "0, 0"); }
+        ocv_std_dev2_cell_rise (t) { values ("1, 1", "1, 1"); }
+        ocv_skewness2_cell_rise (t) { values ("0, 0", "0, 0"); }""",
+            'ocv_skewness_cell_rise (t) { values ("0.3, 0.4", "0.2, 0.1"); }',
+        )
+        diagnostics = validate_library(read_library(source))
+        infos = [d for d in diagnostics if d.severity is Severity.INFO]
+        assert any("redundant" in d.message for d in infos)
+        assert _errors(diagnostics) == []
+
+
+class TestGeneratedLibraryIsClean:
+    def test_characterized_library_validates(self, engine):
+        from repro.circuits import (
+            CharacterizationConfig,
+            build_cell,
+            characterize_library,
+        )
+
+        config = CharacterizationConfig(
+            slews=(0.008, 0.05),
+            loads=(0.007, 0.1),
+            n_samples=500,
+            seed=1,
+        )
+        library = characterize_library(
+            engine, [build_cell("NAND2")], config
+        )
+        reparsed = read_library(library.to_text())
+        assert _errors(validate_library(reparsed)) == []

@@ -1,0 +1,103 @@
+"""Tests for the Liberty writer (parse -> write -> parse stability)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.liberty.ast import ComplexAttribute, Group, SimpleAttribute
+from repro.liberty.parser import parse_liberty
+from repro.liberty.writer import format_float, write_liberty
+
+
+class TestFormatFloat:
+    def test_plain(self):
+        assert format_float(0.1) == "0.1"
+        assert format_float(1.0) == "1"
+
+    def test_scientific(self):
+        assert format_float(1e-05) == "1e-05"
+
+    def test_precision(self):
+        assert format_float(1.23456789, precision=3) == "1.23"
+
+
+class TestWriter:
+    def test_simple_group(self):
+        group = Group("library", ["demo"])
+        group.set("time_unit", "1ns")
+        text = write_liberty(group)
+        assert "library (demo) {" in text
+        assert "time_unit : 1ns;" in text
+
+    def test_quotes_values_with_commas(self):
+        group = Group("library", ["demo"])
+        group.statements.append(
+            ComplexAttribute("index_1", ["0.1, 0.2"])
+        )
+        text = write_liberty(group)
+        assert 'index_1 ("0.1, 0.2");' in text
+
+    def test_long_values_wrapped_with_continuations(self):
+        group = Group("library", ["demo"])
+        rows = [", ".join(f"{v / 10:.4f}" for v in range(8))] * 8
+        group.statements.append(ComplexAttribute("values", rows))
+        text = write_liberty(group)
+        assert "\\\n" in text
+        # Round-trips despite wrapping.
+        parsed = parse_liberty(text)
+        values = parsed.get_complex("values")
+        assert len(values) == 8
+
+    def test_nested_indentation(self):
+        inner = Group("pin", ["A"])
+        inner.set("direction", "input")
+        outer = Group("cell", ["INV"])
+        outer.add_group(inner)
+        top = Group("library", ["demo"])
+        top.add_group(outer)
+        text = write_liberty(top)
+        assert "\n  cell (INV) {" in text
+        assert "\n    pin (A) {" in text
+        assert "\n      direction : input;" in text
+
+    def test_roundtrip_identity_on_ast(self):
+        source = """
+        library (demo) {
+            time_unit : "1 ns";
+            lu_table_template (t) {
+                variable_1 : input_net_transition;
+                index_1 ("0.1, 0.2, 0.3");
+            }
+            cell (X) {
+                area : 2.5;
+                pin (Y) {
+                    direction : output;
+                    function : "!A";
+                }
+            }
+        }
+        """
+        first = parse_liberty(source)
+        text_one = write_liberty(first)
+        second = parse_liberty(text_one)
+        assert write_liberty(second) == text_one
+
+
+@given(
+    name=st.text(
+        alphabet="abcdefghij_", min_size=1, max_size=10
+    ),
+    value=st.floats(
+        min_value=-1e6,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_simple_attribute_roundtrip(name, value):
+    group = Group("library", ["x"])
+    group.set(name, format_float(value))
+    parsed = parse_liberty(write_liberty(group))
+    assert float(parsed.get(name)) == float(format_float(value))

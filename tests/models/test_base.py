@@ -1,0 +1,85 @@
+"""Tests for the TimingModel ABC and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models import (
+    PAPER_MODELS,
+    available_models,
+    fit_model,
+    get_model,
+)
+from repro.models.gaussian import GaussianModel
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        names = available_models()
+        for name in PAPER_MODELS:
+            assert name in names
+
+    def test_get_model_returns_class(self):
+        assert get_model("Gaussian") is GaussianModel
+
+    def test_unknown_model_raises_with_listing(self):
+        with pytest.raises(ParameterError, match="available"):
+            get_model("NoSuchModel")
+
+    def test_fit_model_dispatches(self, gaussian_samples):
+        model = fit_model("Gaussian", gaussian_samples)
+        assert isinstance(model, GaussianModel)
+
+    def test_names_sorted(self):
+        names = available_models()
+        assert list(names) == sorted(names)
+
+
+class TestSharedBehaviour:
+    @pytest.fixture(params=PAPER_MODELS)
+    def fitted(self, request, skewed_samples):
+        return fit_model(request.param, skewed_samples)
+
+    def test_sf_complements_cdf(self, fitted):
+        x = fitted.moments().mean
+        assert float(fitted.sf(np.asarray(x))) == pytest.approx(
+            1.0 - float(fitted.cdf(np.asarray(x)))
+        )
+
+    def test_loglik_finite(self, fitted, skewed_samples):
+        assert np.isfinite(fitted.loglik(skewed_samples))
+
+    def test_aic_bic_ordering(self, fitted, skewed_samples):
+        # BIC penalises harder than AIC for n > e^2.
+        penalty_gap = fitted.bic(skewed_samples) - fitted.aic(
+            skewed_samples
+        )
+        expected = fitted.n_parameters * (
+            np.log(skewed_samples.size) - 2.0
+        )
+        assert penalty_gap == pytest.approx(expected)
+
+    def test_sigma_point(self, fitted):
+        summary = fitted.moments()
+        assert fitted.sigma_point(3.0) == pytest.approx(
+            summary.mean + 3.0 * summary.std
+        )
+
+    def test_probability_between(self, fitted):
+        summary = fitted.moments()
+        prob = fitted.probability_between(
+            summary.sigma_point(-1.0), summary.sigma_point(1.0)
+        )
+        assert 0.4 < prob < 0.95
+        with pytest.raises(ParameterError):
+            fitted.probability_between(1.0, 0.0)
+
+    def test_rvs_reproducible(self, fitted):
+        a = fitted.rvs(100, rng=5)
+        b = fitted.rvs(100, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_repr_mentions_moments(self, fitted):
+        assert "mean=" in repr(fitted)

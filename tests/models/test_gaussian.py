@@ -1,0 +1,58 @@
+"""Tests for the Gaussian baseline model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, ParameterError
+from repro.models.gaussian import GaussianModel
+
+
+class TestFit:
+    def test_moments(self, gaussian_samples):
+        model = GaussianModel.fit(gaussian_samples)
+        assert model.mu == pytest.approx(gaussian_samples.mean())
+        assert model.sigma == pytest.approx(gaussian_samples.std())
+
+    def test_constant_data_raises(self):
+        with pytest.raises(FittingError):
+            GaussianModel.fit(np.full(50, 1.0))
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ParameterError):
+            GaussianModel(0.0, 0.0)
+
+    def test_fit_weighted(self, rng):
+        samples = np.concatenate(
+            [rng.normal(0, 1, 500), rng.normal(10, 1, 500)]
+        )
+        weights = np.concatenate([np.ones(500), np.zeros(500)])
+        model = GaussianModel.fit_weighted(samples, weights)
+        assert model.mu == pytest.approx(0.0, abs=0.15)
+
+
+class TestDistribution:
+    def test_known_quantiles(self):
+        model = GaussianModel(0.0, 1.0)
+        assert float(model.cdf(np.asarray(0.0))) == pytest.approx(0.5)
+        assert model.ppf(0.975) == pytest.approx(1.95996, abs=1e-4)
+
+    def test_logpdf_matches_pdf(self):
+        model = GaussianModel(1.0, 2.0)
+        grid = np.linspace(-6, 8, 30)
+        np.testing.assert_allclose(
+            np.exp(model.logpdf(grid)), model.pdf(grid), rtol=1e-12
+        )
+
+    def test_moments_zero_shape(self):
+        summary = GaussianModel(3.0, 0.5).moments()
+        assert summary.skewness == 0.0
+        assert summary.kurtosis == 0.0
+
+    def test_ppf_validates(self):
+        with pytest.raises(ParameterError):
+            GaussianModel(0.0, 1.0).ppf(np.array([1.2]))
+
+    def test_n_parameters(self):
+        assert GaussianModel(0.0, 1.0).n_parameters == 2

@@ -1,0 +1,121 @@
+"""Tests for the LESN model (kurtosis-matching baseline, ref [7])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError, ParameterError
+from repro.models.lesn import LESNModel
+from repro.models.lvf import LVFModel
+from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.moments import MomentSummary, sample_moments
+
+
+@pytest.fixture
+def heavy_tail_samples(rng):
+    """Lognormal-ish delays with significant kurtosis."""
+    return np.exp(rng.normal(np.log(0.1), 0.25, 6000))
+
+
+class TestFit:
+    def test_log_method_matches_log_moments(self, heavy_tail_samples):
+        model = LESNModel.fit(heavy_tail_samples, method="log")
+        log_summary = sample_moments(np.log(heavy_tail_samples))
+        esn_summary = model.log_esn.moments()
+        assert esn_summary.mean == pytest.approx(
+            log_summary.mean, abs=1e-6
+        )
+        assert esn_summary.std == pytest.approx(
+            log_summary.std, rel=1e-4
+        )
+
+    def test_linear_method_matches_linear_moments(
+        self, heavy_tail_samples
+    ):
+        model = LESNModel.fit(heavy_tail_samples, method="linear")
+        target = sample_moments(heavy_tail_samples)
+        got = model.moments()
+        assert got.mean == pytest.approx(target.mean, rel=1e-6)
+        assert got.std == pytest.approx(target.std, rel=0.02)
+        assert got.skewness == pytest.approx(target.skewness, abs=0.05)
+
+    def test_rejects_non_positive_samples(self, rng):
+        samples = rng.normal(0.0, 1.0, 100)
+        with pytest.raises(FittingError, match="positive"):
+            LESNModel.fit(samples)
+
+    def test_rejects_unknown_method(self, heavy_tail_samples):
+        with pytest.raises(ParameterError):
+            LESNModel.fit(heavy_tail_samples, method="quadratic")
+
+    def test_tail_accuracy_beats_lvf_on_lognormal(
+        self, heavy_tail_samples
+    ):
+        """LESN's raison d'etre: better 3-sigma tails than SN."""
+        golden = EmpiricalDistribution(heavy_tail_samples)
+        target = golden.moments().sigma_point(3.0)
+        lesn = LESNModel.fit(heavy_tail_samples)
+        lvf = LVFModel.fit(heavy_tail_samples)
+        golden_tail = float(golden.cdf(np.asarray(target)))
+        lesn_error = abs(float(lesn.cdf(np.asarray(target))) - golden_tail)
+        lvf_error = abs(float(lvf.cdf(np.asarray(target))) - golden_tail)
+        assert lesn_error < lvf_error
+
+
+class TestFromLinearMoments:
+    def test_exact_match_when_feasible(self):
+        target = MomentSummary(0.06, 0.005, 0.3, 0.2)
+        model = LESNModel.from_linear_moments(target)
+        got = model.moments()
+        assert got.mean == pytest.approx(0.06, rel=1e-6)
+        assert got.std == pytest.approx(0.005, rel=1e-3)
+        assert got.skewness == pytest.approx(0.3, abs=0.02)
+        assert got.kurtosis == pytest.approx(0.2, abs=0.05)
+
+    def test_sigma_preserved_when_shape_unattainable(self):
+        # skewness below the log-family floor (~3 CV): sigma must win.
+        target = MomentSummary(0.5, 0.02, 0.02, 0.01)
+        model = LESNModel.from_linear_moments(target)
+        got = model.moments()
+        assert got.std == pytest.approx(0.02, rel=0.02)
+        assert got.mean == pytest.approx(0.5, rel=1e-6)
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(FittingError):
+            LESNModel.from_linear_moments(
+                MomentSummary(-1.0, 0.1, 0.0, 0.0)
+            )
+
+
+class TestDistribution:
+    def test_pdf_zero_for_non_positive(self, heavy_tail_samples):
+        model = LESNModel.fit(heavy_tail_samples)
+        values = model.pdf(np.array([-1.0, 0.0, 0.1]))
+        assert values[0] == 0.0 and values[1] == 0.0
+        assert values[2] > 0.0
+
+    def test_cdf_zero_at_origin(self, heavy_tail_samples):
+        model = LESNModel.fit(heavy_tail_samples)
+        assert float(model.cdf(np.asarray(0.0))) == 0.0
+
+    def test_pdf_integrates_to_one(self, heavy_tail_samples):
+        model = LESNModel.fit(heavy_tail_samples)
+        grid = np.linspace(1e-6, 1.0, 20001)
+        assert np.trapezoid(model.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_ppf_cdf_roundtrip(self, heavy_tail_samples):
+        model = LESNModel.fit(heavy_tail_samples)
+        for q in (0.05, 0.5, 0.95):
+            assert float(
+                model.cdf(np.asarray(model.ppf(q)))
+            ) == pytest.approx(q, abs=1e-6)
+
+    def test_rvs_positive(self, heavy_tail_samples, rng):
+        model = LESNModel.fit(heavy_tail_samples)
+        assert np.all(model.rvs(1000, rng=rng) > 0.0)
+
+    def test_n_parameters(self, heavy_tail_samples):
+        assert LESNModel.fit(heavy_tail_samples).n_parameters == 4

@@ -1,0 +1,56 @@
+"""Additional LESN coverage: propagation-facing behaviours."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.lesn import LESNModel
+from repro.stats.moments import MomentSummary
+
+
+class TestLinearMomentsRoundtrip:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            MomentSummary(0.05, 0.006, 0.5, 0.4),
+            MomentSummary(1.0, 0.08, 0.25, 0.1),
+            MomentSummary(0.3, 0.05, 0.9, 1.5),
+        ],
+    )
+    def test_moments_materialise_exactly(self, target):
+        model = LESNModel.from_linear_moments(target)
+        got = model.moments()
+        assert got.mean == pytest.approx(target.mean, rel=1e-6)
+        assert got.std == pytest.approx(target.std, rel=5e-3)
+        assert got.skewness == pytest.approx(target.skewness, abs=0.05)
+
+    def test_chained_rematerialisation_stable(self):
+        """Repeated sum->refit (the §4.4 path loop) keeps sigma."""
+        from repro.ssta.ops import summed_moments
+
+        model = LESNModel.from_linear_moments(
+            MomentSummary(0.05, 0.006, 0.5, 0.4)
+        )
+        for _ in range(8):
+            target = summed_moments(model.moments(), model.moments())
+            model = LESNModel.from_linear_moments(target)
+        # After 8 doublings the mean is 256x the original, sigma 16x.
+        assert model.moments().mean == pytest.approx(
+            0.05 * 256, rel=1e-3
+        )
+        assert model.moments().std == pytest.approx(
+            0.006 * 16, rel=0.05
+        )
+
+
+class TestExtremeTauRobustness:
+    def test_cdf_usable_when_fit_picks_deep_truncation(self, rng):
+        """Near-lognormal data can drive tau to the bound; the CDF
+        must remain valid through the quadrature fallback."""
+        samples = np.exp(rng.normal(np.log(0.1), 0.25, 4000))
+        model = LESNModel.fit(samples)
+        grid = np.quantile(samples, [0.05, 0.25, 0.5, 0.75, 0.95])
+        values = np.asarray(model.cdf(grid))
+        assert np.all(np.diff(values) > 0.0)
+        assert values[0] < 0.2 and values[-1] > 0.8

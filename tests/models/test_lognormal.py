@@ -1,0 +1,81 @@
+"""Tests for the LN and LSN extension models (refs [5], [6])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.lognormal import LogNormalModel, LogSkewNormalModel
+from repro.stats.moments import sample_moments
+
+
+@pytest.fixture
+def lognormal_samples(rng):
+    return np.exp(rng.normal(np.log(0.05), 0.3, 8000))
+
+
+class TestLogNormal:
+    def test_fit_recovers_parameters(self, lognormal_samples):
+        model = LogNormalModel.fit(lognormal_samples)
+        assert model.mu_log == pytest.approx(np.log(0.05), abs=0.02)
+        assert model.sigma_log == pytest.approx(0.3, rel=0.05)
+
+    def test_analytic_moments_match_samples(self, lognormal_samples):
+        model = LogNormalModel.fit(lognormal_samples)
+        summary = sample_moments(lognormal_samples)
+        analytic = model.moments()
+        assert analytic.mean == pytest.approx(summary.mean, rel=0.02)
+        assert analytic.std == pytest.approx(summary.std, rel=0.05)
+        assert analytic.skewness > 0.5  # LN is always right-skewed
+
+    def test_cdf_ppf_roundtrip(self, lognormal_samples):
+        model = LogNormalModel.fit(lognormal_samples)
+        for q in (0.05, 0.5, 0.99):
+            assert float(
+                model.cdf(np.asarray(model.ppf(q)))
+            ) == pytest.approx(q, abs=1e-10)
+
+    def test_pdf_zero_below_origin(self, lognormal_samples):
+        model = LogNormalModel.fit(lognormal_samples)
+        assert model.pdf(np.array([-0.5, 0.0]))[0] == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(FittingError):
+            LogNormalModel.fit(np.array([-1.0, 1.0, 2.0]))
+
+    def test_rvs_positive(self, lognormal_samples, rng):
+        model = LogNormalModel.fit(lognormal_samples)
+        assert np.all(model.rvs(500, rng=rng) > 0.0)
+
+
+class TestLogSkewNormal:
+    def test_fit_matches_log_moments(self, rng):
+        from repro.stats.skew_normal import SkewNormal
+
+        log_sn = SkewNormal.from_moments(np.log(0.1), 0.2, 0.5)
+        samples = np.exp(log_sn.rvs(10_000, rng=rng))
+        model = LogSkewNormalModel.fit(samples)
+        got = model.log_sn.moments_tuple()
+        assert got[0] == pytest.approx(np.log(0.1), abs=0.01)
+        assert got[1] == pytest.approx(0.2, rel=0.05)
+        assert got[2] == pytest.approx(0.5, abs=0.1)
+
+    def test_linear_moments_match_samples(self, lognormal_samples):
+        model = LogSkewNormalModel.fit(lognormal_samples)
+        summary = sample_moments(lognormal_samples)
+        analytic = model.moments()
+        assert analytic.mean == pytest.approx(summary.mean, rel=0.02)
+        assert analytic.std == pytest.approx(summary.std, rel=0.1)
+
+    def test_generalises_lognormal(self, lognormal_samples):
+        """With zero log-skew, LSN likelihood ~ LN likelihood."""
+        lsn = LogSkewNormalModel.fit(lognormal_samples)
+        ln = LogNormalModel.fit(lognormal_samples)
+        assert lsn.loglik(lognormal_samples) >= ln.loglik(
+            lognormal_samples
+        ) - 5.0
+
+    def test_n_parameters(self, lognormal_samples):
+        assert LogSkewNormalModel.fit(lognormal_samples).n_parameters == 3
+        assert LogNormalModel.fit(lognormal_samples).n_parameters == 2

@@ -1,0 +1,75 @@
+"""Tests for the LVF model (single SN baseline, paper §2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.lvf import LVFModel
+from repro.stats.moments import sample_moments
+from repro.stats.skew_normal import MAX_SKEWNESS, SkewNormal
+
+
+class TestFit:
+    def test_moment_matching(self, skewed_samples):
+        model = LVFModel.fit(skewed_samples)
+        summary = sample_moments(skewed_samples)
+        assert model.mu == pytest.approx(summary.mean)
+        assert model.sigma == pytest.approx(summary.std)
+        assert model.gamma == pytest.approx(summary.skewness, abs=1e-6)
+
+    def test_skewness_clamped_to_sn_range(self, rng):
+        # Exponential-ish data: sample skewness ~2, beyond SN's bound.
+        samples = rng.exponential(1.0, 4000)
+        model = LVFModel.fit(samples)
+        assert abs(model.gamma) < MAX_SKEWNESS
+        # Mean and sigma must survive the clamping untouched.
+        assert model.mu == pytest.approx(samples.mean())
+        assert model.sigma == pytest.approx(samples.std())
+
+    def test_fit_weighted_subpopulation(self, bimodal_samples):
+        # Weight only the left half of the bimodal population.
+        threshold = np.median(bimodal_samples)
+        weights = (bimodal_samples < threshold).astype(float)
+        model = LVFModel.fit_weighted(bimodal_samples, weights)
+        assert model.mu < threshold
+
+    def test_theta_tuple(self):
+        model = LVFModel(1.0, 0.2, 0.5)
+        theta = model.theta()
+        assert theta[0] == 1.0 and theta[1] == 0.2
+        assert theta[2] == pytest.approx(0.5, abs=1e-9)
+
+
+class TestDistribution:
+    def test_matches_underlying_sn(self):
+        model = LVFModel(1.0, 0.1, 0.6)
+        sn = SkewNormal.from_moments(1.0, 0.1, 0.6)
+        grid = np.linspace(0.6, 1.5, 50)
+        np.testing.assert_allclose(model.pdf(grid), sn.pdf(grid))
+        np.testing.assert_allclose(model.cdf(grid), sn.cdf(grid))
+
+    def test_moments_roundtrip(self):
+        model = LVFModel(2.0, 0.3, -0.4)
+        summary = model.moments()
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(0.3)
+        assert summary.skewness == pytest.approx(-0.4, abs=1e-6)
+
+    def test_n_parameters(self):
+        assert LVFModel(0.0, 1.0, 0.0).n_parameters == 3
+
+
+class TestNominal:
+    def test_mean_shift_with_nominal(self):
+        model = LVFModel(1.05, 0.1, 0.0, nominal=1.0)
+        assert model.mean_shift == pytest.approx(0.05)
+
+    def test_mean_shift_defaults_to_zero(self):
+        assert LVFModel(1.0, 0.1, 0.0).mean_shift == 0.0
+
+    def test_from_skew_normal(self):
+        sn = SkewNormal(0.0, 1.0, 2.0)
+        model = LVFModel.from_skew_normal(sn, nominal=0.1)
+        assert model.nominal == 0.1
+        assert model.mu == pytest.approx(sn.mean)

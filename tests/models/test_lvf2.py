@@ -1,0 +1,153 @@
+"""Tests for the LVF2 model — the paper's core contribution (§3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.stats.empirical import EmpiricalDistribution
+from repro.binning.metrics import cdf_rmse
+
+
+class TestConstruction:
+    def test_weight_range_enforced(self):
+        comp = LVFModel(0.0, 1.0, 0.0)
+        with pytest.raises(ParameterError):
+            LVF2Model(1.5, comp, comp)
+        with pytest.raises(ParameterError):
+            LVF2Model(-0.1, comp, comp)
+
+    def test_weight_without_second_component(self):
+        comp = LVFModel(0.0, 1.0, 0.0)
+        with pytest.raises(ParameterError):
+            LVF2Model(0.3, comp, None)
+
+    def test_collapsed_model(self):
+        comp = LVFModel(1.0, 0.1, 0.3)
+        model = LVF2Model(0.0, comp, None)
+        assert model.is_collapsed
+        assert model.n_parameters == 3
+
+
+class TestBackwardCompatibility:
+    """Paper Eq. 10: lambda = 0 makes LVF2 exactly LVF."""
+
+    def test_from_lvf_identity(self):
+        lvf = LVFModel(1.0, 0.2, 0.5, nominal=0.95)
+        lvf2 = LVF2Model.from_lvf(lvf)
+        grid = np.linspace(0.2, 1.8, 200)
+        np.testing.assert_allclose(lvf2.pdf(grid), lvf.pdf(grid))
+        np.testing.assert_allclose(lvf2.cdf(grid), lvf.cdf(grid))
+        assert lvf2.nominal == 0.95
+
+    def test_to_lvf_exact_when_collapsed(self):
+        lvf = LVFModel(1.0, 0.2, 0.5)
+        assert LVF2Model.from_lvf(lvf).to_lvf() is lvf
+
+    def test_to_lvf_moment_matches_when_mixed(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        projected = model.to_lvf()
+        mixture_summary = model.moments()
+        assert projected.mu == pytest.approx(mixture_summary.mean)
+        assert projected.sigma == pytest.approx(mixture_summary.std)
+
+
+class TestFit:
+    def test_recovers_bimodal_structure(
+        self, bimodal_mixture, bimodal_samples
+    ):
+        model = LVF2Model.fit(bimodal_samples)
+        assert not model.is_collapsed
+        assert model.weight == pytest.approx(0.4, abs=0.05)
+        assert model.component1.mu == pytest.approx(1.0, abs=0.02)
+        assert model.component2.mu == pytest.approx(1.3, abs=0.02)
+        # Component skews carry the right signs (+0.6 / -0.4 truth).
+        assert model.component1.gamma > 0.2
+        assert model.component2.gamma < 0.0
+
+    def test_better_cdf_than_lvf_on_bimodal(self, bimodal_samples):
+        golden = EmpiricalDistribution(bimodal_samples)
+        lvf2 = LVF2Model.fit(bimodal_samples)
+        lvf = LVFModel.fit(bimodal_samples)
+        assert cdf_rmse(lvf2, golden) < 0.25 * cdf_rmse(lvf, golden)
+
+    def test_components_sorted_by_mean(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        assert model.component1.mu <= model.component2.mu
+
+    def test_likelihood_beats_norm2(self, bimodal_samples):
+        """Skew-normal mixtures generalise Gaussian mixtures."""
+        from repro.models.norm2 import Norm2Model
+
+        lvf2 = LVF2Model.fit(bimodal_samples)
+        norm2 = Norm2Model.fit(bimodal_samples)
+        assert lvf2.loglik(bimodal_samples) >= norm2.loglik(
+            bimodal_samples
+        ) - 1.0
+
+    def test_invalid_refine_kind(self, bimodal_samples):
+        with pytest.raises(ParameterError):
+            LVF2Model.fit(bimodal_samples, refine="bogus")
+
+    def test_mle_refinement_not_worse(self, bimodal_samples):
+        plain = LVF2Model.fit(bimodal_samples)
+        refined = LVF2Model.fit(bimodal_samples, refine="mle")
+        assert refined.loglik(bimodal_samples) >= plain.loglik(
+            bimodal_samples
+        ) - 1e-6
+
+
+class TestParameters:
+    def test_seven_liberty_parameters(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        params = model.parameters()
+        assert set(params) == {
+            "weight2",
+            "mean1",
+            "std_dev1",
+            "skewness1",
+            "mean2",
+            "std_dev2",
+            "skewness2",
+        }
+        assert params["weight2"] == model.weight
+
+    def test_collapsed_parameters_have_none(self):
+        model = LVF2Model.from_lvf(LVFModel(1.0, 0.1, 0.0))
+        params = model.parameters()
+        assert params["mean2"] is None
+        assert params["weight2"] == 0.0
+
+    def test_n_parameters_mixture(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        assert model.n_parameters == 7
+
+
+class TestDecomposition:
+    def test_components_sum_to_pdf(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        grid = np.linspace(0.8, 1.5, 100)
+        first, second = model.decomposition(grid)
+        np.testing.assert_allclose(
+            first + second, model.pdf(grid), rtol=1e-10
+        )
+
+    def test_collapsed_decomposition_second_zero(self):
+        model = LVF2Model.from_lvf(LVFModel(1.0, 0.1, 0.0))
+        _, second = model.decomposition(np.linspace(0.5, 1.5, 10))
+        assert np.all(second == 0.0)
+
+
+class TestCollapseByBIC:
+    def test_gaussian_data_collapses(self, gaussian_samples):
+        model = LVF2Model.fit(gaussian_samples)
+        chosen = model.collapse_by_bic(gaussian_samples)
+        assert isinstance(chosen, LVFModel)
+
+    def test_bimodal_data_keeps_mixture(self, bimodal_samples):
+        model = LVF2Model.fit(bimodal_samples)
+        chosen = model.collapse_by_bic(bimodal_samples)
+        assert chosen is model

@@ -1,0 +1,68 @@
+"""Tests for the LVFk extension (more than two components, §3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models.lvfk import LVF3Model, LVFkModel, fit_lvfk
+from repro.stats.mixtures import Mixture
+from repro.stats.skew_normal import SkewNormal
+
+
+@pytest.fixture
+def trimodal_samples(rng):
+    truth = Mixture(
+        (0.4, 0.35, 0.25),
+        (
+            SkewNormal.from_moments(0.0, 0.15, 0.3),
+            SkewNormal.from_moments(2.0, 0.2, 0.0),
+            SkewNormal.from_moments(4.0, 0.15, -0.3),
+        ),
+    )
+    return truth.rvs(9000, rng=rng)
+
+
+class TestLVFk:
+    def test_three_component_fit(self, trimodal_samples):
+        model = LVF3Model.fit(trimodal_samples)
+        assert model.n_components == 3
+        means = sorted(c.mu for c in model.components)
+        assert means[0] == pytest.approx(0.0, abs=0.1)
+        assert means[1] == pytest.approx(2.0, abs=0.1)
+        assert means[2] == pytest.approx(4.0, abs=0.1)
+
+    def test_beats_two_components_on_trimodal(self, trimodal_samples):
+        from repro.models.lvf2 import LVF2Model
+
+        three = LVF3Model.fit(trimodal_samples)
+        two = LVF2Model.fit(trimodal_samples)
+        assert three.loglik(trimodal_samples) > two.loglik(
+            trimodal_samples
+        )
+
+    def test_fit_lvfk_factory(self, trimodal_samples):
+        model = fit_lvfk(trimodal_samples, 3)
+        assert isinstance(model, LVFkModel)
+        assert model.n_components <= 3
+
+    def test_rejects_fewer_than_two(self, trimodal_samples):
+        with pytest.raises(ParameterError):
+            fit_lvfk(trimodal_samples, 1)
+
+    def test_n_parameters_formula(self, trimodal_samples):
+        model = LVF3Model.fit(trimodal_samples)
+        k = model.n_components
+        assert model.n_parameters == (k - 1) + 3 * k
+
+    def test_pdf_integrates_to_one(self, trimodal_samples):
+        model = LVF3Model.fit(trimodal_samples)
+        grid = np.linspace(-2, 6, 8001)
+        assert np.trapezoid(model.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-4
+        )
+
+    def test_weights_sum_to_one(self, trimodal_samples):
+        model = LVF3Model.fit(trimodal_samples)
+        assert sum(model.weights) == pytest.approx(1.0)

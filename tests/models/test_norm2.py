@@ -1,0 +1,84 @@
+"""Tests for the Norm2 model (Gaussian mixture baseline, ref [10])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models.gaussian import GaussianModel
+from repro.models.norm2 import Norm2Model
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        comp = GaussianModel(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            Norm2Model(2.0, comp, comp)
+        with pytest.raises(ParameterError):
+            Norm2Model(0.5, comp, None)
+
+    def test_collapsed(self):
+        model = Norm2Model(0.0, GaussianModel(1.0, 0.1), None)
+        assert model.is_collapsed
+        assert model.n_parameters == 2
+
+
+class TestFit:
+    def test_recovers_mixture(self, rng):
+        truth_a = rng.normal(0.0, 0.5, 6000)
+        truth_b = rng.normal(4.0, 0.8, 4000)
+        samples = np.concatenate([truth_a, truth_b])
+        model = Norm2Model.fit(samples)
+        assert not model.is_collapsed
+        assert model.weight == pytest.approx(0.4, abs=0.03)
+        assert model.component1.mu == pytest.approx(0.0, abs=0.05)
+        assert model.component2.mu == pytest.approx(4.0, abs=0.05)
+        assert model.component1.sigma == pytest.approx(0.5, rel=0.1)
+        assert model.component2.sigma == pytest.approx(0.8, rel=0.1)
+
+    def test_five_parameter_tuple(self, bimodal_samples):
+        model = Norm2Model.fit(bimodal_samples)
+        lam, mu1, s1, mu2, s2 = model.parameters()
+        assert 0.0 <= lam <= 1.0
+        assert mu1 <= mu2
+        assert s1 > 0 and s2 > 0
+
+    def test_no_skewness_by_design(self, bimodal_samples):
+        """Norm2 components are symmetric (the paper's distinction)."""
+        model = Norm2Model.fit(bimodal_samples)
+        assert model.component1.moments().skewness == 0.0
+        assert model.component2.moments().skewness == 0.0
+
+    def test_n_parameters_mixture(self, bimodal_samples):
+        assert Norm2Model.fit(bimodal_samples).n_parameters == 5
+
+
+class TestDistribution:
+    def test_pdf_weighted_sum(self):
+        model = Norm2Model(
+            0.3, GaussianModel(0.0, 1.0), GaussianModel(3.0, 0.5)
+        )
+        grid = np.linspace(-2, 5, 40)
+        expected = 0.7 * model.component1.pdf(
+            grid
+        ) + 0.3 * model.component2.pdf(grid)
+        np.testing.assert_allclose(model.pdf(grid), expected)
+
+    def test_cdf_ppf_roundtrip(self):
+        model = Norm2Model(
+            0.4, GaussianModel(0.0, 1.0), GaussianModel(5.0, 0.5)
+        )
+        for q in (0.1, 0.5, 0.9):
+            assert float(model.cdf(model.ppf(q))) == pytest.approx(
+                q, abs=1e-9
+            )
+
+    def test_mixture_moments(self):
+        model = Norm2Model(
+            0.5, GaussianModel(-1.0, 0.5), GaussianModel(1.0, 0.5)
+        )
+        summary = model.moments()
+        assert summary.mean == pytest.approx(0.0)
+        assert summary.variance == pytest.approx(0.25 + 1.0)
+        assert summary.skewness == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for bootstrap uncertainty quantification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models.gaussian import GaussianModel
+from repro.models.uncertainty import (
+    BootstrapSummary,
+    bootstrap_model,
+    lvf2_weight_interval,
+)
+
+
+class TestBootstrapModel:
+    def test_gaussian_mean_interval_covers_truth(self, rng):
+        samples = rng.normal(5.0, 1.0, 2000)
+        summary = bootstrap_model(
+            samples,
+            GaussianModel,
+            {"mean": lambda model: model.mu},
+            n_boot=100,
+            rng=1,
+        )["mean"]
+        assert summary.contains(5.0)
+        # Width ~ 2 * 1.96 / sqrt(n) ~ 0.09.
+        assert 0.03 < summary.width < 0.25
+
+    def test_point_estimate_from_full_sample(self, gaussian_samples):
+        summary = bootstrap_model(
+            gaussian_samples,
+            GaussianModel,
+            {"sigma": lambda model: model.sigma},
+            n_boot=50,
+            rng=2,
+        )["sigma"]
+        assert summary.point == pytest.approx(
+            gaussian_samples.std(), rel=1e-9
+        )
+
+    def test_multiple_functionals(self, gaussian_samples):
+        summaries = bootstrap_model(
+            gaussian_samples,
+            GaussianModel,
+            {
+                "mean": lambda model: model.mu,
+                "sigma3": lambda model: model.sigma_point(3.0),
+            },
+            n_boot=40,
+            rng=3,
+        )
+        assert set(summaries) == {"mean", "sigma3"}
+        assert isinstance(summaries["mean"], BootstrapSummary)
+
+    def test_invalid_level(self, gaussian_samples):
+        with pytest.raises(ParameterError):
+            bootstrap_model(
+                gaussian_samples,
+                GaussianModel,
+                {"mean": lambda model: model.mu},
+                level=1.5,
+            )
+
+    def test_draws_exposed(self, gaussian_samples):
+        summary = bootstrap_model(
+            gaussian_samples,
+            GaussianModel,
+            {"mean": lambda model: model.mu},
+            n_boot=30,
+            rng=4,
+        )["mean"]
+        assert summary.draws.shape == (30,)
+
+
+class TestLVF2WeightInterval:
+    def test_bimodal_weight_clearly_nonzero(self, bimodal_samples):
+        summary = lvf2_weight_interval(
+            bimodal_samples[:3000], n_boot=25, rng=0
+        )
+        # Truth is lambda = 0.4; the interval must exclude zero.
+        assert summary.lower > 0.2
+        assert summary.contains(0.4)
+
+    def test_gaussian_weight_interval_is_wide_or_low(self, rng):
+        """On unimodal data the second component is not identifiable:
+        either the weight collapses toward 0/ambiguity or the interval
+        is wide — it must NOT confidently report a mid-size weight."""
+        samples = rng.normal(1.0, 0.1, 2500)
+        summary = lvf2_weight_interval(samples, n_boot=25, rng=1)
+        assert summary.width > 0.1 or summary.point < 0.25

@@ -1,0 +1,101 @@
+"""Tests for the Berry-Esseen / CLT analysis (paper §3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SSTAError
+from repro.ssta.clt import (
+    BERRY_ESSEEN_CONSTANT,
+    berry_esseen_bound,
+    convergence_table,
+    normalized_sup_distance,
+    third_absolute_moment,
+)
+
+
+class TestThirdAbsoluteMoment:
+    def test_gaussian_value(self, rng):
+        # E|Z|^3 = 2 sqrt(2/pi) ~ 1.5958 for standard normal.
+        data = rng.normal(size=200_000)
+        assert third_absolute_moment(data) == pytest.approx(
+            1.5958, abs=0.03
+        )
+
+    def test_constant_rejected(self):
+        with pytest.raises(SSTAError):
+            third_absolute_moment(np.ones(10))
+
+
+class TestBound:
+    def test_theorem_formula(self):
+        assert berry_esseen_bound(1.6, 4) == pytest.approx(
+            BERRY_ESSEEN_CONSTANT * 1.6 / 2.0
+        )
+
+    def test_decays_with_sqrt_n(self):
+        assert berry_esseen_bound(1.6, 100) == pytest.approx(
+            berry_esseen_bound(1.6, 25) / 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(SSTAError):
+            berry_esseen_bound(0.5, 4)  # rho >= 1 by Jensen
+        with pytest.raises(SSTAError):
+            berry_esseen_bound(1.5, 0)
+
+
+class TestSupDistance:
+    def test_gaussian_close_to_zero(self, rng):
+        data = rng.normal(3.0, 0.5, 100_000)
+        assert normalized_sup_distance(data) < 0.01
+
+    def test_bimodal_far_from_gaussian(self, rng):
+        data = np.concatenate(
+            [rng.normal(-2, 0.3, 50_000), rng.normal(2, 0.3, 50_000)]
+        )
+        assert normalized_sup_distance(data) > 0.1
+
+    def test_constant_rejected(self):
+        with pytest.raises(SSTAError):
+            normalized_sup_distance(np.full(10, 2.0))
+
+
+class TestConvergenceTable:
+    def test_corollary2_rate(self):
+        """Sup distance decays ~ O(1/sqrt(n)) for a bimodal stage."""
+
+        def sampler(count, rng):
+            half = count // 2
+            return np.concatenate(
+                [
+                    rng.normal(0.0, 0.3, half),
+                    rng.normal(2.0, 0.3, count - half),
+                ]
+            )[rng.permutation(count)]
+
+        rows = convergence_table(
+            sampler, depths=(1, 4, 16, 64), n_samples=20_000, rng=0
+        )
+        distances = [row.sup_distance for row in rows]
+        # Monotone decay until the Monte-Carlo noise floor
+        # (~1/sqrt(20k) ~ 0.007) is reached.
+        floor = 3.0 / np.sqrt(20_000)
+        above_floor = [d for d in distances if d > floor]
+        assert above_floor == sorted(above_floor, reverse=True)
+        # Between n=1 and n=16 expect ~4x shrink; allow slack.
+        assert distances[0] / distances[2] > 2.5
+        # Theorem 1 upper bound holds at every depth.
+        for row in rows:
+            assert row.sup_distance <= row.bound
+
+    def test_rows_metadata(self):
+        def sampler(count, rng):
+            return rng.exponential(1.0, count)
+
+        rows = convergence_table(
+            sampler, depths=(1, 2), n_samples=5000, rng=1
+        )
+        assert [row.n_stages for row in rows] == [1, 2]
+        assert all(row.bound > 0.0 for row in rows)

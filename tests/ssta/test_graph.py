@@ -1,0 +1,105 @@
+"""Tests for the timing graph and block-based propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SSTAError
+from repro.models.gaussian import GaussianModel
+from repro.ssta.graph import TimingGraph, golden_operators, model_operators
+from repro.ssta.ops import clark_max
+
+
+class TestStructure:
+    def test_add_arc_and_counts(self):
+        graph = TimingGraph()
+        graph.add_arc("a", "b", 1.0)
+        graph.add_arc("b", "c", 2.0)
+        assert graph.n_nodes == 3
+        assert graph.n_arcs == 2
+        assert graph.sources() == ["a"]
+        assert graph.sinks() == ["c"]
+
+    def test_cycle_rejected(self):
+        graph = TimingGraph()
+        graph.add_arc("a", "b", 1.0)
+        with pytest.raises(SSTAError, match="cycle"):
+            graph.add_arc("b", "a", 1.0)
+        # The offending edge was rolled back.
+        assert graph.n_arcs == 1
+
+    def test_delay_lookup(self):
+        graph = TimingGraph()
+        graph.add_arc("a", "b", 42.0)
+        assert graph.delay("a", "b") == 42.0
+        with pytest.raises(SSTAError):
+            graph.delay("a", "z")
+
+    def test_chain_builder(self):
+        graph = TimingGraph.chain([1.0, 2.0, 3.0])
+        assert graph.n_arcs == 3
+        assert graph.sources() == ["n0"]
+        with pytest.raises(SSTAError):
+            TimingGraph.chain([])
+
+
+class TestPropagation:
+    def test_scalar_chain_sums(self):
+        graph = TimingGraph.chain([1.0, 2.0, 3.0])
+        arrivals = graph.arrival_times(
+            lambda a, d: a + d, max
+        )
+        assert arrivals["n3"] == 6.0
+
+    def test_scalar_diamond_takes_max(self):
+        graph = TimingGraph()
+        graph.add_arc("in", "x", 1.0)
+        graph.add_arc("in", "y", 5.0)
+        graph.add_arc("x", "out", 1.0)
+        graph.add_arc("y", "out", 1.0)
+        arrival = graph.arrival_at("out", lambda a, d: a + d, max)
+        assert arrival == 6.0
+
+    def test_golden_operators_on_samples(self, rng):
+        stage_a = rng.normal(1.0, 0.1, 1000)
+        stage_b = rng.normal(2.0, 0.1, 1000)
+        graph = TimingGraph.chain([stage_a, stage_b])
+        sum_op, max_op = golden_operators()
+        arrival = graph.arrival_at("n2", sum_op, max_op)
+        np.testing.assert_allclose(arrival, stage_a + stage_b)
+
+    def test_model_operators_on_gaussians(self):
+        graph = TimingGraph()
+        graph.add_arc("in", "a", GaussianModel(1.0, 0.1))
+        graph.add_arc("in", "b", GaussianModel(1.2, 0.1))
+        graph.add_arc("a", "out", GaussianModel(0.5, 0.05))
+        graph.add_arc("b", "out", GaussianModel(0.3, 0.05))
+        sum_op, max_op = model_operators()
+        arrival = graph.arrival_at("out", sum_op, max_op)
+        # Compare against Clark's closed form.
+        path_a = GaussianModel(1.5, np.hypot(0.1, 0.05))
+        path_b = GaussianModel(1.5, np.hypot(0.1, 0.05))
+        reference = clark_max(path_a, path_b)
+        assert arrival.moments().mean == pytest.approx(
+            reference.mu, abs=0.01
+        )
+
+    def test_source_arrival_injection(self):
+        graph = TimingGraph.chain([1.0])
+        arrival = graph.arrival_at(
+            "n1",
+            lambda a, d: a + d,
+            max,
+            source_arrivals={"n0": 10.0},
+        )
+        assert arrival == 11.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SSTAError):
+            TimingGraph().arrival_times(lambda a, d: a + d, max)
+
+    def test_unreached_node(self):
+        graph = TimingGraph.chain([1.0])
+        with pytest.raises(SSTAError):
+            graph.arrival_at("missing", lambda a, d: a + d, max)

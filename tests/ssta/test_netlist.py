@@ -1,0 +1,127 @@
+"""Tests for gate-level netlists and full block-based SSTA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.cells import build_cell
+from repro.errors import SSTAError
+from repro.ssta.netlist import (
+    GateInstance,
+    Netlist,
+    random_netlist,
+    run_netlist_ssta,
+)
+
+
+class TestNetlistStructure:
+    def test_instance_arity_checked(self):
+        with pytest.raises(SSTAError, match="inputs"):
+            GateInstance(
+                "g0", build_cell("NAND2"), ("a",), "y"
+            )
+
+    def test_validate_catches_dangling_net(self):
+        netlist = Netlist(primary_inputs=["a"])
+        netlist.instances.append(
+            GateInstance(
+                "g0", build_cell("NAND2"), ("a", "ghost"), "y"
+            )
+        )
+        with pytest.raises(SSTAError, match="not.*defined"):
+            netlist.validate()
+
+    def test_validate_catches_redefinition(self):
+        netlist = Netlist(primary_inputs=["a", "b"])
+        inv = build_cell("INV")
+        netlist.instances.append(
+            GateInstance("g0", inv, ("a",), "n0")
+        )
+        netlist.instances.append(
+            GateInstance("g1", inv, ("b",), "n0")
+        )
+        with pytest.raises(SSTAError, match="redefined"):
+            netlist.validate()
+
+    def test_primary_outputs(self):
+        netlist = Netlist(primary_inputs=["a", "b"])
+        inv = build_cell("INV")
+        netlist.instances.append(GateInstance("g0", inv, ("a",), "n0"))
+        netlist.instances.append(GateInstance("g1", inv, ("n0",), "n1"))
+        assert netlist.primary_outputs == ["n1"]
+
+    def test_fanout_load_accumulates(self):
+        netlist = Netlist(primary_inputs=["a"])
+        inv = build_cell("INV")
+        netlist.instances.append(GateInstance("g0", inv, ("a",), "n0"))
+        netlist.instances.append(GateInstance("g1", inv, ("n0",), "n1"))
+        netlist.instances.append(GateInstance("g2", inv, ("n0",), "n2"))
+        assert netlist.fanout_load("n0") == pytest.approx(
+            2.0 * inv.input_capacitance("A")
+        )
+        # Unloaded nets get the default external load.
+        assert netlist.fanout_load("n1") == pytest.approx(0.005)
+
+
+class TestRandomNetlist:
+    def test_structure_valid(self):
+        netlist = random_netlist(30, n_inputs=5, seed=1)
+        netlist.validate()
+        assert len(netlist.instances) == 30
+        assert len(netlist.primary_outputs) >= 1
+
+    def test_reproducible(self):
+        a = random_netlist(10, seed=3)
+        b = random_netlist(10, seed=3)
+        assert [g.cell.name for g in a.instances] == [
+            g.cell.name for g in b.instances
+        ]
+
+    def test_validation_args(self):
+        with pytest.raises(SSTAError):
+            random_netlist(0)
+
+
+class TestRunNetlistSSTA:
+    @pytest.fixture(scope="class")
+    def result(self, engine):
+        netlist = random_netlist(8, n_inputs=3, seed=7)
+        return run_netlist_ssta(
+            engine,
+            netlist,
+            n_samples=2500,
+            model_names=("LVF2", "LVF"),
+            seed=2,
+        )
+
+    def test_outputs_covered(self, result):
+        assert set(result.golden) == set(
+            result.netlist.primary_outputs
+        )
+        for name in ("LVF2", "LVF"):
+            assert set(result.model_arrivals[name]) == set(
+                result.golden
+            )
+
+    def test_golden_arrivals_positive(self, result):
+        for samples in result.golden.values():
+            assert np.all(samples > 0.0)
+
+    def test_model_tracks_golden_mean(self, result):
+        for net, samples in result.golden.items():
+            model = result.model_arrivals["LVF2"][net]
+            assert model.moments().mean == pytest.approx(
+                samples.mean(), rel=0.05
+            )
+
+    def test_error_reduction_computable(self, result):
+        net = result.netlist.primary_outputs[0]
+        value = result.binning_error_reduction(net, "LVF2")
+        assert np.isfinite(value) and value > 0.0
+
+    def test_baseline_reduction_is_one(self, result):
+        net = result.netlist.primary_outputs[0]
+        assert result.binning_error_reduction(
+            net, "LVF"
+        ) == pytest.approx(1.0)

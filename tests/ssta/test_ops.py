@@ -1,0 +1,204 @@
+"""Tests for the SSTA statistical operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SSTAError
+from repro.models.gaussian import GaussianModel
+from repro.models.lesn import LESNModel
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.models.norm2 import Norm2Model
+from repro.ssta.ops import (
+    clark_max,
+    shift_model,
+    statistical_max,
+    sum_models,
+    summed_moments,
+)
+from repro.stats.moments import MomentSummary, sample_moments
+
+
+class TestSummedMoments:
+    def test_cumulant_addition(self):
+        a = MomentSummary(1.0, 0.1, 0.5, 0.2)
+        b = MomentSummary(2.0, 0.2, -0.3, 0.1)
+        total = summed_moments(a, b)
+        assert total.mean == pytest.approx(3.0)
+        assert total.variance == pytest.approx(0.05)
+        # Third cumulants add.
+        third = 0.5 * 0.1**3 + (-0.3) * 0.2**3
+        assert total.skewness == pytest.approx(third / 0.05**1.5)
+
+    def test_matches_monte_carlo(self, rng):
+        from repro.stats.skew_normal import SkewNormal
+
+        dist_a = SkewNormal.from_moments(1.0, 0.2, 0.6)
+        dist_b = SkewNormal.from_moments(0.5, 0.1, -0.4)
+        total = summed_moments(
+            dist_a.moments(), dist_b.moments()
+        )
+        samples = dist_a.rvs(300_000, rng=rng) + dist_b.rvs(
+            300_000, rng=rng
+        )
+        summary = sample_moments(samples)
+        assert summary.mean == pytest.approx(total.mean, abs=0.003)
+        assert summary.std == pytest.approx(total.std, rel=0.01)
+        assert summary.skewness == pytest.approx(
+            total.skewness, abs=0.03
+        )
+
+
+class TestSumModels:
+    def test_gaussian_closed_form(self):
+        total = sum_models(
+            GaussianModel(1.0, 0.3), GaussianModel(2.0, 0.4)
+        )
+        assert isinstance(total, GaussianModel)
+        assert total.mu == pytest.approx(3.0)
+        assert total.sigma == pytest.approx(0.5)
+
+    def test_lvf_preserves_three_cumulants(self):
+        a = LVFModel(1.0, 0.1, 0.5)
+        b = LVFModel(2.0, 0.2, 0.2)
+        total = sum_models(a, b)
+        expected = summed_moments(a.moments(), b.moments())
+        assert total.mu == pytest.approx(expected.mean)
+        assert total.sigma == pytest.approx(expected.std)
+        assert total.gamma == pytest.approx(expected.skewness, abs=1e-6)
+
+    def test_lesn_preserves_four_moments(self):
+        a = LESNModel.from_linear_moments(
+            MomentSummary(0.05, 0.005, 0.4, 0.3)
+        )
+        b = LESNModel.from_linear_moments(
+            MomentSummary(0.07, 0.006, 0.5, 0.4)
+        )
+        total = sum_models(a, b)
+        expected = summed_moments(a.moments(), b.moments())
+        got = total.moments()
+        assert got.mean == pytest.approx(expected.mean, rel=1e-6)
+        assert got.std == pytest.approx(expected.std, rel=0.02)
+
+    def test_lvf2_mean_variance_exact(self, bimodal_samples):
+        a = LVF2Model.fit(bimodal_samples)
+        b = LVF2Model.fit(bimodal_samples + 0.5)
+        total = sum_models(a, b)
+        expected = summed_moments(a.moments(), b.moments())
+        got = total.moments()
+        assert got.mean == pytest.approx(expected.mean, rel=1e-9)
+        assert got.std == pytest.approx(expected.std, rel=1e-6)
+
+    def test_lvf2_stays_two_components(self, bimodal_samples):
+        a = LVF2Model.fit(bimodal_samples)
+        total = sum_models(a, a)
+        assert isinstance(total, LVF2Model)
+        assert total.n_parameters in (3, 7)
+
+    def test_lvf2_sum_against_monte_carlo(self, bimodal_samples, rng):
+        a = LVF2Model.fit(bimodal_samples)
+        golden = a.rvs(200_000, rng=rng) + a.rvs(200_000, rng=rng)
+        total = sum_models(a, a)
+        grid = np.linspace(golden.min(), golden.max(), 200)
+        from repro.stats.empirical import ecdf
+
+        model_cdf = np.asarray(total.cdf(grid))
+        golden_cdf = ecdf(golden, grid)
+        # The true self-sum has four components (three effective modes);
+        # the two-component reduction is an approximation — but one that
+        # must stay far closer to golden than a single-SN collapse.
+        assert np.max(np.abs(model_cdf - golden_cdf)) < 0.08
+        from repro.models.lvf import LVFModel
+        from repro.ssta.ops import summed_moments
+
+        single = LVFModel(
+            *(
+                lambda s: (s.mean, s.std, s.skewness)
+            )(summed_moments(a.moments(), a.moments()))
+        )
+        single_error = np.max(
+            np.abs(np.asarray(single.cdf(grid)) - golden_cdf)
+        )
+        assert np.max(np.abs(model_cdf - golden_cdf)) < single_error
+
+    def test_norm2_sum(self, bimodal_samples):
+        a = Norm2Model.fit(bimodal_samples)
+        total = sum_models(a, a)
+        assert isinstance(total, Norm2Model)
+        expected = summed_moments(a.moments(), a.moments())
+        assert total.moments().mean == pytest.approx(expected.mean)
+
+    def test_unknown_family_raises(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(SSTAError):
+            sum_models(Mystery(), GaussianModel(0.0, 1.0))
+
+
+class TestShiftModel:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: GaussianModel(1.0, 0.2),
+            lambda: LVFModel(1.0, 0.2, 0.4),
+            lambda: Norm2Model(
+                0.3, GaussianModel(1.0, 0.1), GaussianModel(1.5, 0.2)
+            ),
+            lambda: LVF2Model(
+                0.3, LVFModel(1.0, 0.1, 0.2), LVFModel(1.5, 0.2, -0.1)
+            ),
+            lambda: LESNModel.from_linear_moments(
+                MomentSummary(1.0, 0.1, 0.4, 0.3)
+            ),
+        ],
+    )
+    def test_shift_moves_mean_only(self, factory):
+        model = factory()
+        before = model.moments()
+        shifted = shift_model(model, 0.25)
+        after = shifted.moments()
+        assert after.mean == pytest.approx(before.mean + 0.25, rel=1e-6)
+        assert after.std == pytest.approx(before.std, rel=0.02)
+
+
+class TestMax:
+    def test_clark_max_known_case(self):
+        # max of two iid N(0,1): mean = 1/sqrt(pi).
+        result = clark_max(
+            GaussianModel(0.0, 1.0), GaussianModel(0.0, 1.0)
+        )
+        assert result.mu == pytest.approx(1.0 / np.sqrt(np.pi), abs=1e-6)
+
+    def test_clark_max_dominant_input(self):
+        result = clark_max(
+            GaussianModel(10.0, 0.1), GaussianModel(0.0, 0.1)
+        )
+        assert result.mu == pytest.approx(10.0, abs=1e-6)
+
+    def test_statistical_max_matches_clark_for_gaussians(self):
+        a = GaussianModel(0.0, 1.0)
+        b = GaussianModel(0.5, 0.8)
+        numeric = statistical_max(a, b)
+        clark = clark_max(a, b)
+        assert numeric.mu == pytest.approx(clark.mu, abs=0.01)
+        assert numeric.sigma == pytest.approx(clark.sigma, abs=0.01)
+
+    def test_statistical_max_monte_carlo(self, rng):
+        a = LVFModel(1.0, 0.2, 0.5)
+        b = LVFModel(1.1, 0.15, -0.3)
+        result = statistical_max(a, b)
+        golden = np.maximum(
+            a.rvs(300_000, rng=rng), b.rvs(300_000, rng=rng)
+        )
+        summary = sample_moments(golden)
+        got = result.moments()
+        assert got.mean == pytest.approx(summary.mean, abs=0.005)
+        assert got.std == pytest.approx(summary.std, rel=0.03)
+
+    def test_statistical_max_keeps_family(self, bimodal_samples):
+        a = LVF2Model.fit(bimodal_samples)
+        result = statistical_max(a, shift_model(a, 0.05))
+        assert isinstance(result, LVF2Model)

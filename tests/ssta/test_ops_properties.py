@@ -1,0 +1,104 @@
+"""Property-based tests on the SSTA operator algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.gaussian import GaussianModel
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.ssta.ops import shift_model, statistical_max, sum_models, summed_moments
+from repro.stats.moments import MomentSummary
+
+_moment = st.tuples(
+    st.floats(-5, 5),  # mean
+    st.floats(0.05, 2.0),  # std
+    st.floats(-0.9, 0.9),  # skew
+    st.floats(-0.5, 2.0),  # kurt
+).map(lambda t: MomentSummary(*t))
+
+
+@given(a=_moment, b=_moment)
+@settings(max_examples=40, deadline=None)
+def test_property_summed_moments_commutative(a, b):
+    ab = summed_moments(a, b)
+    ba = summed_moments(b, a)
+    assert ab.mean == pytest.approx(ba.mean)
+    assert ab.std == pytest.approx(ba.std)
+    assert ab.skewness == pytest.approx(ba.skewness)
+    assert ab.kurtosis == pytest.approx(ba.kurtosis)
+
+
+@given(a=_moment, b=_moment, c=_moment)
+@settings(max_examples=30, deadline=None)
+def test_property_summed_moments_associative(a, b, c):
+    left = summed_moments(summed_moments(a, b), c)
+    right = summed_moments(a, summed_moments(b, c))
+    assert left.mean == pytest.approx(right.mean)
+    assert left.variance == pytest.approx(right.variance)
+    assert left.skewness == pytest.approx(right.skewness, abs=1e-9)
+
+
+@given(
+    mu=st.floats(-3, 3),
+    sigma=st.floats(0.05, 1.0),
+    gamma=st.floats(-0.9, 0.9),
+    offset=st.floats(-2, 2),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_shift_is_exact_translation(mu, sigma, gamma, offset):
+    model = LVFModel(mu, sigma, gamma)
+    shifted = shift_model(model, offset)
+    assert shifted.mu == pytest.approx(mu + offset)
+    assert shifted.sigma == pytest.approx(sigma)
+    assert shifted.gamma == pytest.approx(model.gamma, abs=1e-12)
+
+
+@given(
+    mu_a=st.floats(-2, 2),
+    mu_b=st.floats(-2, 2),
+    sigma=st.floats(0.1, 1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_lvf_sum_first_two_cumulants_exact(mu_a, mu_b, sigma):
+    a = LVFModel(mu_a, sigma, 0.4)
+    b = LVFModel(mu_b, 2.0 * sigma, -0.3)
+    total = sum_models(a, b)
+    assert total.mu == pytest.approx(mu_a + mu_b)
+    assert total.sigma == pytest.approx(np.hypot(sigma, 2.0 * sigma))
+
+
+@given(
+    lam=st.floats(0.1, 0.9),
+    gap=st.floats(0.5, 3.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_lvf2_sum_preserves_mean_variance(lam, gap):
+    model = LVF2Model(
+        lam,
+        LVFModel(0.0, 0.2, 0.3),
+        LVFModel(gap, 0.3, -0.2),
+    )
+    total = sum_models(model, model)
+    expected = summed_moments(model.moments(), model.moments())
+    got = total.moments()
+    assert got.mean == pytest.approx(expected.mean, rel=1e-9)
+    assert got.std == pytest.approx(expected.std, rel=1e-6)
+
+
+@given(
+    mu_a=st.floats(-1, 1),
+    mu_b=st.floats(-1, 1),
+    sigma_a=st.floats(0.2, 1.0),
+    sigma_b=st.floats(0.2, 1.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_max_dominates_both_means(mu_a, mu_b, sigma_a, sigma_b):
+    """E[max(A,B)] >= max(E[A], E[B]) for independent A, B."""
+    a = GaussianModel(mu_a, sigma_a)
+    b = GaussianModel(mu_b, sigma_b)
+    result = statistical_max(a, b)
+    assert result.moments().mean >= max(mu_a, mu_b) - 5e-3

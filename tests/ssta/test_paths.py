@@ -1,0 +1,114 @@
+"""Tests for the benchmark path builders and stage simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SSTAError
+from repro.ssta.fo4 import fo4_condition, fo4_delay
+from repro.ssta.paths import (
+    build_carry_adder_path,
+    build_htree_path,
+    simulate_path_stages,
+)
+
+
+class TestFO4:
+    def test_fo4_delay_magnitude(self, engine):
+        delay = fo4_delay(engine)
+        # 22nm-class FO4: ~5-30 ps.
+        assert 0.004 < delay < 0.04
+
+    def test_fo4_condition_converges(self, engine):
+        slew, load = fo4_condition(engine)
+        assert slew > 0.0 and load > 0.0
+        # Load is 4x the inverter input capacitance.
+        from repro.circuits.cells import build_cell
+
+        inv = build_cell("INV")
+        assert load == pytest.approx(
+            4.0 * inv.input_capacitance("A")
+        )
+
+
+class TestPathBuilders:
+    def test_adder_structure(self):
+        path = build_carry_adder_path(16)
+        assert len(path) == 16
+        assert path[0].name == "b0:generate"
+        assert path[-1].name == "b15:sum"
+        carries = [s for s in path if "carry" in s.name]
+        assert len(carries) == 14
+        assert all(s.cell.cell_type == "FA" for s in carries)
+
+    def test_adder_needs_two_bits(self):
+        with pytest.raises(SSTAError):
+            build_carry_adder_path(1)
+
+    def test_htree_structure(self):
+        path = build_htree_path(6)
+        assert len(path) == 12  # two buffers per level
+        assert all(s.cell.cell_type == "BUFF" for s in path)
+        wired = [s for s in path if s.wire is not None]
+        assert len(wired) == 6
+
+    def test_htree_wires_shrink_toward_leaves(self):
+        path = build_htree_path(4)
+        wires = [s.wire for s in path if s.wire is not None]
+        resistances = [w.resistance for w in wires]
+        assert resistances == sorted(resistances, reverse=True)
+
+    def test_htree_needs_one_level(self):
+        with pytest.raises(SSTAError):
+            build_htree_path(0)
+
+    def test_wire_delay_contribution(self):
+        path = build_htree_path(1)
+        wired = next(s for s in path if s.wire is not None)
+        assert wired.wire_delay() > 0.0
+        unwired = next(s for s in path if s.wire is None)
+        assert unwired.wire_delay() == 0.0
+
+
+class TestSimulatePathStages:
+    def test_stage_results(self, engine):
+        path = build_carry_adder_path(4)
+        sims = simulate_path_stages(engine, path, 400, seed=0)
+        assert len(sims) == len(path)
+        for sim in sims:
+            assert sim.delay.shape == (400,)
+            assert np.all(sim.delay > 0.0)
+            assert sim.nominal > 0.0
+
+    def test_slew_chained_between_stages(self, engine):
+        path = build_htree_path(2)
+        sims = simulate_path_stages(
+            engine, path, 200, seed=0, initial_slew=0.01
+        )
+        assert sims[0].slew_in == 0.01
+        # Later stages inherit the previous nominal transition.
+        assert sims[1].slew_in != sims[0].slew_in
+
+    def test_independent_stage_seeds(self, engine):
+        path = build_htree_path(1)
+        sims = simulate_path_stages(engine, path, 300, seed=0)
+        correlation = np.corrcoef(sims[0].delay, sims[1].delay)[0, 1]
+        assert abs(correlation) < 0.1
+
+    def test_wire_adds_constant(self, engine):
+        path = build_htree_path(1)
+        sims = simulate_path_stages(engine, path, 100, seed=0)
+        wired = sims[1]
+        assert wired.stage.wire is not None
+        assert wired.delay.min() > wired.stage.wire_delay()
+
+    def test_empty_path_rejected(self, engine):
+        with pytest.raises(SSTAError):
+            simulate_path_stages(engine, [], 100)
+
+    def test_reproducible(self, engine):
+        path = build_carry_adder_path(3)
+        a = simulate_path_stages(engine, path, 100, seed=5)
+        b = simulate_path_stages(engine, path, 100, seed=5)
+        np.testing.assert_array_equal(a[0].delay, b[0].delay)

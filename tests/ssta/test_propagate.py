@@ -1,0 +1,74 @@
+"""Tests for the Fig. 5 path propagation driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SSTAError
+from repro.ssta.paths import build_carry_adder_path, simulate_path_stages
+from repro.ssta.propagate import propagate_path
+
+
+@pytest.fixture(scope="module")
+def adder_simulations():
+    from repro.circuits.gate import GateTimingEngine
+    from repro.circuits.process import TT_GLOBAL_LOCAL_MC
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    path = build_carry_adder_path(5)
+    return simulate_path_stages(engine, path, 4000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def result(adder_simulations):
+    return propagate_path(
+        adder_simulations, ("LVF2", "LVF"), fo4=0.013
+    )
+
+
+class TestPropagatePath:
+    def test_structure(self, result, adder_simulations):
+        n = len(adder_simulations)
+        assert len(result.stage_names) == n
+        assert len(result.fo4_depths) == n
+        assert len(result.golden) == n
+        assert set(result.reductions) == {"LVF2", "LVF"}
+
+    def test_baseline_reduction_is_one(self, result):
+        for value in result.reductions["LVF"]:
+            assert value == pytest.approx(1.0)
+
+    def test_depths_increase(self, result):
+        assert np.all(np.diff(result.fo4_depths) > 0.0)
+
+    def test_golden_partial_sums_grow(self, result):
+        means = [g.moments().mean for g in result.golden]
+        assert means == sorted(means)
+
+    def test_reduction_at_depth_and_end(self, result):
+        value = result.reduction_at_depth("LVF2", 0.0)
+        assert value == result.reductions["LVF2"][0]
+        assert result.final_reduction("LVF2") == (
+            result.reductions["LVF2"][-1]
+        )
+
+    def test_lvf2_helps_early(self, result):
+        """Early-path LVF2 should beat LVF (non-Gaussian stages).
+
+        Checked over the first two stages: a single stage's binning
+        error ratio carries Monte-Carlo noise at this sample count.
+        """
+        assert max(result.reductions["LVF2"][:2]) > 1.0
+
+    def test_empty_simulations_rejected(self):
+        with pytest.raises(SSTAError):
+            propagate_path([], ("LVF",))
+
+    def test_baseline_must_be_included(self, adder_simulations):
+        with pytest.raises(SSTAError):
+            propagate_path(adder_simulations, ("LVF2",))
+
+    def test_raw_depths_without_fo4(self, adder_simulations):
+        raw = propagate_path(adder_simulations, ("LVF2", "LVF"))
+        assert raw.fo4_depths == raw.cumulative_nominal

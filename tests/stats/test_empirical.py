@@ -1,0 +1,92 @@
+"""Tests for repro.stats.empirical (the golden-distribution wrapper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FittingError, ParameterError
+from repro.stats.empirical import EmpiricalDistribution, cdf_grid, ecdf
+
+
+class TestECDF:
+    def test_step_values(self):
+        samples = np.array([1.0, 2.0, 3.0])
+        x = np.array([0.5, 1.0, 2.5, 3.0, 4.0])
+        np.testing.assert_allclose(
+            ecdf(samples, x), [0.0, 1 / 3, 2 / 3, 1.0, 1.0]
+        )
+
+
+class TestEmpiricalDistribution:
+    def test_cdf_right_continuous(self):
+        dist = EmpiricalDistribution(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert dist.cdf(2.0) == pytest.approx(0.75)
+        assert dist.cdf(1.999) == pytest.approx(0.25)
+
+    def test_ppf_median(self, gaussian_samples):
+        dist = EmpiricalDistribution(gaussian_samples)
+        assert dist.ppf(0.5) == pytest.approx(
+            np.median(gaussian_samples)
+        )
+
+    def test_ppf_rejects_invalid(self, gaussian_samples):
+        with pytest.raises(ParameterError):
+            EmpiricalDistribution(gaussian_samples).ppf(2.0)
+
+    def test_moments_match_numpy(self, gaussian_samples):
+        dist = EmpiricalDistribution(gaussian_samples)
+        summary = dist.moments()
+        assert summary.mean == pytest.approx(gaussian_samples.mean())
+        assert summary.std == pytest.approx(gaussian_samples.std())
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(FittingError):
+            EmpiricalDistribution(np.array([1.0, np.nan]))
+
+    def test_probability_between(self):
+        dist = EmpiricalDistribution(np.arange(1.0, 11.0))
+        assert dist.probability_between(2.0, 5.0) == pytest.approx(0.3)
+        with pytest.raises(ParameterError):
+            dist.probability_between(5.0, 2.0)
+
+    def test_histogram_density_normalised(self, gaussian_samples):
+        dist = EmpiricalDistribution(gaussian_samples)
+        centers, density = dist.histogram(50)
+        width = centers[1] - centers[0]
+        assert np.sum(density) * width == pytest.approx(1.0, rel=1e-6)
+
+    def test_bootstrap_resample(self, gaussian_samples, rng):
+        dist = EmpiricalDistribution(gaussian_samples)
+        resampled = dist.rvs(1000, rng=rng)
+        assert resampled.shape == (1000,)
+        assert set(resampled).issubset(set(gaussian_samples))
+
+    def test_grid_spans_spread(self, gaussian_samples):
+        dist = EmpiricalDistribution(gaussian_samples)
+        grid = dist.grid(n_points=100, spread=4.0)
+        summary = dist.moments()
+        assert grid[0] == pytest.approx(summary.sigma_point(-4.0))
+        assert grid[-1] == pytest.approx(summary.sigma_point(4.0))
+
+
+class TestCDFGrid:
+    def test_rejects_constant(self):
+        with pytest.raises(ParameterError):
+            cdf_grid(np.full(100, 2.0))
+
+    def test_size(self, gaussian_samples):
+        assert cdf_grid(gaussian_samples, n_points=77).shape == (77,)
+
+
+@given(n=st.integers(10, 500))
+@settings(max_examples=20, deadline=None)
+def test_property_cdf_monotone_bounded(n):
+    rng = np.random.default_rng(n)
+    dist = EmpiricalDistribution(rng.normal(size=n))
+    grid = np.linspace(-4, 4, 101)
+    values = dist.cdf(grid)
+    assert np.all(np.diff(values) >= 0.0)
+    assert values[0] >= 0.0 and values[-1] <= 1.0

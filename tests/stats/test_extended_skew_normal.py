@@ -1,0 +1,176 @@
+"""Tests for repro.stats.extended_skew_normal (LESN backbone)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import log_ndtr
+
+from repro.errors import ParameterError
+from repro.stats.extended_skew_normal import (
+    ExtendedSkewNormal,
+    esn_standard_cumulants,
+    zeta_derivatives,
+)
+from repro.stats.moments import sample_moments
+from repro.stats.skew_normal import SkewNormal
+
+
+def _numeric_zeta(tau: float, h: float = 1e-4):
+    f = log_ndtr
+    d1 = (f(tau + h) - f(tau - h)) / (2 * h)
+    d2 = (f(tau + h) - 2 * f(tau) + f(tau - h)) / h**2
+    # Third derivative needs a wider step to avoid cancellation noise.
+    h3 = 1e-2
+    d3 = (
+        f(tau + 2 * h3)
+        - 2 * f(tau + h3)
+        + 2 * f(tau - h3)
+        - f(tau - 2 * h3)
+    ) / (2 * h3**3)
+    return d1, d2, d3
+
+
+class TestZeta:
+    @pytest.mark.parametrize("tau", [-3.0, -1.0, 0.0, 0.5, 2.0])
+    def test_matches_numeric_derivatives(self, tau):
+        z1, z2, z3, _ = zeta_derivatives(tau)
+        n1, n2, n3 = _numeric_zeta(tau)
+        assert z1 == pytest.approx(n1, rel=1e-5)
+        assert z2 == pytest.approx(n2, rel=1e-4, abs=1e-6)
+        assert z3 == pytest.approx(n3, rel=1e-2, abs=1e-5)
+
+    def test_stable_for_very_negative_tau(self):
+        z1, z2, z3, z4 = zeta_derivatives(-30.0)
+        assert np.isfinite([z1, z2, z3, z4]).all()
+        # zeta1(tau) ~ -tau for tau -> -inf.
+        assert z1 == pytest.approx(30.0, rel=0.01)
+
+
+class TestCumulants:
+    def test_tau_zero_matches_skew_normal(self):
+        """ESN(alpha, tau=0) has the SN moments."""
+        alpha = 2.5
+        k1, k2, k3, _ = esn_standard_cumulants(alpha, 0.0)
+        sn = SkewNormal(0.0, 1.0, alpha).moments()
+        assert k1 == pytest.approx(sn.mean, abs=1e-12)
+        assert np.sqrt(k2) == pytest.approx(sn.std, abs=1e-12)
+        assert k3 / k2**1.5 == pytest.approx(sn.skewness, abs=1e-10)
+
+    def test_cumulants_match_samples(self, rng):
+        esn = ExtendedSkewNormal(0.0, 1.0, 3.0, -1.5)
+        samples = esn.rvs(400_000, rng=rng)
+        summary = sample_moments(samples)
+        analytic = esn.moments()
+        assert summary.mean == pytest.approx(analytic.mean, abs=0.01)
+        assert summary.std == pytest.approx(analytic.std, rel=0.02)
+        assert summary.skewness == pytest.approx(
+            analytic.skewness, abs=0.05
+        )
+        assert summary.kurtosis == pytest.approx(
+            analytic.kurtosis, abs=0.2
+        )
+
+
+class TestDistribution:
+    def test_pdf_integrates_to_one(self):
+        esn = ExtendedSkewNormal(0.5, 0.8, -2.0, 1.0)
+        grid = np.linspace(-6, 6, 6001)
+        assert np.trapezoid(esn.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-6
+        )
+
+    def test_cdf_matches_pdf_integral(self):
+        esn = ExtendedSkewNormal(0.0, 1.0, 2.0, -1.0)
+        grid = np.linspace(-5, 6, 3001)
+        pdf = esn.pdf(grid)
+        numeric = np.concatenate(
+            ([0.0], np.cumsum((pdf[1:] + pdf[:-1]) / 2 * np.diff(grid)))
+        )
+        np.testing.assert_allclose(
+            np.asarray(esn.cdf(grid)), numeric, atol=2e-5
+        )
+
+    def test_cdf_scalar_input(self):
+        esn = ExtendedSkewNormal(0.0, 1.0, 1.0, 0.5)
+        value = esn.cdf(0.3)
+        assert 0.0 < float(value) < 1.0
+
+    def test_ppf_inverts_cdf(self):
+        esn = ExtendedSkewNormal(1.0, 0.5, 3.0, -2.0)
+        for q in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert float(esn.cdf(esn.ppf(q))) == pytest.approx(
+                q, abs=1e-8
+            )
+
+    def test_ppf_rejects_invalid(self):
+        esn = ExtendedSkewNormal(0.0, 1.0, 0.0, 0.0)
+        with pytest.raises(ParameterError):
+            esn.ppf(-0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            ExtendedSkewNormal(0.0, 0.0, 1.0, 0.0)
+        with pytest.raises(ParameterError):
+            ExtendedSkewNormal(0.0, 1.0, np.inf, 0.0)
+
+
+class TestFromMoments:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            (0.0, 1.0, 0.6, 0.8),
+            (5.0, 2.0, -0.4, 0.3),
+            (1.0, 0.1, 0.9, 1.6),
+            (0.0, 1.0, 0.3, 0.35),
+        ],
+    )
+    def test_four_moment_match(self, target):
+        esn = ExtendedSkewNormal.from_moments(*target)
+        got = esn.moments()
+        assert got.mean == pytest.approx(target[0], abs=1e-6)
+        assert got.std == pytest.approx(target[1], rel=1e-5)
+        assert got.skewness == pytest.approx(target[2], abs=5e-3)
+        assert got.kurtosis == pytest.approx(target[3], abs=2e-2)
+
+    def test_kurtosis_freedom_beyond_sn(self):
+        """ESN matches (skew, kurt) pairs a plain SN cannot."""
+        # SN with skew 0.6 is pinned at kurtosis ~ 0.42; ask for 1.0,
+        # inside the ESN-attainable band for that skewness.
+        sn_pinned = SkewNormal.from_moments(0.0, 1.0, 0.6).moments()
+        assert sn_pinned.kurtosis < 0.6
+        esn = ExtendedSkewNormal.from_moments(0.0, 1.0, 0.6, 1.0)
+        got = esn.moments()
+        assert got.kurtosis == pytest.approx(1.0, abs=0.05)
+        assert got.skewness == pytest.approx(0.6, abs=0.02)
+
+    def test_invalid_std(self):
+        with pytest.raises(ParameterError):
+            ExtendedSkewNormal.from_moments(0.0, -1.0, 0.0, 0.0)
+
+
+@given(
+    alpha=st.floats(-8, 8),
+    tau=st.floats(-4, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_cdf_monotone_and_bounded(alpha, tau):
+    esn = ExtendedSkewNormal(0.0, 1.0, alpha, tau)
+    grid = np.linspace(-8, 8, 81)
+    values = np.asarray(esn.cdf(grid))
+    # Tolerance: Owen's-T roundoff near the z=0 branch of the
+    # bivariate-normal identity can wobble at the ~1e-9 level.
+    assert np.all(np.diff(values) >= -1e-8)
+    assert values.min() >= 0.0 and values.max() <= 1.0 + 1e-12
+
+
+@given(
+    alpha=st.floats(-6, 6),
+    tau=st.floats(-3, 3),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_variance_positive(alpha, tau):
+    _, k2, _, _ = esn_standard_cumulants(alpha, tau)
+    assert k2 > 0.0

@@ -1,0 +1,106 @@
+"""Tests for repro.stats.lhs (the paper's MC sampling scheme)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import ndtri
+
+from repro.stats.lhs import (
+    discrepancy,
+    latin_hypercube,
+    lhs_normal,
+    lhs_transform,
+)
+
+
+class TestLatinHypercube:
+    def test_shape_and_range(self):
+        design = latin_hypercube(100, 3, rng=0)
+        assert design.shape == (100, 3)
+        assert design.min() > 0.0 and design.max() < 1.0
+
+    def test_latin_property(self):
+        """Each column hits every stratum exactly once."""
+        n = 64
+        design = latin_hypercube(n, 4, rng=1)
+        for dim in range(4):
+            strata = np.floor(design[:, dim] * n).astype(int)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_centered_midpoints(self):
+        n = 16
+        design = latin_hypercube(n, 2, rng=2, centered=True)
+        fractional = design * n - np.floor(design * n)
+        np.testing.assert_allclose(fractional, 0.5, atol=1e-12)
+
+    def test_reproducible_with_seed(self):
+        a = latin_hypercube(20, 2, rng=7)
+        b = latin_hypercube(20, 2, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(0, 2)
+        with pytest.raises(ValueError):
+            latin_hypercube(5, 0)
+
+    def test_beats_iid_on_discrepancy(self):
+        """LHS is more space-filling than iid uniform sampling."""
+        rng = np.random.default_rng(3)
+        lhs_scores = [
+            discrepancy(latin_hypercube(64, 2, rng=i)) for i in range(5)
+        ]
+        iid_scores = [
+            discrepancy(rng.uniform(size=(64, 2))) for _ in range(5)
+        ]
+        assert np.mean(lhs_scores) < np.mean(iid_scores)
+
+
+class TestLHSNormal:
+    def test_moments(self):
+        samples = lhs_normal(5000, 1, mean=2.0, std=0.5, rng=0)
+        assert samples.mean() == pytest.approx(2.0, abs=0.01)
+        assert samples.std() == pytest.approx(0.5, rel=0.02)
+
+    def test_stratification_tightens_mean(self):
+        """LHS normal means have (much) lower variance than iid."""
+        lhs_means = [
+            lhs_normal(256, 1, rng=i).mean() for i in range(20)
+        ]
+        rng = np.random.default_rng(0)
+        iid_means = [
+            rng.standard_normal(256).mean() for _ in range(20)
+        ]
+        assert np.std(lhs_means) < 0.5 * np.std(iid_means)
+
+    def test_per_dimension_scaling(self):
+        samples = lhs_normal(
+            4000, 2, mean=np.array([0.0, 5.0]),
+            std=np.array([1.0, 2.0]), rng=1,
+        )
+        assert samples[:, 1].mean() == pytest.approx(5.0, abs=0.1)
+        assert samples[:, 1].std() == pytest.approx(2.0, rel=0.05)
+
+
+class TestLHSTransform:
+    def test_custom_quantiles(self):
+        samples = lhs_transform(
+            2000,
+            [lambda u: -np.log(1.0 - u), ndtri],
+            rng=0,
+        )
+        # Column 0 is Exp(1): mean 1; column 1 standard normal.
+        assert samples[:, 0].mean() == pytest.approx(1.0, abs=0.05)
+        assert samples[:, 1].mean() == pytest.approx(0.0, abs=0.05)
+
+
+@given(n=st.integers(2, 200), d=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_property_latin_always_holds(n, d):
+    design = latin_hypercube(n, d, rng=0)
+    for dim in range(d):
+        strata = np.floor(design[:, dim] * n).astype(int)
+        assert sorted(strata.tolist()) == list(range(n))

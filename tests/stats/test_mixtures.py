@@ -1,0 +1,194 @@
+"""Tests for repro.stats.mixtures (the LVF2 distribution backbone)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.stats.mixtures import Mixture, mixture_moments
+from repro.stats.moments import sample_moments
+from repro.stats.skew_normal import SkewNormal
+
+
+def _mix(w=0.4):
+    return Mixture(
+        (1.0 - w, w),
+        (
+            SkewNormal.from_moments(0.0, 1.0, 0.5),
+            SkewNormal.from_moments(4.0, 0.5, -0.3),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_weight_validation(self):
+        sn = SkewNormal.standard()
+        with pytest.raises(ParameterError):
+            Mixture((0.5, 0.6), (sn, sn))
+        with pytest.raises(ParameterError):
+            Mixture((-0.1, 1.1), (sn, sn))
+        with pytest.raises(ParameterError):
+            Mixture((1.0,), (sn, sn))
+        with pytest.raises(ParameterError):
+            Mixture((), ())
+
+    def test_of_constructor(self):
+        mixture = Mixture.of(
+            (0.3, SkewNormal.standard()), (0.7, SkewNormal.standard(1.0))
+        )
+        assert mixture.n_components == 2
+        assert mixture.weights == (0.3, 0.7)
+
+
+class TestDensity:
+    def test_pdf_is_weighted_sum(self):
+        mixture = _mix(0.25)
+        grid = np.linspace(-3, 6, 50)
+        expected = 0.75 * mixture.components[0].pdf(
+            grid
+        ) + 0.25 * mixture.components[1].pdf(grid)
+        np.testing.assert_allclose(mixture.pdf(grid), expected)
+
+    def test_pdf_integrates_to_one(self):
+        mixture = _mix()
+        grid = np.linspace(-8, 10, 8001)
+        assert np.trapezoid(mixture.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-7
+        )
+
+    def test_logpdf_consistent(self):
+        mixture = _mix()
+        grid = np.linspace(-3, 6, 30)
+        np.testing.assert_allclose(
+            np.exp(mixture.logpdf(grid)), mixture.pdf(grid), rtol=1e-10
+        )
+
+    def test_zero_weight_component_ignored(self):
+        single = SkewNormal.from_moments(0.0, 1.0, 0.0)
+        mixture = Mixture((1.0, 0.0), (single, SkewNormal.standard(3.0)))
+        grid = np.linspace(-3, 3, 11)
+        np.testing.assert_allclose(mixture.pdf(grid), single.pdf(grid))
+
+
+class TestCDFPPF:
+    def test_cdf_ppf_roundtrip(self):
+        mixture = _mix()
+        for q in (0.02, 0.3, 0.5, 0.77, 0.99):
+            assert float(mixture.cdf(mixture.ppf(q))) == pytest.approx(
+                q, abs=1e-9
+            )
+
+    def test_ppf_extremes(self):
+        mixture = _mix()
+        assert mixture.ppf(0.0) == -np.inf
+        assert mixture.ppf(1.0) == np.inf
+
+
+class TestSampling:
+    def test_rvs_moments(self, rng):
+        mixture = _mix(0.4)
+        samples = mixture.rvs(200_000, rng=rng)
+        analytic = mixture.moments()
+        summary = sample_moments(samples)
+        assert summary.mean == pytest.approx(analytic.mean, abs=0.02)
+        assert summary.std == pytest.approx(analytic.std, rel=0.01)
+        assert summary.skewness == pytest.approx(
+            analytic.skewness, abs=0.03
+        )
+        assert summary.kurtosis == pytest.approx(
+            analytic.kurtosis, abs=0.1
+        )
+
+    def test_rvs_count(self, rng):
+        assert _mix().rvs(123, rng=rng).shape == (123,)
+
+
+class TestMoments:
+    def test_mixture_moments_degenerate_single(self):
+        sn = SkewNormal.from_moments(1.0, 0.2, 0.5)
+        summary = mixture_moments((1.0,), [sn.moments()])
+        analytic = sn.moments()
+        assert summary.mean == pytest.approx(analytic.mean)
+        assert summary.std == pytest.approx(analytic.std)
+        assert summary.skewness == pytest.approx(analytic.skewness)
+        assert summary.kurtosis == pytest.approx(analytic.kurtosis)
+
+    def test_symmetric_mixture_zero_skew(self):
+        mixture = Mixture(
+            (0.5, 0.5),
+            (
+                SkewNormal.from_moments(-1.0, 0.5, 0.0),
+                SkewNormal.from_moments(1.0, 0.5, 0.0),
+            ),
+        )
+        assert mixture.moments().skewness == pytest.approx(0.0, abs=1e-12)
+
+    def test_weights_must_sum_to_one(self):
+        sn = SkewNormal.standard()
+        with pytest.raises(ParameterError):
+            mixture_moments((0.5, 0.4), [sn.moments(), sn.moments()])
+
+
+class TestResponsibilities:
+    def test_columns_sum_to_one(self):
+        mixture = _mix()
+        x = np.linspace(-2, 6, 40)
+        resp = mixture.responsibilities(x)
+        np.testing.assert_allclose(resp.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_assignment_follows_proximity(self):
+        mixture = _mix(0.5)
+        resp = mixture.responsibilities(np.array([0.0, 4.0]))
+        assert resp[0, 0] > 0.99  # near first component
+        assert resp[1, 1] > 0.99  # near second component
+
+    def test_loglik_matches_logpdf_sum(self, rng):
+        mixture = _mix()
+        samples = mixture.rvs(500, rng=rng)
+        assert mixture.loglik(samples) == pytest.approx(
+            float(np.sum(mixture.logpdf(samples)))
+        )
+
+
+class TestUtility:
+    def test_sorted_by_mean(self):
+        mixture = Mixture(
+            (0.3, 0.7),
+            (
+                SkewNormal.from_moments(5.0, 1.0, 0.0),
+                SkewNormal.from_moments(0.0, 1.0, 0.0),
+            ),
+        )
+        ordered = mixture.sorted_by_mean()
+        means = [c.moments().mean for c in ordered.components]
+        assert means[0] < means[1]
+        assert ordered.weights == (0.7, 0.3)
+
+    def test_dominant_component(self):
+        assert _mix(0.2).dominant_component() == 0
+        assert _mix(0.8).dominant_component() == 1
+
+
+@given(
+    w=st.floats(0.05, 0.95),
+    mean_gap=st.floats(0.0, 10.0),
+    skew=st.floats(-0.9, 0.9),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_mixture_moments_match_sampling(w, mean_gap, skew):
+    """Analytic mixture moments agree with large-sample estimates."""
+    mixture = Mixture(
+        (1.0 - w, w),
+        (
+            SkewNormal.from_moments(0.0, 1.0, skew),
+            SkewNormal.from_moments(mean_gap, 0.7, -skew),
+        ),
+    )
+    samples = mixture.rvs(60_000, rng=0)
+    analytic = mixture.moments()
+    summary = sample_moments(samples)
+    assert summary.mean == pytest.approx(analytic.mean, abs=0.05)
+    assert summary.std == pytest.approx(analytic.std, rel=0.03)

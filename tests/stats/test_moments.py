@@ -1,0 +1,166 @@
+"""Tests for repro.stats.moments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FittingError
+from repro.stats.moments import (
+    MomentSummary,
+    central_moment,
+    excess_kurtosis,
+    sample_moments,
+    skewness,
+    standard_error_of_mean,
+    validate_samples,
+    weighted_moments,
+)
+
+
+class TestValidateSamples:
+    def test_accepts_list(self):
+        out = validate_samples([1.0, 2.0, 3.0])
+        assert out.dtype == np.float64
+        assert out.shape == (3,)
+
+    def test_flattens(self):
+        out = validate_samples(np.ones((2, 3)))
+        assert out.shape == (6,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(FittingError, match="at least"):
+            validate_samples([])
+
+    def test_rejects_too_few(self):
+        with pytest.raises(FittingError):
+            validate_samples([1.0, 2.0, 3.0], minimum=5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(FittingError, match="non-finite"):
+            validate_samples([1.0, np.nan, 2.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(FittingError, match="non-finite"):
+            validate_samples([1.0, np.inf])
+
+
+class TestSampleMoments:
+    def test_gaussian_moments(self, gaussian_samples):
+        summary = sample_moments(gaussian_samples)
+        assert summary.mean == pytest.approx(1.0, abs=0.02)
+        assert summary.std == pytest.approx(0.1, rel=0.05)
+        assert abs(summary.skewness) < 0.15
+        assert abs(summary.kurtosis) < 0.3
+        assert summary.count == gaussian_samples.size
+
+    def test_skewed_moments_positive(self, skewed_samples):
+        summary = sample_moments(skewed_samples)
+        assert summary.skewness > 0.3
+
+    def test_zero_variance_raises(self):
+        with pytest.raises(FittingError, match="zero variance"):
+            sample_moments(np.full(100, 3.0))
+
+    def test_sigma_point(self):
+        summary = MomentSummary(1.0, 0.2, 0.0, 0.0)
+        assert summary.sigma_point(3.0) == pytest.approx(1.6)
+        assert summary.sigma_point(-3.0) == pytest.approx(0.4)
+
+    def test_variance_property(self):
+        summary = MomentSummary(0.0, 0.5, 0.0, 0.0)
+        assert summary.variance == pytest.approx(0.25)
+
+    def test_standardize(self):
+        summary = MomentSummary(2.0, 0.5, 0.0, 0.0)
+        z = summary.standardize(np.array([2.0, 2.5]))
+        np.testing.assert_allclose(z, [0.0, 1.0])
+
+    def test_as_tuple_order(self):
+        summary = MomentSummary(1.0, 2.0, 3.0, 4.0)
+        assert summary.as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+
+class TestHelperMoments:
+    def test_central_moment_first_is_zero(self, gaussian_samples):
+        assert central_moment(gaussian_samples, 1) == 0.0
+
+    def test_central_moment_order_validation(self):
+        with pytest.raises(ValueError):
+            central_moment(np.ones(10), 0)
+
+    def test_skewness_symmetric_near_zero(self, rng):
+        data = rng.normal(size=20_000)
+        assert abs(skewness(data)) < 0.06
+
+    def test_kurtosis_of_uniform_negative(self, rng):
+        # Uniform excess kurtosis is -1.2.
+        data = rng.uniform(size=20_000)
+        assert excess_kurtosis(data) == pytest.approx(-1.2, abs=0.1)
+
+    def test_standard_error_of_mean_scales(self, rng):
+        data = rng.normal(size=400)
+        se = standard_error_of_mean(data)
+        assert se == pytest.approx(data.std(ddof=1) / 20.0)
+
+
+class TestWeightedMoments:
+    def test_uniform_weights_match_plain(self, bimodal_samples):
+        plain = sample_moments(bimodal_samples)
+        weighted = weighted_moments(
+            bimodal_samples, np.ones_like(bimodal_samples)
+        )
+        assert weighted.mean == pytest.approx(plain.mean)
+        assert weighted.std == pytest.approx(plain.std)
+        assert weighted.skewness == pytest.approx(plain.skewness)
+
+    def test_zero_weight_excludes(self):
+        samples = np.array([0.0, 0.0, 10.0, 10.0, 5.0])
+        weights = np.array([1.0, 1.0, 0.0, 0.0, 1.0])
+        summary = weighted_moments(samples, weights)
+        assert summary.mean == pytest.approx(5.0 / 3.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(FittingError, match="mismatch"):
+            weighted_moments(np.ones(4), np.ones(5))
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(FittingError, match="non-negative"):
+            weighted_moments(np.ones(4), np.array([1, 1, -1, 1.0]))
+
+    def test_zero_total_weight_raises(self):
+        with pytest.raises(FittingError, match="positive"):
+            weighted_moments(np.arange(4.0), np.zeros(4))
+
+    def test_degenerate_weighted_variance_raises(self):
+        samples = np.array([1.0, 1.0, 2.0])
+        weights = np.array([1.0, 1.0, 0.0])
+        with pytest.raises(FittingError, match="variance"):
+            weighted_moments(samples, weights)
+
+
+@given(
+    mean=st.floats(-10, 10),
+    std=st.floats(0.01, 10),
+    n=st.integers(50, 400),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_moments_recover_location_scale(mean, std, n):
+    """Affine transforms shift/scale the first two moments exactly."""
+    rng = np.random.default_rng(7)
+    base = rng.normal(size=n)
+    summary = sample_moments(mean + std * base)
+    base_summary = sample_moments(base)
+    assert summary.mean == pytest.approx(
+        mean + std * base_summary.mean, abs=1e-9 + 1e-9 * abs(mean)
+    )
+    assert summary.std == pytest.approx(std * base_summary.std, rel=1e-9)
+    # Skewness and kurtosis are affine-invariant.
+    assert summary.skewness == pytest.approx(
+        base_summary.skewness, abs=1e-7
+    )
+    assert summary.kurtosis == pytest.approx(
+        base_summary.kurtosis, abs=1e-6
+    )

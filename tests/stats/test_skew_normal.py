@@ -1,0 +1,190 @@
+"""Tests for repro.stats.skew_normal — the LVF core distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.stats.moments import sample_moments
+from repro.stats.skew_normal import (
+    MAX_SKEWNESS,
+    SkewNormal,
+    alpha_from_delta,
+    clamp_skewness,
+    delta_from_alpha,
+    moments_to_params,
+    params_to_moments,
+)
+
+
+class TestDeltaAlpha:
+    def test_zero(self):
+        assert delta_from_alpha(0.0) == 0.0
+        assert alpha_from_delta(0.0) == 0.0
+
+    def test_roundtrip(self):
+        for alpha in (-5.0, -0.5, 0.3, 2.0, 40.0):
+            delta = delta_from_alpha(alpha)
+            assert alpha_from_delta(delta) == pytest.approx(alpha)
+
+    def test_delta_bounded(self):
+        assert abs(delta_from_alpha(1e6)) < 1.0
+
+    def test_alpha_from_invalid_delta(self):
+        with pytest.raises(ParameterError):
+            alpha_from_delta(1.0)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("gamma", [-0.95, -0.5, 0.0, 0.3, 0.9])
+    def test_roundtrip(self, gamma):
+        xi, omega, alpha = moments_to_params(2.0, 0.5, gamma)
+        mean, std, skew = params_to_moments(xi, omega, alpha)
+        assert mean == pytest.approx(2.0, abs=1e-10)
+        assert std == pytest.approx(0.5, abs=1e-10)
+        assert skew == pytest.approx(gamma, abs=1e-6)
+
+    def test_clamps_excess_skewness(self):
+        xi, omega, alpha = moments_to_params(0.0, 1.0, 5.0)
+        _, _, skew = params_to_moments(xi, omega, alpha)
+        assert skew < MAX_SKEWNESS
+        assert skew == pytest.approx(MAX_SKEWNESS, abs=1e-3)
+
+    def test_invalid_std(self):
+        with pytest.raises(ParameterError):
+            moments_to_params(0.0, 0.0, 0.0)
+        with pytest.raises(ParameterError):
+            moments_to_params(0.0, -1.0, 0.0)
+
+    def test_clamp_skewness_bounds(self):
+        assert clamp_skewness(10.0) < MAX_SKEWNESS
+        assert clamp_skewness(-10.0) > -MAX_SKEWNESS
+        assert clamp_skewness(0.1) == 0.1
+
+    def test_max_skewness_constant(self):
+        # Known supremum of SN skewness ~ 0.9953.
+        assert MAX_SKEWNESS == pytest.approx(0.99527, abs=1e-4)
+
+
+class TestSkewNormal:
+    def test_zero_alpha_is_gaussian(self):
+        sn = SkewNormal(0.0, 1.0, 0.0)
+        grid = np.linspace(-3, 3, 7)
+        gauss = np.exp(-0.5 * grid**2) / np.sqrt(2 * np.pi)
+        np.testing.assert_allclose(sn.pdf(grid), gauss, rtol=1e-12)
+
+    def test_pdf_integrates_to_one(self):
+        sn = SkewNormal.from_moments(1.0, 0.2, 0.8)
+        grid = sn.support_grid(4001, spread=10.0)
+        assert np.trapezoid(sn.pdf(grid), grid) == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_cdf_matches_pdf_integral(self):
+        sn = SkewNormal(0.5, 0.3, -2.0)
+        grid = np.linspace(-1.5, 2.5, 2001)
+        pdf = sn.pdf(grid)
+        numeric = np.concatenate(
+            ([0.0], np.cumsum((pdf[1:] + pdf[:-1]) / 2 * np.diff(grid)))
+        )
+        numeric += float(sn.cdf(grid[0]))
+        np.testing.assert_allclose(sn.cdf(grid), numeric, atol=5e-6)
+
+    def test_ppf_inverts_cdf(self):
+        sn = SkewNormal.from_moments(0.0, 1.0, 0.7)
+        quantiles = np.array([0.001, 0.05, 0.5, 0.95, 0.999])
+        x = sn.ppf(quantiles)
+        np.testing.assert_allclose(sn.cdf(x), quantiles, atol=1e-10)
+
+    def test_ppf_extremes(self):
+        sn = SkewNormal.standard(1.0)
+        assert sn.ppf(0.0) == -np.inf
+        assert sn.ppf(1.0) == np.inf
+
+    def test_ppf_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            SkewNormal.standard().ppf(1.5)
+
+    def test_rvs_moments_match(self, rng):
+        sn = SkewNormal.from_moments(1.0, 0.2, 0.7)
+        samples = sn.rvs(100_000, rng=rng)
+        summary = sample_moments(samples)
+        assert summary.mean == pytest.approx(1.0, abs=0.005)
+        assert summary.std == pytest.approx(0.2, rel=0.02)
+        assert summary.skewness == pytest.approx(0.7, abs=0.05)
+
+    def test_logpdf_consistent(self):
+        sn = SkewNormal(0.0, 2.0, 3.0)
+        grid = np.linspace(-5, 8, 50)
+        np.testing.assert_allclose(
+            np.exp(sn.logpdf(grid)), sn.pdf(grid), rtol=1e-10
+        )
+
+    def test_logpdf_finite_in_deep_tail(self):
+        sn = SkewNormal(0.0, 1.0, 5.0)
+        # Left tail of a right-skewed SN underflows in plain pdf.
+        value = sn.logpdf(np.array([-20.0]))[0]
+        assert np.isfinite(value)
+
+    def test_moments_object_kurtosis_positive_for_skewed(self):
+        sn = SkewNormal.standard(4.0)
+        assert sn.moments().kurtosis > 0.0
+
+    def test_median_between_mean_for_right_skew(self):
+        sn = SkewNormal.from_moments(1.0, 0.1, 0.8)
+        assert sn.median() < sn.mean
+
+    def test_shift_scale(self):
+        sn = SkewNormal.from_moments(1.0, 0.1, 0.5)
+        shifted = sn.shift(2.0)
+        assert shifted.mean == pytest.approx(sn.mean + 2.0)
+        assert shifted.std == pytest.approx(sn.std)
+        scaled = sn.scale(3.0)
+        assert scaled.mean == pytest.approx(3.0 * sn.mean)
+        assert scaled.std == pytest.approx(3.0 * sn.std)
+        with pytest.raises(ParameterError):
+            sn.scale(-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            SkewNormal(0.0, -1.0, 0.0)
+        with pytest.raises(ParameterError):
+            SkewNormal(np.nan, 1.0, 0.0)
+
+
+@given(
+    mean=st.floats(-5, 5),
+    std=st.floats(0.01, 5),
+    gamma=st.floats(-0.99, 0.99),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_bijection_roundtrip(mean, std, gamma):
+    """g and g^-1 are mutual inverses across the whole domain (Eq. 2)."""
+    xi, omega, alpha = moments_to_params(mean, std, gamma)
+    got_mean, got_std, got_gamma = params_to_moments(xi, omega, alpha)
+    assert got_mean == pytest.approx(mean, abs=1e-8 * max(1, abs(mean)))
+    assert got_std == pytest.approx(std, rel=1e-8)
+    assert got_gamma == pytest.approx(gamma, abs=2e-4)
+
+
+@given(
+    alpha=st.floats(-20, 20),
+    q=st.floats(0.01, 0.99),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_cdf_ppf_consistency(alpha, q):
+    sn = SkewNormal(0.0, 1.0, alpha)
+    assert float(sn.cdf(sn.ppf(q))) == pytest.approx(q, abs=1e-8)
+
+
+@given(alpha=st.floats(-10, 10))
+@settings(max_examples=30, deadline=None)
+def test_property_cdf_monotone(alpha):
+    sn = SkewNormal(0.0, 1.0, alpha)
+    grid = np.linspace(-6, 6, 101)
+    values = sn.cdf(grid)
+    assert np.all(np.diff(values) >= -1e-12)
+    assert values[0] >= 0.0 and values[-1] <= 1.0

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in (
+            ["models"],
+            ["fo4"],
+            ["fit", "x.npy"],
+            ["scenario"],
+            ["characterize"],
+            ["liberty", "x.lib"],
+            ["bench"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+
+class TestCommands:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        for name in ("LVF2", "Norm2", "LESN", "LVF"):
+            assert name in output
+
+    def test_fo4(self, capsys):
+        assert main(["fo4"]) == 0
+        assert "FO4 delay" in capsys.readouterr().out
+
+    def test_fit_from_npy(self, tmp_path, capsys, bimodal_samples):
+        path = tmp_path / "samples.npy"
+        np.save(path, bimodal_samples)
+        assert main(["fit", str(path), "--model", "LVF2", "--score"]) == 0
+        output = capsys.readouterr().out
+        assert "LVF2:" in output
+        assert "binning_reduction" in output
+
+    def test_fit_from_text(self, tmp_path, capsys, gaussian_samples):
+        path = tmp_path / "samples.txt"
+        np.savetxt(path, gaussian_samples)
+        assert main(["fit", str(path), "--model", "Gaussian"]) == 0
+        assert "Gaussian:" in capsys.readouterr().out
+
+    def test_fit_unknown_model_errors(self, tmp_path, capsys):
+        path = tmp_path / "samples.npy"
+        np.save(path, np.random.default_rng(0).normal(size=100))
+        assert main(["fit", str(path), "--model", "Bogus"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_scenario_single(self, capsys):
+        code = main(
+            ["scenario", "--name", "Saddle", "--samples", "4000"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Saddle" in output and "LVF2" in output
+
+    def test_validate_clean_library(self, tmp_path, capsys):
+        out = tmp_path / "v.lib"
+        assert (
+            main(
+                [
+                    "characterize",
+                    "--cells",
+                    "INV",
+                    "--grid",
+                    "2",
+                    "--samples",
+                    "300",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert main(["validate", str(out)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_characterize_and_liberty(self, tmp_path, capsys):
+        out = tmp_path / "lib.lib"
+        code = main(
+            [
+                "characterize",
+                "--cells",
+                "INV",
+                "--grid",
+                "2",
+                "--samples",
+                "300",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        roundtrip = tmp_path / "rt.lib"
+        code = main(
+            ["liberty", str(out), "--roundtrip", str(roundtrip)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "INV_X1" in output
+        assert roundtrip.exists()
