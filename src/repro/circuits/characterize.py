@@ -13,24 +13,30 @@ from __future__ import annotations
 
 import hashlib
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.circuits.cells import CellDefinition
 from repro.circuits.gate import ArcSimResult, GateTimingEngine
-from repro.errors import CharacterizationError
+from repro.errors import CharacterizationError, FittingError
 from repro.liberty.library import Cell as LibCell
 from repro.liberty.library import Library, Pin, TimingArc
 from repro.liberty.lvf2_attrs import LVF2Tables
 from repro.liberty.tables import Table, TableTemplate
 from repro.models.lvf2 import LVF2Model
+from repro.runtime import faults
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.policy import FitPolicy
+from repro.runtime.progress import ProgressReporter
+from repro.runtime.report import FitContext, FitReport
 
 __all__ = [
     "PAPER_LOADS",
     "PAPER_SLEWS",
     "CharacterizationConfig",
     "ArcCharacterization",
+    "arc_checkpoint_token",
     "characterize_arc",
     "characterized_arc_to_liberty",
     "characterize_library",
@@ -160,14 +166,69 @@ class ArcCharacterization:
         return models
 
 
+def arc_checkpoint_token(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    input_pin: str,
+    transition: str,
+    config: CharacterizationConfig,
+) -> str:
+    """Content token identifying one arc-characterisation request.
+
+    Everything the Monte-Carlo result depends on goes in: the engine's
+    physical parameters, the arc topology, and the grid/sampling
+    configuration.  Attribute access (rather than ``repr(engine)``)
+    keeps the token stable for wrappers that delegate to a real engine.
+    """
+    engine_part = "|".join(
+        repr(getattr(engine, name, None))
+        for name in (
+            "corner",
+            "variation",
+            "slew_sensitivity",
+            "charge_sharing_kick",
+            "interaction_kick",
+        )
+    )
+    topology = cell.arc(input_pin, transition)
+    config_part = (
+        f"{config.slews}|{config.loads}|{config.n_samples}"
+        f"|{config.seed}|{config.use_lhs}"
+    )
+    return f"arc-mc|{engine_part}|{cell.name}|{topology!r}|{config_part}"
+
+
 def characterize_arc(
     engine: GateTimingEngine,
     cell: CellDefinition,
     input_pin: str,
     transition: str,
     config: CharacterizationConfig,
+    *,
+    checkpoint: CheckpointStore | None = None,
 ) -> ArcCharacterization:
-    """Monte-Carlo characterise one arc over the full grid."""
+    """Monte-Carlo characterise one arc over the full grid.
+
+    Args:
+        engine: Timing engine.
+        cell: Cell whose arc is characterised.
+        input_pin: Arc input pin.
+        transition: Output transition, ``rise`` or ``fall``.
+        config: Grid and sampling configuration.
+        checkpoint: Optional store; a previously completed run of the
+            identical request is returned without re-simulating, and a
+            fresh run is persisted for future resumes.
+    """
+    token = (
+        arc_checkpoint_token(engine, cell, input_pin, transition, config)
+        if checkpoint is not None
+        else None
+    )
+    if checkpoint is not None and token is not None:
+        cached = checkpoint.load(token)
+        if cached is not None:
+            faults.arc_completed()
+            return cached
     topology = cell.arc(input_pin, transition)
     shape = config.grid_shape
     delay_samples = np.empty(shape, dtype=object)
@@ -184,11 +245,19 @@ def characterize_arc(
                 rng=_condition_seed(config.seed, topology.name, i, j),
                 use_lhs=config.use_lhs,
             )
-            delay_samples[i, j] = result.delay
-            transition_samples[i, j] = result.transition
+            delay_samples[i, j] = faults.corrupt_samples(
+                FitContext(cell.name, input_pin, transition, "delay", i, j),
+                result.delay,
+            )
+            transition_samples[i, j] = faults.corrupt_samples(
+                FitContext(
+                    cell.name, input_pin, transition, "transition", i, j
+                ),
+                result.transition,
+            )
             nominal_delay[i, j] = result.nominal_delay
             nominal_transition[i, j] = result.nominal_transition
-    return ArcCharacterization(
+    characterization = ArcCharacterization(
         cell=cell.name,
         input_pin=input_pin,
         transition=transition,
@@ -198,6 +267,38 @@ def characterize_arc(
         nominal_delay=nominal_delay,
         nominal_transition=nominal_transition,
     )
+    if checkpoint is not None and token is not None:
+        checkpoint.save(token, characterization)
+    faults.arc_completed()
+    return characterization
+
+
+def _fit_grid_with_policy(
+    char: ArcCharacterization,
+    quantity: str,
+    policy: FitPolicy,
+    report: FitReport | None,
+) -> np.ndarray:
+    """Fit every grid point through the fallback ladder."""
+    shape = char.config.grid_shape
+    models = np.empty(shape, dtype=object)
+    for i in range(shape[0]):
+        for j in range(shape[1]):
+            context = FitContext(
+                cell=char.cell,
+                pin=char.input_pin,
+                transition=char.transition,
+                quantity=quantity,
+                slew_index=i,
+                load_index=j,
+            )
+            outcome = policy.fit(
+                char.samples(quantity, i, j), context=context
+            )
+            if report is not None:
+                report.record_fit(context, outcome)
+            models[i, j] = outcome.model
+    return models
 
 
 def characterized_arc_to_liberty(
@@ -206,6 +307,8 @@ def characterized_arc_to_liberty(
     *,
     timing_sense: str = "negative_unate",
     collapse_by_bic: bool = False,
+    policy: FitPolicy | None = None,
+    report: FitReport | None = None,
 ) -> TimingArc:
     """Fit LVF2 grids for both edges and build a Liberty timing arc.
 
@@ -215,6 +318,9 @@ def characterized_arc_to_liberty(
         timing_sense: Liberty unateness attribute.
         collapse_by_bic: Apply the §3.4 fallback — grid points whose
             data do not support two components are stored as plain LVF.
+        policy: Optional fallback ladder; when given, a degenerate fit
+            at one grid point degrades that point instead of raising.
+        report: Degradation report fed by ``policy`` fits.
     """
     if (rise.cell, rise.input_pin) != (fall.cell, fall.input_pin):
         raise CharacterizationError(
@@ -242,13 +348,21 @@ def characterized_arc_to_liberty(
         nominal = Table(
             template.name, config.slews, config.loads, nominal_grid
         )
-        models = char.fit_grid(quantity)
+        if policy is not None:
+            models = _fit_grid_with_policy(char, quantity, policy, report)
+        else:
+            models = char.fit_grid(quantity)
         if collapse_by_bic:
             for index in np.ndindex(models.shape):
                 model = models[index]
-                collapsed = model.collapse_by_bic(
-                    char.samples(quantity, *index)
-                )
+                try:
+                    collapsed = model.collapse_by_bic(
+                        char.samples(quantity, *index)
+                    )
+                except FittingError:
+                    if policy is None:
+                        raise
+                    continue
                 if collapsed is not model:
                     models[index] = LVF2Model.from_lvf(collapsed)
         arc.tables[base] = LVF2Tables.from_models(base, nominal, models)
@@ -261,8 +375,30 @@ def characterize_library(
     config: CharacterizationConfig,
     *,
     library_name: str = "repro_tt_0p8v_25c",
+    checkpoint: CheckpointStore | None = None,
+    policy: FitPolicy | None = None,
+    report: FitReport | None = None,
+    isolate_errors: bool = False,
+    progress: ProgressReporter | None = None,
 ) -> Library:
-    """Characterise a cell list into a complete LVF2 Liberty library."""
+    """Characterise a cell list into a complete LVF2 Liberty library.
+
+    Args:
+        engine: Timing engine.
+        cells: Cells to characterise.
+        config: Grid and sampling configuration.
+        library_name: Liberty library name.
+        checkpoint: Optional per-arc checkpoint store; completed arcs
+            of a killed run are resumed instead of re-simulated.
+        policy: Optional fit fallback ladder; degenerate grid points
+            degrade through it instead of aborting the library.
+        report: Degradation/quarantine report filled during the run.
+        isolate_errors: When True, an arc whose characterisation or
+            fitting fails terminally is quarantined into ``report``
+            (the library is emitted without it) instead of raising.
+        progress: Optional progress reporter (one line per arc).
+    """
+    reporter = progress or ProgressReporter(enabled=False)
     template = config.template()
     library = Library(
         name=library_name,
@@ -287,13 +423,64 @@ def characterize_library(
             name=cell.output, direction="output", function=cell.function
         )
         for pin_name in cell.inputs:
-            rise = characterize_arc(
-                engine, cell, pin_name, "rise", config
+            try:
+                rise = characterize_arc(
+                    engine,
+                    cell,
+                    pin_name,
+                    "rise",
+                    config,
+                    checkpoint=checkpoint,
+                )
+                fall = characterize_arc(
+                    engine,
+                    cell,
+                    pin_name,
+                    "fall",
+                    config,
+                    checkpoint=checkpoint,
+                )
+            except (CharacterizationError, FittingError) as error:
+                if not isolate_errors:
+                    raise
+                if report is not None:
+                    report.quarantine(
+                        f"{cell.name}/{pin_name}", "simulate", str(error)
+                    )
+                reporter.info(
+                    "quarantined %s/%s (simulate): %s",
+                    cell.name,
+                    pin_name,
+                    error,
+                )
+                continue
+            try:
+                output.arcs.append(
+                    characterized_arc_to_liberty(
+                        rise, fall, policy=policy, report=report
+                    )
+                )
+            except (CharacterizationError, FittingError) as error:
+                if not isolate_errors:
+                    raise
+                if report is not None:
+                    report.quarantine(
+                        f"{cell.name}/{pin_name}", "fit", str(error)
+                    )
+                reporter.info(
+                    "quarantined %s/%s (fit): %s",
+                    cell.name,
+                    pin_name,
+                    error,
+                )
+                continue
+            reporter.info(
+                "characterized %s/%s (%dx%d grid, %d samples)",
+                cell.name,
+                pin_name,
+                *config.grid_shape,
+                config.n_samples,
             )
-            fall = characterize_arc(
-                engine, cell, pin_name, "fall", config
-            )
-            output.arcs.append(characterized_arc_to_liberty(rise, fall))
         lib_cell.pins[output.name] = output
         library.cells[cell.name] = lib_cell
     return library

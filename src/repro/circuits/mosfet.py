@@ -18,7 +18,6 @@ are continuous through the near-threshold region — the region in which
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -18,18 +18,72 @@ import sys
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import (
+    CharacterizationError,
+    CheckpointError,
+    ExperimentError,
+    FittingError,
+    LibertyError,
+    ParameterError,
+    ReproError,
+    SSTAError,
+)
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for", "EXIT_CODES"]
+
+#: Exit code per error family; the most specific ancestor wins.  Code 1
+#: is reserved for unclassified :class:`ReproError` values.
+EXIT_CODES: dict[type[ReproError], int] = {
+    ParameterError: 2,
+    FittingError: 3,
+    LibertyError: 4,
+    CharacterizationError: 5,
+    SSTAError: 6,
+    ExperimentError: 7,
+    CheckpointError: 8,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map an error to its family's exit code (1 for the base class)."""
+    for klass in type(error).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1
 
 
 def _load_samples(path: str) -> np.ndarray:
-    """Load samples from ``.npy`` or whitespace-separated text / stdin."""
-    if path == "-":
-        return np.loadtxt(sys.stdin)
-    if path.endswith(".npy"):
-        return np.load(path)
-    return np.loadtxt(path)
+    """Load samples from ``.npy`` or whitespace-separated text / stdin.
+
+    Raises:
+        ParameterError: When the file is missing or not parseable as
+            numeric samples — the CLI reports one line, not a numpy
+            traceback.
+    """
+    try:
+        if path == "-":
+            return np.loadtxt(sys.stdin)
+        if path.endswith(".npy"):
+            return np.load(path)
+        return np.loadtxt(path)
+    except (OSError, ValueError) as error:
+        raise ParameterError(
+            f"cannot load samples from {path!r}: {error}"
+        ) from error
+
+
+def _checkpoint_store(args: argparse.Namespace):
+    """Build the checkpoint store requested by --checkpoint-dir/--resume."""
+    from repro.runtime.checkpoint import CheckpointStore
+
+    if not args.checkpoint_dir:
+        if args.resume:
+            raise ParameterError(
+                "--resume requires --checkpoint-dir pointing at the "
+                "store of the interrupted run"
+            )
+        return None
+    return CheckpointStore(args.checkpoint_dir, reuse=args.resume)
 
 
 def _cmd_models(_: argparse.Namespace) -> int:
@@ -98,7 +152,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         characterize_library,
     )
     from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+    from repro.runtime import FitPolicy, FitReport, ProgressReporter
+    from repro.runtime.progress import configure_progress_logging
 
+    configure_progress_logging()
     engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
     grid = args.grid
     config = CharacterizationConfig(
@@ -108,7 +165,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cells = [build_cell(name, args.drive) for name in args.cells]
-    library = characterize_library(engine, cells, config)
+    report = FitReport()
+    library = characterize_library(
+        engine,
+        cells,
+        config,
+        checkpoint=_checkpoint_store(args),
+        policy=None if args.no_fallback else FitPolicy(),
+        report=report,
+        isolate_errors=not args.no_fallback,
+        progress=ProgressReporter(enabled=args.progress),
+    )
     text = library.to_text()
     if args.out:
         with open(args.out, "w") as handle:
@@ -119,6 +186,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         )
     else:
         print(text)
+    if report.n_fits and (
+        report.degraded_records() or report.quarantined
+    ):
+        print(report.summary())
     return 0
 
 
@@ -170,9 +241,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.paper:
         os.environ["REPRO_PAPER"] = "1"
     from repro.experiments import run_all
+    from repro.runtime.progress import configure_progress_logging
 
+    if not args.quiet:
+        configure_progress_logging()
     suite = run_all(
-        scenario_samples=args.samples, progress=not args.quiet
+        scenario_samples=args.samples,
+        progress=not args.quiet,
+        checkpoint=_checkpoint_store(args),
     )
     print(suite.to_text())
     return 0
@@ -231,6 +307,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     characterize.add_argument("--seed", type=int, default=2024)
     characterize.add_argument("--out", default=None)
+    characterize.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="per-arc checkpoint store for kill-and-resume runs",
+    )
+    characterize.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed arcs from --checkpoint-dir",
+    )
+    characterize.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the fit fallback ladder and per-arc isolation "
+        "(a degenerate fit aborts the run)",
+    )
+    characterize.add_argument(
+        "--progress",
+        action="store_true",
+        help="log one line per characterised arc",
+    )
 
     liberty = sub.add_parser("liberty", help="inspect a Liberty file")
     liberty.add_argument("library")
@@ -249,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--paper", action="store_true")
     bench.add_argument("--samples", type=int, default=50_000)
     bench.add_argument("--quiet", action="store_true")
+    bench.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="per-arc checkpoint store for the Table 2 library sweep",
+    )
+    bench.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed arcs from --checkpoint-dir",
+    )
 
     sub.add_parser("fo4", help="print the technology FO4 delay")
     return parser
@@ -273,7 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         return _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

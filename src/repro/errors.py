@@ -57,6 +57,14 @@ class CharacterizationError(ReproError):
     """A Monte-Carlo characterisation run could not be completed."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint store entry is unreadable or inconsistent.
+
+    Raised when a stored payload cannot be deserialised or its recorded
+    request token does not match the request being resumed.
+    """
+
+
 class SSTAError(ReproError):
     """A statistical timing-analysis operation failed.
 

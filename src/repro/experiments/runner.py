@@ -3,6 +3,11 @@
 ``run_all`` executes each experiment at the configured scale and
 assembles a single text report mirroring the paper's §4 — this is what
 ``python -m repro bench`` prints and what EXPERIMENTS.md records.
+
+Progress goes through the ``repro.progress`` logger (see
+:mod:`repro.runtime.progress`), and the heaviest experiment — the
+Table 2 library sweep — can resume a killed run from a per-arc
+checkpoint store.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Config, Table2Result, run_table2
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.progress import ProgressReporter
 
 __all__ = ["ExperimentSuite", "run_all"]
 
@@ -48,25 +55,31 @@ def run_all(
     scenario_samples: int = 50_000,
     table2_config: Table2Config | None = None,
     progress: bool = False,
+    checkpoint: CheckpointStore | None = None,
 ) -> ExperimentSuite:
-    """Execute every experiment of the paper's evaluation section."""
-    if progress:
-        print("fig3: scenario fits ...")
+    """Execute every experiment of the paper's evaluation section.
+
+    Args:
+        scenario_samples: Sample count for the Fig. 3 scenarios.
+        table2_config: Scale configuration for the library sweep.
+        progress: Log per-experiment progress lines.
+        checkpoint: Optional checkpoint store forwarded to the Table 2
+            library sweep so a killed bench run resumes mid-sweep.
+    """
+    reporter = ProgressReporter.from_flag(progress)
+    reporter.info("fig3: scenario fits ...")
     fig3 = run_fig3(scenario_samples)
-    if progress:
-        print("table1: scenario binning ...")
+    reporter.info("table1: scenario binning ...")
     table1 = run_table1(scenario_samples)
-    if progress:
-        print("table2: library assessment ...")
-    table2 = run_table2(table2_config, progress=progress)
-    if progress:
-        print("fig4: accuracy pattern ...")
+    reporter.info("table2: library assessment ...")
+    table2 = run_table2(
+        table2_config, progress=progress, checkpoint=checkpoint
+    )
+    reporter.info("fig4: accuracy pattern ...")
     fig4 = run_fig4()
-    if progress:
-        print("fig5: path propagation ...")
+    reporter.info("fig5: path propagation ...")
     fig5 = run_fig5()
-    if progress:
-        print("clt: convergence ...")
+    reporter.info("clt: convergence ...")
     clt = run_clt_convergence()
     return ExperimentSuite(
         fig3=fig3,

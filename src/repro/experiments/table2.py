@@ -15,7 +15,6 @@ paper-scale 8x8 x 50k run.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +40,8 @@ from repro.experiments.common import (
     format_table,
     paper_scale,
 )
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.progress import ProgressReporter
 from repro.stats.empirical import EmpiricalDistribution
 
 __all__ = [
@@ -199,14 +200,19 @@ def run_table2(
     *,
     engine: GateTimingEngine | None = None,
     progress: bool = False,
+    checkpoint: CheckpointStore | None = None,
 ) -> Table2Result:
     """Regenerate Table 2.
 
     Args:
         config: Scale configuration (:meth:`Table2Config.auto` default).
         engine: Timing engine; defaults to the TTGlobal_LocalMC corner.
-        progress: Print one line per cell type as it completes.
+        progress: Log one line per cell type as it completes (via the
+            ``repro.progress`` logger).
+        checkpoint: Optional per-arc checkpoint store; a killed run
+            resumes from the last completed arc's Monte-Carlo samples.
     """
+    reporter = ProgressReporter.from_flag(progress)
     cfg = config or Table2Config.auto()
     sim = engine or GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
     char_config = CharacterizationConfig(
@@ -224,7 +230,12 @@ def run_table2(
                 cell, cfg.max_arcs_per_cell
             ):
                 characterization = characterize_arc(
-                    sim, cell, pin, transition, char_config
+                    sim,
+                    cell,
+                    pin,
+                    transition,
+                    char_config,
+                    checkpoint=checkpoint,
                 )
                 row.n_arcs += 1
                 for quantity, metric_prefix in (
@@ -240,12 +251,12 @@ def run_table2(
                                 row, metric_prefix, samples
                             )
         rows[cell_type] = row
-        if progress:
-            print(
-                f"{cell_type:6s} arcs={row.n_arcs:3d} "
-                f"dly_bin LVF2="
-                f"{row.mean_reduction('delay_binning', 'LVF2'):.2f}"
-            )
+        reporter.info(
+            "%-6s arcs=%3d dly_bin LVF2=%.2f",
+            cell_type,
+            row.n_arcs,
+            row.mean_reduction("delay_binning", "LVF2"),
+        )
     return Table2Result(rows=rows, config=cfg)
 
 

@@ -20,7 +20,6 @@ from repro.circuits.gate import GateTimingEngine
 from repro.circuits.process import TT_GLOBAL_LOCAL_MC
 from repro.errors import ExperimentError
 from repro.experiments.common import fit_paper_models, format_table
-from repro.models import fit_model
 from repro.stats.empirical import EmpiricalDistribution
 
 __all__ = ["VoltageSweepResult", "run_voltage_sweep"]

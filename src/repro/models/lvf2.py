@@ -36,7 +36,7 @@ from repro.stats.em import (
 )
 from repro.stats.mixtures import Mixture
 from repro.stats.moments import MomentSummary
-from repro.stats.skew_normal import SkewNormal, moments_to_params
+from repro.stats.skew_normal import SkewNormal
 
 __all__ = ["LVF2Model", "SKEW_NORMAL_FAMILY"]
 

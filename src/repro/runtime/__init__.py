@@ -1,0 +1,53 @@
+"""Fault-tolerant runtime layer for long-running pipelines.
+
+This package makes library-scale characterisation and the experiment
+drivers survivable and testable under failure:
+
+- :mod:`repro.runtime.policy`     — the FitPolicy fallback ladder
+  (LVF2 → reseeded LVF2 → Norm2 → LVF → Gaussian → placeholder);
+- :mod:`repro.runtime.report`     — structured :class:`FitReport` of
+  which rung every arc-condition landed on plus quarantined arcs;
+- :mod:`repro.runtime.checkpoint` — content-addressed per-arc
+  checkpoints with atomic writes for kill-and-resume runs;
+- :mod:`repro.runtime.faults`     — deterministic fault injection
+  (NaN samples, forced EM non-convergence, mid-run kills);
+- :mod:`repro.runtime.progress`   — logging-based progress reporting.
+
+The layering is strictly below :mod:`repro.circuits` and
+:mod:`repro.experiments`: those packages import the runtime, never the
+reverse.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.faults import FaultPlan, FaultRule, InjectedKill, inject
+from repro.runtime.policy import DEFAULT_RUNGS, FitPolicy
+from repro.runtime.progress import (
+    ProgressReporter,
+    configure_progress_logging,
+)
+from repro.runtime.report import (
+    FitAttempt,
+    FitContext,
+    FitOutcome,
+    FitRecord,
+    FitReport,
+    QuarantineRecord,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "DEFAULT_RUNGS",
+    "FaultPlan",
+    "FaultRule",
+    "FitAttempt",
+    "FitContext",
+    "FitOutcome",
+    "FitPolicy",
+    "FitRecord",
+    "FitReport",
+    "InjectedKill",
+    "ProgressReporter",
+    "QuarantineRecord",
+    "configure_progress_logging",
+    "inject",
+]

@@ -1,0 +1,147 @@
+"""Content-addressed checkpoint store for long-running pipelines.
+
+Library characterisation simulates thousands of Monte-Carlo arc
+populations; a killed run used to restart from zero.  The store in this
+module gives every unit of work a *content-addressed* key — a hash of
+the full request (engine corner, cell topology, grid, sample count,
+seed) — and persists the finished payload under that key, so a re-run
+of the same request resumes from the last completed arc while any
+change to the request (different seed, grid, corner...) naturally maps
+to fresh keys and recomputes.
+
+Payloads are arbitrary Python objects (sample grids, fitted models)
+persisted with :mod:`pickle`; the store is a private cache directory
+owned by this library, not an interchange format.  Writes are atomic
+(temp file + ``os.replace``) so a kill mid-write never leaves a
+truncated checkpoint behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CheckpointError
+
+__all__ = ["CheckpointStore"]
+
+#: Bump when the on-disk layout changes; stale formats are rejected.
+_FORMAT_VERSION = 1
+
+
+class CheckpointStore:
+    """Directory of content-addressed pickled checkpoints.
+
+    Attributes:
+        directory: Store root; created on construction.
+        reuse: When False, ``load`` always misses (fresh run) while
+            ``save`` still records checkpoints for future resumes.
+        hits: Number of successful loads.
+        misses: Number of loads that found nothing.
+        writes: Number of checkpoints saved.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike[str], *, reuse: bool = True
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.reuse = reuse
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @staticmethod
+    def key_of(token: str) -> str:
+        """Content-addressed key for a request token."""
+        return hashlib.sha256(token.encode()).hexdigest()[:32]
+
+    def path_for(self, token: str) -> Path:
+        """On-disk path of the checkpoint for ``token``."""
+        return self.directory / f"{self.key_of(token)}.ckpt"
+
+    def contains(self, token: str) -> bool:
+        """Whether a checkpoint for ``token`` exists on disk."""
+        return self.path_for(token).exists()
+
+    def load(self, token: str) -> Any | None:
+        """Load the payload for ``token``; None on miss (or fresh run).
+
+        Raises:
+            CheckpointError: If the stored entry cannot be read or was
+                written for a different request (hash collision or
+                foreign file).
+        """
+        path = self.path_for(token)
+        if not self.reuse or not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+        except Exception as error:
+            raise CheckpointError(
+                f"unreadable checkpoint {path.name}: {error}"
+            ) from error
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != _FORMAT_VERSION
+            or "payload" not in entry
+        ):
+            raise CheckpointError(
+                f"checkpoint {path.name} has an unknown format"
+            )
+        if entry.get("token") != token:
+            raise CheckpointError(
+                f"checkpoint {path.name} was written for a different "
+                f"request"
+            )
+        self.hits += 1
+        return entry["payload"]
+
+    def save(self, token: str, payload: Any) -> Path:
+        """Atomically persist ``payload`` under ``token``'s key."""
+        path = self.path_for(token)
+        entry = {
+            "version": _FORMAT_VERSION,
+            "token": token,
+            "payload": payload,
+        }
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            # A kill between mkstemp and replace must not leave temp
+            # litter that a later clear() would miss.
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def keys(self) -> tuple[str, ...]:
+        """Keys of every checkpoint currently on disk (sorted)."""
+        return tuple(
+            sorted(p.stem for p in self.directory.glob("*.ckpt"))
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.ckpt"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the fault-tolerance layer.
+
+The degradation paths of the runtime layer (fallback ladder, per-arc
+quarantine, checkpoint resume) must be *exercised* by tests, not just
+claimed.  This module provides the injection points:
+
+- ``nan_samples``  — corrupt a deterministic subset of the Monte-Carlo
+  samples of matching arc-conditions with NaNs;
+- ``em_failure``   — force the mixture rungs of the fallback ladder to
+  fail on matching arc-conditions, as if EM had not converged;
+- ``kill``         — raise :class:`InjectedKill` after N completed
+  arcs, simulating a mid-run process death for resume tests.
+
+A :class:`FaultPlan` is activated with the :func:`inject` context
+manager; production code paths call the module-level hooks
+(:func:`corrupt_samples`, :func:`fit_should_fail`,
+:func:`arc_completed`), which are no-ops when no plan is active.  All
+randomness is derived from the arc-condition identity, so a plan
+injects byte-identical faults on every run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.runtime.report import FitContext
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedKill",
+    "active_plan",
+    "arc_completed",
+    "corrupt_samples",
+    "fit_should_fail",
+    "inject",
+]
+
+_KINDS = ("nan_samples", "em_failure", "kill")
+
+
+class InjectedKill(BaseException):
+    """A simulated mid-run process death.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so the
+    per-arc error isolation of the runtime layer can never swallow it:
+    a killed run must stop, exactly like a real SIGKILL would stop it.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule; ``None`` selector fields match anything.
+
+    Attributes:
+        kind: ``"nan_samples"``, ``"em_failure"`` or ``"kill"``.
+        cell: Cell instance name selector.
+        pin: Input pin selector.
+        transition: Output transition selector.
+        quantity: ``"delay"`` / ``"transition"`` selector.
+        slew_index: Grid row selector.
+        load_index: Grid column selector.
+        rungs: For ``em_failure``: ladder rungs forced to fail.
+        after_arcs: For ``kill``: raise once this many arcs completed.
+        nan_fraction: For ``nan_samples``: fraction of samples
+            replaced by NaN (at least one sample).
+    """
+
+    kind: str
+    cell: str | None = None
+    pin: str | None = None
+    transition: str | None = None
+    quantity: str | None = None
+    slew_index: int | None = None
+    load_index: int | None = None
+    rungs: tuple[str, ...] = ("LVF2", "LVF2-reseed")
+    after_arcs: int = 1
+    nan_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ParameterError(
+                f"fault kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.nan_fraction <= 1.0:
+            raise ParameterError(
+                f"nan_fraction must lie in (0, 1], got {self.nan_fraction}"
+            )
+        if self.after_arcs < 1:
+            raise ParameterError(
+                f"after_arcs must be >= 1, got {self.after_arcs}"
+            )
+
+    def matches(self, context: FitContext) -> bool:
+        """Whether this rule selects the given arc-condition."""
+        return (
+            (self.cell is None or self.cell == context.cell)
+            and (self.pin is None or self.pin == context.pin)
+            and (
+                self.transition is None
+                or self.transition == context.transition
+            )
+            and (
+                self.quantity is None
+                or self.quantity == context.quantity
+            )
+            and (
+                self.slew_index is None
+                or self.slew_index == context.slew_index
+            )
+            and (
+                self.load_index is None
+                or self.load_index == context.load_index
+            )
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A set of rules plus the mutable state of one injected run."""
+
+    rules: tuple[FaultRule, ...]
+    arcs_completed: int = 0
+    kills_fired: int = field(default=0)
+
+    def __init__(self, rules: Sequence[FaultRule]) -> None:
+        self.rules = tuple(rules)
+        self.arcs_completed = 0
+        self.kills_fired = 0
+
+    def rules_of_kind(self, kind: str) -> tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.kind == kind)
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently injected plan, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def _context_seed(context: FitContext) -> int:
+    """Deterministic RNG seed derived from the arc-condition identity."""
+    digest = hashlib.sha256(context.condition.encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def corrupt_samples(
+    context: FitContext, samples: np.ndarray
+) -> np.ndarray:
+    """Apply matching ``nan_samples`` rules; returns samples unchanged
+    when no plan is active or nothing matches."""
+    plan = _ACTIVE
+    if plan is None:
+        return samples
+    out = samples
+    for rule in plan.rules_of_kind("nan_samples"):
+        if not rule.matches(context):
+            continue
+        if out is samples:
+            out = np.array(samples, dtype=float, copy=True)
+        count = max(1, int(round(rule.nan_fraction * out.size)))
+        rng = np.random.default_rng(_context_seed(context))
+        indices = rng.choice(out.size, size=count, replace=False)
+        out[indices] = np.nan
+    return out
+
+
+def fit_should_fail(
+    context: FitContext | None, rung: str
+) -> str | None:
+    """Message when an ``em_failure`` rule forces ``rung`` to fail."""
+    plan = _ACTIVE
+    if plan is None or context is None:
+        return None
+    for rule in plan.rules_of_kind("em_failure"):
+        if rule.matches(context) and rung in rule.rungs:
+            return (
+                f"injected EM non-convergence on {context.condition} "
+                f"(rung {rung})"
+            )
+    return None
+
+
+def arc_completed() -> None:
+    """Count one completed arc; raise :class:`InjectedKill` when a
+    ``kill`` rule's threshold is reached."""
+    plan = _ACTIVE
+    if plan is None:
+        return
+    plan.arcs_completed += 1
+    for rule in plan.rules_of_kind("kill"):
+        if plan.arcs_completed == rule.after_arcs:
+            plan.kills_fired += 1
+            raise InjectedKill(
+                f"injected kill after {plan.arcs_completed} arcs"
+            )

@@ -1,0 +1,210 @@
+"""FitPolicy: the model-fitting fallback ladder.
+
+A single degenerate EM fit (collapsed component, NaN samples,
+non-convergence) used to abort an entire library characterisation.  The
+ladder makes every fit land somewhere useful instead:
+
+1. ``LVF2``         — the paper's two-skew-normal EM fit;
+2. ``LVF2-reseed``  — the same fit retried from reseeded k-means
+   restarts (EM is a local optimiser: a different basin often
+   converges where the default seeding collapsed);
+3. ``Norm2``        — two-Gaussian mixture, recast as a zero-skew LVF2;
+4. ``LVF``          — single skew-normal (the paper's own λ=0 fallback,
+   Eq. 10: LVF2 degrades *exactly* to LVF);
+5. ``Gaussian``     — moment-matched normal, recast as zero-skew LVF;
+6. ``degenerate``   — a floor-width Gaussian placeholder for data that
+   no model can represent (e.g. constant samples), so a single dead
+   grid point cannot sink a 25-cell library run.
+
+Every rung returns an :class:`~repro.models.lvf2.LVF2Model`, so the
+Liberty export path downstream never needs to care which rung fired;
+the :class:`~repro.runtime.report.FitReport` records which one did.
+
+Non-finite samples are dropped (and counted) before fitting — injected
+or simulated NaNs degrade the fit rather than poisoning it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FittingError
+from repro.models.gaussian import GaussianModel
+from repro.models.lvf import LVFModel
+from repro.models.lvf2 import LVF2Model
+from repro.models.norm2 import Norm2Model
+from repro.runtime import faults
+from repro.runtime.report import FitAttempt, FitContext, FitOutcome
+from repro.stats.em import EMConfig
+
+__all__ = ["DEFAULT_RUNGS", "FitPolicy"]
+
+#: Ladder rungs in degradation order.
+DEFAULT_RUNGS = (
+    "LVF2",
+    "LVF2-reseed",
+    "Norm2",
+    "LVF",
+    "Gaussian",
+    "degenerate",
+)
+
+#: Exceptions a rung may leak from numerical code; converted to ladder
+#: steps instead of aborting the run.
+_NUMERICAL_ERRORS = (
+    FittingError,
+    ValueError,
+    ArithmeticError,
+    np.linalg.LinAlgError,
+)
+
+
+def _lvf2_from_norm2(model: Norm2Model) -> LVF2Model:
+    """Recast a two-Gaussian fit as an LVF2 with zero-skew components."""
+    first = LVFModel(model.component1.mu, model.component1.sigma, 0.0)
+    if model.component2 is None:
+        return LVF2Model(0.0, first, None)
+    second = LVFModel(model.component2.mu, model.component2.sigma, 0.0)
+    return LVF2Model(model.weight, first, second)
+
+
+@dataclass(frozen=True)
+class FitPolicy:
+    """Configuration of the fallback ladder.
+
+    Attributes:
+        reseed_seeds: k-means seeds tried on the ``LVF2-reseed`` rung.
+        reseed_restarts: k-means restarts per reseeded attempt.
+        sigma_floor: Relative width of the ``degenerate`` placeholder
+            (scaled by ``max(1, |mean|)``).
+        allow_degenerate: Disable the final placeholder rung to make
+            truly unfittable data raise :class:`FittingError` instead.
+        rungs: Ladder order; must be a subsequence of
+            :data:`DEFAULT_RUNGS`.
+    """
+
+    reseed_seeds: tuple[int, ...] = (1013, 2027)
+    reseed_restarts: int = 8
+    sigma_floor: float = 1e-9
+    allow_degenerate: bool = True
+    rungs: tuple[str, ...] = DEFAULT_RUNGS
+
+    def __post_init__(self) -> None:
+        unknown = set(self.rungs) - set(DEFAULT_RUNGS)
+        if unknown:
+            raise FittingError(
+                f"unknown ladder rungs: {sorted(unknown)}"
+            )
+        if not self.rungs:
+            raise FittingError("the ladder needs at least one rung")
+
+    # ------------------------------------------------------------------
+    # Rung implementations (samples arrive finite and 1-D)
+    # ------------------------------------------------------------------
+    def _fit_lvf2(self, samples: np.ndarray) -> LVF2Model:
+        return LVF2Model.fit(samples)
+
+    def _fit_lvf2_reseed(self, samples: np.ndarray) -> LVF2Model:
+        last: FittingError | None = None
+        for seed in self.reseed_seeds:
+            config = EMConfig(
+                kmeans_restarts=self.reseed_restarts, seed=seed
+            )
+            try:
+                return LVF2Model.fit(samples, config=config)
+            except _NUMERICAL_ERRORS as error:
+                last = (
+                    error
+                    if isinstance(error, FittingError)
+                    else FittingError(str(error))
+                )
+        raise last or FittingError("no reseed attempts configured")
+
+    def _fit_norm2(self, samples: np.ndarray) -> LVF2Model:
+        return _lvf2_from_norm2(Norm2Model.fit(samples))
+
+    def _fit_lvf(self, samples: np.ndarray) -> LVF2Model:
+        return LVF2Model.from_lvf(LVFModel.fit(samples))
+
+    def _fit_gaussian(self, samples: np.ndarray) -> LVF2Model:
+        gaussian = GaussianModel.fit(samples)
+        return LVF2Model.from_lvf(
+            LVFModel(gaussian.mu, gaussian.sigma, 0.0)
+        )
+
+    def _fit_degenerate(self, samples: np.ndarray) -> LVF2Model:
+        if not self.allow_degenerate:
+            raise FittingError("degenerate placeholder rung disabled")
+        mean = float(samples.mean())
+        floor = self.sigma_floor * max(1.0, abs(mean))
+        sigma = max(float(samples.std()), floor)
+        return LVF2Model.from_lvf(LVFModel(mean, sigma, 0.0))
+
+    def _rung_fitter(self, rung: str):
+        return {
+            "LVF2": self._fit_lvf2,
+            "LVF2-reseed": self._fit_lvf2_reseed,
+            "Norm2": self._fit_norm2,
+            "LVF": self._fit_lvf,
+            "Gaussian": self._fit_gaussian,
+            "degenerate": self._fit_degenerate,
+        }[rung]
+
+    # ------------------------------------------------------------------
+    # The ladder
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        samples: np.ndarray,
+        context: FitContext | None = None,
+    ) -> FitOutcome:
+        """Walk the ladder until a rung produces a model.
+
+        Args:
+            samples: Raw Monte-Carlo samples; non-finite entries are
+                dropped (and counted) first.
+            context: Arc-condition identity, used by the fault
+                injection hooks and recorded in reports.
+
+        Returns:
+            The first successful rung's model with its provenance.
+
+        Raises:
+            FittingError: Only when *every* rung fails (e.g. no finite
+                samples at all, or the placeholder rung is disabled).
+        """
+        raw = np.asarray(samples, dtype=float).ravel()
+        finite = raw[np.isfinite(raw)]
+        n_dropped = int(raw.size - finite.size)
+        attempts: list[FitAttempt] = []
+        if finite.size == 0:
+            raise FittingError(
+                "no finite samples to fit"
+                + (f" ({n_dropped} non-finite dropped)" if n_dropped else "")
+            )
+        for rung in self.rungs:
+            injected = faults.fit_should_fail(context, rung)
+            if injected is not None:
+                attempts.append(FitAttempt(rung, injected))
+                continue
+            try:
+                model = self._rung_fitter(rung)(finite)
+            except _NUMERICAL_ERRORS as error:
+                attempts.append(
+                    FitAttempt(rung, f"{type(error).__name__}: {error}")
+                )
+                continue
+            return FitOutcome(
+                model=model,
+                rung=rung,
+                degraded=rung != self.rungs[0],
+                attempts=tuple(attempts),
+                n_dropped=n_dropped,
+            )
+        trail = "; ".join(f"{a.rung}: {a.error}" for a in attempts)
+        where = f" for {context.condition}" if context else ""
+        raise FittingError(
+            f"every ladder rung failed{where}: {trail}"
+        )

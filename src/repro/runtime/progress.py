@@ -1,0 +1,91 @@
+"""Logging-based progress reporting for long-running pipelines.
+
+Characterisation and the experiment drivers used to announce progress
+with bare ``print`` calls, which cannot be silenced, captured or routed
+by embedding applications.  This module funnels all progress lines
+through the ``repro.progress`` logger instead: libraries emit, the CLI
+(or any host application) decides whether and where they appear.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = [
+    "PROGRESS_LOGGER_NAME",
+    "ProgressReporter",
+    "configure_progress_logging",
+    "progress_logger",
+]
+
+#: Name of the logger every progress line goes through.
+PROGRESS_LOGGER_NAME = "repro.progress"
+
+#: Marker attribute identifying handlers installed by this module, so
+#: repeated CLI invocations do not stack duplicate handlers.
+_HANDLER_MARK = "_repro_progress_handler"
+
+
+def progress_logger() -> logging.Logger:
+    """The shared progress logger."""
+    return logging.getLogger(PROGRESS_LOGGER_NAME)
+
+
+class ProgressReporter:
+    """Emit progress lines through the shared progress logger.
+
+    Attributes:
+        enabled: When False every call is a no-op, mirroring the old
+            ``progress=False`` behaviour without ``if`` guards at every
+            call site.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        logger: logging.Logger | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.logger = logger or progress_logger()
+
+    def info(self, message: str, *args: object) -> None:
+        """Report one progress line (printf-style lazy formatting)."""
+        if self.enabled:
+            self.logger.info(message, *args)
+
+    @classmethod
+    def from_flag(cls, progress: bool) -> "ProgressReporter":
+        """Reporter matching a legacy ``progress: bool`` argument."""
+        return cls(enabled=progress)
+
+
+def configure_progress_logging(
+    stream: IO[str] | None = None, level: int = logging.INFO
+) -> logging.Handler:
+    """Attach a plain-text handler to the progress logger.
+
+    Idempotent: a handler installed by a previous call is reused, so
+    CLI subcommands can call this unconditionally.
+
+    Args:
+        stream: Destination stream; defaults to ``sys.stderr`` so
+            progress never interleaves with report output on stdout.
+        level: Minimum level shown.
+
+    Returns:
+        The installed (or reused) handler.
+    """
+    logger = progress_logger()
+    logger.setLevel(level)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            return handler
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return handler

@@ -1,0 +1,239 @@
+"""Structured degradation reporting for fault-tolerant runs.
+
+Every fit performed through the :class:`~repro.runtime.policy.FitPolicy`
+ladder lands in a :class:`FitReport`: which arc-condition it was, which
+rung of the ladder finally produced a model, and what failed on the way
+down.  Arcs that could not be characterised at all are *quarantined*
+into the same report instead of aborting the library run.
+
+The report is the contract behind the acceptance criteria of the
+fault-tolerance layer: after a run with injected failures it names
+exactly the degraded arc-conditions and the fallback rung each one
+landed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FitAttempt",
+    "FitContext",
+    "FitOutcome",
+    "FitRecord",
+    "FitReport",
+    "QuarantineRecord",
+]
+
+
+@dataclass(frozen=True)
+class FitContext:
+    """Identifies one fit: which arc-condition's samples are being fit.
+
+    Attributes:
+        cell: Cell instance name (``"INV_X1"``).
+        pin: Arc input pin.
+        transition: Output transition, ``rise`` or ``fall``.
+        quantity: ``"delay"`` or ``"transition"`` (empty when the fit
+            is not tied to a characterisation quantity).
+        slew_index: Row in the slew-load grid (-1 when not applicable).
+        load_index: Column in the slew-load grid (-1 when not
+            applicable).
+    """
+
+    cell: str
+    pin: str
+    transition: str
+    quantity: str = ""
+    slew_index: int = -1
+    load_index: int = -1
+
+    @property
+    def arc(self) -> str:
+        """Stable arc label, ``cell/pin/transition``."""
+        return f"{self.cell}/{self.pin}/{self.transition}"
+
+    @property
+    def condition(self) -> str:
+        """Stable arc-condition label including grid point and quantity."""
+        label = self.arc
+        if self.slew_index >= 0 or self.load_index >= 0:
+            label += f"[{self.slew_index},{self.load_index}]"
+        if self.quantity:
+            label += f":{self.quantity}"
+        return label
+
+
+@dataclass(frozen=True)
+class FitAttempt:
+    """One failed rung on the way down the ladder.
+
+    Attributes:
+        rung: Ladder rung name (``"LVF2"``, ``"Norm2"``, ...).
+        error: One-line description of why the rung failed.
+    """
+
+    rung: str
+    error: str
+
+
+@dataclass(frozen=True)
+class FitOutcome:
+    """Result of one walk down the fallback ladder.
+
+    Attributes:
+        model: The fitted model (always usable for Liberty export).
+        rung: Name of the rung that produced ``model``.
+        degraded: True when ``rung`` is not the primary (LVF2) rung.
+        attempts: Rungs that failed before ``rung`` succeeded.
+        n_dropped: Non-finite samples discarded before fitting.
+    """
+
+    model: object
+    rung: str
+    degraded: bool
+    attempts: tuple[FitAttempt, ...] = ()
+    n_dropped: int = 0
+
+
+@dataclass(frozen=True)
+class FitRecord:
+    """One report entry: a context plus the outcome it received."""
+
+    context: FitContext
+    rung: str
+    degraded: bool
+    attempts: tuple[FitAttempt, ...] = ()
+    n_dropped: int = 0
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """An arc excluded from the output instead of aborting the run.
+
+    Attributes:
+        arc: Arc label (``cell/pin/transition`` or ``cell/pin``).
+        stage: Pipeline stage that failed (``"simulate"``, ``"fit"``).
+        error: One-line description of the terminal failure.
+    """
+
+    arc: str
+    stage: str
+    error: str
+
+
+@dataclass
+class FitReport:
+    """Accumulates fit outcomes and quarantined arcs for one run."""
+
+    records: list[FitRecord] = field(default_factory=list)
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+
+    def record_fit(self, context: FitContext, outcome: FitOutcome) -> None:
+        """Record the ladder outcome for one arc-condition."""
+        self.records.append(
+            FitRecord(
+                context=context,
+                rung=outcome.rung,
+                degraded=outcome.degraded,
+                attempts=outcome.attempts,
+                n_dropped=outcome.n_dropped,
+            )
+        )
+
+    def quarantine(self, arc: str, stage: str, error: str) -> None:
+        """Record an arc that was dropped from the output entirely."""
+        self.quarantined.append(
+            QuarantineRecord(arc=arc, stage=stage, error=error)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_fits(self) -> int:
+        return len(self.records)
+
+    def degraded_records(self) -> list[FitRecord]:
+        """All records that did not land on the primary rung."""
+        return [record for record in self.records if record.degraded]
+
+    def degraded_conditions(self) -> dict[str, str]:
+        """Map each degraded arc-condition label to its fallback rung."""
+        return {
+            record.context.condition: record.rung
+            for record in self.degraded_records()
+        }
+
+    def degraded_arcs(self) -> tuple[str, ...]:
+        """Sorted arc labels with at least one degraded condition."""
+        return tuple(
+            sorted({r.context.arc for r in self.degraded_records()})
+        )
+
+    def rung_counts(self) -> dict[str, int]:
+        """How many fits landed on each rung."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.rung] = counts.get(record.rung, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable degradation summary (one block of lines)."""
+        degraded = self.degraded_records()
+        lines = [
+            f"fit report: {self.n_fits} fits, "
+            f"{len(degraded)} degraded, "
+            f"{len(self.quarantined)} arcs quarantined"
+        ]
+        counts = self.rung_counts()
+        if counts:
+            rungs = "  ".join(
+                f"{rung}={count}" for rung, count in sorted(counts.items())
+            )
+            lines.append(f"  rungs: {rungs}")
+        for record in degraded:
+            reasons = "; ".join(
+                f"{attempt.rung}: {attempt.error}"
+                for attempt in record.attempts
+            )
+            suffix = f" ({reasons})" if reasons else ""
+            lines.append(
+                f"  degraded {record.context.condition} -> "
+                f"{record.rung}{suffix}"
+            )
+        for entry in self.quarantined:
+            lines.append(
+                f"  quarantined {entry.arc} at {entry.stage}: {entry.error}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the report."""
+        return {
+            "n_fits": self.n_fits,
+            "rung_counts": self.rung_counts(),
+            "degraded": [
+                {
+                    "condition": record.context.condition,
+                    "rung": record.rung,
+                    "n_dropped": record.n_dropped,
+                    "attempts": [
+                        {"rung": a.rung, "error": a.error}
+                        for a in record.attempts
+                    ],
+                }
+                for record in self.degraded_records()
+            ],
+            "quarantined": [
+                {
+                    "arc": entry.arc,
+                    "stage": entry.stage,
+                    "error": entry.error,
+                }
+                for entry in self.quarantined
+            ],
+        }

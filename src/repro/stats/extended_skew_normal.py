@@ -333,8 +333,11 @@ def _bvn_cdf(z: np.ndarray, h: float, rho: float) -> np.ndarray:
 
     where ``a_z = (h - rho z) / (z sqrt(1 - rho^2))``, ``a_h`` is the
     symmetric expression, and ``beta = 1/2`` iff ``z h < 0``.  The
-    formula requires nonzero arguments; exact zeros are nudged by 1e-14,
-    which is exact to machine precision because the CDF is continuous.
+    formula requires arguments away from zero: any |value| below 1e-14
+    (including subnormals such as 5e-324, whose reciprocal overflows
+    and whose products underflow, flipping the ``beta`` branch) is
+    nudged to +/-1e-14, which is exact to machine precision because the
+    CDF is continuous with bounded density.
     """
     from scipy.special import owens_t
 
@@ -345,9 +348,11 @@ def _bvn_cdf(z: np.ndarray, h: float, rho: float) -> np.ndarray:
             return ndtr(np.minimum(z, h))
         return np.clip(ndtr(z) - ndtr(-h), 0.0, 1.0)
     nudge = 1e-14
-    z[z == 0.0] = nudge
-    if h == 0.0:
-        h = nudge
+    tiny = np.abs(z) < nudge
+    if np.any(tiny):
+        z[tiny] = np.where(z[tiny] < 0.0, -nudge, nudge)
+    if abs(h) < nudge:
+        h = -nudge if h < 0.0 else nudge
     denom = math.sqrt(1.0 - rho * rho)
     a_z = (h - rho * z) / (z * denom)
     a_h = (z - rho * h) / (h * denom)

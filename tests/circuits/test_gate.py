@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.circuits.cells import build_cell
-from repro.circuits.gate import ArcTopology, GateTimingEngine, Stage
+from repro.circuits.gate import ArcTopology, Stage
 from repro.circuits.mosfet import NMOS_22NM, Transistor
 from repro.errors import CharacterizationError, ParameterError
 from repro.models.lvf2 import LVF2Model

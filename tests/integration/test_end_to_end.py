@@ -19,7 +19,6 @@ from repro.circuits import (
 )
 from repro.errors import FittingError, LibertySyntaxError
 from repro.liberty import Library, read_library
-from repro.liberty.tables import TableTemplate
 from repro.models import LVF2Model, LVFModel, fit_model
 from repro.ssta import (
     build_htree_path,

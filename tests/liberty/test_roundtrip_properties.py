@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.liberty.ast import Group
 from repro.liberty.library import Library, read_library
 from repro.liberty.lvf2_attrs import LVF2Tables
-from repro.liberty.lvf_attrs import LVFTables
 from repro.liberty.tables import Table
 from repro.liberty.writer import write_liberty
 from repro.models.lvf import LVFModel

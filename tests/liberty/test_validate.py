@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.liberty.library import read_library
 from repro.liberty.validate import Severity, validate_library
 

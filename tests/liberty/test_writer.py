@@ -5,7 +5,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.liberty.ast import ComplexAttribute, Group, SimpleAttribute
+from repro.liberty.ast import ComplexAttribute, Group
 from repro.liberty.parser import parse_liberty
 from repro.liberty.writer import format_float, write_liberty
 

@@ -1,0 +1,81 @@
+"""Tests for the content-addressed checkpoint store."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runtime import CheckpointStore
+
+
+@pytest.fixture
+def store(tmp_path) -> CheckpointStore:
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        payload = {"grid": np.arange(6.0).reshape(2, 3)}
+        store.save("token-a", payload)
+        loaded = store.load("token-a")
+        np.testing.assert_array_equal(loaded["grid"], payload["grid"])
+        assert store.hits == 1 and store.writes == 1
+
+    def test_miss_returns_none(self, store):
+        assert store.load("nothing") is None
+        assert store.misses == 1
+
+    def test_content_addressing_distinct_tokens(self, store):
+        store.save("seed=1", 1)
+        store.save("seed=2", 2)
+        assert store.load("seed=1") == 1
+        assert store.load("seed=2") == 2
+        assert len(store) == 2
+
+    def test_contains_and_keys(self, store):
+        assert not store.contains("t")
+        store.save("t", 0)
+        assert store.contains("t")
+        assert store.keys() == (CheckpointStore.key_of("t"),)
+
+    def test_clear(self, store):
+        store.save("a", 1)
+        store.save("b", 2)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestFreshRunMode:
+    def test_reuse_false_never_loads_but_saves(self, tmp_path):
+        first = CheckpointStore(tmp_path)
+        first.save("t", 41)
+        fresh = CheckpointStore(tmp_path, reuse=False)
+        assert fresh.load("t") is None
+        fresh.save("t", 42)
+        resumed = CheckpointStore(tmp_path)
+        assert resumed.load("t") == 42
+
+
+class TestCorruption:
+    def test_truncated_file_raises_checkpoint_error(self, store):
+        store.save("t", {"x": 1})
+        path = store.path_for("t")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(CheckpointError):
+            store.load("t")
+
+    def test_foreign_pickle_raises(self, store):
+        path = store.path_for("t")
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError):
+            store.load("t")
+
+    def test_token_mismatch_raises(self, store):
+        store.save("original", 1)
+        hijacked = store.path_for("other")
+        store.path_for("original").rename(hijacked)
+        with pytest.raises(CheckpointError):
+            store.load("other")

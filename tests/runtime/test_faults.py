@@ -1,0 +1,125 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import FaultPlan, FaultRule, FitContext, InjectedKill
+from repro.runtime import faults
+
+
+@pytest.fixture
+def context() -> FitContext:
+    return FitContext("NAND2_X1", "B", "fall", "delay", 1, 2)
+
+
+class TestRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule("explode")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule("nan_samples", nan_fraction=0.0)
+
+    def test_bad_after_arcs_rejected(self):
+        with pytest.raises(ParameterError):
+            FaultRule("kill", after_arcs=0)
+
+
+class TestMatching:
+    def test_wildcards_match_everything(self, context):
+        assert FaultRule("em_failure").matches(context)
+
+    def test_each_selector_field(self, context):
+        assert FaultRule("em_failure", cell="NAND2_X1").matches(context)
+        assert not FaultRule("em_failure", cell="INV_X1").matches(context)
+        assert not FaultRule("em_failure", pin="A").matches(context)
+        assert not FaultRule(
+            "em_failure", transition="rise"
+        ).matches(context)
+        assert not FaultRule(
+            "em_failure", quantity="transition"
+        ).matches(context)
+        assert not FaultRule("em_failure", slew_index=0).matches(context)
+        assert not FaultRule("em_failure", load_index=0).matches(context)
+
+
+class TestHooksInert:
+    """All hooks are no-ops when no plan is injected."""
+
+    def test_corrupt_samples_passthrough(self, context):
+        samples = np.ones(10)
+        assert faults.corrupt_samples(context, samples) is samples
+
+    def test_fit_should_fail_none(self, context):
+        assert faults.fit_should_fail(context, "LVF2") is None
+
+    def test_arc_completed_noop(self):
+        faults.arc_completed()
+
+
+class TestNaNInjection:
+    def test_deterministic_and_scoped(self, context):
+        samples = np.arange(100, dtype=float)
+        plan = FaultPlan(
+            [FaultRule("nan_samples", cell="NAND2_X1", nan_fraction=0.1)]
+        )
+        with faults.inject(plan):
+            first = faults.corrupt_samples(context, samples)
+            second = faults.corrupt_samples(context, samples)
+        # Original untouched; injection deterministic per context.
+        assert not np.any(np.isnan(samples))
+        np.testing.assert_array_equal(first, second)
+        assert np.isnan(first).sum() == 10
+
+    def test_other_condition_untouched(self, context):
+        other = FitContext("NAND2_X1", "B", "fall", "delay", 0, 0)
+        plan = FaultPlan(
+            [FaultRule("nan_samples", slew_index=1, load_index=2)]
+        )
+        samples = np.ones(50)
+        with faults.inject(plan):
+            assert faults.corrupt_samples(other, samples) is samples
+            assert np.isnan(
+                faults.corrupt_samples(context, samples)
+            ).any()
+
+    def test_at_least_one_sample_hit(self, context):
+        plan = FaultPlan([FaultRule("nan_samples", nan_fraction=0.001)])
+        with faults.inject(plan):
+            out = faults.corrupt_samples(context, np.ones(10))
+        assert np.isnan(out).sum() == 1
+
+
+class TestKill:
+    def test_fires_exactly_at_threshold(self):
+        plan = FaultPlan([FaultRule("kill", after_arcs=3)])
+        with faults.inject(plan):
+            faults.arc_completed()
+            faults.arc_completed()
+            with pytest.raises(InjectedKill):
+                faults.arc_completed()
+            # Threshold already passed: later arcs keep completing.
+            faults.arc_completed()
+        assert plan.arcs_completed == 4
+        assert plan.kills_fired == 1
+
+    def test_kill_is_not_a_repro_error(self):
+        # BaseException lineage: per-arc isolation must never catch it.
+        assert not issubclass(InjectedKill, Exception)
+
+
+class TestInjectScoping:
+    def test_plan_restored_on_exit(self):
+        plan = FaultPlan([])
+        assert faults.active_plan() is None
+        with faults.inject(plan):
+            assert faults.active_plan() is plan
+            nested = FaultPlan([])
+            with faults.inject(nested):
+                assert faults.active_plan() is nested
+            assert faults.active_plan() is plan
+        assert faults.active_plan() is None

@@ -1,0 +1,103 @@
+"""Tests for the logging-based progress reporter."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.experiments.table2 import Table2Config, run_table2
+from repro.runtime import CheckpointStore, ProgressReporter
+from repro.runtime.progress import (
+    PROGRESS_LOGGER_NAME,
+    configure_progress_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_progress_logger():
+    """Undo any CLI-style configuration left by earlier tests.
+
+    ``configure_progress_logging`` turns propagation off, which would
+    hide progress records from caplog.
+    """
+    logger = logging.getLogger(PROGRESS_LOGGER_NAME)
+    saved_handlers = list(logger.handlers)
+    saved_propagate = logger.propagate
+    for handler in saved_handlers:
+        if getattr(handler, "_repro_progress_handler", False):
+            logger.removeHandler(handler)
+    logger.propagate = True
+    yield
+    logger.handlers = saved_handlers
+    logger.propagate = saved_propagate
+
+
+@pytest.fixture
+def tiny_config() -> Table2Config:
+    return Table2Config(
+        cell_types=("INV",),
+        drives=(1.0,),
+        n_samples=400,
+        slews=(0.01,),
+        loads=(0.01,),
+        max_arcs_per_cell=1,
+        seed=11,
+    )
+
+
+class TestReporter:
+    def test_disabled_reporter_emits_nothing(self, caplog):
+        reporter = ProgressReporter(enabled=False)
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER_NAME):
+            reporter.info("characterized %s", "INV_X1/A")
+        assert not caplog.records
+
+    def test_enabled_reporter_logs_formatted_line(self, caplog):
+        reporter = ProgressReporter()
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER_NAME):
+            reporter.info("characterized %s (%d arcs)", "INV_X1", 2)
+        assert caplog.messages == ["characterized INV_X1 (2 arcs)"]
+
+    def test_from_flag(self):
+        assert ProgressReporter.from_flag(True).enabled
+        assert not ProgressReporter.from_flag(False).enabled
+
+    def test_configure_is_idempotent(self):
+        configure_progress_logging()
+        configure_progress_logging()
+        logger = logging.getLogger(PROGRESS_LOGGER_NAME)
+        owned = [
+            h
+            for h in logger.handlers
+            if getattr(h, "_repro_progress_handler", False)
+        ]
+        assert len(owned) == 1
+        assert not logger.propagate
+
+
+class TestExperimentProgress:
+    def test_run_table2_logs_per_cell_lines(self, caplog, tiny_config):
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER_NAME):
+            run_table2(tiny_config, progress=True)
+        assert any("INV" in message for message in caplog.messages)
+
+    def test_run_table2_silent_by_default(self, caplog, tiny_config):
+        with caplog.at_level(logging.INFO, logger=PROGRESS_LOGGER_NAME):
+            run_table2(tiny_config)
+        assert not caplog.records
+
+    def test_run_table2_resumes_from_checkpoints(
+        self, tmp_path, tiny_config
+    ):
+        store = CheckpointStore(tmp_path / "ckpt")
+        first = run_table2(tiny_config, checkpoint=store)
+        assert store.writes == 1 and store.hits == 0
+        resumed = CheckpointStore(tmp_path / "ckpt")
+        second = run_table2(tiny_config, checkpoint=resumed)
+        assert resumed.hits == 1 and resumed.writes == 0
+        # Resumed samples are bit-identical, so every scored reduction
+        # matches exactly.
+        assert (
+            first.rows["INV"].reductions == second.rows["INV"].reductions
+        )

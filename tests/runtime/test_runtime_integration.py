@@ -1,0 +1,303 @@
+"""Acceptance tests for the fault-tolerant runtime layer.
+
+Covers the two ISSUE acceptance criteria end to end:
+
+- kill-and-resume: a characterisation run interrupted by an injected
+  mid-run kill resumes from its checkpoints, produces a byte-identical
+  Liberty library, and does not re-simulate completed arcs;
+- fault isolation: with forced EM failures on selected arc-conditions
+  the library still characterises, and the FitReport names exactly the
+  degraded arc-conditions and the rung each one landed on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.cells import build_cell
+from repro.circuits.characterize import (
+    CharacterizationConfig,
+    characterize_arc,
+    characterize_library,
+)
+from repro.circuits.gate import GateTimingEngine
+from repro.circuits.process import TT_GLOBAL_LOCAL_MC
+from repro.liberty.library import read_library
+from repro.runtime import (
+    CheckpointStore,
+    FaultPlan,
+    FaultRule,
+    FitPolicy,
+    FitReport,
+    InjectedKill,
+    inject,
+)
+
+
+class CountingEngine:
+    """Engine proxy counting Monte-Carlo simulations."""
+
+    def __init__(self, engine: GateTimingEngine) -> None:
+        self._engine = engine
+        self.calls = 0
+
+    def simulate_arc(self, *args, **kwargs):
+        self.calls += 1
+        return self._engine.simulate_arc(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+@pytest.fixture(scope="module")
+def base_engine() -> GateTimingEngine:
+    return GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+
+
+@pytest.fixture(scope="module")
+def config() -> CharacterizationConfig:
+    return CharacterizationConfig(
+        slews=(0.005, 0.02),
+        loads=(0.002, 0.02),
+        n_samples=400,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def cells():
+    return [build_cell("INV"), build_cell("NAND2")]
+
+
+class TestKillAndResume:
+    def test_resume_is_byte_identical_and_skips_completed_arcs(
+        self, tmp_path, base_engine, config, cells
+    ):
+        # Uninterrupted reference run (no checkpointing at all).
+        reference = characterize_library(
+            base_engine, cells, config
+        ).to_text()
+
+        # Run 1: killed after 2 of the 6 arcs (INV has 2, NAND2 has 4).
+        store = CheckpointStore(tmp_path / "ckpt")
+        engine1 = CountingEngine(base_engine)
+        with inject(FaultPlan([FaultRule("kill", after_arcs=2)])):
+            with pytest.raises(InjectedKill):
+                characterize_library(
+                    engine1, cells, config, checkpoint=store
+                )
+        arcs_done = len(store.keys())
+        assert arcs_done == 2
+        conditions_per_arc = len(config.slews) * len(config.loads)
+        assert engine1.calls == arcs_done * conditions_per_arc
+
+        # Run 2: resume against the same store.
+        resumed_store = CheckpointStore(tmp_path / "ckpt")
+        engine2 = CountingEngine(base_engine)
+        library = characterize_library(
+            engine2, cells, config, checkpoint=resumed_store
+        )
+        # Completed arcs were loaded, not re-simulated.
+        assert resumed_store.hits == arcs_done
+        assert engine2.calls == (6 - arcs_done) * conditions_per_arc
+        # And the output is byte-identical to the uninterrupted run.
+        assert library.to_text() == reference
+
+    def test_checkpoint_key_tracks_config_content(
+        self, tmp_path, base_engine, config
+    ):
+        store = CheckpointStore(tmp_path / "ckpt")
+        cell = build_cell("INV")
+        characterize_arc(
+            base_engine, cell, "A", "rise", config, checkpoint=store
+        )
+        assert len(store) == 1
+        # A different seed is a different request: no cache reuse.
+        engine = CountingEngine(base_engine)
+        reseeded = CharacterizationConfig(
+            slews=config.slews,
+            loads=config.loads,
+            n_samples=config.n_samples,
+            seed=config.seed + 1,
+        )
+        characterize_arc(
+            engine, cell, "A", "rise", reseeded, checkpoint=store
+        )
+        assert engine.calls > 0
+        assert len(store) == 2
+
+
+class TestFaultIsolation:
+    def test_forced_em_failure_degrades_exactly_selected_conditions(
+        self, base_engine, config
+    ):
+        cells = [build_cell("INV")]
+        report = FitReport()
+        rule = FaultRule(
+            "em_failure",
+            cell="INV_X1",
+            transition="rise",
+            quantity="delay",
+            slew_index=0,
+            load_index=1,
+            rungs=("LVF2", "LVF2-reseed", "Norm2"),
+        )
+        with inject(FaultPlan([rule])):
+            library = characterize_library(
+                base_engine,
+                cells,
+                config,
+                policy=FitPolicy(),
+                report=report,
+                isolate_errors=True,
+            )
+        # The library is complete and valid Liberty text.
+        parsed = read_library(library.to_text())
+        assert list(parsed.cells) == ["INV_X1"]
+        assert len(parsed.cells["INV_X1"].arcs()) == 1
+        # The report names exactly the injected condition and its rung.
+        assert report.degraded_conditions() == {
+            "INV_X1/A/rise[0,1]:delay": "LVF"
+        }
+        assert report.degraded_arcs() == ("INV_X1/A/rise",)
+        assert not report.quarantined
+        # 2 arcs x 2 quantities x 4 grid points fitted in total.
+        assert report.n_fits == 16
+        assert report.rung_counts() == {"LVF2": 15, "LVF": 1}
+
+    def test_nan_injection_recovers_through_ladder(
+        self, base_engine, config
+    ):
+        cells = [build_cell("INV")]
+        report = FitReport()
+        rule = FaultRule(
+            "nan_samples",
+            cell="INV_X1",
+            transition="fall",
+            quantity="delay",
+            slew_index=1,
+            load_index=0,
+            nan_fraction=0.5,
+        )
+        with inject(FaultPlan([rule])):
+            library = characterize_library(
+                base_engine,
+                cells,
+                config,
+                policy=FitPolicy(),
+                report=report,
+                isolate_errors=True,
+            )
+        assert read_library(library.to_text()).cells
+        dropped = [r for r in report.records if r.n_dropped > 0]
+        assert len(dropped) == 1
+        assert dropped[0].context.condition == "INV_X1/A/fall[1,0]:delay"
+        assert dropped[0].n_dropped == config.n_samples // 2
+
+    def test_total_arc_failure_is_quarantined(self, base_engine, config):
+        cells = [build_cell("INV"), build_cell("NAND2")]
+        report = FitReport()
+        # Every rung fails for every INV fall-delay condition and the
+        # placeholder is disabled: the whole arc must be quarantined,
+        # while the rest of the library still characterises.
+        rule = FaultRule(
+            "em_failure",
+            cell="INV_X1",
+            transition="fall",
+            rungs=(
+                "LVF2",
+                "LVF2-reseed",
+                "Norm2",
+                "LVF",
+                "Gaussian",
+                "degenerate",
+            ),
+        )
+        with inject(FaultPlan([rule])):
+            library = characterize_library(
+                base_engine,
+                cells,
+                config,
+                policy=FitPolicy(),
+                report=report,
+                isolate_errors=True,
+            )
+        assert [q.arc for q in report.quarantined] == ["INV_X1/A"]
+        assert report.quarantined[0].stage == "fit"
+        parsed = read_library(library.to_text())
+        # INV lost its single arc; NAND2 kept both of its pins' arcs.
+        assert len(parsed.cells["INV_X1"].arcs()) == 0
+        assert len(parsed.cells["NAND2_X1"].arcs()) == 2
+
+    def test_without_isolation_failure_propagates(
+        self, base_engine, config
+    ):
+        from repro.errors import FittingError
+
+        rule = FaultRule(
+            "em_failure",
+            cell="INV_X1",
+            rungs=(
+                "LVF2",
+                "LVF2-reseed",
+                "Norm2",
+                "LVF",
+                "Gaussian",
+                "degenerate",
+            ),
+        )
+        with inject(FaultPlan([rule])):
+            with pytest.raises(FittingError):
+                characterize_library(
+                    base_engine,
+                    [build_cell("INV")],
+                    config,
+                    policy=FitPolicy(),
+                    isolate_errors=False,
+                )
+
+
+class TestPolicyGridEquivalence:
+    def test_policy_fit_matches_default_fit_on_clean_data(
+        self, base_engine, config
+    ):
+        # With no faults, the ladder's primary rung is the plain LVF2
+        # fit: the resulting Liberty text must be identical.
+        cells = [build_cell("INV")]
+        plain = characterize_library(base_engine, cells, config)
+        laddered = characterize_library(
+            base_engine,
+            cells,
+            config,
+            policy=FitPolicy(),
+            report=FitReport(),
+            isolate_errors=True,
+        )
+        assert plain.to_text() == laddered.to_text()
+
+    def test_nan_corruption_changes_no_other_condition(
+        self, base_engine, config
+    ):
+        # Determinism guard: corrupting one condition leaves all other
+        # conditions' samples bit-identical.
+        cell = build_cell("INV")
+        clean = characterize_arc(base_engine, cell, "A", "rise", config)
+        rule = FaultRule(
+            "nan_samples",
+            slew_index=0,
+            load_index=0,
+            quantity="delay",
+        )
+        with inject(FaultPlan([rule])):
+            dirty = characterize_arc(
+                base_engine, cell, "A", "rise", config
+            )
+        assert np.isnan(dirty.samples("delay", 0, 0)).any()
+        np.testing.assert_array_equal(
+            clean.samples("delay", 1, 1), dirty.samples("delay", 1, 1)
+        )
+        np.testing.assert_array_equal(
+            clean.samples("transition", 0, 0),
+            dirty.samples("transition", 0, 0),
+        )

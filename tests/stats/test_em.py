@@ -145,3 +145,37 @@ class TestMultiStart:
             extra_initials=[initial],
         )
         assert result.mixture.n_components == 2
+
+
+class TestDegenerateInputs:
+    """Degenerate data must fail as FittingError, never ValueError or
+    LinAlgError — the runtime fallback ladder relies on the typed
+    error to walk down a rung (see tests/runtime/test_policy.py)."""
+
+    def test_constant_samples_raise_fitting_error(self):
+        with pytest.raises(FittingError):
+            fit_mixture_em(np.full(500, 2.0), SKEW_NORMAL_FAMILY, 2)
+
+    def test_nan_samples_raise_fitting_error(self, bimodal_samples):
+        corrupted = bimodal_samples.copy()
+        corrupted[0] = np.nan
+        with pytest.raises(FittingError):
+            fit_mixture_em(corrupted, SKEW_NORMAL_FAMILY, 2)
+
+    def test_inf_samples_raise_fitting_error(self, bimodal_samples):
+        corrupted = bimodal_samples.copy()
+        corrupted[-1] = np.inf
+        with pytest.raises(FittingError):
+            fit_mixture_em(corrupted, GAUSSIAN_FAMILY, 2)
+
+    def test_tiny_sample_count_raises_fitting_error(self):
+        with pytest.raises(FittingError):
+            fit_mixture_em(np.array([1.0, 1.1, 1.2]), GAUSSIAN_FAMILY, 2)
+
+    def test_empty_samples_raise_fitting_error(self):
+        with pytest.raises(FittingError):
+            fit_mixture_em(np.array([]), GAUSSIAN_FAMILY, 2)
+
+    def test_multi_start_degenerates_identically(self):
+        with pytest.raises(FittingError):
+            fit_mixture_em_multi(np.full(500, 2.0), SKEW_NORMAL_FAMILY, 2)

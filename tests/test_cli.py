@@ -56,7 +56,8 @@ class TestCommands:
     def test_fit_unknown_model_errors(self, tmp_path, capsys):
         path = tmp_path / "samples.npy"
         np.save(path, np.random.default_rng(0).normal(size=100))
-        assert main(["fit", str(path), "--model", "Bogus"]) == 1
+        # ParameterError family -> exit code 2.
+        assert main(["fit", str(path), "--model", "Bogus"]) == 2
         assert "error:" in capsys.readouterr().err
 
     def test_scenario_single(self, capsys):
@@ -113,3 +114,78 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "INV_X1" in output
         assert roundtrip.exists()
+
+
+class TestExitCodes:
+    def test_family_mapping(self):
+        from repro.cli import exit_code_for
+        from repro.errors import (
+            CharacterizationError,
+            CheckpointError,
+            ExperimentError,
+            FittingError,
+            LibertyError,
+            ParameterError,
+            ReproError,
+            SSTAError,
+        )
+
+        assert exit_code_for(ParameterError("x")) == 2
+        assert exit_code_for(FittingError("x")) == 3
+        assert exit_code_for(LibertyError("x")) == 4
+        assert exit_code_for(CharacterizationError("x")) == 5
+        assert exit_code_for(SSTAError("x")) == 6
+        assert exit_code_for(ExperimentError("x")) == 7
+        assert exit_code_for(CheckpointError("x")) == 8
+        assert exit_code_for(ReproError("x")) == 1
+
+    def test_subclass_maps_to_family(self):
+        from repro.cli import exit_code_for
+        from repro.liberty.parser import LibertySyntaxError
+
+        assert exit_code_for(LibertySyntaxError("x")) == 4
+
+    def test_malformed_samples_file(self, tmp_path, capsys):
+        # A corrupt .npy must exit with the ParameterError code and a
+        # single error line, not a numpy traceback.
+        path = tmp_path / "samples.npy"
+        path.write_bytes(b"this is not a numpy file")
+        assert main(["fit", str(path), "--model", "LVF2"]) == 2
+        err = capsys.readouterr().err.strip()
+        assert err.startswith("error:")
+        assert len(err.splitlines()) == 1
+
+    def test_missing_samples_file(self, tmp_path, capsys):
+        assert main(["fit", str(tmp_path / "nope.npy")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        code = main(
+            ["characterize", "--cells", "INV", "--grid", "2", "--resume"]
+        )
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_characterize_resume_reuses_store(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        out1 = tmp_path / "a.lib"
+        out2 = tmp_path / "b.lib"
+        base = [
+            "characterize",
+            "--cells",
+            "INV",
+            "--grid",
+            "2",
+            "--samples",
+            "300",
+            "--checkpoint-dir",
+            str(ckpt),
+        ]
+        assert main(base + ["--out", str(out1)]) == 0
+        # INV has one input pin: rise + fall arcs checkpointed.
+        assert len(list(ckpt.glob("*.ckpt"))) == 2
+        assert main(base + ["--resume", "--out", str(out2)]) == 0
+        assert out1.read_text() == out2.read_text()
+        capsys.readouterr()
