@@ -1,0 +1,149 @@
+"""Disabled-telemetry overhead budget for ``characterize_arc``.
+
+The instrumentation hooks (:func:`repro.runtime.telemetry.span`,
+``counter_inc``, ``observe``) stay in the hot path even when no
+telemetry session is active, so their no-op cost is a permanent tax
+on every characterisation run.  This benchmark enforces the <3%
+budget from DESIGN.md:
+
+1. time one ``characterize_arc`` call with telemetry disabled (the
+   production default) — the denominator;
+2. count how many hook invocations that arc actually performs, by
+   re-running it under an active session and counting emitted spans
+   and metric events;
+3. micro-benchmark the per-call cost of each disabled hook;
+4. assert  (hook calls x no-op cost) / arc wall time  < 3%.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+Exits non-zero when the budget is blown.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+BUDGET = 0.03
+GRID = 3
+SAMPLES = 500
+
+
+def _time_best_of(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time — robust against scheduler noise."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _hook_cost_ns(calls: int = 20_000) -> dict[str, float]:
+    """Per-call cost of each disabled hook, in nanoseconds."""
+    from repro.runtime import telemetry
+
+    assert telemetry.active_session() is None
+    costs: dict[str, float] = {}
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        with telemetry.span("bench.noop", tag="x"):
+            pass
+    costs["span"] = (time.perf_counter() - start) / calls * 1e9
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        telemetry.counter_inc("bench.noop")
+    costs["counter_inc"] = (time.perf_counter() - start) / calls * 1e9
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        telemetry.observe("bench.noop", 1.0)
+    costs["observe"] = (time.perf_counter() - start) / calls * 1e9
+    return costs
+
+
+def main() -> int:
+    from repro.circuits import (
+        CharacterizationConfig,
+        GateTimingEngine,
+        TT_GLOBAL_LOCAL_MC,
+        build_cell,
+    )
+    from repro.circuits.characterize import (
+        PAPER_LOADS,
+        PAPER_SLEWS,
+        characterize_arc,
+    )
+    from repro.runtime import telemetry
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    cell = build_cell("INV", 1.0)
+    config = CharacterizationConfig(
+        slews=PAPER_SLEWS[:GRID],
+        loads=PAPER_LOADS[:GRID],
+        n_samples=SAMPLES,
+        seed=1,
+    )
+
+    def arc() -> None:
+        characterize_arc(engine, cell, "A", "rise", config)
+
+    arc()  # warm caches before timing
+    disabled_wall = _time_best_of(arc)
+
+    # Count the hook traffic one arc generates.
+    events = {"spans": 0, "metrics": 0}
+    session = telemetry.TelemetrySession()
+    original_inc = session.metrics.inc
+    original_observe = session.metrics.observe
+
+    def counting_inc(name, amount=1):
+        events["metrics"] += 1
+        original_inc(name, amount)
+
+    def counting_observe(name, value):
+        events["metrics"] += 1
+        original_observe(name, value)
+
+    session.metrics.inc = counting_inc
+    session.metrics.observe = counting_observe
+    session.add_sink(lambda record: None)
+    with telemetry.activate(session):
+        with telemetry.span("bench.root"):
+            arc()
+    events["spans"] = len(session.tracer) - 1  # minus bench.root
+    session.close()
+
+    costs = _hook_cost_ns()
+    overhead_s = (
+        events["spans"] * costs["span"]
+        + events["metrics"]
+        * max(costs["counter_inc"], costs["observe"])
+    ) * 1e-9
+    ratio = overhead_s / disabled_wall
+
+    print(f"characterize_arc ({GRID}x{GRID} grid, {SAMPLES} samples):")
+    print(f"  disabled wall time   : {disabled_wall * 1e3:9.3f} ms")
+    print(
+        f"  hook traffic per arc : {events['spans']} spans, "
+        f"{events['metrics']} metric events"
+    )
+    for name, cost in costs.items():
+        print(f"  no-op {name:12s}   : {cost:9.1f} ns/call")
+    print(
+        f"  worst-case overhead  : {overhead_s * 1e6:9.3f} us "
+        f"({ratio * 100:.4f}% of arc, budget {BUDGET * 100:.0f}%)"
+    )
+    if ratio >= BUDGET:
+        print("FAIL: disabled-telemetry overhead exceeds budget")
+        return 1
+    print("OK: disabled-telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ geometrically.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -25,7 +26,7 @@ from repro.liberty.library import Library, Pin, TimingArc
 from repro.liberty.lvf2_attrs import LVF2Tables
 from repro.liberty.tables import Table, TableTemplate
 from repro.models.lvf2 import LVF2Model
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.policy import FitPolicy
 from repro.runtime.progress import ProgressReporter
@@ -40,6 +41,7 @@ __all__ = [
     "characterize_arc",
     "characterized_arc_to_liberty",
     "characterize_library",
+    "run_fingerprint",
 ]
 
 #: Output-load breakpoints (pF) — the exact Fig. 4 axis values.
@@ -162,7 +164,8 @@ class ArcCharacterization:
         models = np.empty(shape, dtype=object)
         for i in range(shape[0]):
             for j in range(shape[1]):
-                models[i, j] = fitter(self.samples(quantity, i, j))
+                with telemetry.span("fit.point", stage="fitting"):
+                    models[i, j] = fitter(self.samples(quantity, i, j))
         return models
 
 
@@ -196,6 +199,27 @@ def arc_checkpoint_token(
         f"|{config.seed}|{config.use_lhs}"
     )
     return f"arc-mc|{engine_part}|{cell.name}|{topology!r}|{config_part}"
+
+
+def run_fingerprint(
+    engine: GateTimingEngine,
+    cells: Sequence[CellDefinition],
+    config: CharacterizationConfig,
+) -> str:
+    """Content hash identifying a whole characterisation request.
+
+    Built from the same per-arc tokens the checkpoint store keys on,
+    so any knob that changes a single Monte-Carlo sample changes the
+    fingerprint; recorded in the run manifest as ``config_hash``.
+    """
+    tokens = [
+        arc_checkpoint_token(engine, cell, pin, transition, config)
+        for cell in cells
+        for pin in cell.inputs
+        for transition in ("rise", "fall")
+    ]
+    digest = hashlib.sha256("\n".join(tokens).encode())
+    return digest.hexdigest()[:16]
 
 
 def characterize_arc(
@@ -235,28 +259,57 @@ def characterize_arc(
     transition_samples = np.empty(shape, dtype=object)
     nominal_delay = np.empty(shape)
     nominal_transition = np.empty(shape)
-    for i, slew in enumerate(config.slews):
-        for j, load in enumerate(config.loads):
-            result: ArcSimResult = engine.simulate_arc(
-                topology,
-                slew,
-                load,
-                config.n_samples,
-                rng=_condition_seed(config.seed, topology.name, i, j),
-                use_lhs=config.use_lhs,
-            )
-            delay_samples[i, j] = faults.corrupt_samples(
-                FitContext(cell.name, input_pin, transition, "delay", i, j),
-                result.delay,
-            )
-            transition_samples[i, j] = faults.corrupt_samples(
-                FitContext(
-                    cell.name, input_pin, transition, "transition", i, j
-                ),
-                result.transition,
-            )
-            nominal_delay[i, j] = result.nominal_delay
-            nominal_transition[i, j] = result.nominal_transition
+    with telemetry.span(
+        "characterize.arc",
+        cell=cell.name,
+        pin=input_pin,
+        transition=transition,
+    ):
+        for i, slew in enumerate(config.slews):
+            for j, load in enumerate(config.loads):
+                started = time.perf_counter()
+                with telemetry.span(
+                    "mc.condition",
+                    stage="sampling",
+                    slew_index=i,
+                    load_index=j,
+                ):
+                    result: ArcSimResult = engine.simulate_arc(
+                        topology,
+                        slew,
+                        load,
+                        config.n_samples,
+                        rng=_condition_seed(
+                            config.seed, topology.name, i, j
+                        ),
+                        use_lhs=config.use_lhs,
+                    )
+                elapsed = time.perf_counter() - started
+                if elapsed > 0.0:
+                    telemetry.observe(
+                        "mc.samples_per_sec", config.n_samples / elapsed
+                    )
+                telemetry.counter_inc("mc.conditions")
+                telemetry.counter_inc("mc.samples", config.n_samples)
+                delay_samples[i, j] = faults.corrupt_samples(
+                    FitContext(
+                        cell.name, input_pin, transition, "delay", i, j
+                    ),
+                    result.delay,
+                )
+                transition_samples[i, j] = faults.corrupt_samples(
+                    FitContext(
+                        cell.name,
+                        input_pin,
+                        transition,
+                        "transition",
+                        i,
+                        j,
+                    ),
+                    result.transition,
+                )
+                nominal_delay[i, j] = result.nominal_delay
+                nominal_transition[i, j] = result.nominal_transition
     characterization = ArcCharacterization(
         cell=cell.name,
         input_pin=input_pin,
@@ -365,7 +418,10 @@ def characterized_arc_to_liberty(
                     continue
                 if collapsed is not model:
                     models[index] = LVF2Model.from_lvf(collapsed)
-        arc.tables[base] = LVF2Tables.from_models(base, nominal, models)
+        with telemetry.span("liberty.tables", stage="export", table=base):
+            arc.tables[base] = LVF2Tables.from_models(
+                base, nominal, models
+            )
     return arc
 
 
@@ -412,75 +468,101 @@ def characterize_library(
     )
     library.templates[template.name] = template
     for cell in cells:
-        lib_cell = LibCell(name=cell.name, area=1.0 + cell.drive)
-        for pin_name in cell.inputs:
-            lib_cell.pins[pin_name] = Pin(
-                name=pin_name,
-                direction="input",
-                capacitance=cell.input_capacitance(pin_name),
+        with telemetry.span("characterize.cell", cell=cell.name):
+            lib_cell = _characterize_cell(
+                engine,
+                cell,
+                config,
+                checkpoint=checkpoint,
+                policy=policy,
+                report=report,
+                isolate_errors=isolate_errors,
+                reporter=reporter,
             )
-        output = Pin(
-            name=cell.output, direction="output", function=cell.function
-        )
-        for pin_name in cell.inputs:
-            try:
-                rise = characterize_arc(
-                    engine,
-                    cell,
-                    pin_name,
-                    "rise",
-                    config,
-                    checkpoint=checkpoint,
-                )
-                fall = characterize_arc(
-                    engine,
-                    cell,
-                    pin_name,
-                    "fall",
-                    config,
-                    checkpoint=checkpoint,
-                )
-            except (CharacterizationError, FittingError) as error:
-                if not isolate_errors:
-                    raise
-                if report is not None:
-                    report.quarantine(
-                        f"{cell.name}/{pin_name}", "simulate", str(error)
-                    )
-                reporter.info(
-                    "quarantined %s/%s (simulate): %s",
-                    cell.name,
-                    pin_name,
-                    error,
-                )
-                continue
-            try:
-                output.arcs.append(
-                    characterized_arc_to_liberty(
-                        rise, fall, policy=policy, report=report
-                    )
-                )
-            except (CharacterizationError, FittingError) as error:
-                if not isolate_errors:
-                    raise
-                if report is not None:
-                    report.quarantine(
-                        f"{cell.name}/{pin_name}", "fit", str(error)
-                    )
-                reporter.info(
-                    "quarantined %s/%s (fit): %s",
-                    cell.name,
-                    pin_name,
-                    error,
-                )
-                continue
-            reporter.info(
-                "characterized %s/%s (%dx%d grid, %d samples)",
-                cell.name,
-                pin_name,
-                *config.grid_shape,
-                config.n_samples,
-            )
-        lib_cell.pins[output.name] = output
         library.cells[cell.name] = lib_cell
     return library
+
+
+def _characterize_cell(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    config: CharacterizationConfig,
+    *,
+    checkpoint: CheckpointStore | None,
+    policy: FitPolicy | None,
+    report: FitReport | None,
+    isolate_errors: bool,
+    reporter: ProgressReporter,
+) -> LibCell:
+    """Characterise every arc of one cell into a Liberty cell."""
+    lib_cell = LibCell(name=cell.name, area=1.0 + cell.drive)
+    for pin_name in cell.inputs:
+        lib_cell.pins[pin_name] = Pin(
+            name=pin_name,
+            direction="input",
+            capacitance=cell.input_capacitance(pin_name),
+        )
+    output = Pin(
+        name=cell.output, direction="output", function=cell.function
+    )
+    for pin_name in cell.inputs:
+        try:
+            rise = characterize_arc(
+                engine,
+                cell,
+                pin_name,
+                "rise",
+                config,
+                checkpoint=checkpoint,
+            )
+            fall = characterize_arc(
+                engine,
+                cell,
+                pin_name,
+                "fall",
+                config,
+                checkpoint=checkpoint,
+            )
+        except (CharacterizationError, FittingError) as error:
+            if not isolate_errors:
+                raise
+            if report is not None:
+                report.quarantine(
+                    f"{cell.name}/{pin_name}", "simulate", str(error)
+                )
+            reporter.info(
+                "quarantined %s/%s (simulate): %s",
+                cell.name,
+                pin_name,
+                error,
+            )
+            continue
+        try:
+            output.arcs.append(
+                characterized_arc_to_liberty(
+                    rise, fall, policy=policy, report=report
+                )
+            )
+        except (CharacterizationError, FittingError) as error:
+            if not isolate_errors:
+                raise
+            if report is not None:
+                report.quarantine(
+                    f"{cell.name}/{pin_name}", "fit", str(error)
+                )
+            reporter.info(
+                "quarantined %s/%s (fit): %s",
+                cell.name,
+                pin_name,
+                error,
+            )
+            continue
+        reporter.info(
+            "characterized %s/%s (%dx%d grid, %d samples)",
+            cell.name,
+            pin_name,
+            *config.grid_shape,
+            config.n_samples,
+        )
+    lib_cell.pins[output.name] = output
+    return lib_cell

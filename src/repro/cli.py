@@ -8,13 +8,16 @@ Subcommands:
 - ``characterize``  — Monte-Carlo characterise cells into a `.lib`
 - ``liberty``       — parse and summarise a Liberty file
 - ``bench``         — regenerate the paper's tables and figures
+- ``trace``         — summarise a telemetry trace file
 - ``fo4``           — print the technology FO4 delay
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -143,6 +146,34 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_checkpoint_gc(args, store, engine, cells, config) -> None:
+    """Drop checkpoint entries orphaned by the current configuration."""
+    from repro.circuits.characterize import arc_checkpoint_token
+
+    if store is None:
+        raise ParameterError(
+            "--checkpoint-gc/--checkpoint-max-age require "
+            "--checkpoint-dir pointing at the store to collect"
+        )
+    tokens = [
+        arc_checkpoint_token(engine, cell, pin, transition, config)
+        for cell in cells
+        for pin in cell.inputs
+        for transition in ("rise", "fall")
+    ]
+    max_age = (
+        args.checkpoint_max_age * 3600.0
+        if args.checkpoint_max_age is not None
+        else None
+    )
+    removed = store.gc(tokens, max_age_seconds=max_age)
+    print(
+        f"checkpoint gc: removed {removed} stale entries "
+        f"from {store.directory}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from repro.circuits import (
         CharacterizationConfig,
@@ -151,8 +182,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         build_cell,
         characterize_library,
     )
-    from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+    from repro.circuits.characterize import (
+        PAPER_LOADS,
+        PAPER_SLEWS,
+        run_fingerprint,
+    )
     from repro.runtime import FitPolicy, FitReport, ProgressReporter
+    from repro.runtime import telemetry
+    from repro.runtime.export import write_text_file
     from repro.runtime.progress import configure_progress_logging
 
     configure_progress_logging()
@@ -165,31 +202,102 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cells = [build_cell(name, args.drive) for name in args.cells]
-    report = FitReport()
-    library = characterize_library(
-        engine,
-        cells,
-        config,
-        checkpoint=_checkpoint_store(args),
-        policy=None if args.no_fallback else FitPolicy(),
-        report=report,
-        isolate_errors=not args.no_fallback,
-        progress=ProgressReporter(enabled=args.progress),
+    store = _checkpoint_store(args)
+    if args.checkpoint_gc or args.checkpoint_max_age is not None:
+        _run_checkpoint_gc(args, store, engine, cells, config)
+
+    session = None
+    if args.trace or args.metrics or args.manifest:
+        session = telemetry.TelemetrySession(trace_path=args.trace)
+    context = (
+        telemetry.activate(session)
+        if session is not None
+        else nullcontext()
     )
-    text = library.to_text()
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write(text)
-        print(
-            f"wrote {args.out}: {len(library.cells)} cells, "
-            f"{grid}x{grid} grid, {args.samples} samples/condition"
-        )
-    else:
-        print(text)
+    report = FitReport()
+    try:
+        with context, telemetry.span(
+            "characterize.run",
+            cells=",".join(args.cells),
+            grid=grid,
+            n_samples=args.samples,
+        ):
+            library = characterize_library(
+                engine,
+                cells,
+                config,
+                checkpoint=store,
+                policy=None if args.no_fallback else FitPolicy(),
+                report=report,
+                isolate_errors=not args.no_fallback,
+                progress=ProgressReporter(enabled=args.progress),
+            )
+            text = library.to_text()
+            if args.out:
+                write_text_file(args.out, text)
+                print(
+                    f"wrote {args.out}: {len(library.cells)} cells, "
+                    f"{grid}x{grid} grid, "
+                    f"{args.samples} samples/condition"
+                )
+            else:
+                print(text)
+        if session is not None:
+            manifest = session.manifest(
+                command="characterize",
+                config_hash=run_fingerprint(engine, cells, config),
+                seed=args.seed,
+                n_samples=args.samples,
+                grid=[grid, grid],
+                cells=list(args.cells),
+                degradations={
+                    "rung_counts": report.rung_counts(),
+                    "degraded": len(report.degraded_records()),
+                    "quarantined": len(report.quarantined),
+                },
+                library={
+                    **telemetry.checksum_text(text),
+                    "n_cells": len(library.cells),
+                    "path": args.out,
+                },
+                checkpoint=(
+                    None
+                    if store is None
+                    else {
+                        "hits": store.hits,
+                        "misses": store.misses,
+                        "writes": store.writes,
+                    }
+                ),
+            )
+            session.write_manifest(manifest)
+            if args.manifest:
+                with open(args.manifest, "w") as handle:
+                    json.dump(manifest, handle, indent=2, default=str)
+                    handle.write("\n")
+                print(f"wrote manifest {args.manifest}", file=sys.stderr)
+    finally:
+        if session is not None:
+            session.close()
+    if args.report_json:
+        with open(args.report_json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote fit report {args.report_json}", file=sys.stderr)
+    if args.metrics and session is not None:
+        print(telemetry.format_metrics(session.metrics.snapshot()))
     if report.n_fits and (
         report.degraded_records() or report.quarantined
     ):
         print(report.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.runtime.telemetry import load_trace, summarize_trace
+
+    data = load_trace(args.file)
+    print(summarize_trace(data))
     return 0
 
 
@@ -328,6 +436,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log one line per characterised arc",
     )
+    characterize.add_argument(
+        "--checkpoint-gc",
+        action="store_true",
+        help="before running, drop checkpoint entries whose token no "
+        "longer matches the current configuration",
+    )
+    characterize.add_argument(
+        "--checkpoint-max-age",
+        type=float,
+        default=None,
+        metavar="HOURS",
+        help="with --checkpoint-gc semantics: also drop checkpoint "
+        "entries older than this many hours",
+    )
+    characterize.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL telemetry trace (spans, metrics, manifest)",
+    )
+    characterize.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the end-of-run metrics summary",
+    )
+    characterize.add_argument(
+        "--report-json",
+        default=None,
+        metavar="FILE",
+        help="write the fit report (rungs, degradations, quarantines) "
+        "as JSON",
+    )
+    characterize.add_argument(
+        "--manifest",
+        default=None,
+        metavar="FILE",
+        help="write the run manifest (config hash, stage timings, "
+        "library checksum) as JSON",
+    )
 
     liberty = sub.add_parser("liberty", help="inspect a Liberty file")
     liberty.add_argument("library")
@@ -357,6 +504,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse completed arcs from --checkpoint-dir",
     )
 
+    trace = sub.add_parser(
+        "trace", help="summarise a JSONL telemetry trace file"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="pretty-print the span tree, stage totals and metrics",
+    )
+    trace_summarize.add_argument("file")
+
     sub.add_parser("fo4", help="print the technology FO4 delay")
     return parser
 
@@ -369,6 +526,7 @@ _COMMANDS = {
     "liberty": _cmd_liberty,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "fo4": _cmd_fo4,
 }
 
@@ -381,6 +539,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return exit_code_for(error)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — not an error.  Point
+        # stdout at devnull so the interpreter's final flush of the
+        # dead pipe cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -53,6 +53,16 @@ class LibertySemanticError(LibertyError):
     """
 
 
+class LibertyWriteError(LibertyError):
+    """A Liberty export did not land safely on disk.
+
+    Raised when the post-write verification finds a short (truncated)
+    file or when flushing the data to stable storage (fsync) fails —
+    a truncated ``.lib`` silently poisons every downstream STA run, so
+    the writer checks and refuses instead.
+    """
+
+
 class CharacterizationError(ReproError):
     """A Monte-Carlo characterisation run could not be completed."""
 

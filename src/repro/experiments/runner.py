@@ -20,6 +20,7 @@ from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Config, Table2Result, run_table2
+from repro.runtime import telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.progress import ProgressReporter
 
@@ -68,19 +69,25 @@ def run_all(
     """
     reporter = ProgressReporter.from_flag(progress)
     reporter.info("fig3: scenario fits ...")
-    fig3 = run_fig3(scenario_samples)
+    with telemetry.span("experiment", name="fig3"):
+        fig3 = run_fig3(scenario_samples)
     reporter.info("table1: scenario binning ...")
-    table1 = run_table1(scenario_samples)
+    with telemetry.span("experiment", name="table1"):
+        table1 = run_table1(scenario_samples)
     reporter.info("table2: library assessment ...")
-    table2 = run_table2(
-        table2_config, progress=progress, checkpoint=checkpoint
-    )
+    with telemetry.span("experiment", name="table2"):
+        table2 = run_table2(
+            table2_config, progress=progress, checkpoint=checkpoint
+        )
     reporter.info("fig4: accuracy pattern ...")
-    fig4 = run_fig4()
+    with telemetry.span("experiment", name="fig4"):
+        fig4 = run_fig4()
     reporter.info("fig5: path propagation ...")
-    fig5 = run_fig5()
+    with telemetry.span("experiment", name="fig5"):
+        fig5 = run_fig5()
     reporter.info("clt: convergence ...")
-    clt = run_clt_convergence()
+    with telemetry.span("experiment", name="clt"):
+        clt = run_clt_convergence()
     return ExperimentSuite(
         fig3=fig3,
         table1=table1,

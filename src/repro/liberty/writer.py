@@ -9,6 +9,7 @@ continuations the way commercial characterisation tools emit them.
 from __future__ import annotations
 
 from repro.liberty.ast import ComplexAttribute, Group, SimpleAttribute
+from repro.runtime import telemetry
 
 __all__ = ["write_liberty", "format_float"]
 
@@ -67,7 +68,12 @@ def _write_group(group: Group, depth: int, lines: list[str]) -> None:
 
 def write_liberty(group: Group) -> str:
     """Serialise ``group`` (typically a ``library``) to Liberty text."""
-    lines: list[str] = []
-    _write_group(group, 0, lines)
-    lines.append("")
-    return "\n".join(lines)
+    with telemetry.span(
+        "liberty.serialize", stage="export", group=group.name
+    ):
+        lines: list[str] = []
+        _write_group(group, 0, lines)
+        lines.append("")
+        text = "\n".join(lines)
+    telemetry.counter_inc("liberty.serialized_bytes", len(text))
+    return text

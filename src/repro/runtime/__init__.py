@@ -1,53 +1,71 @@
 """Fault-tolerant runtime layer for long-running pipelines.
 
 This package makes library-scale characterisation and the experiment
-drivers survivable and testable under failure:
+drivers survivable, observable and testable under failure:
 
 - :mod:`repro.runtime.policy`     — the FitPolicy fallback ladder
   (LVF2 → reseeded LVF2 → Norm2 → LVF → Gaussian → placeholder);
 - :mod:`repro.runtime.report`     — structured :class:`FitReport` of
   which rung every arc-condition landed on plus quarantined arcs;
 - :mod:`repro.runtime.checkpoint` — content-addressed per-arc
-  checkpoints with atomic writes for kill-and-resume runs;
+  checkpoints with atomic writes, resume and garbage collection;
 - :mod:`repro.runtime.faults`     — deterministic fault injection
-  (NaN samples, forced EM non-convergence, mid-run kills);
-- :mod:`repro.runtime.progress`   — logging-based progress reporting.
+  (NaN samples, forced EM non-convergence, mid-run kills, truncated
+  or fsync-failing Liberty exports);
+- :mod:`repro.runtime.export`     — verified atomic text export;
+- :mod:`repro.runtime.progress`   — logging-based progress reporting;
+- :mod:`repro.runtime.telemetry`  — hierarchical tracing, metrics
+  registry and structured run manifests.
 
 The layering is strictly below :mod:`repro.circuits` and
 :mod:`repro.experiments`: those packages import the runtime, never the
-reverse.
+reverse.  Exports are resolved lazily (PEP 562) so low-level packages
+(:mod:`repro.stats`, :mod:`repro.liberty`) can import
+:mod:`repro.runtime.telemetry` for instrumentation without pulling the
+policy ladder — which imports the model registry and the stats core —
+back in underneath them.
 """
 
-from repro.runtime.checkpoint import CheckpointStore
-from repro.runtime.faults import FaultPlan, FaultRule, InjectedKill, inject
-from repro.runtime.policy import DEFAULT_RUNGS, FitPolicy
-from repro.runtime.progress import (
-    ProgressReporter,
-    configure_progress_logging,
-)
-from repro.runtime.report import (
-    FitAttempt,
-    FitContext,
-    FitOutcome,
-    FitRecord,
-    FitReport,
-    QuarantineRecord,
-)
+from __future__ import annotations
 
-__all__ = [
-    "CheckpointStore",
-    "DEFAULT_RUNGS",
-    "FaultPlan",
-    "FaultRule",
-    "FitAttempt",
-    "FitContext",
-    "FitOutcome",
-    "FitPolicy",
-    "FitRecord",
-    "FitReport",
-    "InjectedKill",
-    "ProgressReporter",
-    "QuarantineRecord",
-    "configure_progress_logging",
-    "inject",
-]
+from importlib import import_module
+
+#: Exported name -> defining submodule (resolved on first access).
+_EXPORTS = {
+    "CheckpointStore": "repro.runtime.checkpoint",
+    "FaultPlan": "repro.runtime.faults",
+    "FaultRule": "repro.runtime.faults",
+    "InjectedKill": "repro.runtime.faults",
+    "inject": "repro.runtime.faults",
+    "DEFAULT_RUNGS": "repro.runtime.policy",
+    "FitPolicy": "repro.runtime.policy",
+    "ProgressReporter": "repro.runtime.progress",
+    "configure_progress_logging": "repro.runtime.progress",
+    "FitAttempt": "repro.runtime.report",
+    "FitContext": "repro.runtime.report",
+    "FitOutcome": "repro.runtime.report",
+    "FitRecord": "repro.runtime.report",
+    "FitReport": "repro.runtime.report",
+    "QuarantineRecord": "repro.runtime.report",
+    "write_text_file": "repro.runtime.export",
+    "TelemetrySession": "repro.runtime.telemetry",
+    "telemetry": "repro.runtime",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name == "telemetry":
+        return import_module("repro.runtime.telemetry")
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return __all__

@@ -22,10 +22,13 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
+from collections.abc import Iterable
 from pathlib import Path
 from typing import Any
 
 from repro.errors import CheckpointError
+from repro.runtime import telemetry
 
 __all__ = ["CheckpointStore"]
 
@@ -79,28 +82,31 @@ class CheckpointStore:
         path = self.path_for(token)
         if not self.reuse or not path.exists():
             self.misses += 1
+            telemetry.counter_inc("checkpoint.miss")
             return None
-        try:
-            with path.open("rb") as handle:
-                entry = pickle.load(handle)
-        except Exception as error:
-            raise CheckpointError(
-                f"unreadable checkpoint {path.name}: {error}"
-            ) from error
-        if (
-            not isinstance(entry, dict)
-            or entry.get("version") != _FORMAT_VERSION
-            or "payload" not in entry
-        ):
-            raise CheckpointError(
-                f"checkpoint {path.name} has an unknown format"
-            )
-        if entry.get("token") != token:
-            raise CheckpointError(
-                f"checkpoint {path.name} was written for a different "
-                f"request"
-            )
+        with telemetry.span("checkpoint.load", stage="checkpoint"):
+            try:
+                with path.open("rb") as handle:
+                    entry = pickle.load(handle)
+            except Exception as error:
+                raise CheckpointError(
+                    f"unreadable checkpoint {path.name}: {error}"
+                ) from error
+            if (
+                not isinstance(entry, dict)
+                or entry.get("version") != _FORMAT_VERSION
+                or "payload" not in entry
+            ):
+                raise CheckpointError(
+                    f"checkpoint {path.name} has an unknown format"
+                )
+            if entry.get("token") != token:
+                raise CheckpointError(
+                    f"checkpoint {path.name} was written for a "
+                    f"different request"
+                )
         self.hits += 1
+        telemetry.counter_inc("checkpoint.hit")
         return entry["payload"]
 
     def save(self, token: str, payload: Any) -> Path:
@@ -114,19 +120,23 @@ class CheckpointStore:
         descriptor, tmp_name = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
         )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            # A kill between mkstemp and replace must not leave temp
-            # litter that a later clear() would miss.
+        with telemetry.span("checkpoint.save", stage="checkpoint"):
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(descriptor, "wb") as handle:
+                    pickle.dump(
+                        entry, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp_name, path)
+            except BaseException:
+                # A kill between mkstemp and replace must not leave temp
+                # litter that a later clear() would miss.
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
         self.writes += 1
+        telemetry.counter_inc("checkpoint.write")
         return path
 
     def keys(self) -> tuple[str, ...]:
@@ -144,4 +154,50 @@ class CheckpointStore:
         for path in self.directory.glob("*.ckpt"):
             path.unlink()
             removed += 1
+        return removed
+
+    def gc(
+        self,
+        valid_tokens: Iterable[str] | None = None,
+        *,
+        max_age_seconds: float | None = None,
+    ) -> int:
+        """Drop stale checkpoints; returns how many were removed.
+
+        An entry is stale when its key is not derived from any of
+        ``valid_tokens`` (i.e. no arc of the *current* configuration
+        can ever load it again — a changed seed, grid or corner maps
+        to fresh keys and orphans the old ones), or when its file is
+        older than ``max_age_seconds``.  Passing neither selector
+        removes nothing.
+
+        Raises:
+            CheckpointError: When ``max_age_seconds`` is negative.
+        """
+        if max_age_seconds is not None and max_age_seconds < 0:
+            raise CheckpointError(
+                f"max_age_seconds must be >= 0, got {max_age_seconds}"
+            )
+        valid = (
+            {self.key_of(token) for token in valid_tokens}
+            if valid_tokens is not None
+            else None
+        )
+        now = time.time()
+        removed = 0
+        for path in self.directory.glob("*.ckpt"):
+            stale = valid is not None and path.stem not in valid
+            if not stale and max_age_seconds is not None:
+                try:
+                    stale = now - path.stat().st_mtime > max_age_seconds
+                except OSError:
+                    continue
+            if not stale:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        telemetry.counter_inc("checkpoint.gc_removed", removed)
         return removed

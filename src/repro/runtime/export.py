@@ -1,0 +1,95 @@
+"""Verified atomic text export.
+
+A characterisation run's final act is writing the ``.lib`` file; a
+truncated or unsynced write there silently poisons every downstream
+STA consumer, which is worse than failing.  This module writes export
+artifacts the safe way:
+
+1. serialise to a temp file in the destination directory;
+2. flush and ``fsync`` the data to stable storage;
+3. verify the on-disk size matches the serialised payload;
+4. atomically ``os.replace`` onto the destination.
+
+Any failure raises :class:`~repro.errors.LibertyWriteError` (exit
+code 4 via the CLI's per-family mapping) and leaves the destination
+untouched — a previous good library is never clobbered by a bad
+write.  The fault-injection plan kinds ``export_truncate`` and
+``export_fsync`` (see :mod:`repro.runtime.faults`) exercise both
+failure paths deterministically in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import LibertyWriteError
+from repro.runtime import faults, telemetry
+
+__all__ = ["write_text_file"]
+
+
+def write_text_file(
+    path: str | os.PathLike[str], text: str, *, fsync: bool = True
+) -> int:
+    """Atomically write ``text`` to ``path``; returns bytes written.
+
+    Args:
+        path: Destination file; parent directories must exist.
+        text: Full payload.
+        fsync: Flush the payload to stable storage before the rename
+            (disable only for throwaway scratch output).
+
+    Raises:
+        LibertyWriteError: On a short write, an fsync failure, or any
+            OS-level write error.  The destination keeps its previous
+            content.
+    """
+    destination = Path(path)
+    data = text.encode()
+    expected = len(data)
+    truncate = faults.export_truncate_bytes()
+    if truncate is not None:
+        data = data[:truncate]
+    with telemetry.span(
+        "export.write", stage="export", path=str(destination)
+    ):
+        try:
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=destination.parent, suffix=".tmp"
+            )
+        except OSError as error:
+            raise LibertyWriteError(
+                f"cannot create temp file next to {destination}: {error}"
+            ) from error
+        try:
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    if fsync:
+                        fsync_error = faults.export_fsync_error()
+                        if fsync_error is not None:
+                            raise OSError(fsync_error)
+                        os.fsync(handle.fileno())
+            except OSError as error:
+                raise LibertyWriteError(
+                    f"writing {destination} failed: {error}"
+                ) from error
+            written = os.path.getsize(tmp_name)
+            if written != expected:
+                raise LibertyWriteError(
+                    f"short write to {destination}: {written} of "
+                    f"{expected} bytes reached disk"
+                )
+            os.replace(tmp_name, destination)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    telemetry.counter_inc("export.files")
+    telemetry.counter_inc("export.bytes", expected)
+    return expected

@@ -9,7 +9,12 @@ claimed.  This module provides the injection points:
 - ``em_failure``   — force the mixture rungs of the fallback ladder to
   fail on matching arc-conditions, as if EM had not converged;
 - ``kill``         — raise :class:`InjectedKill` after N completed
-  arcs, simulating a mid-run process death for resume tests.
+  arcs, simulating a mid-run process death for resume tests;
+- ``export_truncate`` — make the Liberty export write only the first
+  ``truncate_bytes`` bytes, exercising the writer's post-write size
+  verification;
+- ``export_fsync`` — make the export's fsync fail, as if the disk
+  went away under the run.
 
 A :class:`FaultPlan` is activated with the :func:`inject` context
 manager; production code paths call the module-level hooks
@@ -38,11 +43,19 @@ __all__ = [
     "active_plan",
     "arc_completed",
     "corrupt_samples",
+    "export_fsync_error",
+    "export_truncate_bytes",
     "fit_should_fail",
     "inject",
 ]
 
-_KINDS = ("nan_samples", "em_failure", "kill")
+_KINDS = (
+    "nan_samples",
+    "em_failure",
+    "kill",
+    "export_truncate",
+    "export_fsync",
+)
 
 
 class InjectedKill(BaseException):
@@ -70,6 +83,8 @@ class FaultRule:
         after_arcs: For ``kill``: raise once this many arcs completed.
         nan_fraction: For ``nan_samples``: fraction of samples
             replaced by NaN (at least one sample).
+        truncate_bytes: For ``export_truncate``: how many leading
+            bytes of the export actually reach the file.
     """
 
     kind: str
@@ -82,6 +97,7 @@ class FaultRule:
     rungs: tuple[str, ...] = ("LVF2", "LVF2-reseed")
     after_arcs: int = 1
     nan_fraction: float = 0.05
+    truncate_bytes: int = 64
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -95,6 +111,10 @@ class FaultRule:
         if self.after_arcs < 1:
             raise ParameterError(
                 f"after_arcs must be >= 1, got {self.after_arcs}"
+            )
+        if self.truncate_bytes < 0:
+            raise ParameterError(
+                f"truncate_bytes must be >= 0, got {self.truncate_bytes}"
             )
 
     def matches(self, context: FitContext) -> bool:
@@ -198,6 +218,30 @@ def fit_should_fail(
                 f"injected EM non-convergence on {context.condition} "
                 f"(rung {rung})"
             )
+    return None
+
+
+def export_truncate_bytes() -> int | None:
+    """Byte cap when an ``export_truncate`` rule is active, else None.
+
+    Export faults are file-level, not arc-level, so the arc-condition
+    selectors of the rule are ignored.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    for rule in plan.rules_of_kind("export_truncate"):
+        return rule.truncate_bytes
+    return None
+
+
+def export_fsync_error() -> str | None:
+    """Message when an ``export_fsync`` rule forces fsync to fail."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    for rule in plan.rules_of_kind("export_fsync"):
+        return "injected fsync failure on export"
     return None
 
 

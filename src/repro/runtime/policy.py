@@ -35,7 +35,7 @@ from repro.models.gaussian import GaussianModel
 from repro.models.lvf import LVFModel
 from repro.models.lvf2 import LVF2Model
 from repro.models.norm2 import Norm2Model
-from repro.runtime import faults
+from repro.runtime import faults, telemetry
 from repro.runtime.report import FitAttempt, FitContext, FitOutcome
 from repro.stats.em import EMConfig
 
@@ -175,6 +175,29 @@ class FitPolicy:
             FittingError: Only when *every* rung fails (e.g. no finite
                 samples at all, or the placeholder rung is disabled).
         """
+        with telemetry.span(
+            "fit.ladder",
+            stage="fitting",
+            condition=context.condition if context else "",
+        ):
+            outcome = self._walk_ladder(samples, context)
+        telemetry.observe(
+            "fit.fallback_rung", self.rungs.index(outcome.rung)
+        )
+        telemetry.counter_inc(f"fit.rung.{outcome.rung}")
+        if outcome.degraded:
+            telemetry.counter_inc("fit.degraded")
+        if outcome.n_dropped:
+            telemetry.counter_inc(
+                "fit.dropped_samples", outcome.n_dropped
+            )
+        return outcome
+
+    def _walk_ladder(
+        self,
+        samples: np.ndarray,
+        context: FitContext | None,
+    ) -> FitOutcome:
         raw = np.asarray(samples, dtype=float).ravel()
         finite = raw[np.isfinite(raw)]
         n_dropped = int(raw.size - finite.size)

@@ -1,0 +1,95 @@
+"""Telemetry sinks: where span/metric/manifest records go.
+
+A sink is anything with ``write(record: dict)`` (and optionally
+``close()``); sessions fan every record out to all attached sinks.
+The built-in :class:`JsonlSink` streams records to a JSON-lines file
+— one self-describing object per line, distinguished by its ``type``
+key (``span``, ``metrics``, ``manifest``) — which is what
+``repro trace summarize`` reads back.  Embedders attach their own
+sinks (a queue, a socket, an OpenTelemetry bridge) via
+:class:`CallableSink` or any duck-typed equivalent.
+
+Line writes are serialised under a lock and each line is written with
+a single ``write`` call, so concurrent threads (and, on POSIX,
+processes appending to the same file) cannot interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections.abc import Callable, Iterator
+from pathlib import Path
+
+from repro.errors import ParameterError
+
+__all__ = ["CallableSink", "JsonlSink", "read_jsonl"]
+
+
+class JsonlSink:
+    """Streams telemetry records to a JSON-lines file."""
+
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        try:
+            self._handle = self.path.open("a" if append else "w")
+        except OSError as error:
+            raise ParameterError(
+                f"cannot open trace file {self.path}: {error}"
+            ) from error
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class CallableSink:
+    """Adapts a plain callable into a sink."""
+
+    def __init__(self, fn: Callable[[dict], None]) -> None:
+        self._fn = fn
+
+    def write(self, record: dict) -> None:
+        self._fn(record)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield records from a JSON-lines trace file.
+
+    Blank lines are skipped; a malformed line raises
+    :class:`ParameterError` naming its 1-based line number.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ParameterError(
+            f"cannot read trace file {path}: {error}"
+        ) from error
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ParameterError(
+                f"{path}:{number}: malformed trace line: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise ParameterError(
+                f"{path}:{number}: trace records must be objects"
+            )
+        yield record

@@ -1,0 +1,230 @@
+"""Hierarchical tracing: nested wall/CPU-time spans.
+
+A :class:`Tracer` hands out ``with tracer.span("name", **tags)``
+context managers; finished spans become immutable
+:class:`SpanRecord` values carrying wall-clock and per-thread CPU
+duration, the parent span (nesting is tracked per thread/context via
+:mod:`contextvars`), and free-form scalar tags.
+
+Two conventions give downstream aggregation its meaning:
+
+- a ``stage="..."`` tag marks the span as a *stage boundary*
+  (``sampling``, ``fitting``, ``export``, ``checkpoint`` ...); stage
+  wall times are summed over boundary spans only — a nested span whose
+  ancestor already carries a ``stage`` tag is not double-counted;
+- span names are dotted paths (``mc.condition``, ``em.fit``) grouped
+  by name in summaries.
+
+The :class:`NullTracer` singleton is the disabled default: its
+``span`` returns one shared re-entrant no-op context manager, so
+instrumented hot paths cost a function call and a dict allocation when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+
+__all__ = ["NULL_TRACER", "NullTracer", "SpanRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        name: Dotted span name (``"mc.condition"``).
+        span_id: Unique id within the tracer (1-based).
+        parent_id: Enclosing span's id, ``None`` for roots.
+        start: Start offset in seconds since the tracer was created.
+        wall: Wall-clock duration in seconds.
+        cpu: CPU time consumed by the calling thread, in seconds.
+        tags: Scalar tags; ``stage`` marks a stage boundary.
+        status: ``"ok"`` or ``"error:<ExceptionType>"``.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    wall: float
+    cpu: float
+    tags: dict = field(default_factory=dict)
+    status: str = "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-lines view (``type: "span"``)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "tags": self.tags,
+            "status": self.status,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SpanRecord":
+        """Inverse of :meth:`to_dict` (ignores the ``type`` key)."""
+        return cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=record.get("start", 0.0),
+            wall=record.get("wall", 0.0),
+            cpu=record.get("cpu", 0.0),
+            tags=record.get("tags", {}),
+            status=record.get("status", "ok"),
+        )
+
+
+class Tracer:
+    """Collects hierarchical spans; thread-safe.
+
+    Attributes:
+        enabled: True for real tracers; :class:`NullTracer` overrides.
+    """
+
+    enabled = True
+
+    def __init__(
+        self, *, sink: Callable[[SpanRecord], None] | None = None
+    ) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._ids = itertools.count(1)
+        self._t0 = time.perf_counter()
+        # Per-thread (and per-asyncio-task) span stack for nesting.
+        self._stack: contextvars.ContextVar[tuple[int, ...]] = (
+            contextvars.ContextVar(f"repro_span_stack_{id(self)}", default=())
+        )
+
+    @contextmanager
+    def _span(self, name: str, tags: dict) -> Iterator[int]:
+        span_id = next(self._ids)
+        stack = self._stack.get()
+        parent_id = stack[-1] if stack else None
+        token = self._stack.set(stack + (span_id,))
+        start_wall = time.perf_counter()
+        start_cpu = time.thread_time()
+        status = "ok"
+        try:
+            yield span_id
+        except BaseException as error:
+            status = f"error:{type(error).__name__}"
+            raise
+        finally:
+            wall = time.perf_counter() - start_wall
+            cpu = time.thread_time() - start_cpu
+            self._stack.reset(token)
+            record = SpanRecord(
+                name=name,
+                span_id=span_id,
+                parent_id=parent_id,
+                start=start_wall - self._t0,
+                wall=wall,
+                cpu=cpu,
+                tags=tags,
+                status=status,
+            )
+            with self._lock:
+                self._records.append(record)
+            if self._sink is not None:
+                self._sink(record)
+
+    def span(self, name: str, **tags: object):
+        """Context manager timing one named span (yields its id)."""
+        return self._span(name, tags)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(self) -> tuple[SpanRecord, ...]:
+        """All finished spans in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def total_wall(self) -> float:
+        """Wall span of the whole trace (earliest start to last end)."""
+        records = self.records()
+        if not records:
+            return 0.0
+        start = min(record.start for record in records)
+        end = max(record.start + record.wall for record in records)
+        return end - start
+
+    def stage_totals(self) -> dict[str, float]:
+        """Wall seconds per ``stage`` tag, stage-boundary spans only.
+
+        A span counts toward its stage only when no ancestor span
+        carries a ``stage`` tag, so nested re-tagging cannot double
+        count (the boundary owns the whole subtree's time).
+        """
+        return stage_totals(self.records())
+
+    def name_totals(self) -> dict[str, tuple[int, float]]:
+        """Per span name: ``(count, summed wall seconds)``."""
+        totals: dict[str, tuple[int, float]] = {}
+        for record in self.records():
+            count, wall = totals.get(record.name, (0, 0.0))
+            totals[record.name] = (count + 1, wall + record.wall)
+        return totals
+
+
+def stage_totals(records) -> dict[str, float]:
+    """Stage-boundary wall sums for any iterable of span records."""
+    sequence = tuple(records)
+    by_id = {record.span_id: record for record in sequence}
+    totals: dict[str, float] = {}
+    for record in sequence:
+        stage = record.tags.get("stage")
+        if stage is None:
+            continue
+        parent_id = record.parent_id
+        shadowed = False
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            if "stage" in parent.tags:
+                shadowed = True
+                break
+            parent_id = parent.parent_id
+        if not shadowed:
+            totals[str(stage)] = totals.get(str(stage), 0.0) + record.wall
+    return totals
+
+
+#: Shared re-entrant no-op context manager (``nullcontext`` is
+#: documented as reusable and re-entrant).
+_NULL_SPAN = nullcontext()
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, costs almost nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def span(self, name: str, **tags: object):
+        return _NULL_SPAN
+
+
+#: Process-wide disabled tracer used when no session is active.
+NULL_TRACER = NullTracer()

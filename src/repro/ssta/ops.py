@@ -28,8 +28,9 @@ from functools import singledispatch
 
 import numpy as np
 
-from repro.errors import SSTAError
+from repro.errors import FittingError, SSTAError
 from repro.models.base import TimingModel
+from repro.runtime import telemetry
 from repro.models.gaussian import GaussianModel
 from repro.models.lesn import LESNModel
 from repro.models.lvf import LVFModel
@@ -321,19 +322,30 @@ def statistical_max(
     the result is re-fitted into ``a``'s family from deterministic
     quantile pseudo-samples of that CDF.
     """
-    moments_a = a.moments()
-    moments_b = b.moments()
-    lo = min(
-        moments_a.sigma_point(-8.0), moments_b.sigma_point(-8.0)
-    )
-    hi = max(moments_a.sigma_point(8.0), moments_b.sigma_point(8.0))
-    grid = np.linspace(lo, hi, n_grid)
-    cdf = np.asarray(a.cdf(grid)) * np.asarray(b.cdf(grid))
-    cdf = np.clip(cdf, 0.0, 1.0)
-    cdf = np.maximum.accumulate(cdf)
-    if cdf[-1] <= 0.0:
-        raise SSTAError("max CDF vanished on the evaluation grid")
-    cdf = cdf / cdf[-1]
-    probabilities = (np.arange(n_quantiles) + 0.5) / n_quantiles
-    pseudo_samples = np.interp(probabilities, cdf, grid)
-    return type(a).fit(pseudo_samples)
+    telemetry.counter_inc("ssta.max_op.calls")
+    with telemetry.span("ssta.max", family=type(a).__name__):
+        moments_a = a.moments()
+        moments_b = b.moments()
+        lo = min(
+            moments_a.sigma_point(-8.0), moments_b.sigma_point(-8.0)
+        )
+        hi = max(moments_a.sigma_point(8.0), moments_b.sigma_point(8.0))
+        grid = np.linspace(lo, hi, n_grid)
+        cdf = np.asarray(a.cdf(grid)) * np.asarray(b.cdf(grid))
+        cdf = np.clip(cdf, 0.0, 1.0)
+        cdf = np.maximum.accumulate(cdf)
+        if cdf[-1] <= 0.0:
+            telemetry.counter_inc("ssta.max_op.moment_match_failures")
+            raise SSTAError("max CDF vanished on the evaluation grid")
+        cdf = cdf / cdf[-1]
+        probabilities = (np.arange(n_quantiles) + 0.5) / n_quantiles
+        pseudo_samples = np.interp(probabilities, cdf, grid)
+        try:
+            return type(a).fit(pseudo_samples)
+        except (FittingError, ValueError, ArithmeticError):
+            # Re-materialising max(A, B) back into a's family is the
+            # moment-matching step that can fail for degenerate
+            # inputs; count it so SSTA runs expose how often the MAX
+            # operator degrades before the caller sees the error.
+            telemetry.counter_inc("ssta.max_op.moment_match_failures")
+            raise

@@ -17,6 +17,7 @@ import numpy as np
 from repro.binning.metrics import binning_error, error_reduction
 from repro.errors import SSTAError
 from repro.models.base import get_model
+from repro.runtime import telemetry
 from repro.ssta.ops import sum_models
 from repro.ssta.paths import StageSimulation
 from repro.stats.empirical import EmpiricalDistribution
@@ -109,19 +110,28 @@ def propagate_path(
     binning_errors: dict[str, list[float]] = {
         name: [] for name in model_names
     }
-    for name in model_names:
-        model_cls = get_model(name)
-        kwargs = overrides.get(name, {})
-        accumulated = None
-        for simulation, golden in zip(simulations, goldens):
-            stage_model = model_cls.fit(simulation.delay, **kwargs)
-            if accumulated is None:
-                accumulated = stage_model
-            else:
-                accumulated = sum_models(accumulated, stage_model)
-            binning_errors[name].append(
-                binning_error(accumulated, golden)
-            )
+    with telemetry.span(
+        "ssta.propagate", n_stages=len(simulations)
+    ):
+        for name in model_names:
+            model_cls = get_model(name)
+            kwargs = overrides.get(name, {})
+            accumulated = None
+            with telemetry.span("ssta.model", model=name):
+                for simulation, golden in zip(simulations, goldens):
+                    stage_model = model_cls.fit(
+                        simulation.delay, **kwargs
+                    )
+                    if accumulated is None:
+                        accumulated = stage_model
+                    else:
+                        accumulated = sum_models(
+                            accumulated, stage_model
+                        )
+                    telemetry.counter_inc("ssta.stages_propagated")
+                    binning_errors[name].append(
+                        binning_error(accumulated, golden)
+                    )
 
     reductions: dict[str, tuple[float, ...]] = {}
     base_errors = binning_errors[baseline]

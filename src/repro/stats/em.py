@@ -24,6 +24,7 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ConvergenceWarningError, FittingError
+from repro.runtime import telemetry
 from repro.stats.kmeans import kmeans_1d, split_by_labels
 from repro.stats.mixtures import Mixture
 from repro.stats.moments import validate_samples
@@ -171,6 +172,29 @@ def fit_mixture_em(
         ConvergenceWarningError: Only when
             ``config.require_convergence`` is set and the cap is hit.
     """
+    with telemetry.span(
+        "em.fit", family=family.name, n_components=n_components
+    ):
+        result = _fit_mixture_em_impl(
+            samples, family, n_components, config=config, initial=initial
+        )
+    telemetry.counter_inc("em.fits")
+    telemetry.observe("em.iterations", result.n_iter)
+    if result.collapsed:
+        telemetry.counter_inc("em.collapsed")
+    if not result.converged:
+        telemetry.counter_inc("em.nonconverged")
+    return result
+
+
+def _fit_mixture_em_impl(
+    samples: np.ndarray,
+    family: ComponentFamily,
+    n_components: int,
+    *,
+    config: EMConfig | None,
+    initial: Mixture | Sequence[Any] | None,
+) -> EMResult:
     data = validate_samples(samples, minimum=max(16, 8 * n_components))
     cfg = config or EMConfig()
     if n_components < 1:

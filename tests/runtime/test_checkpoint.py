@@ -79,3 +79,51 @@ class TestCorruption:
         store.path_for("original").rename(hijacked)
         with pytest.raises(CheckpointError):
             store.load("other")
+
+
+class TestGarbageCollection:
+    def test_orphaned_tokens_removed(self, store):
+        store.save("keep", 1)
+        store.save("orphan-a", 2)
+        store.save("orphan-b", 3)
+        assert store.gc(["keep"]) == 2
+        assert store.load("keep") == 1
+        assert not store.contains("orphan-a")
+
+    def test_no_selectors_removes_nothing(self, store):
+        store.save("a", 1)
+        assert store.gc() == 0
+        assert store.contains("a")
+
+    def test_max_age_removes_old_entries(self, store):
+        import os
+        import time
+
+        store.save("old", 1)
+        store.save("new", 2)
+        old_path = store.path_for("old")
+        past = time.time() - 7200
+        os.utime(old_path, (past, past))
+        assert store.gc(max_age_seconds=3600) == 1
+        assert not store.contains("old")
+        assert store.contains("new")
+
+    def test_valid_token_survives_if_young(self, store):
+        store.save("t", 1)
+        assert store.gc(["t"], max_age_seconds=3600) == 0
+        assert store.load("t") == 1
+
+    def test_negative_age_raises(self, store):
+        with pytest.raises(CheckpointError):
+            store.gc(max_age_seconds=-1)
+
+    def test_gc_counts_into_telemetry(self, store):
+        from repro.runtime import telemetry
+
+        store.save("orphan", 1)
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            store.gc(["other"])
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["checkpoint.gc_removed"] == 1
+        session.close()

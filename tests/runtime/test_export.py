@@ -1,0 +1,75 @@
+"""Tests for the verified atomic export writer and its fault hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LibertyError, LibertyWriteError
+from repro.runtime.export import write_text_file
+from repro.runtime.faults import FaultPlan, FaultRule, inject
+
+
+class TestHappyPath:
+    def test_writes_and_returns_byte_count(self, tmp_path):
+        path = tmp_path / "out.lib"
+        text = "library (x) {\n}\n"
+        assert write_text_file(path, text) == len(text.encode())
+        assert path.read_text() == text
+
+    def test_overwrites_existing_atomically(self, tmp_path):
+        path = tmp_path / "out.lib"
+        path.write_text("old content")
+        write_text_file(path, "new content")
+        assert path.read_text() == "new content"
+
+    def test_no_temp_litter(self, tmp_path):
+        path = tmp_path / "out.lib"
+        write_text_file(path, "x" * 100)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.lib"]
+
+    def test_missing_parent_raises_write_error(self, tmp_path):
+        with pytest.raises(LibertyWriteError):
+            write_text_file(tmp_path / "no" / "dir" / "f.lib", "x")
+
+
+class TestInjectedFaults:
+    def test_truncated_write_detected(self, tmp_path):
+        path = tmp_path / "out.lib"
+        plan = FaultPlan([FaultRule("export_truncate", truncate_bytes=8)])
+        with inject(plan):
+            with pytest.raises(LibertyWriteError, match="short write"):
+                write_text_file(path, "x" * 500)
+        assert not path.exists(), "failed export must not land"
+        assert list(tmp_path.iterdir()) == [], "no temp litter on failure"
+
+    def test_truncation_preserves_previous_library(self, tmp_path):
+        path = tmp_path / "out.lib"
+        write_text_file(path, "good old library")
+        plan = FaultPlan([FaultRule("export_truncate", truncate_bytes=4)])
+        with inject(plan):
+            with pytest.raises(LibertyWriteError):
+                write_text_file(path, "y" * 300)
+        assert path.read_text() == "good old library"
+
+    def test_fsync_failure_detected(self, tmp_path):
+        path = tmp_path / "out.lib"
+        plan = FaultPlan([FaultRule("export_fsync")])
+        with inject(plan):
+            with pytest.raises(LibertyWriteError, match="fsync"):
+                write_text_file(path, "payload")
+        assert not path.exists()
+
+    def test_fsync_fault_ignored_when_fsync_disabled(self, tmp_path):
+        path = tmp_path / "out.lib"
+        plan = FaultPlan([FaultRule("export_fsync")])
+        with inject(plan):
+            write_text_file(path, "payload", fsync=False)
+        assert path.read_text() == "payload"
+
+    def test_write_error_is_liberty_family(self):
+        assert issubclass(LibertyWriteError, LibertyError)
+
+    def test_no_plan_means_no_fault(self, tmp_path):
+        path = tmp_path / "out.lib"
+        write_text_file(path, "z" * 200)
+        assert path.stat().st_size == 200

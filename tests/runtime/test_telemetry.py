@@ -1,0 +1,366 @@
+"""Tests for the telemetry subsystem: spans, metrics, sessions.
+
+Covers span nesting and timing, thread safety of tracer and registry,
+stage-boundary accounting, the no-op disabled path, JSONL emission,
+the run manifest, and the ``trace summarize`` round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import telemetry
+from repro.runtime.telemetry import (
+    MANIFEST_SCHEMA,
+    MetricsRegistry,
+    NullTracer,
+    SpanRecord,
+    TelemetrySession,
+    Tracer,
+    load_trace,
+    percentile,
+    read_jsonl,
+    stage_totals,
+    summarize_trace,
+)
+
+
+class TestTracer:
+    def test_nesting_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = tracer.records()
+        assert [r.name for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+        assert by_name["a"].span_id != by_name["b"].span_id
+
+    def test_wall_time_measured(self):
+        tracer = Tracer()
+        with tracer.span("sleep"):
+            time.sleep(0.01)
+        (record,) = tracer.records()
+        assert record.wall >= 0.009
+        assert record.cpu >= 0.0
+
+    def test_tags_and_status(self):
+        tracer = Tracer()
+        with tracer.span("tagged", cell="INV", n=3):
+            pass
+        (record,) = tracer.records()
+        assert record.tags == {"cell": "INV", "n": 3}
+        assert record.status == "ok"
+
+    def test_error_status_records_exception_type(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (record,) = tracer.records()
+        assert record.status == "error:ValueError"
+
+    def test_thread_safety_stacks_are_independent(self):
+        tracer = Tracer()
+        errors: list[str] = []
+
+        def worker(name: str) -> None:
+            for _ in range(50):
+                with tracer.span(f"outer-{name}"):
+                    with tracer.span(f"inner-{name}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i),))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        records = tracer.records()
+        assert len(records) == 4 * 50 * 2
+        by_id = {r.span_id: r for r in records}
+        assert len(by_id) == len(records), "span ids must be unique"
+        for record in records:
+            if record.name.startswith("inner-"):
+                suffix = record.name.split("-", 1)[1]
+                parent = by_id[record.parent_id]
+                assert parent.name == f"outer-{suffix}", errors
+
+    def test_record_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("x", k="v"):
+            pass
+        (record,) = tracer.records()
+        clone = SpanRecord.from_dict(record.to_dict())
+        assert clone == record
+
+
+class TestStageTotals:
+    def test_nested_stage_spans_not_double_counted(self):
+        tracer = Tracer()
+        with tracer.span("outer", stage="fitting"):
+            time.sleep(0.005)
+            with tracer.span("inner", stage="fitting"):
+                time.sleep(0.005)
+        totals = stage_totals(tracer.records())
+        outer = next(
+            r for r in tracer.records() if r.name == "outer"
+        )
+        assert totals["fitting"] == pytest.approx(outer.wall)
+
+    def test_sibling_stages_sum(self):
+        tracer = Tracer()
+        with tracer.span("run"):
+            with tracer.span("a", stage="sampling"):
+                pass
+            with tracer.span("b", stage="export"):
+                pass
+        totals = stage_totals(tracer.records())
+        assert set(totals) == {"sampling", "export"}
+
+    def test_untagged_spans_ignored(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        assert stage_totals(tracer.records()) == {}
+
+
+class TestNullTracer:
+    def test_null_span_is_reusable_noop(self):
+        tracer = NullTracer()
+        with tracer.span("a", x=1):
+            with tracer.span("b"):
+                pass
+        assert tracer.records() == ()
+
+    def test_hooks_are_noops_without_session(self):
+        assert telemetry.active_session() is None
+        with telemetry.span("nothing", k="v"):
+            telemetry.counter_inc("c")
+            telemetry.observe("h", 1.0)
+            telemetry.gauge_set("g", 2.0)
+        assert telemetry.active_session() is None
+
+
+class TestMetrics:
+    def test_counter_values(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["a"] == 5
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.5)
+        registry.set_gauge("g", 2.5)
+        assert registry.snapshot()["gauges"]["g"] == 2.5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("h", float(value))
+        summary = registry.snapshot()["histograms"]["h"]
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.inc("x")
+        with pytest.raises(ParameterError):
+            registry.observe("x", 1.0)
+
+    def test_percentile_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([5.0], 99) == 5.0
+
+    def test_thread_safe_counts(self):
+        registry = MetricsRegistry()
+
+        def worker() -> None:
+            for _ in range(1000):
+                registry.inc("n")
+                registry.observe("h", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["n"] == 4000
+        assert snapshot["histograms"]["h"]["count"] == 4000
+
+
+class TestSessionEmission:
+    def test_jsonl_trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        session = TelemetrySession(trace_path=path)
+        with telemetry.activate(session):
+            with telemetry.span("root", stage="fitting"):
+                telemetry.counter_inc("k", 2)
+        session.write_manifest(session.manifest(custom="extra"))
+        session.close()
+        records = list(read_jsonl(path))
+        types = [r["type"] for r in records]
+        assert types == ["span", "manifest", "metrics"]
+        span_record = records[0]
+        assert span_record["name"] == "root"
+        assert span_record["run_id"] == session.run_id
+        manifest = records[1]
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["custom"] == "extra"
+        assert manifest["metrics"]["counters"]["k"] == 2
+        assert "fitting" in manifest["stages"]
+
+    def test_bad_jsonl_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\nnot json\n')
+        with pytest.raises(ParameterError, match=r"bad\.jsonl:2"):
+            list(read_jsonl(path))
+
+    def test_activation_restored_after_exit(self):
+        session = TelemetrySession()
+        with telemetry.activate(session):
+            assert telemetry.active_session() is session
+        assert telemetry.active_session() is None
+        session.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        session = TelemetrySession(trace_path=tmp_path / "t.jsonl")
+        session.close()
+        session.close()
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 1  # exactly one final metrics record
+
+
+class TestSummarizeRoundTrip:
+    def test_summarize_parses_own_output_format(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        session = TelemetrySession(trace_path=path)
+        with telemetry.activate(session):
+            with telemetry.span("run"):
+                with telemetry.span("work", stage="sampling"):
+                    telemetry.observe("speed", 10.0)
+        session.write_manifest(session.manifest())
+        session.close()
+        data = load_trace(path)
+        assert len(data.spans) == 2
+        assert data.manifest is not None
+        text = summarize_trace(data)
+        assert "run" in text
+        assert "work" in text
+        assert "sampling" in text
+        assert "speed" in text
+
+    def test_load_trace_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError):
+            load_trace(tmp_path / "nope.jsonl")
+
+
+class TestCharacterizationTelemetry:
+    """End-to-end: a 2-arc run emits the expected spans and metrics."""
+
+    @pytest.fixture(scope="class")
+    def run(self, tmp_path_factory):
+        from repro.circuits import (
+            CharacterizationConfig,
+            GateTimingEngine,
+            TT_GLOBAL_LOCAL_MC,
+            build_cell,
+            characterize_library,
+        )
+        from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+        from repro.runtime import FitPolicy, FitReport
+
+        path = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+        session = TelemetrySession(trace_path=path)
+        engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+        config = CharacterizationConfig(
+            slews=PAPER_SLEWS[:2],
+            loads=PAPER_LOADS[:2],
+            n_samples=200,
+            seed=7,
+        )
+        with telemetry.activate(session):
+            with telemetry.span("characterize.run"):
+                characterize_library(
+                    engine,
+                    [build_cell("INV", 1.0)],
+                    config,
+                    policy=FitPolicy(),
+                    report=FitReport(),
+                )
+        session.write_manifest(session.manifest())
+        session.close()
+        return session, path
+
+    def test_span_names_cover_all_stages(self, run):
+        session, _ = run
+        names = {r.name for r in session.tracer.records()}
+        assert {
+            "characterize.run",
+            "characterize.cell",
+            "characterize.arc",
+            "mc.condition",
+            "fit.ladder",
+            "em.fit",
+            "liberty.tables",
+        } <= names
+
+    def test_metric_values_match_run_shape(self, run):
+        session, _ = run
+        snapshot = session.metrics.snapshot()
+        counters = snapshot["counters"]
+        # INV: 1 input pin x rise/fall = 2 arcs, 2x2 grid each.
+        assert counters["mc.conditions"] == 8
+        assert counters["mc.samples"] == 8 * 200
+        assert counters["fit.rung.LVF2"] >= 1
+        histograms = snapshot["histograms"]
+        assert histograms["fit.fallback_rung"]["count"] == 16
+        assert histograms["mc.samples_per_sec"]["count"] == 8
+        assert histograms["em.iterations"]["count"] >= 16
+
+    def test_stage_sums_cover_most_of_wall(self, run):
+        session, _ = run
+        totals = session.tracer.stage_totals()
+        assert {"sampling", "fitting", "export"} <= set(totals)
+        covered = sum(totals.values())
+        assert covered >= 0.9 * session.tracer.total_wall()
+
+    def test_trace_file_round_trips_through_summarize(self, run):
+        _, path = run
+        data = load_trace(path)
+        text = summarize_trace(data)
+        assert "characterize.run" in text
+        assert "em.fit" in text
+        manifest = data.manifest
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        stage_sum = sum(manifest["stages"].values())
+        assert stage_sum >= 0.9 * manifest["wall_total_s"]
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line is valid JSON

@@ -189,3 +189,166 @@ class TestCheckpointFlags:
         assert main(base + ["--resume", "--out", str(out2)]) == 0
         assert out1.read_text() == out2.read_text()
         capsys.readouterr()
+
+
+class TestObservabilityFlags:
+    BASE = [
+        "characterize",
+        "--cells",
+        "INV",
+        "--grid",
+        "2",
+        "--samples",
+        "300",
+    ]
+
+    def test_trace_metrics_report_manifest(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "lib.lib"
+        trace = tmp_path / "t.jsonl"
+        report = tmp_path / "r.json"
+        manifest_path = tmp_path / "m.json"
+        code = main(
+            self.BASE
+            + [
+                "--out",
+                str(out),
+                "--trace",
+                str(trace),
+                "--metrics",
+                "--report-json",
+                str(report),
+                "--manifest",
+                str(manifest_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "em.fits" in output  # --metrics summary printed
+
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        types = {record["type"] for record in records}
+        assert types == {"span", "manifest", "metrics"}
+        names = {
+            record["name"]
+            for record in records
+            if record["type"] == "span"
+        }
+        assert {
+            "characterize.run",
+            "mc.condition",
+            "em.fit",
+            "fit.ladder",
+            "export.write",
+        } <= names
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["config_hash"]
+        assert manifest["seed"] == 2024
+        assert manifest["library"]["n_cells"] == 1
+        stage_sum = sum(manifest["stages"].values())
+        assert stage_sum >= 0.9 * manifest["wall_total_s"]
+
+        fit_report = json.loads(report.read_text())
+        assert fit_report["rung_counts"].get("LVF2", 0) >= 1
+
+    def test_trace_summarize_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(
+                self.BASE
+                + ["--out", str(tmp_path / "l.lib"), "--trace", str(trace)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "characterize.run" in output
+        assert "stages:" in output
+
+    def test_trace_summarize_missing_file(self, tmp_path, capsys):
+        code = main(["trace", "summarize", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_gc_requires_dir(self, capsys):
+        code = main(self.BASE + ["--checkpoint-gc"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_gc_drops_orphans(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = self.BASE + ["--checkpoint-dir", str(ckpt)]
+        assert main(base + ["--out", str(tmp_path / "a.lib")]) == 0
+        assert len(list(ckpt.glob("*.ckpt"))) == 2
+        # A different sample count orphans the old entries.
+        changed = [
+            "characterize",
+            "--cells",
+            "INV",
+            "--grid",
+            "2",
+            "--samples",
+            "200",
+            "--checkpoint-dir",
+            str(ckpt),
+            "--resume",
+            "--checkpoint-gc",
+        ]
+        assert main(changed + ["--out", str(tmp_path / "b.lib")]) == 0
+        err = capsys.readouterr().err
+        assert "removed 2 stale entries" in err
+        assert len(list(ckpt.glob("*.ckpt"))) == 2  # only new tokens
+
+
+class TestExportFaultExitCode:
+    def test_truncated_export_exits_liberty_family(self, tmp_path, capsys):
+        from repro.runtime.faults import FaultPlan, FaultRule, inject
+
+        out = tmp_path / "lib.lib"
+        plan = FaultPlan([FaultRule("export_truncate", truncate_bytes=16)])
+        with inject(plan):
+            code = main(
+                [
+                    "characterize",
+                    "--cells",
+                    "INV",
+                    "--grid",
+                    "2",
+                    "--samples",
+                    "300",
+                    "--out",
+                    str(out),
+                ]
+            )
+        assert code == 4  # LibertyError family
+        assert "short write" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_fsync_fault_exits_liberty_family(self, tmp_path, capsys):
+        from repro.runtime.faults import FaultPlan, FaultRule, inject
+
+        out = tmp_path / "lib.lib"
+        plan = FaultPlan([FaultRule("export_fsync")])
+        with inject(plan):
+            code = main(
+                [
+                    "characterize",
+                    "--cells",
+                    "INV",
+                    "--grid",
+                    "2",
+                    "--samples",
+                    "300",
+                    "--out",
+                    str(out),
+                ]
+            )
+        assert code == 4
+        assert "fsync" in capsys.readouterr().err
+        assert not out.exists()
