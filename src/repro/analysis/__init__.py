@@ -1,0 +1,78 @@
+"""Static analysis: determinism lint for sources and LVF2 artifacts.
+
+Two engines share one rule registry, finding model and reporter (see
+DESIGN.md §"Static analysis"):
+
+- :mod:`repro.analysis.python_lint` — an :mod:`ast`-based linter for
+  the repo's own sources, enforcing the reproducibility contract the
+  checkpoint/resume layer and the future parallel characterisation
+  workers depend on (RNG discipline, determinism hazards, numerical
+  safety, shared-state rules).  CLI: ``repro lint``.
+- :mod:`repro.analysis.liberty_lint` — a domain linter over the parsed
+  Liberty AST that statically checks LVF2 semantics (λ range, Eq. 10
+  backward compatibility, LUT shape/axis agreement, mixture moment
+  sanity) so a bad library is rejected with rule-tagged diagnostics
+  before it reaches SSTA.  CLI: ``repro lint-lib``.
+
+Both support inline suppression (``# repro-lint: disable=RULE``) and a
+grandfathering baseline file (:mod:`repro.analysis.suppressions`), and
+emit human text or telemetry-convention JSONL
+(:mod:`repro.analysis.reporter`).  Like the telemetry package, this
+package imports nothing heavyweight at module load.
+"""
+
+from repro.analysis.findings import (
+    REGISTRY,
+    Finding,
+    LintSeverity,
+    Rule,
+    RuleRegistry,
+)
+from repro.analysis.liberty_lint import (
+    collect_lib_files,
+    lint_library_paths,
+    lint_library_text,
+)
+from repro.analysis.python_lint import (
+    LintConfig,
+    collect_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.reporter import (
+    fails,
+    render_jsonl,
+    render_text,
+    summarize,
+)
+from repro.analysis.suppressions import (
+    SuppressionIndex,
+    apply_baseline,
+    apply_suppressions,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintSeverity",
+    "REGISTRY",
+    "Rule",
+    "RuleRegistry",
+    "SuppressionIndex",
+    "apply_baseline",
+    "apply_suppressions",
+    "collect_lib_files",
+    "collect_python_files",
+    "fails",
+    "lint_library_paths",
+    "lint_library_text",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_jsonl",
+    "render_text",
+    "summarize",
+    "write_baseline",
+]

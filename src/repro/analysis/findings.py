@@ -1,0 +1,367 @@
+"""Finding model and rule registry shared by both lint engines.
+
+A *rule* is a named invariant with a stable id (``RNG001``,
+``LIB004``...); a *finding* is one concrete violation of a rule at a
+file/line.  Both the Python source engine
+(:mod:`repro.analysis.python_lint`) and the Liberty domain engine
+(:mod:`repro.analysis.liberty_lint`) register their rules in the one
+:class:`RuleRegistry` below, so ``repro lint --rules`` can render a
+single table and rule ids can never collide across engines.
+
+Severities mirror :class:`repro.liberty.validate.Severity`: ``INFO``
+findings never fail a run, ``WARNING`` and ``ERROR`` do unless
+baselined or suppressed (see :mod:`repro.analysis.suppressions`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "Finding",
+    "LintSeverity",
+    "Rule",
+    "RuleRegistry",
+    "REGISTRY",
+]
+
+
+class LintSeverity(enum.Enum):
+    """Finding severity, in increasing order of gravity."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return ("info", "warning", "error").index(self.value)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered invariant.
+
+    Attributes:
+        rule_id: Stable short id, e.g. ``RNG001``.
+        name: Symbolic kebab-case name, e.g. ``global-rng``.
+        engine: ``"python"`` or ``"liberty"``.
+        severity: Default severity of findings from this rule.
+        summary: One-line description for the rule table.
+    """
+
+    rule_id: str
+    name: str
+    engine: str
+    severity: LintSeverity
+    summary: str
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One concrete rule violation.
+
+    Attributes:
+        rule_id: Id of the violated rule.
+        severity: Effective severity (defaults to the rule's).
+        file: Path of the offending file, as given to the engine.
+        line: 1-based line number (0 when unknown, e.g. a file-level
+            Liberty finding).
+        message: Human-readable description of the violation.
+        source: Stripped text of the offending source line; used for
+            drift-tolerant baseline matching.
+        suppressed: True when an inline directive waived this finding.
+        baselined: True when a baseline entry grandfathered it.
+    """
+
+    rule_id: str
+    severity: LintSeverity
+    file: str
+    line: int
+    message: str
+    source: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this finding still counts against the run."""
+        return not (self.suppressed or self.baselined)
+
+    def sort_key(self) -> tuple:
+        return (self.file, self.line, self.rule_id, self.message)
+
+    def to_dict(self) -> dict:
+        """JSONL record (telemetry conventions: self-describing type)."""
+        return {
+            "type": "finding",
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def waived(self, *, suppressed: bool = False, baselined: bool = False) -> "Finding":
+        """Copy of the finding with a waiver flag set."""
+        return replace(
+            self,
+            suppressed=self.suppressed or suppressed,
+            baselined=self.baselined or baselined,
+        )
+
+
+class RuleRegistry:
+    """All registered rules, keyed by id and by symbolic name."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._by_name: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.rule_id in self._rules:
+            raise ParameterError(
+                f"duplicate rule id {rule.rule_id!r}"
+            )
+        if rule.name in self._by_name:
+            raise ParameterError(
+                f"duplicate rule name {rule.name!r}"
+            )
+        self._rules[rule.rule_id] = rule
+        self._by_name[rule.name] = rule
+        return rule
+
+    def get(self, key: str) -> Rule:
+        """Look a rule up by id or symbolic name.
+
+        Raises:
+            ParameterError: For an unknown rule.
+        """
+        rule = self._rules.get(key) or self._by_name.get(key)
+        if rule is None:
+            raise ParameterError(f"unknown lint rule {key!r}")
+        return rule
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rules or key in self._by_name
+
+    def rules(self, engine: str | None = None) -> list[Rule]:
+        """All rules (optionally one engine's), sorted by id."""
+        return sorted(
+            (
+                rule
+                for rule in self._rules.values()
+                if engine is None or rule.engine == engine
+            ),
+            key=lambda rule: rule.rule_id,
+        )
+
+    def finding(
+        self,
+        rule_id: str,
+        file: str,
+        line: int,
+        message: str,
+        *,
+        source: str = "",
+        severity: LintSeverity | None = None,
+    ) -> Finding:
+        """Build a finding for a registered rule (id must exist)."""
+        rule = self.get(rule_id)
+        return Finding(
+            rule_id=rule.rule_id,
+            severity=severity if severity is not None else rule.severity,
+            file=file,
+            line=line,
+            message=message,
+            source=source,
+        )
+
+    def table(self) -> str:
+        """Render the rule table for ``repro lint --rules``."""
+        lines = []
+        for rule in self.rules():
+            lines.append(
+                f"{rule.rule_id}  {rule.severity.value:<7s} "
+                f"{rule.name:<24s} {rule.summary}"
+            )
+        return "\n".join(lines)
+
+
+#: The process-wide registry both engines populate at import time.
+#: Read-only after module import — safe to share across workers.
+REGISTRY = RuleRegistry()
+
+
+def _register(
+    rule_id: str,
+    name: str,
+    engine: str,
+    severity: LintSeverity,
+    summary: str,
+) -> Rule:
+    return REGISTRY.register(
+        Rule(rule_id, name, engine, severity, summary)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Python source rules (engine 1): RNG discipline, determinism hazards,
+# numerical-safety smells, parallel-readiness.
+# ---------------------------------------------------------------------------
+_register(
+    "RNG001",
+    "global-rng",
+    "python",
+    LintSeverity.ERROR,
+    "np.random.* global-state call; thread a Generator instead",
+)
+_register(
+    "RNG002",
+    "seedless-rng",
+    "python",
+    LintSeverity.ERROR,
+    "default_rng() without a seed outside conftest/faults",
+)
+_register(
+    "RNG003",
+    "sampler-no-rng",
+    "python",
+    LintSeverity.WARNING,
+    "sampler function does not accept an rng argument",
+)
+_register(
+    "DET001",
+    "set-iteration",
+    "python",
+    LintSeverity.ERROR,
+    "iteration over an unordered set feeds ordered output",
+)
+_register(
+    "DET002",
+    "wallclock-fingerprint",
+    "python",
+    LintSeverity.ERROR,
+    "wall-clock/entropy call inside a fingerprint/token function",
+)
+_register(
+    "NUM001",
+    "bare-except",
+    "python",
+    LintSeverity.ERROR,
+    "bare except (or except-pass) swallows numerical errors",
+)
+_register(
+    "NUM002",
+    "silent-errstate",
+    "python",
+    LintSeverity.ERROR,
+    'np.errstate(all="ignore") silences every FP signal',
+)
+_register(
+    "NUM003",
+    "unguarded-division",
+    "python",
+    LintSeverity.WARNING,
+    "division in stats/ by a value never checked against zero",
+)
+_register(
+    "PAR001",
+    "module-mutable-state",
+    "python",
+    LintSeverity.ERROR,
+    "module-level mutable container blocks parallel workers",
+)
+_register(
+    "PAR002",
+    "non-atomic-write",
+    "python",
+    LintSeverity.ERROR,
+    "file write bypasses the atomic repro.runtime.export helpers",
+)
+_register(
+    "PAR003",
+    "global-rebind",
+    "python",
+    LintSeverity.WARNING,
+    "function rebinds module state via `global` in repro.runtime",
+)
+
+# ---------------------------------------------------------------------------
+# Liberty / LVF2 domain rules (engine 2), paper §3.3 semantics.
+# ---------------------------------------------------------------------------
+_register(
+    "LIB001",
+    "weight-range",
+    "liberty",
+    LintSeverity.ERROR,
+    "ocv_weight2 (lambda) value outside [0, 1]",
+)
+_register(
+    "LIB002",
+    "backward-compat",
+    "liberty",
+    LintSeverity.ERROR,
+    "lambda=0 tables do not collapse to plain LVF (Eq. 10)",
+)
+_register(
+    "LIB003",
+    "axis-monotonicity",
+    "liberty",
+    LintSeverity.ERROR,
+    "LUT index axis not strictly increasing",
+)
+_register(
+    "LIB004",
+    "shape-mismatch",
+    "liberty",
+    LintSeverity.ERROR,
+    "LVF2 attribute table shape disagrees across the seven LUTs",
+)
+_register(
+    "LIB005",
+    "moment-sanity",
+    "liberty",
+    LintSeverity.ERROR,
+    "mixture moment out of range (sigma<=0 or |skew|>=SN bound)",
+)
+_register(
+    "LIB006",
+    "template-consistency",
+    "liberty",
+    LintSeverity.ERROR,
+    "LUT references a missing template or contradicts its axes",
+)
+_register(
+    "LIB007",
+    "mixture-completeness",
+    "liberty",
+    LintSeverity.ERROR,
+    "nonzero ocv_weight2 without the full second-component LUT set",
+)
+_register(
+    "LIB008",
+    "malformed-table",
+    "liberty",
+    LintSeverity.ERROR,
+    "LUT group is missing values or carries unparseable numbers",
+)
+_register(
+    "LIB009",
+    "unit-consistency",
+    "liberty",
+    LintSeverity.WARNING,
+    "library-level unit/delay-model attributes absent or unusual",
+)
+_register(
+    "LIB010",
+    "dead-extension",
+    "liberty",
+    LintSeverity.INFO,
+    "LVF2 extension LUTs present but lambda is zero everywhere",
+)

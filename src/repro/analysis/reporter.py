@@ -1,0 +1,89 @@
+"""Finding reporters: human text and JSONL (telemetry conventions).
+
+The JSONL stream follows the same conventions as the telemetry sinks
+(:mod:`repro.runtime.telemetry.sinks`): one self-describing object per
+line with a ``type`` key — ``finding`` records followed by a single
+``lint_summary`` record — so the same tooling that tails traces can
+tail lint output, and ``repro trace summarize``-style consumers can
+skip unknown record types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from repro.analysis.findings import Finding, LintSeverity
+
+__all__ = ["render_text", "render_jsonl", "summarize", "fails"]
+
+
+def summarize(findings: list[Finding]) -> dict:
+    """Aggregate counts for the summary line / JSONL trailer."""
+    active = [finding for finding in findings if finding.is_active]
+    by_severity = {severity.value: 0 for severity in LintSeverity}
+    by_rule: dict[str, int] = {}
+    for finding in active:
+        by_severity[finding.severity.value] += 1
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "type": "lint_summary",
+        "total": len(findings),
+        "active": len(active),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "baselined": sum(1 for f in findings if f.baselined),
+        "by_severity": by_severity,
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def fails(findings: list[Finding]) -> bool:
+    """Whether the active findings should fail the run.
+
+    INFO findings never fail; any active WARNING or ERROR does — the
+    CI gate is "no non-baselined findings", not "no catastrophes".
+    """
+    return any(
+        finding.is_active
+        and finding.severity is not LintSeverity.INFO
+        for finding in findings
+    )
+
+
+def render_text(findings: list[Finding], stream: TextIO) -> None:
+    """One line per finding plus a summary, pylint-style."""
+    for finding in sorted(findings, key=Finding.sort_key):
+        waiver = ""
+        if finding.suppressed:
+            waiver = " (suppressed)"
+        elif finding.baselined:
+            waiver = " (baselined)"
+        location = (
+            f"{finding.file}:{finding.line}"
+            if finding.line
+            else finding.file
+        )
+        stream.write(
+            f"{location}: {finding.rule_id} "
+            f"[{finding.severity.value}] {finding.message}{waiver}\n"
+        )
+    counts = summarize(findings)
+    severities = counts["by_severity"]
+    stream.write(
+        f"{counts['active']} finding(s) "
+        f"({severities['error']} error, {severities['warning']} warning, "
+        f"{severities['info']} info), "
+        f"{counts['suppressed']} suppressed, "
+        f"{counts['baselined']} baselined\n"
+    )
+
+
+def render_jsonl(findings: list[Finding], stream: TextIO) -> None:
+    """Self-describing JSONL: finding records, then one summary."""
+    for finding in sorted(findings, key=Finding.sort_key):
+        stream.write(
+            json.dumps(finding.to_dict(), sort_keys=True) + "\n"
+        )
+    stream.write(
+        json.dumps(summarize(findings), sort_keys=True) + "\n"
+    )

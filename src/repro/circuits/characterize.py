@@ -462,6 +462,7 @@ def characterize_library(
             "technology": "cmos",
             "delay_model": "table_lookup",
             "time_unit": "1ns",
+            "voltage_unit": "1V",
             "nom_voltage": f"{engine.corner.vdd:g}",
             "nom_temperature": f"{engine.corner.temperature:g}",
         },

@@ -9,6 +9,8 @@ Subcommands:
 - ``liberty``       — parse and summarise a Liberty file
 - ``bench``         — regenerate the paper's tables and figures
 - ``trace``         — summarise a telemetry trace file
+- ``lint``          — static determinism lint over Python sources
+- ``lint-lib``      — domain lint over Liberty/LVF2 artifacts
 - ``fo4``           — print the technology FO4 delay
 """
 
@@ -152,8 +154,8 @@ def _run_checkpoint_gc(args, store, engine, cells, config) -> None:
 
     if store is None:
         raise ParameterError(
-            "--checkpoint-gc/--checkpoint-max-age require "
-            "--checkpoint-dir pointing at the store to collect"
+            "--checkpoint-gc/--checkpoint-max-age/--checkpoint-max-bytes "
+            "require --checkpoint-dir pointing at the store to collect"
         )
     tokens = [
         arc_checkpoint_token(engine, cell, pin, transition, config)
@@ -166,7 +168,11 @@ def _run_checkpoint_gc(args, store, engine, cells, config) -> None:
         if args.checkpoint_max_age is not None
         else None
     )
-    removed = store.gc(tokens, max_age_seconds=max_age)
+    removed = store.gc(
+        tokens,
+        max_age_seconds=max_age,
+        max_total_bytes=args.checkpoint_max_bytes,
+    )
     print(
         f"checkpoint gc: removed {removed} stale entries "
         f"from {store.directory}",
@@ -203,7 +209,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     )
     cells = [build_cell(name, args.drive) for name in args.cells]
     store = _checkpoint_store(args)
-    if args.checkpoint_gc or args.checkpoint_max_age is not None:
+    if (
+        args.checkpoint_gc
+        or args.checkpoint_max_age is not None
+        or args.checkpoint_max_bytes is not None
+    ):
         _run_checkpoint_gc(args, store, engine, cells, config)
 
     session = None
@@ -272,17 +282,19 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             )
             session.write_manifest(manifest)
             if args.manifest:
-                with open(args.manifest, "w") as handle:
-                    json.dump(manifest, handle, indent=2, default=str)
-                    handle.write("\n")
+                write_text_file(
+                    args.manifest,
+                    json.dumps(manifest, indent=2, default=str) + "\n",
+                )
                 print(f"wrote manifest {args.manifest}", file=sys.stderr)
     finally:
         if session is not None:
             session.close()
     if args.report_json:
-        with open(args.report_json, "w") as handle:
-            json.dump(report.to_dict(), handle, indent=2)
-            handle.write("\n")
+        write_text_file(
+            args.report_json,
+            json.dumps(report.to_dict(), indent=2) + "\n",
+        )
         print(f"wrote fit report {args.report_json}", file=sys.stderr)
     if args.metrics and session is not None:
         print(telemetry.format_metrics(session.metrics.snapshot()))
@@ -294,11 +306,85 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
     from repro.runtime.telemetry import load_trace, summarize_trace
 
+    try:
+        empty = os.path.getsize(args.file) == 0
+    except OSError as error:
+        raise ParameterError(
+            f"cannot read trace file {args.file!r}: {error}"
+        ) from error
+    if empty:
+        raise ParameterError(
+            f"trace file {args.file!r} is empty — the traced run "
+            "wrote no records (killed before the first span?)"
+        )
     data = load_trace(args.file)
+    if not data.spans and not data.metrics and data.manifest is None:
+        raise ParameterError(
+            f"trace file {args.file!r} contains no trace records"
+        )
     print(summarize_trace(data))
     return 0
+
+
+def _lint_report(args: argparse.Namespace, findings, sources) -> int:
+    """Shared waiver/report/exit tail of ``lint`` and ``lint-lib``."""
+    from repro.analysis import (
+        apply_baseline,
+        apply_suppressions,
+        fails,
+        load_baseline,
+        render_jsonl,
+        render_text,
+        write_baseline,
+    )
+
+    findings = apply_suppressions(findings, sources)
+    if args.write_baseline:
+        if not args.baseline:
+            raise ParameterError(
+                "--write-baseline requires --baseline FILE to name "
+                "the baseline to create"
+            )
+        count = write_baseline(args.baseline, findings)
+        print(
+            f"wrote baseline {args.baseline}: {count} grandfathered "
+            "finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+    if args.baseline:
+        findings = apply_baseline(findings, load_baseline(args.baseline))
+    if args.format == "jsonl":
+        render_jsonl(findings, sys.stdout)
+    else:
+        render_text(findings, sys.stdout)
+    return 1 if fails(findings) else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import REGISTRY, lint_paths
+
+    if args.rules:
+        print(REGISTRY.table())
+        return 0
+    if not args.paths:
+        raise ParameterError(
+            "lint needs at least one file or directory "
+            "(e.g. `repro lint src/repro`)"
+        )
+    findings, sources = lint_paths(args.paths)
+    return _lint_report(args, findings, sources)
+
+
+def _cmd_lint_lib(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_library_paths
+
+    findings, sources = lint_library_paths(args.paths)
+    return _lint_report(args, findings, sources)
 
 
 def _cmd_liberty(args: argparse.Namespace) -> int:
@@ -317,9 +403,10 @@ def _cmd_liberty(args: argparse.Namespace) -> int:
             f"statistical={statistical} lvf2={lvf2}"
         )
     if args.roundtrip:
+        from repro.runtime.export import write_text_file
+
         out = args.roundtrip
-        with open(out, "w") as handle:
-            handle.write(library.to_text())
+        write_text_file(out, library.to_text())
         print(f"round-tripped to {out}")
     return 0
 
@@ -451,6 +538,15 @@ def build_parser() -> argparse.ArgumentParser:
         "entries older than this many hours",
     )
     characterize.add_argument(
+        "--checkpoint-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="with --checkpoint-gc semantics: after dropping stale "
+        "entries, evict oldest checkpoints until the store fits "
+        "under this size cap",
+    )
+    characterize.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -514,6 +610,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summarize.add_argument("file")
 
+    def add_lint_output_flags(lint_parser: argparse.ArgumentParser) -> None:
+        lint_parser.add_argument(
+            "--format",
+            choices=("text", "jsonl"),
+            default="text",
+            help="report format (jsonl follows the telemetry sink "
+            "conventions)",
+        )
+        lint_parser.add_argument(
+            "--baseline",
+            default=None,
+            metavar="FILE",
+            help="baseline file of grandfathered findings to apply",
+        )
+        lint_parser.add_argument(
+            "--write-baseline",
+            action="store_true",
+            help="write the current findings to --baseline and exit 0",
+        )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static determinism lint over Python sources (AST-based)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (e.g. src/repro)",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table (both engines) and exit",
+    )
+    add_lint_output_flags(lint)
+
+    lint_lib = sub.add_parser(
+        "lint-lib",
+        help="domain lint for Liberty/LVF2 artifacts (AST-based)",
+    )
+    lint_lib.add_argument(
+        "paths",
+        nargs="+",
+        help=".lib files or directories to lint",
+    )
+    add_lint_output_flags(lint_lib)
+
     sub.add_parser("fo4", help="print the technology FO4 delay")
     return parser
 
@@ -527,6 +670,8 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
+    "lint-lib": _cmd_lint_lib,
     "fo4": _cmd_fo4,
 }
 

@@ -29,10 +29,15 @@ __all__ = ["SimpleAttribute", "ComplexAttribute", "Group", "Statement"]
 
 @dataclass
 class SimpleAttribute:
-    """``name : value;`` — value is kept verbatim (unquoted)."""
+    """``name : value;`` — value is kept verbatim (unquoted).
+
+    ``line`` is the 1-based source line of the statement (0 for nodes
+    built programmatically, e.g. by the writer-side builders).
+    """
 
     name: str
     value: str
+    line: int = field(default=0, compare=False)
 
     def format_value(self) -> str:
         """Value as written back to Liberty text (re-quoted if needed)."""
@@ -49,6 +54,7 @@ class ComplexAttribute:
 
     name: str
     values: list[str] = field(default_factory=list)
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -58,6 +64,7 @@ class Group:
     name: str
     args: list[str] = field(default_factory=list)
     statements: list["Statement"] = field(default_factory=list)
+    line: int = field(default=0, compare=False)
 
     # ------------------------------------------------------------------
     # Queries

@@ -100,7 +100,9 @@ class _Parser:
                 name_token.column,
             )
         self._skip_semicolons()
-        return SimpleAttribute(name, " ".join(pieces))
+        return SimpleAttribute(
+            name, " ".join(pieces), line=name_token.line
+        )
 
     def _parse_args(self) -> list[str]:
         self._expect(TokenKind.LPAREN)
@@ -125,7 +127,7 @@ class _Parser:
         args = self._parse_args()
         if self.current.kind is TokenKind.LBRACE:
             self._advance()
-            group = Group(name, args)
+            group = Group(name, args, line=name_token.line)
             self._skip_semicolons()
             while self.current.kind is not TokenKind.RBRACE:
                 if self.current.kind is TokenKind.EOF:
@@ -140,7 +142,7 @@ class _Parser:
             self._skip_semicolons()
             return group
         self._skip_semicolons()
-        return ComplexAttribute(name, args)
+        return ComplexAttribute(name, args, line=name_token.line)
 
 
 def parse_liberty(source: str) -> Group:

@@ -29,9 +29,11 @@ back in underneath them.
 from __future__ import annotations
 
 from importlib import import_module
+from types import MappingProxyType
 
 #: Exported name -> defining submodule (resolved on first access).
-_EXPORTS = {
+#: Read-only so parallel workers can never diverge on the export map.
+_EXPORTS = MappingProxyType({
     "CheckpointStore": "repro.runtime.checkpoint",
     "FaultPlan": "repro.runtime.faults",
     "FaultRule": "repro.runtime.faults",
@@ -50,7 +52,7 @@ _EXPORTS = {
     "write_text_file": "repro.runtime.export",
     "TelemetrySession": "repro.runtime.telemetry",
     "telemetry": "repro.runtime",
-}
+})
 
 __all__ = sorted(_EXPORTS)
 

@@ -156,11 +156,22 @@ class CheckpointStore:
             removed += 1
         return removed
 
+    def total_bytes(self) -> int:
+        """Total on-disk size of every checkpoint, in bytes."""
+        total = 0
+        for path in self.directory.glob("*.ckpt"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def gc(
         self,
         valid_tokens: Iterable[str] | None = None,
         *,
         max_age_seconds: float | None = None,
+        max_total_bytes: int | None = None,
     ) -> int:
         """Drop stale checkpoints; returns how many were removed.
 
@@ -168,15 +179,22 @@ class CheckpointStore:
         ``valid_tokens`` (i.e. no arc of the *current* configuration
         can ever load it again — a changed seed, grid or corner maps
         to fresh keys and orphans the old ones), or when its file is
-        older than ``max_age_seconds``.  Passing neither selector
-        removes nothing.
+        older than ``max_age_seconds``.  After those selectors run,
+        ``max_total_bytes`` caps the store size: surviving entries are
+        evicted oldest-first (mtime order) until the total fits.
+        Passing no selector removes nothing.
 
         Raises:
-            CheckpointError: When ``max_age_seconds`` is negative.
+            CheckpointError: When ``max_age_seconds`` or
+                ``max_total_bytes`` is negative.
         """
         if max_age_seconds is not None and max_age_seconds < 0:
             raise CheckpointError(
                 f"max_age_seconds must be >= 0, got {max_age_seconds}"
+            )
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise CheckpointError(
+                f"max_total_bytes must be >= 0, got {max_total_bytes}"
             )
         valid = (
             {self.key_of(token) for token in valid_tokens}
@@ -185,19 +203,35 @@ class CheckpointStore:
         )
         now = time.time()
         removed = 0
+        survivors: list[tuple[float, int, Path]] = []
         for path in self.directory.glob("*.ckpt"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
             stale = valid is not None and path.stem not in valid
             if not stale and max_age_seconds is not None:
-                try:
-                    stale = now - path.stat().st_mtime > max_age_seconds
-                except OSError:
-                    continue
+                stale = now - stat.st_mtime > max_age_seconds
             if not stale:
+                survivors.append((stat.st_mtime, stat.st_size, path))
                 continue
             try:
                 path.unlink()
             except OSError:
                 continue
             removed += 1
+        if max_total_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            # Evict oldest first; ties broken by name for determinism.
+            survivors.sort(key=lambda item: (item[0], item[2].name))
+            for _, size, path in survivors:
+                if total <= max_total_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
         telemetry.counter_inc("checkpoint.gc_removed", removed)
         return removed

@@ -169,7 +169,9 @@ def active_plan() -> FaultPlan | None:
 @contextmanager
 def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Activate ``plan`` for the duration of the ``with`` block."""
-    global _ACTIVE
+    # Deliberate process-local activation: each parallel worker must
+    # activate its own plan (DESIGN.md "Parallel-readiness rules").
+    global _ACTIVE  # repro-lint: disable=PAR003
     previous = _ACTIVE
     _ACTIVE = plan
     try:

@@ -162,7 +162,10 @@ def active_session() -> TelemetrySession | None:
 @contextmanager
 def activate(session: TelemetrySession):
     """Make ``session`` the process-wide telemetry target."""
-    global _ACTIVE
+    # Deliberate process-local activation: each parallel worker opens
+    # its own session and the traces are merged afterwards (DESIGN.md
+    # "Parallel-readiness rules").
+    global _ACTIVE  # repro-lint: disable=PAR003
     previous = _ACTIVE
     _ACTIVE = session
     try:

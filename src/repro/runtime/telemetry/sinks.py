@@ -79,12 +79,22 @@ def read_jsonl(path: str | Path) -> Iterator[dict]:
         raise ParameterError(
             f"cannot read trace file {path}: {error}"
         ) from error
-    for number, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    for number, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError as error:
+            # A malformed *final* line without a trailing newline is
+            # the signature of a killed writer, not a corrupt file —
+            # say so, it changes what the operator does next.
+            if number == len(lines) and not text.endswith("\n"):
+                raise ParameterError(
+                    f"{path}:{number}: trace file is truncated "
+                    "mid-record (writer killed?); re-run or trim the "
+                    "partial last line"
+                ) from error
             raise ParameterError(
                 f"{path}:{number}: malformed trace line: {error}"
             ) from error

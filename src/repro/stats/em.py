@@ -126,11 +126,11 @@ def _initial_mixture(
         except FittingError:
             continue
         weights.append(group.size / samples.size)
-    if not components:
+    total = sum(weights)
+    if not components or total <= 0.0:
         raise FittingError(
             f"could not initialise any {family.name} component"
         )
-    total = sum(weights)
     return Mixture(
         tuple(weight / total for weight in weights), tuple(components)
     )

@@ -1,0 +1,132 @@
+"""CLI-level tests for ``repro lint`` and ``repro lint-lib``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.analysis.test_liberty_lint import CLEAN as CLEAN_LIB
+
+CLEAN_PY = "import numpy as np\nrng = np.random.default_rng(7)\n"
+DIRTY_PY = "import numpy as np\nnp.random.seed(0)\n"
+BAD_LIB = CLEAN_LIB.replace(
+    'ocv_weight2_cell_rise (t) { values ("0.2, 0.2", "0.2, 0.2"); }',
+    'ocv_weight2_cell_rise (t) { values ("1.5, 0.2", "0.2, 0.2"); }',
+)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY_PY)
+    return path
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text(CLEAN_PY)
+        assert main(["lint", str(path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+        assert f"{dirty_file}:2" in out
+
+    def test_no_paths_is_parameter_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def test_missing_path_is_parameter_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+
+    def test_empty_directory_is_parameter_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 2
+        assert "no Python sources" in capsys.readouterr().err
+
+    def test_rules_table(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RNG001" in out and "LIB010" in out
+
+    def test_jsonl_format(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "jsonl"]) == 1
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records[-1]["type"] == "lint_summary"
+        findings = [r for r in records if r["type"] == "finding"]
+        assert any(r["rule"] == "RNG001" for r in findings)
+
+    def test_suppressed_violation_passes(self, tmp_path, capsys):
+        path = tmp_path / "waived.py"
+        path.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+        )
+        assert main(["lint", str(path)]) == 0
+        assert "(suppressed)" in capsys.readouterr().out
+
+    def test_baseline_workflow(self, dirty_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(dirty_file), "--write-baseline"]) == 2
+        assert (
+            main(
+                [
+                    "lint",
+                    str(dirty_file),
+                    "--baseline",
+                    str(baseline),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["lint", str(dirty_file), "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+
+class TestLintLibCommand:
+    def test_clean_library_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.lib"
+        path.write_text(CLEAN_LIB)
+        assert main(["lint-lib", str(path)]) == 0
+
+    def test_bad_lambda_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.lib"
+        path.write_text(BAD_LIB)
+        assert main(["lint-lib", str(path)]) == 1
+        assert "LIB001" in capsys.readouterr().out
+
+    def test_empty_library_file_is_parameter_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.lib"
+        path.write_text("")
+        assert main(["lint-lib", str(path)]) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_directory_walk(self, tmp_path, capsys):
+        (tmp_path / "a.lib").write_text(CLEAN_LIB)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.lib").write_text(BAD_LIB)
+        assert main(["lint-lib", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "b.lib" in out
+
+
+class TestRepoIsLintClean:
+    """The acceptance gate: the shipped tree passes its own linters."""
+
+    def test_src_repro_lints_clean(self, repo_root, capsys):
+        assert main(["lint", str(repo_root / "src" / "repro")]) == 0
+
+    def test_examples_lint_clean(self, repo_root, capsys):
+        assert main(["lint-lib", str(repo_root / "examples")]) == 0

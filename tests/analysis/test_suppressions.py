@@ -1,0 +1,154 @@
+"""Tests for inline suppression directives and the baseline file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    apply_baseline,
+    apply_suppressions,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.suppressions import SuppressionIndex
+from repro.errors import ParameterError
+
+PATH = "src/repro/module.py"
+
+
+def _findings(text: str):
+    findings = lint_source(PATH, text)
+    return apply_suppressions(findings, {PATH: text})
+
+
+class TestInlineDirectives:
+    def test_line_directive_suppresses(self):
+        text = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+        )
+        findings = _findings(text)
+        finding = next(f for f in findings if f.rule_id == "RNG001")
+        assert finding.suppressed
+        assert not finding.is_active
+
+    def test_symbolic_name_accepted(self):
+        text = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=global-rng\n"
+        )
+        finding = next(
+            f for f in _findings(text) if f.rule_id == "RNG001"
+        )
+        assert finding.suppressed
+
+    def test_other_lines_stay_active(self):
+        text = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+            "np.random.seed(1)\n"
+        )
+        findings = _findings(text)
+        flagged = [f for f in findings if f.rule_id == "RNG001"]
+        assert [f.suppressed for f in sorted(flagged, key=lambda f: f.line)] \
+            == [True, False]
+
+    def test_file_directive_suppresses_everywhere(self):
+        text = (
+            "# repro-lint: disable-file=RNG001\n"
+            "import numpy as np\n"
+            "np.random.seed(0)\n"
+            "np.random.seed(1)\n"
+        )
+        findings = _findings(text)
+        assert all(
+            f.suppressed for f in findings if f.rule_id == "RNG001"
+        )
+
+    def test_directive_only_waives_named_rule(self):
+        text = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG002\n"
+        )
+        finding = next(
+            f for f in _findings(text) if f.rule_id == "RNG001"
+        )
+        assert not finding.suppressed
+
+    def test_unknown_rule_in_directive_raises(self):
+        with pytest.raises(ParameterError, match="unknown lint rule"):
+            SuppressionIndex.from_source(
+                "x = 1  # repro-lint: disable=NOPE999\n"
+            )
+
+    def test_multiple_rules_per_directive(self):
+        index = SuppressionIndex.from_source(
+            "x = 1  # repro-lint: disable=RNG001, NUM001\n"
+        )
+        assert index.waives("RNG001", 1)
+        assert index.waives("NUM001", 1)
+        assert not index.waives("DET001", 1)
+
+
+class TestBaseline:
+    TEXT = "import numpy as np\nnp.random.seed(0)\n"
+
+    def test_round_trip_grandfathers(self, tmp_path):
+        findings = lint_source(PATH, self.TEXT)
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, findings)
+        assert count == len(findings) > 0
+        keys = load_baseline(baseline)
+        waived = apply_baseline(findings, keys)
+        assert all(f.baselined for f in waived)
+        assert not any(f.is_active for f in waived)
+
+    def test_line_drift_still_matches(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_source(PATH, self.TEXT))
+        shifted = "import numpy as np\n\n\nnp.random.seed(0)\n"
+        waived = apply_baseline(
+            lint_source(PATH, shifted), load_baseline(baseline)
+        )
+        assert all(f.baselined for f in waived)
+
+    def test_new_occurrence_stays_active(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_source(PATH, self.TEXT))
+        grown = self.TEXT + "np.random.seed(42)\n"
+        waived = apply_baseline(
+            lint_source(PATH, grown), load_baseline(baseline)
+        )
+        active = [f for f in waived if f.is_active]
+        assert len(active) == 1
+        assert "seed(42)" in active[0].source
+
+    def test_suppressed_findings_not_baselined(self, tmp_path):
+        text = (
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+        )
+        findings = apply_suppressions(
+            lint_source(PATH, text), {PATH: text}
+        )
+        baseline = tmp_path / "baseline.json"
+        assert write_baseline(baseline, findings) == 0
+
+    def test_unreadable_baseline_raises(self, tmp_path):
+        with pytest.raises(ParameterError, match="cannot read"):
+            load_baseline(tmp_path / "missing.json")
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/1", "entries": []}))
+        with pytest.raises(ParameterError, match="unknown format"):
+            load_baseline(path)
+
+    def test_non_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ParameterError, match="not valid JSON"):
+            load_baseline(path)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -9,6 +11,12 @@ from repro.circuits.gate import GateTimingEngine
 from repro.circuits.process import TT_GLOBAL_LOCAL_MC
 from repro.stats.mixtures import Mixture
 from repro.stats.skew_normal import SkewNormal
+
+
+@pytest.fixture(scope="session")
+def repo_root() -> Path:
+    """Repository root, for tests that lint the shipped tree itself."""
+    return Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture

@@ -116,6 +116,76 @@ class TestViolations:
         assert _errors(diagnostics) == []
 
 
+class TestValidateVsLintBoundary:
+    """Pin the division of labour between the two checkers.
+
+    ``validate_library`` only sees a *successfully bound*
+    :class:`Library`; the typed binder raises
+    :class:`LibertySemanticError` on hard LVF2 contract violations, so
+    those can never surface as validator diagnostics.  The AST-level
+    ``repro lint-lib`` engine reports the same violations as findings
+    with stable rule ids instead of raising.
+    """
+
+    def _full_lvf2(self) -> str:
+        from tests.analysis.test_liberty_lint import CLEAN as FULL
+
+        return FULL
+
+    def test_clean_lvf2_source_crosses_both_paths(self):
+        from repro.analysis import lint_library_text
+
+        source = self._full_lvf2()
+        assert _errors(validate_library(read_library(source))) == []
+        assert lint_library_text("x.lib", source) == []
+
+    def test_lambda_out_of_range_raises_in_binder(self):
+        import pytest
+
+        from repro.analysis import lint_library_text
+        from repro.errors import LibertySemanticError
+
+        source = self._full_lvf2().replace(
+            'ocv_weight2_cell_rise (t) { values ("0.2, 0.2", "0.2, 0.2"); }',
+            'ocv_weight2_cell_rise (t) { values ("1.5, 0.2", "0.2, 0.2"); }',
+        )
+        with pytest.raises(LibertySemanticError, match=r"\[0, 1\]"):
+            read_library(source)
+        rules = [f.rule_id for f in lint_library_text("x.lib", source)]
+        assert "LIB001" in rules
+
+    def test_shape_mismatch_raises_in_binder(self):
+        import pytest
+
+        from repro.analysis import lint_library_text
+        from repro.errors import LibertySemanticError
+
+        source = self._full_lvf2().replace(
+            'ocv_std_dev2_cell_rise (t) { values ("0.02, 0.02", "0.02, 0.02"); }',
+            'ocv_std_dev2_cell_rise (t) { values '
+            '("0.02, 0.02", "0.02, 0.02", "0.02, 0.02"); }',
+        )
+        with pytest.raises(LibertySemanticError, match="shape"):
+            read_library(source)
+        rules = [f.rule_id for f in lint_library_text("x.lib", source)]
+        assert "LIB004" in rules
+
+    def test_missing_template_raises_in_binder(self):
+        import pytest
+
+        from repro.analysis import lint_library_text
+        from repro.errors import LibertySemanticError
+
+        source = CLEAN.replace(
+            'cell_rise (t) { values ("0.1, 0.2", "0.12, 0.25"); }',
+            'cell_rise (missing_t) { values ("0.1, 0.2", "0.12, 0.25"); }',
+        )
+        with pytest.raises(LibertySemanticError):
+            read_library(source)
+        rules = [f.rule_id for f in lint_library_text("x.lib", source)]
+        assert "LIB006" in rules
+
+
 class TestGeneratedLibraryIsClean:
     def test_characterized_library_validates(self, engine):
         from repro.circuits import (

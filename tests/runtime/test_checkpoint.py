@@ -117,6 +117,47 @@ class TestGarbageCollection:
         with pytest.raises(CheckpointError):
             store.gc(max_age_seconds=-1)
 
+    def test_size_cap_evicts_oldest_first(self, store):
+        import os
+
+        for index, token in enumerate(("old", "mid", "new")):
+            store.save(token, np.zeros(64))
+            path = store.path_for(token)
+            stamp = 1_000_000.0 + index
+            os.utime(path, (stamp, stamp))
+        entry_size = store.path_for("new").stat().st_size
+        removed = store.gc(max_total_bytes=2 * entry_size)
+        assert removed == 1
+        assert not store.contains("old")
+        assert store.contains("mid") and store.contains("new")
+        assert store.total_bytes() <= 2 * entry_size
+
+    def test_size_cap_zero_clears_store(self, store):
+        store.save("a", 1)
+        store.save("b", 2)
+        assert store.gc(max_total_bytes=0) == 2
+        assert len(store) == 0
+
+    def test_size_cap_large_enough_keeps_everything(self, store):
+        store.save("a", 1)
+        store.save("b", 2)
+        assert store.gc(max_total_bytes=store.total_bytes()) == 0
+        assert len(store) == 2
+
+    def test_size_cap_applies_after_validity_filter(self, store):
+        store.save("keep", 1)
+        store.save("orphan", 2)
+        removed = store.gc(
+            ["keep"], max_total_bytes=store.path_for("keep").stat().st_size
+        )
+        assert removed == 1
+        assert store.contains("keep")
+        assert not store.contains("orphan")
+
+    def test_negative_size_cap_raises(self, store):
+        with pytest.raises(CheckpointError):
+            store.gc(max_total_bytes=-1)
+
     def test_gc_counts_into_telemetry(self, store):
         from repro.runtime import telemetry
 

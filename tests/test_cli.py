@@ -276,6 +276,26 @@ class TestObservabilityFlags:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_trace_summarize_empty_file_exits_gracefully(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("")
+        assert main(["trace", "summarize", str(trace)]) == 2
+        assert "is empty" in capsys.readouterr().err
+
+    def test_trace_summarize_truncated_file_exits_gracefully(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "cut.jsonl"
+        trace.write_text(
+            '{"type": "span", "name": "a", "span_id": 1, '
+            '"parent_id": null, "start": 0.0, "wall": 0.1, "cpu": 0.1}\n'
+            '{"type": "span", "na'  # writer killed mid-record
+        )
+        assert main(["trace", "summarize", str(trace)]) == 2
+        assert "truncated mid-record" in capsys.readouterr().err
+
     def test_checkpoint_gc_requires_dir(self, capsys):
         code = main(self.BASE + ["--checkpoint-gc"])
         assert code == 2
@@ -304,6 +324,29 @@ class TestObservabilityFlags:
         err = capsys.readouterr().err
         assert "removed 2 stale entries" in err
         assert len(list(ckpt.glob("*.ckpt"))) == 2  # only new tokens
+
+    def test_checkpoint_max_bytes_caps_store(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        base = self.BASE + ["--checkpoint-dir", str(ckpt)]
+        assert main(base + ["--out", str(tmp_path / "a.lib")]) == 0
+        assert len(list(ckpt.glob("*.ckpt"))) == 2
+        capsys.readouterr()
+        # A 1-byte cap cannot hold any entry: everything is evicted.
+        code = main(
+            base
+            + [
+                "--resume",
+                "--checkpoint-max-bytes",
+                "1",
+                "--out",
+                str(tmp_path / "b.lib"),
+            ]
+        )
+        assert code == 0
+        # Both entries exceeded the cap and were evicted before the
+        # run, which then re-characterized and saved fresh ones.
+        assert "removed 2 stale entries" in capsys.readouterr().err
+        assert len(list(ckpt.glob("*.ckpt"))) == 2
 
 
 class TestExportFaultExitCode:
