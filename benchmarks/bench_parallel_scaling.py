@@ -1,0 +1,102 @@
+"""Parallel characterisation scaling: wall time at 1/2/4 workers.
+
+Runs the same small library characterisation serially and through the
+worker pool at 2 and 4 workers, records wall times and speedups, and
+verifies the outputs are byte-identical across all worker counts (the
+pool's core guarantee).
+
+Speedup is *recorded, not asserted*: CI containers often pin a single
+core, where extra workers cannot help and spawn overhead makes them
+slower.  The byte-identity check is the hard gate; the timings are the
+signal an operator reads on real hardware.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+
+Exits non-zero only when a parallel run's output diverges from serial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+WORKER_COUNTS = (1, 2, 4)
+GRID = 2
+SAMPLES = 256
+
+
+def _characterize(workers: int) -> tuple[str, str, float]:
+    from repro.circuits import (
+        CharacterizationConfig,
+        GateTimingEngine,
+        TT_GLOBAL_LOCAL_MC,
+        build_cell,
+        characterize_library,
+    )
+    from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+    from repro.runtime import FitPolicy, FitReport
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    cells = [build_cell("INV", 1.0), build_cell("NAND2", 1.0)]
+    config = CharacterizationConfig(
+        slews=PAPER_SLEWS[:GRID],
+        loads=PAPER_LOADS[:GRID],
+        n_samples=SAMPLES,
+        seed=7,
+    )
+    report = FitReport()
+    start = time.perf_counter()
+    library = characterize_library(
+        engine,
+        cells,
+        config,
+        policy=FitPolicy(),
+        report=report,
+        isolate_errors=True,
+        workers=workers,
+    )
+    elapsed = time.perf_counter() - start
+    return (
+        library.to_text(),
+        json.dumps(report.to_dict(), sort_keys=True),
+        elapsed,
+    )
+
+
+def main() -> int:
+    results: dict[int, tuple[str, str, float]] = {}
+    for workers in WORKER_COUNTS:
+        results[workers] = _characterize(workers)
+
+    serial_lib, serial_report, serial_time = results[1]
+    print(
+        f"parallel scaling: {GRID}x{GRID} grid, {SAMPLES} samples, "
+        f"{os.cpu_count()} cpu(s) visible"
+    )
+    failed = False
+    for workers in WORKER_COUNTS:
+        lib, report, elapsed = results[workers]
+        identical = lib == serial_lib and report == serial_report
+        speedup = serial_time / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"  workers={workers}  wall={elapsed:8.3f}s  "
+            f"speedup={speedup:5.2f}x  "
+            f"byte-identical={'yes' if identical else 'NO'}"
+        )
+        if not identical:
+            failed = True
+    if failed:
+        print(
+            "FAIL: a parallel run diverged from the serial output",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ geometrically.
 from __future__ import annotations
 
 import hashlib
+import shutil
+import tempfile
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -29,6 +31,7 @@ from repro.models.lvf2 import LVF2Model
 from repro.runtime import faults, telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.policy import FitPolicy
+from repro.runtime.pool.scheduler import WorkItem
 from repro.runtime.progress import ProgressReporter
 from repro.runtime.report import FitContext, FitReport
 
@@ -39,8 +42,10 @@ __all__ = [
     "ArcCharacterization",
     "arc_checkpoint_token",
     "characterize_arc",
+    "characterization_work_items",
     "characterized_arc_to_liberty",
     "characterize_library",
+    "pin_fit_token",
     "run_fingerprint",
 ]
 
@@ -425,6 +430,239 @@ def characterized_arc_to_liberty(
     return arc
 
 
+def pin_fit_token(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    config: CharacterizationConfig,
+    *,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+) -> str:
+    """Content token of one pin's characterise-and-fit payload.
+
+    Built from both edge Monte-Carlo tokens plus the fit knobs: the
+    payload embeds fitted models and the local fit report, so anything
+    that can change a fit (the policy ladder, quarantine behaviour)
+    must change the key.  ``FitPolicy`` is a frozen dataclass of
+    scalars and tuples, so its repr is stable across processes/hosts.
+    """
+    rise = arc_checkpoint_token(engine, cell, pin_name, "rise", config)
+    fall = arc_checkpoint_token(engine, cell, pin_name, "fall", config)
+    return f"pin-fit|{rise}|{fall}|{policy!r}|{isolate_errors}"
+
+
+def _pin_payload(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    config: CharacterizationConfig,
+    *,
+    checkpoint: CheckpointStore | None,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+) -> dict:
+    """Simulate both edges and fit one pin; the single shared path.
+
+    Serial runs call this directly; pool workers call it through
+    :func:`_characterize_pin_task` and checkpoint the returned dict —
+    either way the payload bytes come from the same code over the same
+    per-condition seeds, which is the byte-identity argument.
+
+    Returns ``{"arc", "report", "stage", "error"}``: a Liberty
+    :class:`TimingArc` (or None when the pin was quarantined), the
+    pin-local :class:`FitReport`, and — on quarantine — the failing
+    stage (``"simulate"``/``"fit"``) and error text.
+    """
+    local = FitReport()
+    try:
+        rise = characterize_arc(
+            engine, cell, pin_name, "rise", config, checkpoint=checkpoint
+        )
+        fall = characterize_arc(
+            engine, cell, pin_name, "fall", config, checkpoint=checkpoint
+        )
+    except (CharacterizationError, FittingError) as error:
+        if not isolate_errors:
+            raise
+        local.quarantine(
+            f"{cell.name}/{pin_name}", "simulate", str(error)
+        )
+        return {
+            "arc": None,
+            "report": local,
+            "stage": "simulate",
+            "error": str(error),
+        }
+    try:
+        arc = characterized_arc_to_liberty(
+            rise, fall, policy=policy, report=local
+        )
+    except (CharacterizationError, FittingError) as error:
+        if not isolate_errors:
+            raise
+        local.quarantine(f"{cell.name}/{pin_name}", "fit", str(error))
+        return {
+            "arc": None,
+            "report": local,
+            "stage": "fit",
+            "error": str(error),
+        }
+    return {"arc": arc, "report": local, "stage": None, "error": None}
+
+
+def _characterize_pin_task(
+    store: CheckpointStore,
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    config: CharacterizationConfig,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+) -> dict:
+    """Pool task: one pin's payload, Monte-Carlo checkpointed in-store.
+
+    Top-level so it pickles under the spawn start method; the worker
+    saves the returned dict under this pin's fit token.
+    """
+    return _pin_payload(
+        engine,
+        cell,
+        pin_name,
+        config,
+        checkpoint=store,
+        policy=policy,
+        isolate_errors=isolate_errors,
+    )
+
+
+def characterization_work_items(
+    engine: GateTimingEngine,
+    cells: Sequence[CellDefinition],
+    config: CharacterizationConfig,
+    *,
+    policy: FitPolicy | None = None,
+    isolate_errors: bool = False,
+) -> tuple[WorkItem, ...]:
+    """Pool work items for a library run: one per (cell, input pin).
+
+    Pin-level granularity because fitting — not simulation — dominates
+    the per-arc cost, so workers must carry the fits.  Each item's
+    companions are the two per-edge Monte-Carlo tokens the task writes
+    along the way (claimed together so gc cannot evict them
+    mid-flight, and shared byte-for-byte with serial runs on the same
+    store).
+    """
+    items = []
+    for cell in cells:
+        for pin_name in cell.inputs:
+            rise = arc_checkpoint_token(
+                engine, cell, pin_name, "rise", config
+            )
+            fall = arc_checkpoint_token(
+                engine, cell, pin_name, "fall", config
+            )
+            items.append(
+                WorkItem(
+                    token=pin_fit_token(
+                        engine,
+                        cell,
+                        pin_name,
+                        config,
+                        policy=policy,
+                        isolate_errors=isolate_errors,
+                    ),
+                    label=f"{cell.name}/{pin_name}",
+                    task=_characterize_pin_task,
+                    args=(
+                        engine,
+                        cell,
+                        pin_name,
+                        config,
+                        policy,
+                        isolate_errors,
+                    ),
+                    companions=(rise, fall),
+                )
+            )
+    return tuple(items)
+
+
+def _parallel_supplier(
+    engine: GateTimingEngine,
+    cells: Sequence[CellDefinition],
+    config: CharacterizationConfig,
+    *,
+    checkpoint: CheckpointStore | None,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+    workers: int,
+    pool,
+):
+    """Run the worker pool, pre-load every pin payload, hand back a
+    ``supplier(cell, pin) -> payload`` for serial-order assembly.
+
+    Without a caller-provided store the pool runs over a temporary
+    directory removed before assembly starts (payloads are held in
+    memory by then).
+    """
+    from repro.runtime.pool.pool import PoolConfig, run_pool
+
+    items = characterization_work_items(
+        engine,
+        cells,
+        config,
+        policy=policy,
+        isolate_errors=isolate_errors,
+    )
+    temp_dir = None
+    store = checkpoint
+    if store is None:
+        temp_dir = tempfile.mkdtemp(prefix="repro-pool-")
+        store = CheckpointStore(temp_dir, reuse=True)
+    try:
+        pool_config = pool or PoolConfig(
+            n_workers=workers, seed=config.seed
+        )
+        run_pool(items, store, pool_config)
+        reader = (
+            store
+            if store.reuse
+            else CheckpointStore(store.directory, reuse=True)
+        )
+        payloads: dict[tuple[str, str], dict] = {}
+        for cell in cells:
+            for pin_name in cell.inputs:
+                token = pin_fit_token(
+                    engine,
+                    cell,
+                    pin_name,
+                    config,
+                    policy=policy,
+                    isolate_errors=isolate_errors,
+                )
+                payload = reader.load(token)
+                if payload is None:  # pragma: no cover - defensive
+                    payload = _pin_payload(
+                        engine,
+                        cell,
+                        pin_name,
+                        config,
+                        checkpoint=reader,
+                        policy=policy,
+                        isolate_errors=isolate_errors,
+                    )
+                payloads[(cell.name, pin_name)] = payload
+    finally:
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+
+    def supplier(cell: CellDefinition, pin_name: str) -> dict:
+        return payloads[(cell.name, pin_name)]
+
+    return supplier
+
+
 def characterize_library(
     engine: GateTimingEngine,
     cells: Sequence[CellDefinition],
@@ -436,6 +674,8 @@ def characterize_library(
     report: FitReport | None = None,
     isolate_errors: bool = False,
     progress: ProgressReporter | None = None,
+    workers: int = 1,
+    pool=None,
 ) -> Library:
     """Characterise a cell list into a complete LVF2 Liberty library.
 
@@ -453,6 +693,14 @@ def characterize_library(
             fitting fails terminally is quarantined into ``report``
             (the library is emitted without it) instead of raising.
         progress: Optional progress reporter (one line per arc).
+        workers: When > 1, split the per-pin simulate+fit work across
+            that many worker processes (claim-file coordination over
+            the checkpoint directory; see ``repro.runtime.pool``).
+            The resulting library and report are byte-identical to a
+            serial run — sharding only changes who computes a payload.
+        pool: Optional :class:`~repro.runtime.pool.PoolConfig`
+            overriding the derived pool settings (implies parallel
+            even when ``workers`` is 1).
     """
     reporter = progress or ProgressReporter(enabled=False)
     template = config.template()
@@ -468,16 +716,37 @@ def characterize_library(
         },
     )
     library.templates[template.name] = template
-    for cell in cells:
-        with telemetry.span("characterize.cell", cell=cell.name):
-            lib_cell = _characterize_cell(
+    if workers > 1 or pool is not None:
+        supplier = _parallel_supplier(
+            engine,
+            cells,
+            config,
+            checkpoint=checkpoint,
+            policy=policy,
+            isolate_errors=isolate_errors,
+            workers=workers,
+            pool=pool,
+        )
+    else:
+
+        def supplier(cell: CellDefinition, pin_name: str) -> dict:
+            return _pin_payload(
                 engine,
                 cell,
+                pin_name,
                 config,
                 checkpoint=checkpoint,
                 policy=policy,
-                report=report,
                 isolate_errors=isolate_errors,
+            )
+
+    for cell in cells:
+        with telemetry.span("characterize.cell", cell=cell.name):
+            lib_cell = _characterize_cell(
+                cell,
+                config,
+                supplier=supplier,
+                report=report,
                 reporter=reporter,
             )
         library.cells[cell.name] = lib_cell
@@ -485,17 +754,20 @@ def characterize_library(
 
 
 def _characterize_cell(
-    engine: GateTimingEngine,
     cell: CellDefinition,
     config: CharacterizationConfig,
     *,
-    checkpoint: CheckpointStore | None,
-    policy: FitPolicy | None,
+    supplier,
     report: FitReport | None,
-    isolate_errors: bool,
     reporter: ProgressReporter,
 ) -> LibCell:
-    """Characterise every arc of one cell into a Liberty cell."""
+    """Assemble one Liberty cell from per-pin payloads, serial order.
+
+    ``supplier(cell, pin) -> payload`` abstracts over where the payload
+    came from (computed inline or loaded from a pool's checkpoint
+    store); assembly order — and therefore report order and Liberty
+    output — is the cell/pin iteration order either way.
+    """
     lib_cell = LibCell(name=cell.name, area=1.0 + cell.drive)
     for pin_name in cell.inputs:
         lib_cell.pins[pin_name] = Pin(
@@ -507,57 +779,19 @@ def _characterize_cell(
         name=cell.output, direction="output", function=cell.function
     )
     for pin_name in cell.inputs:
-        try:
-            rise = characterize_arc(
-                engine,
-                cell,
-                pin_name,
-                "rise",
-                config,
-                checkpoint=checkpoint,
-            )
-            fall = characterize_arc(
-                engine,
-                cell,
-                pin_name,
-                "fall",
-                config,
-                checkpoint=checkpoint,
-            )
-        except (CharacterizationError, FittingError) as error:
-            if not isolate_errors:
-                raise
-            if report is not None:
-                report.quarantine(
-                    f"{cell.name}/{pin_name}", "simulate", str(error)
-                )
+        payload = supplier(cell, pin_name)
+        if report is not None:
+            report.merge(payload["report"])
+        if payload["error"] is not None:
             reporter.info(
-                "quarantined %s/%s (simulate): %s",
+                "quarantined %s/%s (%s): %s",
                 cell.name,
                 pin_name,
-                error,
+                payload["stage"],
+                payload["error"],
             )
             continue
-        try:
-            output.arcs.append(
-                characterized_arc_to_liberty(
-                    rise, fall, policy=policy, report=report
-                )
-            )
-        except (CharacterizationError, FittingError) as error:
-            if not isolate_errors:
-                raise
-            if report is not None:
-                report.quarantine(
-                    f"{cell.name}/{pin_name}", "fit", str(error)
-                )
-            reporter.info(
-                "quarantined %s/%s (fit): %s",
-                cell.name,
-                pin_name,
-                error,
-            )
-            continue
+        output.arcs.append(payload["arc"])
         reporter.info(
             "characterized %s/%s (%dx%d grid, %d samples)",
             cell.name,

@@ -24,37 +24,13 @@ from contextlib import nullcontext
 import numpy as np
 
 from repro.errors import (
-    CharacterizationError,
-    CheckpointError,
-    ExperimentError,
-    FittingError,
-    LibertyError,
+    EXIT_CODES,
     ParameterError,
     ReproError,
-    SSTAError,
+    exit_code_for,
 )
 
 __all__ = ["main", "build_parser", "exit_code_for", "EXIT_CODES"]
-
-#: Exit code per error family; the most specific ancestor wins.  Code 1
-#: is reserved for unclassified :class:`ReproError` values.
-EXIT_CODES: dict[type[ReproError], int] = {
-    ParameterError: 2,
-    FittingError: 3,
-    LibertyError: 4,
-    CharacterizationError: 5,
-    SSTAError: 6,
-    ExperimentError: 7,
-    CheckpointError: 8,
-}
-
-
-def exit_code_for(error: ReproError) -> int:
-    """Map an error to its family's exit code (1 for the base class)."""
-    for klass in type(error).__mro__:
-        if klass in EXIT_CODES:
-            return EXIT_CODES[klass]
-    return 1
 
 
 def _load_samples(path: str) -> np.ndarray:
@@ -218,12 +194,32 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
     session = None
     if args.trace or args.metrics or args.manifest:
-        session = telemetry.TelemetrySession(trace_path=args.trace)
+        session = telemetry.TelemetrySession(
+            trace_path=args.trace, sample=args.trace_sample
+        )
     context = (
         telemetry.activate(session)
         if session is not None
         else nullcontext()
     )
+    pool_config = None
+    if args.workers > 1:
+        from repro.runtime.pool import PoolConfig
+
+        trace_dir = None
+        if args.trace:
+            import os
+
+            trace_dir = os.path.dirname(os.path.abspath(args.trace))
+        pool_config = PoolConfig(
+            n_workers=args.workers,
+            claim_timeout=args.claim_timeout,
+            seed=args.seed,
+            run_id=session.run_id if session is not None else None,
+            trace_dir=trace_dir,
+            trace_sample=args.trace_sample,
+            merge_traces=False,
+        )
     report = FitReport()
     try:
         with context, telemetry.span(
@@ -241,6 +237,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 report=report,
                 isolate_errors=not args.no_fallback,
                 progress=ProgressReporter(enabled=args.progress),
+                workers=args.workers,
+                pool=pool_config,
             )
             text = library.to_text()
             if args.out:
@@ -257,6 +255,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 command="characterize",
                 config_hash=run_fingerprint(engine, cells, config),
                 seed=args.seed,
+                workers=args.workers,
                 n_samples=args.samples,
                 grid=[grid, grid],
                 cells=list(args.cells),
@@ -290,6 +289,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     finally:
         if session is not None:
             session.close()
+    if session is not None and args.trace and args.workers > 1:
+        _merge_worker_traces(args.trace, session.run_id)
     if args.report_json:
         write_text_file(
             args.report_json,
@@ -305,7 +306,45 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _merge_worker_traces(trace_path: str, run_id: str) -> None:
+    """Fold a pool run's per-worker traces into the main trace file.
+
+    Worker trace names are deterministic
+    (``trace-<run_id>[-rN]-wNN.jsonl`` next to the main trace), so the
+    files are found by pattern; each is labelled by its worker suffix
+    and removed once merged.
+    """
+    import glob
+    import os
+
+    from repro.runtime.telemetry import merge_trace_files
+
+    trace_dir = os.path.dirname(os.path.abspath(trace_path))
+    worker_traces = sorted(
+        glob.glob(
+            os.path.join(
+                trace_dir, f"trace-{glob.escape(run_id)}*-w??.jsonl"
+            )
+        )
+    )
+    if not worker_traces:
+        return
+    labels = ["main"]
+    for path in worker_traces:
+        stem = os.path.splitext(os.path.basename(path))[0]
+        labels.append(stem.split(f"trace-{run_id}-", 1)[-1])
+    merge_trace_files(
+        [trace_path, *worker_traces], trace_path, labels=labels
+    )
+    for path in worker_traces:
+        os.unlink(path)
+    print(
+        f"merged {len(worker_traces)} worker trace(s) into {trace_path}",
+        file=sys.stderr,
+    )
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     import os
 
     from repro.runtime.telemetry import load_trace, summarize_trace
@@ -328,6 +367,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
     print(summarize_trace(data))
     return 0
+
+
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    from repro.runtime.telemetry import merge_trace_files
+
+    if args.labels is not None and len(args.labels) != len(args.inputs):
+        raise ParameterError(
+            f"--labels needs one label per input trace "
+            f"({len(args.inputs)} inputs, {len(args.labels)} labels)"
+        )
+    manifest = merge_trace_files(
+        args.inputs, args.out, labels=args.labels
+    )
+    print(
+        f"merged {len(args.inputs)} trace(s), "
+        f"{manifest['span_count']} spans -> {args.out}"
+    )
+    if manifest["truncated_sources"]:
+        print(
+            f"note: {manifest['truncated_sources']} source(s) ended "
+            "mid-record (killed writer); the truncated tail lines "
+            "were skipped",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "summarize": _cmd_trace_summarize,
+        "merge": _cmd_trace_merge,
+    }
+    return handlers[args.trace_command](args)
 
 
 def _lint_report(args: argparse.Namespace, findings, sources) -> int:
@@ -547,10 +619,35 @@ def build_parser() -> argparse.ArgumentParser:
         "under this size cap",
     )
     characterize.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split characterisation across N worker processes "
+        "(claim-file coordination; output is byte-identical to a "
+        "serial run)",
+    )
+    characterize.add_argument(
+        "--claim-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="with --workers: seconds without a heartbeat before a "
+        "dead worker's claim is reclaimed",
+    )
+    characterize.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
         help="write a JSONL telemetry trace (spans, metrics, manifest)",
+    )
+    characterize.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="span sampling rate in (0, 1] for the trace sinks; "
+        "structural and error spans are always kept",
     )
     characterize.add_argument(
         "--metrics",
@@ -609,6 +706,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="pretty-print the span tree, stage totals and metrics",
     )
     trace_summarize.add_argument("file")
+    trace_merge = trace_sub.add_parser(
+        "merge",
+        help="merge per-worker JSONL traces into one worker-tagged "
+        "trace file",
+    )
+    trace_merge.add_argument(
+        "inputs", nargs="+", help="source trace files, in merge order"
+    )
+    trace_merge.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        help="destination trace file (may be one of the inputs)",
+    )
+    trace_merge.add_argument(
+        "--labels",
+        nargs="+",
+        default=None,
+        help="per-source worker labels (default: source file stems)",
+    )
 
     def add_lint_output_flags(lint_parser: argparse.ArgumentParser) -> None:
         lint_parser.add_argument(

@@ -85,3 +85,26 @@ class SSTAError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received an inconsistent configuration."""
+
+
+#: Exit code per error family; the most specific ancestor wins.  Code 1
+#: is reserved for unclassified :class:`ReproError` values.  Lives here
+#: (not in the CLI) so pool workers can exit with their error family's
+#: code and the parent can aggregate them without importing the CLI.
+EXIT_CODES: dict[type[ReproError], int] = {
+    ParameterError: 2,
+    FittingError: 3,
+    LibertyError: 4,
+    CharacterizationError: 5,
+    SSTAError: 6,
+    ExperimentError: 7,
+    CheckpointError: 8,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Map an error to its family's exit code (1 for the base class)."""
+    for klass in type(error).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1

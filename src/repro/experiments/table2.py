@@ -15,6 +15,8 @@ paper-scale 8x8 x 50k run.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,6 +32,7 @@ from repro.circuits.characterize import (
     PAPER_LOADS,
     PAPER_SLEWS,
     CharacterizationConfig,
+    arc_checkpoint_token,
     characterize_arc,
 )
 from repro.circuits.gate import GateTimingEngine
@@ -41,6 +44,7 @@ from repro.experiments.common import (
     paper_scale,
 )
 from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.pool.scheduler import WorkItem
 from repro.runtime.progress import ProgressReporter
 from repro.stats.empirical import EmpiricalDistribution
 
@@ -49,6 +53,8 @@ __all__ = [
     "Table2Row",
     "Table2Result",
     "run_table2",
+    "table2_score_token",
+    "table2_work_items",
     "PAPER_TABLE2_OVERALL",
 ]
 
@@ -195,12 +201,98 @@ def _arc_list(cell, cap: int) -> list[tuple[str, str]]:
     return arcs
 
 
+def table2_score_token(
+    engine: GateTimingEngine,
+    cell,
+    pin: str,
+    transition: str,
+    char_config: CharacterizationConfig,
+) -> str:
+    """Content token of one arc's scored reductions payload.
+
+    Derived from the arc's Monte-Carlo token (so any knob that changes
+    a sample changes the key) plus a metrics version tag guarding the
+    scoring recipe itself.
+    """
+    mc_token = arc_checkpoint_token(
+        engine, cell, pin, transition, char_config
+    )
+    return f"table2-score|{mc_token}|metrics-v1"
+
+
+def _score_arc_task(
+    store: CheckpointStore | None,
+    engine: GateTimingEngine,
+    cell,
+    pin: str,
+    transition: str,
+    char_config: CharacterizationConfig,
+) -> dict:
+    """Characterise and score one arc; serial and pool share this path.
+
+    Top-level so it pickles under spawn.  Returns
+    ``{"reductions": metric -> model -> [values]}`` accumulated in the
+    deterministic condition order of the serial loop.
+    """
+    characterization = characterize_arc(
+        engine, cell, pin, transition, char_config, checkpoint=store
+    )
+    scratch = Table2Row(cell_type=cell.name)
+    for quantity, metric_prefix in (
+        ("delay", "delay"),
+        ("transition", "transition"),
+    ):
+        for i in range(len(char_config.slews)):
+            for j in range(len(char_config.loads)):
+                samples = characterization.samples(quantity, i, j)
+                _score_condition(scratch, metric_prefix, samples)
+    return {"reductions": scratch.reductions}
+
+
+def table2_work_items(
+    engine: GateTimingEngine,
+    cfg: Table2Config,
+    char_config: CharacterizationConfig,
+) -> tuple[WorkItem, ...]:
+    """Pool work items for Table 2: one per scored arc."""
+    items = []
+    for cell_type in cfg.cell_types:
+        for drive in cfg.drives:
+            cell = build_cell(cell_type, drive)
+            for pin, transition in _arc_list(
+                cell, cfg.max_arcs_per_cell
+            ):
+                mc_token = arc_checkpoint_token(
+                    engine, cell, pin, transition, char_config
+                )
+                items.append(
+                    WorkItem(
+                        token=table2_score_token(
+                            engine, cell, pin, transition, char_config
+                        ),
+                        label=f"{cell.name}/{pin}/{transition}",
+                        task=_score_arc_task,
+                        args=(
+                            engine,
+                            cell,
+                            pin,
+                            transition,
+                            char_config,
+                        ),
+                        companions=(mc_token,),
+                    )
+                )
+    return tuple(items)
+
+
 def run_table2(
     config: Table2Config | None = None,
     *,
     engine: GateTimingEngine | None = None,
     progress: bool = False,
     checkpoint: CheckpointStore | None = None,
+    workers: int = 1,
+    pool=None,
 ) -> Table2Result:
     """Regenerate Table 2.
 
@@ -211,6 +303,13 @@ def run_table2(
             ``repro.progress`` logger).
         checkpoint: Optional per-arc checkpoint store; a killed run
             resumes from the last completed arc's Monte-Carlo samples.
+        workers: When > 1, characterise and score arcs across that
+            many worker processes over a shared checkpoint directory
+            (a temporary one when ``checkpoint`` is None); the result
+            is identical to a serial run because scored payloads are
+            content-addressed and assembled in serial arc order.
+        pool: Optional :class:`~repro.runtime.pool.PoolConfig`
+            override (implies parallel even when ``workers`` is 1).
     """
     reporter = ProgressReporter.from_flag(progress)
     cfg = config or Table2Config.auto()
@@ -221,42 +320,74 @@ def run_table2(
         n_samples=cfg.n_samples,
         seed=cfg.seed,
     )
-    rows: dict[str, Table2Row] = {}
-    for cell_type in cfg.cell_types:
-        row = Table2Row(cell_type=cell_type)
-        for drive in cfg.drives:
-            cell = build_cell(cell_type, drive)
-            for pin, transition in _arc_list(
-                cell, cfg.max_arcs_per_cell
-            ):
-                characterization = characterize_arc(
-                    sim,
-                    cell,
-                    pin,
-                    transition,
-                    char_config,
-                    checkpoint=checkpoint,
-                )
-                row.n_arcs += 1
-                for quantity, metric_prefix in (
-                    ("delay", "delay"),
-                    ("transition", "transition"),
-                ):
-                    for i in range(len(cfg.slews)):
-                        for j in range(len(cfg.loads)):
-                            samples = characterization.samples(
-                                quantity, i, j
-                            )
-                            _score_condition(
-                                row, metric_prefix, samples
-                            )
-        rows[cell_type] = row
-        reporter.info(
-            "%-6s arcs=%3d dly_bin LVF2=%.2f",
-            cell_type,
-            row.n_arcs,
-            row.mean_reduction("delay_binning", "LVF2"),
+    score_store: CheckpointStore | None = None
+    temp_dir = None
+    if workers > 1 or pool is not None:
+        from repro.runtime.pool.pool import PoolConfig, run_pool
+
+        store = checkpoint
+        if store is None:
+            temp_dir = tempfile.mkdtemp(prefix="repro-pool-")
+            store = CheckpointStore(temp_dir, reuse=True)
+        items = table2_work_items(sim, cfg, char_config)
+        run_pool(
+            items,
+            store,
+            pool or PoolConfig(n_workers=workers, seed=cfg.seed),
         )
+        score_store = (
+            store
+            if store.reuse
+            else CheckpointStore(store.directory, reuse=True)
+        )
+    elif checkpoint is not None and checkpoint.reuse:
+        # Serial runs resume scored payloads a previous pool run left
+        # in the same store (they never *write* them — serial write
+        # behaviour is unchanged).
+        score_store = checkpoint
+    try:
+        rows: dict[str, Table2Row] = {}
+        for cell_type in cfg.cell_types:
+            row = Table2Row(cell_type=cell_type)
+            for drive in cfg.drives:
+                cell = build_cell(cell_type, drive)
+                for pin, transition in _arc_list(
+                    cell, cfg.max_arcs_per_cell
+                ):
+                    payload = (
+                        score_store.load(
+                            table2_score_token(
+                                sim, cell, pin, transition, char_config
+                            )
+                        )
+                        if score_store is not None
+                        else None
+                    )
+                    if payload is None:
+                        payload = _score_arc_task(
+                            checkpoint,
+                            sim,
+                            cell,
+                            pin,
+                            transition,
+                            char_config,
+                        )
+                    row.n_arcs += 1
+                    for metric, models in row.reductions.items():
+                        for model in models:
+                            models[model].extend(
+                                payload["reductions"][metric][model]
+                            )
+            rows[cell_type] = row
+            reporter.info(
+                "%-6s arcs=%3d dly_bin LVF2=%.2f",
+                cell_type,
+                row.n_arcs,
+                row.mean_reduction("delay_binning", "LVF2"),
+            )
+    finally:
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
     return Table2Result(rows=rows, config=cfg)
 
 

@@ -15,7 +15,11 @@ drivers survivable, observable and testable under failure:
 - :mod:`repro.runtime.export`     — verified atomic text export;
 - :mod:`repro.runtime.progress`   — logging-based progress reporting;
 - :mod:`repro.runtime.telemetry`  — hierarchical tracing, metrics
-  registry and structured run manifests.
+  registry and structured run manifests;
+- :mod:`repro.runtime.pool`       — parallel characterisation worker
+  pool: claim-file coordination over the checkpoint directory,
+  deterministic content-key sharding, per-worker traces merged at
+  shutdown.
 
 The layering is strictly below :mod:`repro.circuits` and
 :mod:`repro.experiments`: those packages import the runtime, never the
@@ -35,6 +39,12 @@ from types import MappingProxyType
 #: Read-only so parallel workers can never diverge on the export map.
 _EXPORTS = MappingProxyType({
     "CheckpointStore": "repro.runtime.checkpoint",
+    "ClaimStore": "repro.runtime.pool.claims",
+    "PoolConfig": "repro.runtime.pool.pool",
+    "PoolResult": "repro.runtime.pool.pool",
+    "WorkItem": "repro.runtime.pool.scheduler",
+    "run_pool": "repro.runtime.pool.pool",
+    "merge_trace_files": "repro.runtime.telemetry.merge",
     "FaultPlan": "repro.runtime.faults",
     "FaultRule": "repro.runtime.faults",
     "InjectedKill": "repro.runtime.faults",

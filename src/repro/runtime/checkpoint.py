@@ -166,12 +166,57 @@ class CheckpointStore:
                 continue
         return total
 
+    def invalidate(self, tokens: Iterable[str]) -> int:
+        """Delete the entries for ``tokens``; returns how many existed.
+
+        Pool runs use this to honour fresh-run (``reuse=False``)
+        semantics: the parallel workers share a reusing store handle,
+        so the parent drops this run's entries up front instead of
+        suppressing loads per process.
+        """
+        removed = 0
+        for token in tokens:
+            try:
+                self.path_for(token).unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
+    def _claimed_keys(self, claim_timeout: float | None) -> frozenset:
+        """Keys of entries currently under a *live* claim file.
+
+        A live claim means some pool worker (possibly on another host)
+        is mid-computation on that key's companions — removing the key
+        now would race its imminent ``save`` or force a recompute of
+        work already in flight.
+        """
+        # Function-local import: claims.py imports CheckpointStore for
+        # key derivation, so the dependency must stay one-way at
+        # module-import time.
+        from repro.runtime.pool.claims import ClaimStore
+
+        claims = (
+            ClaimStore(self.directory)
+            if claim_timeout is None
+            else ClaimStore(self.directory, timeout=claim_timeout)
+        )
+        live = []
+        for path in self.directory.glob("*.claim"):
+            info = claims.live_claim_for_key(path.stem)
+            if info is not None:
+                live.append(path.stem)
+        return frozenset(live)
+
     def gc(
         self,
         valid_tokens: Iterable[str] | None = None,
         *,
         max_age_seconds: float | None = None,
         max_total_bytes: int | None = None,
+        claim_timeout: float | None = None,
     ) -> int:
         """Drop stale checkpoints; returns how many were removed.
 
@@ -183,6 +228,12 @@ class CheckpointStore:
         ``max_total_bytes`` caps the store size: surviving entries are
         evicted oldest-first (mtime order) until the total fits.
         Passing no selector removes nothing.
+
+        Entries whose key carries a **live claim file** (a pool worker
+        is computing against them right now) are never removed — by
+        either selector or the size cap.  ``claim_timeout`` overrides
+        the claim-staleness threshold used for that liveness check
+        (default: the claim store's own default).
 
         Raises:
             CheckpointError: When ``max_age_seconds`` or
@@ -201,8 +252,10 @@ class CheckpointStore:
             if valid_tokens is not None
             else None
         )
+        claimed = self._claimed_keys(claim_timeout)
         now = time.time()
         removed = 0
+        protected = 0
         survivors: list[tuple[float, int, Path]] = []
         for path in self.directory.glob("*.ckpt"):
             try:
@@ -212,6 +265,9 @@ class CheckpointStore:
             stale = valid is not None and path.stem not in valid
             if not stale and max_age_seconds is not None:
                 stale = now - stat.st_mtime > max_age_seconds
+            if stale and path.stem in claimed:
+                stale = False
+                protected += 1
             if not stale:
                 survivors.append((stat.st_mtime, stat.st_size, path))
                 continue
@@ -227,6 +283,9 @@ class CheckpointStore:
             for _, size, path in survivors:
                 if total <= max_total_bytes:
                     break
+                if path.stem in claimed:
+                    protected += 1
+                    continue
                 try:
                     path.unlink()
                 except OSError:
@@ -234,4 +293,6 @@ class CheckpointStore:
                 total -= size
                 removed += 1
         telemetry.counter_inc("checkpoint.gc_removed", removed)
+        if protected:
+            telemetry.counter_inc("checkpoint.gc_claim_skips", protected)
         return removed

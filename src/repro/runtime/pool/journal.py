@@ -1,0 +1,61 @@
+"""Append-only pool journal: who actually computed what.
+
+One ``pool-journal.jsonl`` per store directory records every item a
+worker (or the parent sweep) *executed* — cache hits and steals that
+found the payload already present are not journalled.  The journal is
+therefore the ground truth for the claim protocol's core invariant:
+**no item is simulated twice**, even with several pools racing on the
+same directory.  Tests assert exactly that; operators read it to see
+how work spread across workers and hosts.
+
+Writes go through ``os.open(O_APPEND)`` with a single ``os.write`` per
+record, so concurrent processes appending to the same journal cannot
+interleave partial lines (POSIX guarantees atomic small appends).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runtime.telemetry.sinks import read_jsonl
+
+__all__ = ["JOURNAL_FILENAME", "PoolJournal"]
+
+#: Journal file name inside the shared store directory.
+JOURNAL_FILENAME = "pool-journal.jsonl"
+
+
+class PoolJournal:
+    """Cross-process append-only event log in a store directory."""
+
+    def __init__(self, directory: str | os.PathLike[str]) -> None:
+        self.path = Path(directory) / JOURNAL_FILENAME
+
+    def append(self, event: str, **fields: object) -> None:
+        """Append one event record (atomic single-line write)."""
+        record: dict[str, object] = {"event": event}
+        record.update(fields)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode()
+        descriptor = os.open(
+            self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(descriptor, line)
+        finally:
+            os.close(descriptor)
+
+    def records(self) -> tuple[dict, ...]:
+        """All journal records in append order (empty when absent)."""
+        if not self.path.exists():
+            return ()
+        return tuple(read_jsonl(self.path))
+
+    def events(self, event: str) -> tuple[dict, ...]:
+        """Records of one event kind (``"task"``, ``"reclaim"`` ...)."""
+        return tuple(
+            record
+            for record in self.records()
+            if record.get("event") == event
+        )

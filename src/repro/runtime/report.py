@@ -147,6 +147,17 @@ class FitReport:
             QuarantineRecord(arc=arc, stage=stage, error=error)
         )
 
+    def merge(self, other: "FitReport") -> None:
+        """Fold another report's records into this one, in order.
+
+        Parallel characterisation fits each pin in its own local
+        report (possibly in another process); the parent merges them
+        in serial pin order, so the assembled report lists records
+        exactly as a serial run would have.
+        """
+        self.records.extend(other.records)
+        self.quarantined.extend(other.quarantined)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

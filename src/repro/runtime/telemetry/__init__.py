@@ -27,6 +27,11 @@ any layer (stats, liberty, ssta) may instrument itself without import
 cycles.
 """
 
+from repro.runtime.telemetry.merge import (
+    MERGE_SCHEMA,
+    merge_trace_files,
+    read_jsonl_lenient,
+)
 from repro.runtime.telemetry.metrics import (
     Counter,
     Gauge,
@@ -36,6 +41,7 @@ from repro.runtime.telemetry.metrics import (
 )
 from repro.runtime.telemetry.session import (
     MANIFEST_SCHEMA,
+    NEVER_SAMPLED,
     TelemetrySession,
     activate,
     active_session,
@@ -67,7 +73,9 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "MANIFEST_SCHEMA",
+    "MERGE_SCHEMA",
     "MetricsRegistry",
+    "NEVER_SAMPLED",
     "NULL_TRACER",
     "NullTracer",
     "SpanRecord",
@@ -81,9 +89,11 @@ __all__ = [
     "format_metrics",
     "gauge_set",
     "load_trace",
+    "merge_trace_files",
     "observe",
     "percentile",
     "read_jsonl",
+    "read_jsonl_lenient",
     "span",
     "stage_totals",
     "summarize_trace",

@@ -25,15 +25,18 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
 from contextlib import contextmanager, nullcontext
 
+from repro.errors import ParameterError
 from repro.runtime.telemetry.metrics import MetricsRegistry
 from repro.runtime.telemetry.sinks import CallableSink, JsonlSink
 from repro.runtime.telemetry.tracer import NULL_TRACER, SpanRecord, Tracer
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "NEVER_SAMPLED",
     "TelemetrySession",
     "activate",
     "active_session",
@@ -47,6 +50,28 @@ __all__ = [
 #: Schema tag stamped into every run manifest.
 MANIFEST_SCHEMA = "repro.run_manifest/1"
 
+#: Span names exempt from sampling.  These are the low-frequency
+#: structural spans (one per run / cell / arc / pin / worker) that
+#: summaries, stage totals and the parallel smoke checks key off —
+#: dropping any of them would silently skew ``repro trace summarize``
+#: and the merged pool trace.  Only high-frequency leaf spans (e.g.
+#: ``mc.condition``, one per grid point) are eligible for sampling;
+#: error spans are never dropped regardless of name.
+NEVER_SAMPLED = frozenset(
+    {
+        "characterize.run",
+        "characterize.cell",
+        "characterize.arc",
+        "export.write",
+        "liberty.tables",
+        "pool.run",
+        "pool.worker",
+        "pool.item",
+        "ssta.propagate",
+        "experiment.table2",
+    }
+)
+
 
 class TelemetrySession:
     """One run's tracer + metrics registry + sinks.
@@ -55,6 +80,14 @@ class TelemetrySession:
         tracer: Hierarchical span collector.
         metrics: Counter/gauge/histogram registry.
         run_id: Short stable id tagging this session's records.
+        sample: Sink-side span sampling rate in ``(0, 1]``.  At 1.0
+            (default) every span record reaches the sinks.  Below 1.0,
+            high-frequency ``ok`` spans are downsampled per span name
+            (every ``round(1/sample)``-th occurrence kept); spans named
+            in :data:`NEVER_SAMPLED` and spans whose status is not
+            ``ok`` always pass.  Sampling is sink-side only: the
+            in-memory tracer keeps every span, so stage totals and
+            manifests stay exact.
     """
 
     def __init__(
@@ -63,7 +96,16 @@ class TelemetrySession:
         trace_path: str | os.PathLike[str] | None = None,
         sinks=(),
         run_id: str | None = None,
+        sample: float = 1.0,
     ) -> None:
+        if not 0.0 < sample <= 1.0:
+            raise ParameterError(
+                f"trace sample rate must be in (0, 1], got {sample}"
+            )
+        self.sample = sample
+        self._stride = max(1, round(1.0 / sample))
+        self._span_counts: dict[str, int] = {}
+        self._sample_lock = threading.Lock()
         self._sinks = [
             sink if hasattr(sink, "write") else CallableSink(sink)
             for sink in sinks
@@ -82,9 +124,21 @@ class TelemetrySession:
     # Emission
     # ------------------------------------------------------------------
     def _emit_span(self, record: SpanRecord) -> None:
+        if self._stride > 1 and self._sampled_out(record):
+            self.metrics.inc("telemetry.spans_sampled_out")
+            return
         payload = record.to_dict()
         payload["run_id"] = self.run_id
         self.emit(payload)
+
+    def _sampled_out(self, record: SpanRecord) -> bool:
+        """True when this span record should be dropped by sampling."""
+        if record.status != "ok" or record.name in NEVER_SAMPLED:
+            return False
+        with self._sample_lock:
+            count = self._span_counts.get(record.name, 0)
+            self._span_counts[record.name] = count + 1
+        return count % self._stride != 0
 
     def emit(self, record: dict) -> None:
         """Fan one record out to every sink."""

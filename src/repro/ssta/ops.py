@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import FittingError, SSTAError
 from repro.models.base import TimingModel
 from repro.runtime import telemetry
+from repro.runtime.report import FitAttempt, FitContext, FitOutcome
 from repro.models.gaussian import GaussianModel
 from repro.models.lesn import LESNModel
 from repro.models.lvf import LVFModel
@@ -309,18 +310,79 @@ def clark_max(a: GaussianModel, b: GaussianModel) -> GaussianModel:
     return GaussianModel(mean, math.sqrt(variance))
 
 
+def _gaussian_max_fallback(
+    a: TimingModel,
+    b: TimingModel,
+    error: BaseException | str,
+    report,
+) -> GaussianModel:
+    """Degraded MAX rung: Clark max of moment-matched Gaussians.
+
+    Always well-defined (Clark needs only the first two moments, which
+    every family exposes), at the cost of the family's shape detail —
+    the same trade the FitPolicy ladder makes when it falls back to its
+    Gaussian rung.  The degradation is recorded like any other ladder
+    outcome so an SSTA run's report names exactly which MAX operations
+    lost their family.
+    """
+    telemetry.counter_inc("ssta.max_op.degraded")
+    moments_a = a.moments()
+    moments_b = b.moments()
+    result = clark_max(
+        GaussianModel(moments_a.mean, moments_a.std),
+        GaussianModel(moments_b.mean, moments_b.std),
+    )
+    if report is not None:
+        report.record_fit(
+            FitContext(
+                cell="ssta",
+                pin="max",
+                transition=type(a).__name__,
+                quantity="max",
+            ),
+            FitOutcome(
+                model=result,
+                rung="Gaussian-max",
+                degraded=True,
+                attempts=(
+                    FitAttempt(
+                        rung=type(a).__name__, error=str(error)
+                    ),
+                ),
+            ),
+        )
+    return result
+
+
 def statistical_max(
     a: TimingModel,
     b: TimingModel,
     *,
     n_grid: int = 2048,
     n_quantiles: int = 4096,
+    fallback: bool = True,
+    report=None,
 ) -> TimingModel:
     """Distribution of ``max(A, B)`` (independent), family of ``a``.
 
     Numeric and family-agnostic: the max CDF is the product of CDFs;
     the result is re-fitted into ``a``'s family from deterministic
     quantile pseudo-samples of that CDF.
+
+    When that re-fit (the moment-matching step) fails and ``fallback``
+    is True (default), the operator degrades to the Gaussian-max
+    approximation instead of raising: Clark's max over moment-matched
+    Gaussians of ``a`` and ``b``.  The degradation is counted
+    (``ssta.max_op.degraded``, next to the existing
+    ``ssta.max_op.moment_match_failures``) and — when a
+    :class:`~repro.runtime.report.FitReport` is passed — recorded as a
+    ``Gaussian-max`` rung outcome.  With ``fallback=False`` the
+    original error propagates.
+
+    Raises:
+        SSTAError: ``fallback=False`` and the max CDF vanished on the
+            evaluation grid.
+        FittingError: ``fallback=False`` and the family re-fit failed.
     """
     telemetry.counter_inc("ssta.max_op.calls")
     with telemetry.span("ssta.max", family=type(a).__name__):
@@ -336,16 +398,25 @@ def statistical_max(
         cdf = np.maximum.accumulate(cdf)
         if cdf[-1] <= 0.0:
             telemetry.counter_inc("ssta.max_op.moment_match_failures")
+            if fallback:
+                return _gaussian_max_fallback(
+                    a,
+                    b,
+                    "max CDF vanished on the evaluation grid",
+                    report,
+                )
             raise SSTAError("max CDF vanished on the evaluation grid")
         cdf = cdf / cdf[-1]
         probabilities = (np.arange(n_quantiles) + 0.5) / n_quantiles
         pseudo_samples = np.interp(probabilities, cdf, grid)
         try:
             return type(a).fit(pseudo_samples)
-        except (FittingError, ValueError, ArithmeticError):
+        except (FittingError, ValueError, ArithmeticError) as error:
             # Re-materialising max(A, B) back into a's family is the
             # moment-matching step that can fail for degenerate
             # inputs; count it so SSTA runs expose how often the MAX
             # operator degrades before the caller sees the error.
             telemetry.counter_inc("ssta.max_op.moment_match_failures")
+            if fallback:
+                return _gaussian_max_fallback(a, b, error, report)
             raise

@@ -168,3 +168,93 @@ class TestGarbageCollection:
         snapshot = session.metrics.snapshot()
         assert snapshot["counters"]["checkpoint.gc_removed"] == 1
         session.close()
+
+
+class TestInvalidate:
+    def test_invalidate_drops_named_entries(self, store):
+        store.save("a", 1)
+        store.save("b", 2)
+        store.save("c", 3)
+        assert store.invalidate(["a", "c", "never-saved"]) == 2
+        assert not store.contains("a")
+        assert store.contains("b")
+
+    def test_invalidate_empty_is_zero(self, store):
+        assert store.invalidate([]) == 0
+
+
+class TestGcClaimProtection:
+    """Bugfix: gc must never evict an entry a pool worker is holding a
+    live claim on — the claim marks work in flight against that key."""
+
+    def claim(self, store, token, **overrides):
+        from repro.runtime.pool.claims import ClaimStore
+
+        claims = ClaimStore(store.directory, **overrides)
+        assert claims.acquire(token)
+        return claims
+
+    def test_live_claim_protects_orphan_from_gc(self, store):
+        store.save("claimed-orphan", 1)
+        store.save("plain-orphan", 2)
+        self.claim(store, "claimed-orphan")
+        assert store.gc(["something-else"]) == 1
+        assert store.contains("claimed-orphan")
+        assert not store.contains("plain-orphan")
+
+    def test_live_claim_protects_old_entry_from_max_age(self, store):
+        import os
+        import time
+
+        store.save("old-claimed", 1)
+        past = time.time() - 7200
+        path = store.path_for("old-claimed")
+        os.utime(path, (past, past))
+        self.claim(store, "old-claimed")
+        assert store.gc(max_age_seconds=3600) == 0
+        assert store.contains("old-claimed")
+
+    def test_live_claim_protects_from_size_cap(self, store):
+        import os
+
+        for index, token in enumerate(("old", "new")):
+            store.save(token, np.zeros(64))
+            stamp = 1_000_000.0 + index
+            os.utime(store.path_for(token), (stamp, stamp))
+        self.claim(store, "old")
+        # Without the claim, "old" would be the first eviction.
+        removed = store.gc(
+            max_total_bytes=store.path_for("new").stat().st_size
+        )
+        assert store.contains("old")
+        assert removed == 1
+        assert not store.contains("new")
+
+    def test_dead_claim_does_not_protect(self, store):
+        import os
+        import time
+
+        store.save("orphan", 1)
+        claims = self.claim(store, "orphan", timeout=60.0)
+        # Backdate the claim far past any timeout and fake a foreign
+        # host so the pid probe cannot revive it.
+        claim_path = claims.path_for("orphan")
+        claim_path.write_text(
+            '{"host": "elsewhere", "pid": 1, "owner": "gone"}'
+        )
+        past = time.time() - 7200
+        os.utime(claim_path, (past, past))
+        assert store.gc(["other"], claim_timeout=60.0) == 1
+        assert not store.contains("orphan")
+
+    def test_protection_counted_into_telemetry(self, store):
+        from repro.runtime import telemetry
+
+        store.save("claimed-orphan", 1)
+        self.claim(store, "claimed-orphan")
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            store.gc(["other"])
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["checkpoint.gc_claim_skips"] == 1
+        session.close()

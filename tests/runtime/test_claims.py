@@ -1,0 +1,177 @@
+"""Tests for the claim-file protocol over the checkpoint directory."""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.pool.claims import ClaimStore
+
+
+@pytest.fixture
+def claims(tmp_path) -> ClaimStore:
+    return ClaimStore(tmp_path, owner="test-owner")
+
+
+def plant_claim(
+    directory, token: str, *, pid: int, host: str, age: float = 0.0
+) -> None:
+    """Write a claim file by hand, optionally backdating its mtime."""
+    path = directory / f"{CheckpointStore.key_of(token)}.claim"
+    path.write_text(
+        json.dumps({"host": host, "pid": pid, "owner": "planted"})
+    )
+    if age:
+        past = time.time() - age
+        os.utime(path, (past, past))
+
+
+def dead_pid() -> int:
+    """A pid that certainly has no live process behind it."""
+    pid = os.getpid() + 5000
+    while True:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except OSError:
+            pass
+        pid += 1
+
+
+class TestAcquireRelease:
+    def test_acquire_creates_claim_file(self, claims):
+        assert claims.acquire("token")
+        assert claims.path_for("token").exists()
+        assert claims.acquired == 1
+
+    def test_claim_body_names_the_owner(self, claims):
+        claims.acquire("token")
+        info = claims.read("token")
+        assert info.host == socket.gethostname()
+        assert info.pid == os.getpid()
+        assert info.owner == "test-owner"
+
+    def test_second_acquire_is_contested(self, tmp_path, claims):
+        other = ClaimStore(tmp_path, owner="other")
+        assert claims.acquire("token")
+        assert not other.acquire("token")
+        assert other.contested == 1
+
+    def test_release_frees_the_claim(self, tmp_path, claims):
+        other = ClaimStore(tmp_path, owner="other")
+        claims.acquire("token")
+        assert claims.release(["token"]) == 1
+        assert other.acquire("token")
+
+    def test_release_missing_is_harmless(self, claims):
+        assert claims.release(["never-claimed"]) == 0
+
+    def test_companions_claimed_together(self, tmp_path, claims):
+        assert claims.acquire("main", companions=("side-a", "side-b"))
+        for token in ("main", "side-a", "side-b"):
+            assert claims.path_for(token).exists()
+
+    def test_companion_conflict_rolls_back(self, tmp_path, claims):
+        other = ClaimStore(tmp_path, owner="other")
+        assert other.acquire("side-b")
+        assert not claims.acquire("main", companions=("side-a", "side-b"))
+        # The partial acquisition was rolled back entirely.
+        assert not claims.path_for("main").exists()
+        assert not claims.path_for("side-a").exists()
+        assert other.path_for("side-b").exists()
+
+    def test_timeout_must_be_positive(self, tmp_path):
+        with pytest.raises(ParameterError):
+            ClaimStore(tmp_path, timeout=0.0)
+
+
+class TestLiveness:
+    def test_fresh_same_host_live_pid_is_live(self, claims):
+        claims.acquire("token")
+        assert claims.is_live(claims.read("token"))
+
+    def test_stale_mtime_is_dead(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=0.2)
+        plant_claim(
+            tmp_path,
+            "token",
+            pid=os.getpid(),
+            host=socket.gethostname(),
+            age=5.0,
+        )
+        assert not claims.is_live(claims.read("token"))
+
+    def test_same_host_dead_pid_is_dead_immediately(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=3600.0)
+        plant_claim(
+            tmp_path,
+            "token",
+            pid=dead_pid(),
+            host=socket.gethostname(),
+        )
+        # Fresh mtime, but the pid is gone: dead without waiting.
+        assert not claims.is_live(claims.read("token"))
+
+    def test_foreign_host_trusts_the_mtime(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=3600.0)
+        plant_claim(
+            tmp_path, "token", pid=dead_pid(), host="elsewhere"
+        )
+        # Cannot probe a foreign host's pids; a fresh claim is live.
+        assert claims.is_live(claims.read("token"))
+
+    def test_absent_claim_is_dead(self, claims):
+        assert not claims.is_live(claims.read("nothing"))
+        assert claims.live_claim_for_key("no-such-key") is None
+
+
+class TestReclaim:
+    def test_dead_claim_is_reclaimed(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=3600.0, owner="taker")
+        plant_claim(
+            tmp_path,
+            "token",
+            pid=dead_pid(),
+            host=socket.gethostname(),
+        )
+        assert claims.acquire("token")
+        assert claims.reclaimed == 1
+        assert claims.read("token").owner == "taker"
+
+    def test_stale_claim_is_reclaimed_after_timeout(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=0.2, owner="taker")
+        plant_claim(
+            tmp_path,
+            "token",
+            pid=os.getpid(),
+            host="elsewhere",
+            age=5.0,
+        )
+        assert claims.acquire("token")
+        assert claims.reclaimed == 1
+
+
+class TestHeartbeat:
+    def test_heartbeat_refreshes_mtime(self, claims):
+        claims.acquire("token")
+        path = claims.path_for("token")
+        past = time.time() - 100.0
+        os.utime(path, (past, past))
+        claims.heartbeat(["token"])
+        assert time.time() - path.stat().st_mtime < 10.0
+
+    def test_hold_keeps_a_short_timeout_claim_alive(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=0.3, owner="holder")
+        other = ClaimStore(tmp_path, timeout=0.3, owner="thief")
+        claims.acquire("token")
+        with claims.hold(("token",)):
+            time.sleep(0.6)  # past the timeout; heartbeats kept it live
+            assert not other.acquire("token")
+        assert other.contested >= 1

@@ -364,3 +364,87 @@ class TestCharacterizationTelemetry:
         assert stage_sum >= 0.9 * manifest["wall_total_s"]
         for line in path.read_text().splitlines():
             json.loads(line)  # every line is valid JSON
+
+
+class TestSpanSampling:
+    """Sink-side sampling: high-frequency ok spans thin out, structural
+    and error spans always pass, and the in-memory tracer keeps all."""
+
+    def collect(self, sample):
+        records = []
+        session = TelemetrySession(sinks=[records.append], sample=sample)
+        return session, records
+
+    def test_sample_one_keeps_everything(self):
+        session, records = self.collect(1.0)
+        with telemetry.activate(session):
+            for _ in range(10):
+                with telemetry.span("mc.condition"):
+                    pass
+        assert len(records) == 10
+        session.close()
+
+    def test_half_rate_keeps_every_other_span(self):
+        session, records = self.collect(0.5)
+        with telemetry.activate(session):
+            for _ in range(10):
+                with telemetry.span("mc.condition"):
+                    pass
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == 5
+        session.close()
+
+    def test_never_sampled_names_always_pass(self):
+        from repro.runtime.telemetry import NEVER_SAMPLED
+
+        assert "pool.item" in NEVER_SAMPLED
+        session, records = self.collect(0.1)
+        with telemetry.activate(session):
+            for _ in range(10):
+                with telemetry.span("pool.item"):
+                    pass
+        spans = [r for r in records if r["type"] == "span"]
+        assert len(spans) == 10
+        session.close()
+
+    def test_error_spans_always_pass(self):
+        session, records = self.collect(0.1)
+        with telemetry.activate(session):
+            for index in range(10):
+                try:
+                    with telemetry.span("mc.condition"):
+                        if index:
+                            raise ValueError("boom")
+                except ValueError:
+                    pass
+        spans = [r for r in records if r["type"] == "span"]
+        # 1 sampled-in ok span (the first) + 9 error spans.
+        assert len(spans) == 10
+        assert sum(r["status"] != "ok" for r in spans) == 9
+        session.close()
+
+    def test_tracer_keeps_all_spans_regardless(self):
+        session, records = self.collect(0.1)
+        with telemetry.activate(session):
+            for _ in range(10):
+                with telemetry.span("mc.condition"):
+                    pass
+        assert len(session.tracer) == 10  # manifests stay exact
+        manifest = session.manifest()
+        assert manifest["span_count"] == 10
+        session.close()
+
+    def test_dropped_spans_are_counted(self):
+        session, records = self.collect(0.5)
+        with telemetry.activate(session):
+            for _ in range(10):
+                with telemetry.span("mc.condition"):
+                    pass
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["telemetry.spans_sampled_out"] == 5
+        session.close()
+
+    def test_rate_out_of_range_rejected(self):
+        for rate in (0.0, -0.5, 1.5):
+            with pytest.raises(ParameterError, match="sample"):
+                TelemetrySession(sample=rate)

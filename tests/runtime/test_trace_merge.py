@@ -1,0 +1,219 @@
+"""Tests for cross-process trace merging."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.telemetry import (
+    MERGE_SCHEMA,
+    load_trace,
+    merge_trace_files,
+    read_jsonl_lenient,
+)
+
+
+def write_trace(path, records, *, truncate_tail=False):
+    lines = [json.dumps(record) for record in records]
+    text = "\n".join(lines) + "\n"
+    if truncate_tail:
+        text += '{"type": "span", "name": "cut-off", "span_i'
+    path.write_text(text)
+    return str(path)
+
+
+def span(span_id, name, *, parent_id=None, run_id="r1", **tags):
+    return {
+        "type": "span",
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": 0.0,
+        "wall": 0.5,
+        "cpu": 0.4,
+        "tags": tags,
+        "status": "ok",
+        "run_id": run_id,
+    }
+
+
+def metrics(counters=None, gauges=None, histograms=None, run_id="r1"):
+    return {
+        "type": "metrics",
+        "run_id": run_id,
+        "metrics": {
+            "counters": counters or {},
+            "gauges": gauges or {},
+            "histograms": histograms or {},
+        },
+    }
+
+
+@pytest.fixture
+def traces(tmp_path):
+    first = write_trace(
+        tmp_path / "w00.jsonl",
+        [
+            span(1, "pool.worker"),
+            span(2, "pool.item", parent_id=1),
+            metrics(
+                counters={"items": 2, "only_a": 1},
+                gauges={"depth": 3.0},
+                histograms={
+                    "lat": {
+                        "count": 2,
+                        "mean": 1.0,
+                        "min": 0.5,
+                        "max": 1.5,
+                        "p50": 1.0,
+                        "p90": 1.4,
+                        "p99": 1.5,
+                    }
+                },
+            ),
+        ],
+    )
+    second = write_trace(
+        tmp_path / "w01.jsonl",
+        [
+            span(1, "pool.worker", run_id="r2"),
+            metrics(
+                counters={"items": 3},
+                gauges={"depth": 5.0},
+                histograms={
+                    "lat": {
+                        "count": 2,
+                        "mean": 3.0,
+                        "min": 2.0,
+                        "max": 4.0,
+                        "p50": 3.0,
+                        "p90": 3.8,
+                        "p99": 4.0,
+                    }
+                },
+                run_id="r2",
+            ),
+        ],
+    )
+    return first, second
+
+
+class TestMerge:
+    def test_span_ids_remapped_per_file(self, traces, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_files(traces, out)
+        data = load_trace(out)
+        ids = [record.span_id for record in data.spans]
+        assert len(ids) == len(set(ids)) == 3
+        # The second file's parentless root did not collide with the
+        # first file's ids.
+        child = next(r for r in data.spans if r.name == "pool.item")
+        parent = next(
+            r
+            for r in data.spans
+            if r.span_id == child.parent_id
+        )
+        assert parent.name == "pool.worker"
+
+    def test_spans_tagged_with_worker_labels(self, traces, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_files(traces, out, labels=["alpha", "beta"])
+        data = load_trace(out)
+        assert sorted(r.tags["worker"] for r in data.spans) == [
+            "alpha",
+            "alpha",
+            "beta",
+        ]
+
+    def test_labels_default_to_file_stems(self, traces, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_files(traces, out)
+        data = load_trace(out)
+        assert {r.tags["worker"] for r in data.spans} == {"w00", "w01"}
+
+    def test_metrics_combined(self, traces, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        merge_trace_files(traces, out)
+        merged = load_trace(out).metrics
+        assert merged["counters"] == {"items": 5, "only_a": 1}
+        assert merged["gauges"] == {"depth": 5.0}  # max of levels
+        histogram = merged["histograms"]["lat"]
+        assert histogram["count"] == 4
+        assert histogram["mean"] == pytest.approx(2.0)
+        assert histogram["min"] == 0.5
+        assert histogram["max"] == 4.0
+        assert histogram["p50"] == pytest.approx(2.0)
+
+    def test_merge_manifest_written_last(self, traces, tmp_path):
+        out = str(tmp_path / "merged.jsonl")
+        returned = merge_trace_files(traces, out)
+        data = load_trace(out)
+        assert data.manifest["schema"] == MERGE_SCHEMA
+        assert data.manifest["span_count"] == 3
+        assert returned["span_count"] == 3
+        by_label = {
+            source["label"]: source
+            for source in data.manifest["sources"]
+        }
+        assert by_label["w00"]["spans"] == 2
+        assert by_label["w00"]["run_id"] == "r1"
+        assert by_label["w01"]["run_id"] == "r2"
+
+    def test_out_may_be_an_input(self, traces, tmp_path):
+        first, second = traces
+        merge_trace_files([first, second], first)
+        data = load_trace(first)
+        assert len(data.spans) == 3
+        assert data.manifest["schema"] == MERGE_SCHEMA
+
+    def test_label_count_mismatch_rejected(self, traces, tmp_path):
+        with pytest.raises(ParameterError, match="labels"):
+            merge_trace_files(
+                traces, str(tmp_path / "out.jsonl"), labels=["one"]
+            )
+
+    def test_no_sources_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="no trace files"):
+            merge_trace_files([], str(tmp_path / "out.jsonl"))
+
+
+class TestLenientReading:
+    def test_truncated_tail_is_skipped_and_counted(self, tmp_path):
+        path = write_trace(
+            tmp_path / "killed.jsonl",
+            [span(1, "pool.worker")],
+            truncate_tail=True,
+        )
+        records, skipped = read_jsonl_lenient(path)
+        assert len(records) == 1
+        assert skipped == 1
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('not json\n{"type": "span"}\n')
+        with pytest.raises(ParameterError, match="malformed"):
+            read_jsonl_lenient(path)
+
+    def test_truncated_source_reported_in_manifest(self, tmp_path):
+        clean = write_trace(
+            tmp_path / "clean.jsonl", [span(1, "pool.worker")]
+        )
+        killed = write_trace(
+            tmp_path / "killed.jsonl",
+            [span(1, "pool.worker")],
+            truncate_tail=True,
+        )
+        manifest = merge_trace_files(
+            [clean, killed], str(tmp_path / "out.jsonl")
+        )
+        assert manifest["truncated_sources"] == 1
+        assert [s["truncated"] for s in manifest["sources"]] == [
+            False,
+            True,
+        ]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError, match="cannot read"):
+            read_jsonl_lenient(tmp_path / "absent.jsonl")

@@ -202,3 +202,73 @@ class TestMax:
         a = LVF2Model.fit(bimodal_samples)
         result = statistical_max(a, shift_model(a, 0.05))
         assert isinstance(result, LVF2Model)
+
+
+class TestMaxFallback:
+    """MAX moment-match failures degrade to the Gaussian-max
+    approximation through the report machinery instead of raising."""
+
+    @pytest.fixture
+    def broken_fit(self, monkeypatch, bimodal_samples):
+        """An LVF2 operand whose family re-fit always fails."""
+        from repro.errors import FittingError
+
+        a = LVF2Model.fit(bimodal_samples)
+
+        def refuse(samples, **kwargs):
+            raise FittingError("forced non-convergence")
+
+        monkeypatch.setattr(LVF2Model, "fit", refuse)
+        return a
+
+    def test_fit_failure_degrades_to_gaussian_max(self, broken_fit):
+        a = broken_fit
+        result = statistical_max(a, shift_model(a, 0.05))
+        assert isinstance(result, GaussianModel)
+        moments_a = a.moments()
+        expected = clark_max(
+            GaussianModel(moments_a.mean, moments_a.std),
+            GaussianModel(moments_a.mean + 0.05, moments_a.std),
+        )
+        assert result.mu == pytest.approx(expected.mu)
+        assert result.sigma == pytest.approx(expected.sigma)
+
+    def test_fallback_false_raises_the_original_error(self, broken_fit):
+        from repro.errors import FittingError
+
+        a = broken_fit
+        with pytest.raises(FittingError, match="forced"):
+            statistical_max(a, shift_model(a, 0.05), fallback=False)
+
+    def test_degradation_recorded_in_report(self, broken_fit):
+        from repro.runtime import FitReport
+
+        a = broken_fit
+        report = FitReport()
+        statistical_max(a, shift_model(a, 0.05), report=report)
+        assert report.n_fits == 1
+        record = report.degraded_records()[0]
+        assert record.rung == "Gaussian-max"
+        assert record.attempts[0].rung == "LVF2Model"
+        assert "forced non-convergence" in record.attempts[0].error
+
+    def test_degradation_counted_in_telemetry(self, broken_fit):
+        from repro.runtime import telemetry
+
+        a = broken_fit
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            statistical_max(a, shift_model(a, 0.05))
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["ssta.max_op.moment_match_failures"] == 1
+        assert counters["ssta.max_op.degraded"] == 1
+        session.close()
+
+    def test_healthy_max_is_unaffected(self, bimodal_samples):
+        from repro.runtime import FitReport
+
+        a = LVF2Model.fit(bimodal_samples)
+        report = FitReport()
+        result = statistical_max(a, shift_model(a, 0.05), report=report)
+        assert isinstance(result, LVF2Model)
+        assert report.n_fits == 0

@@ -395,3 +395,119 @@ class TestExportFaultExitCode:
         assert code == 4
         assert "fsync" in capsys.readouterr().err
         assert not out.exists()
+
+
+class TestParallelFlags:
+    def test_workers_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.workers == 1
+        assert args.claim_timeout == 600.0
+        assert args.trace_sample == 1.0
+
+    def test_trace_merge_parses(self):
+        args = build_parser().parse_args(
+            [
+                "trace",
+                "merge",
+                "a.jsonl",
+                "b.jsonl",
+                "-o",
+                "out.jsonl",
+                "--labels",
+                "w00",
+                "w01",
+            ]
+        )
+        assert args.trace_command == "merge"
+        assert args.inputs == ["a.jsonl", "b.jsonl"]
+        assert args.out == "out.jsonl"
+        assert args.labels == ["w00", "w01"]
+
+    def test_parallel_characterize_matches_serial(self, tmp_path, capsys):
+        base = [
+            "characterize",
+            "--cells",
+            "INV",
+            "NAND2",
+            "--grid",
+            "2",
+            "--samples",
+            "64",
+            "--seed",
+            "7",
+        ]
+        serial = tmp_path / "serial.lib"
+        parallel = tmp_path / "parallel.lib"
+        trace = tmp_path / "trace.jsonl"
+        assert main(base + ["--out", str(serial)]) == 0
+        assert (
+            main(
+                base
+                + [
+                    "--out",
+                    str(parallel),
+                    "--workers",
+                    "2",
+                    "--trace",
+                    str(trace),
+                    "--trace-sample",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+        # The per-worker traces were merged into the main trace and
+        # the loose worker files removed.
+        import json
+
+        workers = set()
+        for line in trace.read_text().splitlines():
+            record = json.loads(line)
+            if record.get("type") == "span":
+                workers.add(record.get("tags", {}).get("worker"))
+        assert "main" in workers
+        assert any(w and w.startswith("w") for w in workers)
+        assert not list(tmp_path.glob("trace-*-w??.jsonl"))
+
+    def test_trace_merge_label_mismatch_errors(self, tmp_path, capsys):
+        source = tmp_path / "a.jsonl"
+        source.write_text(
+            '{"type": "span", "span_id": 1, "name": "x", '
+            '"start": 0, "wall": 0, "cpu": 0, "tags": {}, '
+            '"status": "ok"}\n'
+        )
+        code = main(
+            [
+                "trace",
+                "merge",
+                str(source),
+                "-o",
+                str(tmp_path / "out.jsonl"),
+                "--labels",
+                "a",
+                "b",
+            ]
+        )
+        assert code != 0
+        assert "labels" in capsys.readouterr().err
+
+    def test_invalid_trace_sample_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "characterize",
+                "--cells",
+                "INV",
+                "--grid",
+                "2",
+                "--samples",
+                "64",
+                "--trace",
+                str(tmp_path / "t.jsonl"),
+                "--trace-sample",
+                "2.0",
+            ]
+        )
+        assert code != 0
+        assert "sample" in capsys.readouterr().err
