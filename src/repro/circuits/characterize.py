@@ -22,7 +22,11 @@ import numpy as np
 
 from repro.circuits.cells import CellDefinition
 from repro.circuits.gate import ArcSimResult, GateTimingEngine
-from repro.errors import CharacterizationError, FittingError
+from repro.errors import (
+    CharacterizationError,
+    FittingError,
+    ParameterError,
+)
 from repro.liberty.library import Cell as LibCell
 from repro.liberty.library import Library, Pin, TimingArc
 from repro.liberty.lvf2_attrs import LVF2Tables
@@ -36,18 +40,26 @@ from repro.runtime.progress import ProgressReporter
 from repro.runtime.report import FitContext, FitReport
 
 __all__ = [
+    "GRANULARITIES",
     "PAPER_LOADS",
     "PAPER_SLEWS",
     "CharacterizationConfig",
     "ArcCharacterization",
     "arc_checkpoint_token",
     "characterize_arc",
+    "characterization_tokens",
     "characterization_work_items",
     "characterized_arc_to_liberty",
     "characterize_library",
+    "grid_point_token",
     "pin_fit_token",
     "run_fingerprint",
+    "simulate_condition",
 ]
+
+#: Pool work-unit granularities: one item per (cell, pin) or one item
+#: per (cell, pin, edge, slew index, load index).
+GRANULARITIES = ("pin", "grid")
 
 #: Output-load breakpoints (pF) — the exact Fig. 4 axis values.
 PAPER_LOADS = (
@@ -227,6 +239,72 @@ def run_fingerprint(
     return digest.hexdigest()[:16]
 
 
+def simulate_condition(
+    engine: GateTimingEngine,
+    topology,
+    cell_name: str,
+    input_pin: str,
+    transition: str,
+    config: CharacterizationConfig,
+    i: int,
+    j: int,
+) -> tuple[np.ndarray, np.ndarray, float, float]:
+    """Monte-Carlo draw for one (slew, load) grid condition.
+
+    The single shared inner loop of every characterisation path —
+    serial arcs, pin-granularity pool tasks (via
+    :func:`characterize_arc`) and grid-point pool tasks all sample a
+    condition through this function, so the per-condition seed
+    derivation, telemetry and fault-injection hooks fire identically
+    wherever the condition is computed.  That is the grid-decomposition
+    half of the byte-identity argument: per-condition seeds are
+    independent sha256 derivations of ``(seed, arc, i, j)``, so the
+    samples at (i, j) do not depend on which other conditions the same
+    process has already simulated.
+
+    Returns ``(delay_samples, transition_samples, nominal_delay,
+    nominal_transition)``.
+    """
+    started = time.perf_counter()
+    with telemetry.span(
+        "mc.condition",
+        stage="sampling",
+        slew_index=i,
+        load_index=j,
+    ):
+        result: ArcSimResult = engine.simulate_arc(
+            topology,
+            config.slews[i],
+            config.loads[j],
+            config.n_samples,
+            rng=_condition_seed(config.seed, topology.name, i, j),
+            use_lhs=config.use_lhs,
+        )
+    elapsed = time.perf_counter() - started
+    if elapsed > 0.0:
+        telemetry.observe(
+            "mc.samples_per_sec", config.n_samples / elapsed
+        )
+    telemetry.counter_inc("mc.conditions")
+    telemetry.counter_inc("mc.samples", config.n_samples)
+    delay = faults.corrupt_samples(
+        FitContext(cell_name, input_pin, transition, "delay", i, j),
+        result.delay,
+    )
+    transition_samples = faults.corrupt_samples(
+        FitContext(
+            cell_name, input_pin, transition, "transition", i, j
+        ),
+        result.transition,
+    )
+    return (
+        delay,
+        transition_samples,
+        result.nominal_delay,
+        result.nominal_transition,
+    )
+
+
 def characterize_arc(
     engine: GateTimingEngine,
     cell: CellDefinition,
@@ -270,51 +348,23 @@ def characterize_arc(
         pin=input_pin,
         transition=transition,
     ):
-        for i, slew in enumerate(config.slews):
-            for j, load in enumerate(config.loads):
-                started = time.perf_counter()
-                with telemetry.span(
-                    "mc.condition",
-                    stage="sampling",
-                    slew_index=i,
-                    load_index=j,
-                ):
-                    result: ArcSimResult = engine.simulate_arc(
-                        topology,
-                        slew,
-                        load,
-                        config.n_samples,
-                        rng=_condition_seed(
-                            config.seed, topology.name, i, j
-                        ),
-                        use_lhs=config.use_lhs,
-                    )
-                elapsed = time.perf_counter() - started
-                if elapsed > 0.0:
-                    telemetry.observe(
-                        "mc.samples_per_sec", config.n_samples / elapsed
-                    )
-                telemetry.counter_inc("mc.conditions")
-                telemetry.counter_inc("mc.samples", config.n_samples)
-                delay_samples[i, j] = faults.corrupt_samples(
-                    FitContext(
-                        cell.name, input_pin, transition, "delay", i, j
-                    ),
-                    result.delay,
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                (
+                    delay_samples[i, j],
+                    transition_samples[i, j],
+                    nominal_delay[i, j],
+                    nominal_transition[i, j],
+                ) = simulate_condition(
+                    engine,
+                    topology,
+                    cell.name,
+                    input_pin,
+                    transition,
+                    config,
+                    i,
+                    j,
                 )
-                transition_samples[i, j] = faults.corrupt_samples(
-                    FitContext(
-                        cell.name,
-                        input_pin,
-                        transition,
-                        "transition",
-                        i,
-                        j,
-                    ),
-                    result.transition,
-                )
-                nominal_delay[i, j] = result.nominal_delay
-                nominal_transition[i, j] = result.nominal_transition
     characterization = ArcCharacterization(
         cell=cell.name,
         input_pin=input_pin,
@@ -536,6 +586,263 @@ def _characterize_pin_task(
     )
 
 
+def grid_point_token(
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    transition: str,
+    config: CharacterizationConfig,
+    i: int,
+    j: int,
+    *,
+    policy: FitPolicy | None,
+) -> str:
+    """Content token of one grid point's simulate-and-fit payload.
+
+    Derived from the arc's Monte-Carlo token (so any knob that changes
+    a sample changes the key) plus the condition indices and the fit
+    policy.  Unlike :func:`pin_fit_token`, ``isolate_errors`` is *not*
+    part of the key: a grid-point payload records errors instead of
+    acting on them (the parent's assembly step applies the
+    quarantine-vs-raise decision), so the same payload serves both
+    modes.
+    """
+    arc = arc_checkpoint_token(engine, cell, pin_name, transition, config)
+    return f"grid-fit|{arc}|{i}|{j}|{policy!r}"
+
+
+#: Exception types a grid-point payload may carry; assembly re-raises
+#: the original type so serial and grid-parallel runs fail identically.
+_PAYLOAD_ERRORS = {
+    "CharacterizationError": CharacterizationError,
+    "FittingError": FittingError,
+}
+
+
+def _grid_point_task(
+    store: CheckpointStore,
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    transition: str,
+    config: CharacterizationConfig,
+    i: int,
+    j: int,
+    policy: FitPolicy | None,
+) -> dict:
+    """Pool task: simulate and fit one (arc, slew, load) condition.
+
+    Top-level so it pickles under spawn.  When the store already holds
+    the full-arc Monte-Carlo payload (a previous serial or
+    pin-granularity run over the same store), the condition's samples
+    are sliced out of it instead of re-simulated — content addressing
+    makes the slice byte-identical to a fresh draw.
+
+    Deterministic errors are *captured in the payload* rather than
+    raised: a serial run simulates the entire rise and fall grids
+    before fitting anything, so which error surfaces first depends on
+    serial order, not on the order grid points happen to be computed
+    in.  The parent's assembly step replays the serial order over the
+    captured errors and raises (or quarantines) exactly the one a
+    serial run would have hit.
+
+    Returns ``{"sim_error", "nominal_delay", "nominal_transition",
+    "fits"}`` where ``fits[quantity]`` is one of ``{"outcome":
+    FitOutcome}`` (policy path), ``{"model": LVF2Model}`` (bare-fitter
+    path) or ``{"error": (type_name, text)}``.
+    """
+    topology = cell.arc(pin_name, transition)
+    with telemetry.span(
+        "characterize.point",
+        cell=cell.name,
+        pin=pin_name,
+        transition=transition,
+        slew_index=i,
+        load_index=j,
+    ):
+        arc_token = arc_checkpoint_token(
+            engine, cell, pin_name, transition, config
+        )
+        try:
+            cached = (
+                store.load(arc_token)
+                if store is not None and store.contains(arc_token)
+                else None
+            )
+            if cached is not None:
+                delay = cached.delay_samples[i, j]
+                transition_samples = cached.transition_samples[i, j]
+                nominal_delay = float(cached.nominal_delay[i, j])
+                nominal_transition = float(
+                    cached.nominal_transition[i, j]
+                )
+            else:
+                (
+                    delay,
+                    transition_samples,
+                    nominal_delay,
+                    nominal_transition,
+                ) = simulate_condition(
+                    engine,
+                    topology,
+                    cell.name,
+                    pin_name,
+                    transition,
+                    config,
+                    i,
+                    j,
+                )
+        except (CharacterizationError, FittingError) as error:
+            faults.arc_completed()
+            return {
+                "sim_error": (type(error).__name__, str(error)),
+                "nominal_delay": None,
+                "nominal_transition": None,
+                "fits": {},
+            }
+        fits: dict[str, dict] = {}
+        for quantity, samples in (
+            ("delay", delay),
+            ("transition", transition_samples),
+        ):
+            context = FitContext(
+                cell.name, pin_name, transition, quantity, i, j
+            )
+            try:
+                if policy is not None:
+                    fits[quantity] = {
+                        "outcome": policy.fit(samples, context=context)
+                    }
+                else:
+                    with telemetry.span("fit.point", stage="fitting"):
+                        fits[quantity] = {
+                            "model": LVF2Model.fit(samples)
+                        }
+            except (CharacterizationError, FittingError) as error:
+                fits[quantity] = {
+                    "error": (type(error).__name__, str(error))
+                }
+    faults.arc_completed()
+    return {
+        "sim_error": None,
+        "nominal_delay": nominal_delay,
+        "nominal_transition": nominal_transition,
+        "fits": fits,
+    }
+
+
+def _assemble_pin_from_grid(
+    cell: CellDefinition,
+    pin_name: str,
+    config: CharacterizationConfig,
+    points: dict,
+    *,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+) -> dict:
+    """Level-1 assembly: fold grid-point payloads into one pin payload.
+
+    Replays the serial pin path over precomputed per-point results in
+    the exact serial order — simulation errors first (scanning the
+    whole rise grid, then the whole fall grid, row-major, the way
+    :func:`characterize_arc` visits conditions), then fits in Liberty
+    base order (``cell_rise``, ``rise_transition``, ``cell_fall``,
+    ``fall_transition``; slews outer, loads inner).  Fit outcomes are
+    re-recorded into a fresh :class:`FitReport` in that order, so the
+    assembled :class:`TimingArc`, the report records and any
+    quarantine entry are byte-identical to what :func:`_pin_payload`
+    would have produced.
+
+    ``points`` maps ``(transition, i, j)`` to grid-point payloads.
+    Returns the same ``{"arc", "report", "stage", "error"}`` dict as
+    :func:`_pin_payload` (level 2 — per-cell Liberty assembly — is
+    :func:`_characterize_cell`, shared by every path).
+    """
+    local = FitReport()
+    shape = config.grid_shape
+    label = f"{cell.name}/{pin_name}"
+    for transition in ("rise", "fall"):
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                sim_error = points[(transition, i, j)]["sim_error"]
+                if sim_error is None:
+                    continue
+                type_name, text = sim_error
+                if not isolate_errors:
+                    raise _PAYLOAD_ERRORS.get(
+                        type_name, CharacterizationError
+                    )(text)
+                local.quarantine(label, "simulate", text)
+                return {
+                    "arc": None,
+                    "report": local,
+                    "stage": "simulate",
+                    "error": text,
+                }
+    template = config.template()
+    arc = TimingArc(
+        related_pin=pin_name,
+        timing_sense="negative_unate",
+        timing_type="combinational",
+    )
+    quantity_map = (
+        ("cell_rise", "rise", "delay"),
+        ("rise_transition", "rise", "transition"),
+        ("cell_fall", "fall", "delay"),
+        ("fall_transition", "fall", "transition"),
+    )
+    for base, transition, quantity in quantity_map:
+        nominal_grid = np.empty(shape)
+        models = np.empty(shape, dtype=object)
+        for i in range(shape[0]):
+            for j in range(shape[1]):
+                point = points[(transition, i, j)]
+                nominal_grid[i, j] = point[
+                    "nominal_delay"
+                    if quantity == "delay"
+                    else "nominal_transition"
+                ]
+                fit = point["fits"][quantity]
+                error = fit.get("error")
+                if error is not None:
+                    type_name, text = error
+                    if not isolate_errors:
+                        raise _PAYLOAD_ERRORS.get(
+                            type_name, FittingError
+                        )(text)
+                    local.quarantine(label, "fit", text)
+                    return {
+                        "arc": None,
+                        "report": local,
+                        "stage": "fit",
+                        "error": text,
+                    }
+                if policy is not None:
+                    outcome = fit["outcome"]
+                    local.record_fit(
+                        FitContext(
+                            cell.name,
+                            pin_name,
+                            transition,
+                            quantity,
+                            i,
+                            j,
+                        ),
+                        outcome,
+                    )
+                    models[i, j] = outcome.model
+                else:
+                    models[i, j] = fit["model"]
+        nominal = Table(
+            template.name, config.slews, config.loads, nominal_grid
+        )
+        with telemetry.span("liberty.tables", stage="export", table=base):
+            arc.tables[base] = LVF2Tables.from_models(
+                base, nominal, models
+            )
+    return {"arc": arc, "report": local, "stage": None, "error": None}
+
+
 def characterization_work_items(
     engine: GateTimingEngine,
     cells: Sequence[CellDefinition],
@@ -543,17 +850,72 @@ def characterization_work_items(
     *,
     policy: FitPolicy | None = None,
     isolate_errors: bool = False,
+    granularity: str = "pin",
 ) -> tuple[WorkItem, ...]:
-    """Pool work items for a library run: one per (cell, input pin).
+    """Pool work items for a library run, at the chosen granularity.
 
-    Pin-level granularity because fitting — not simulation — dominates
-    the per-arc cost, so workers must carry the fits.  Each item's
-    companions are the two per-edge Monte-Carlo tokens the task writes
-    along the way (claimed together so gc cannot evict them
-    mid-flight, and shared byte-for-byte with serial runs on the same
-    store).
+    ``"pin"`` (default): one item per (cell, input pin) — the whole
+    simulate-both-edges-and-fit payload.  Each item's companions are
+    the two per-edge Monte-Carlo tokens the task writes along the way
+    (claimed together so gc cannot evict them mid-flight, and shared
+    byte-for-byte with serial runs on the same store).
+
+    ``"grid"``: one item per (cell, pin, edge, slew index, load
+    index) — a single condition's simulate-and-fit.  With 8x8 grids a
+    pin is 128 grid points, so this granularity load-balances
+    per-pin-dominated workloads across many cores where pin items
+    would leave workers idle.  Grid items carry no companions (they
+    only *read* a full-arc Monte-Carlo entry if one already exists)
+    and set :attr:`WorkItem.group` to the pin they fold into during
+    two-level assembly.
+
+    Raises:
+        ParameterError: On an unknown granularity.
     """
+    if granularity not in GRANULARITIES:
+        raise ParameterError(
+            f"granularity must be one of {GRANULARITIES}, "
+            f"got {granularity!r}"
+        )
     items = []
+    if granularity == "grid":
+        rows, cols = config.grid_shape
+        for cell in cells:
+            for pin_name in cell.inputs:
+                for transition in ("rise", "fall"):
+                    for i in range(rows):
+                        for j in range(cols):
+                            items.append(
+                                WorkItem(
+                                    token=grid_point_token(
+                                        engine,
+                                        cell,
+                                        pin_name,
+                                        transition,
+                                        config,
+                                        i,
+                                        j,
+                                        policy=policy,
+                                    ),
+                                    label=(
+                                        f"{cell.name}/{pin_name}"
+                                        f"/{transition}[{i},{j}]"
+                                    ),
+                                    task=_grid_point_task,
+                                    args=(
+                                        engine,
+                                        cell,
+                                        pin_name,
+                                        transition,
+                                        config,
+                                        i,
+                                        j,
+                                        policy,
+                                    ),
+                                    group=f"{cell.name}/{pin_name}",
+                                )
+                            )
+        return tuple(items)
     for cell in cells:
         for pin_name in cell.inputs:
             rise = arc_checkpoint_token(
@@ -588,6 +950,62 @@ def characterization_work_items(
     return tuple(items)
 
 
+def _assemble_pin_from_store(
+    reader: CheckpointStore,
+    engine: GateTimingEngine,
+    cell: CellDefinition,
+    pin_name: str,
+    config: CharacterizationConfig,
+    *,
+    policy: FitPolicy | None,
+    isolate_errors: bool,
+) -> dict:
+    """Load one pin's grid-point payloads and fold them into a pin
+    payload (level 1 of the two-level assembly)."""
+    rows, cols = config.grid_shape
+    points: dict = {}
+    for transition in ("rise", "fall"):
+        for i in range(rows):
+            for j in range(cols):
+                token = grid_point_token(
+                    engine,
+                    cell,
+                    pin_name,
+                    transition,
+                    config,
+                    i,
+                    j,
+                    policy=policy,
+                )
+                point = reader.load(token)
+                if point is None:  # pragma: no cover - defensive
+                    point = _grid_point_task(
+                        reader,
+                        engine,
+                        cell,
+                        pin_name,
+                        transition,
+                        config,
+                        i,
+                        j,
+                        policy,
+                    )
+                points[(transition, i, j)] = point
+    with telemetry.span(
+        "pool.assemble",
+        label=f"{cell.name}/{pin_name}",
+        n_points=len(points),
+    ):
+        return _assemble_pin_from_grid(
+            cell,
+            pin_name,
+            config,
+            points,
+            policy=policy,
+            isolate_errors=isolate_errors,
+        )
+
+
 def _parallel_supplier(
     engine: GateTimingEngine,
     cells: Sequence[CellDefinition],
@@ -598,9 +1016,15 @@ def _parallel_supplier(
     isolate_errors: bool,
     workers: int,
     pool,
+    granularity: str = "pin",
 ):
     """Run the worker pool, pre-load every pin payload, hand back a
     ``supplier(cell, pin) -> payload`` for serial-order assembly.
+
+    At ``"grid"`` granularity the pre-load step *is* level 1 of the
+    two-level assembly: each pin's grid-point payloads are folded into
+    a pin payload here, in serial order, before the per-cell Liberty
+    assembly (level 2) consumes them.
 
     Without a caller-provided store the pool runs over a temporary
     directory removed before assembly starts (payloads are held in
@@ -614,6 +1038,7 @@ def _parallel_supplier(
         config,
         policy=policy,
         isolate_errors=isolate_errors,
+        granularity=granularity,
     )
     temp_dir = None
     store = checkpoint
@@ -633,25 +1058,36 @@ def _parallel_supplier(
         payloads: dict[tuple[str, str], dict] = {}
         for cell in cells:
             for pin_name in cell.inputs:
-                token = pin_fit_token(
-                    engine,
-                    cell,
-                    pin_name,
-                    config,
-                    policy=policy,
-                    isolate_errors=isolate_errors,
-                )
-                payload = reader.load(token)
-                if payload is None:  # pragma: no cover - defensive
-                    payload = _pin_payload(
+                if granularity == "grid":
+                    payload = _assemble_pin_from_store(
+                        reader,
                         engine,
                         cell,
                         pin_name,
                         config,
-                        checkpoint=reader,
                         policy=policy,
                         isolate_errors=isolate_errors,
                     )
+                else:
+                    token = pin_fit_token(
+                        engine,
+                        cell,
+                        pin_name,
+                        config,
+                        policy=policy,
+                        isolate_errors=isolate_errors,
+                    )
+                    payload = reader.load(token)
+                    if payload is None:  # pragma: no cover - defensive
+                        payload = _pin_payload(
+                            engine,
+                            cell,
+                            pin_name,
+                            config,
+                            checkpoint=reader,
+                            policy=policy,
+                            isolate_errors=isolate_errors,
+                        )
                 payloads[(cell.name, pin_name)] = payload
     finally:
         if temp_dir is not None:
@@ -661,6 +1097,59 @@ def _parallel_supplier(
         return payloads[(cell.name, pin_name)]
 
     return supplier
+
+
+def characterization_tokens(
+    engine: GateTimingEngine,
+    cells: Sequence[CellDefinition],
+    config: CharacterizationConfig,
+    *,
+    policy: FitPolicy | None = None,
+    isolate_errors: bool = False,
+) -> tuple[str, ...]:
+    """Every token a run of this configuration can read or write.
+
+    The full valid set for :meth:`CheckpointStore.gc`: per-edge
+    Monte-Carlo tokens, per-pin fit tokens and per-grid-point fit
+    tokens.  Collecting against arc tokens alone would evict the pin-
+    and grid-level payloads a pool run left behind, forcing the next
+    resume to re-fit everything.
+    """
+    rows, cols = config.grid_shape
+    tokens: list[str] = []
+    for cell in cells:
+        for pin_name in cell.inputs:
+            tokens.append(
+                pin_fit_token(
+                    engine,
+                    cell,
+                    pin_name,
+                    config,
+                    policy=policy,
+                    isolate_errors=isolate_errors,
+                )
+            )
+            for transition in ("rise", "fall"):
+                tokens.append(
+                    arc_checkpoint_token(
+                        engine, cell, pin_name, transition, config
+                    )
+                )
+                for i in range(rows):
+                    for j in range(cols):
+                        tokens.append(
+                            grid_point_token(
+                                engine,
+                                cell,
+                                pin_name,
+                                transition,
+                                config,
+                                i,
+                                j,
+                                policy=policy,
+                            )
+                        )
+    return tuple(tokens)
 
 
 def characterize_library(
@@ -676,6 +1165,7 @@ def characterize_library(
     progress: ProgressReporter | None = None,
     workers: int = 1,
     pool=None,
+    granularity: str = "pin",
 ) -> Library:
     """Characterise a cell list into a complete LVF2 Liberty library.
 
@@ -701,7 +1191,17 @@ def characterize_library(
         pool: Optional :class:`~repro.runtime.pool.PoolConfig`
             overriding the derived pool settings (implies parallel
             even when ``workers`` is 1).
+        granularity: Parallel work-unit size, ``"pin"`` (default) or
+            ``"grid"`` (one claimable item per grid condition; see
+            :func:`characterization_work_items`).  Serial runs ignore
+            it beyond validation — and every granularity/worker-count
+            combination produces byte-identical output.
     """
+    if granularity not in GRANULARITIES:
+        raise ParameterError(
+            f"granularity must be one of {GRANULARITIES}, "
+            f"got {granularity!r}"
+        )
     reporter = progress or ProgressReporter(enabled=False)
     template = config.template()
     library = Library(
@@ -726,6 +1226,7 @@ def characterize_library(
             isolate_errors=isolate_errors,
             workers=workers,
             pool=pool,
+            granularity=granularity,
         )
     else:
 

@@ -124,21 +124,26 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_checkpoint_gc(args, store, engine, cells, config) -> None:
+def _run_checkpoint_gc(
+    args, store, engine, cells, config, *, policy, isolate_errors
+) -> None:
     """Drop checkpoint entries orphaned by the current configuration."""
-    from repro.circuits.characterize import arc_checkpoint_token
+    from repro.circuits.characterize import characterization_tokens
 
     if store is None:
         raise ParameterError(
             "--checkpoint-gc/--checkpoint-max-age/--checkpoint-max-bytes "
             "require --checkpoint-dir pointing at the store to collect"
         )
-    tokens = [
-        arc_checkpoint_token(engine, cell, pin, transition, config)
-        for cell in cells
-        for pin in cell.inputs
-        for transition in ("rise", "fall")
-    ]
+    # The full valid set — arc Monte-Carlo, per-pin fit and per-grid-
+    # point fit tokens — so payloads a pool run left behind survive gc.
+    tokens = characterization_tokens(
+        engine,
+        cells,
+        config,
+        policy=policy,
+        isolate_errors=isolate_errors,
+    )
     max_age = (
         args.checkpoint_max_age * 3600.0
         if args.checkpoint_max_age is not None
@@ -184,13 +189,23 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     cells = [build_cell(name, args.drive) for name in args.cells]
+    policy = None if args.no_fallback else FitPolicy()
+    isolate_errors = not args.no_fallback
     store = _checkpoint_store(args)
     if (
         args.checkpoint_gc
         or args.checkpoint_max_age is not None
         or args.checkpoint_max_bytes is not None
     ):
-        _run_checkpoint_gc(args, store, engine, cells, config)
+        _run_checkpoint_gc(
+            args,
+            store,
+            engine,
+            cells,
+            config,
+            policy=policy,
+            isolate_errors=isolate_errors,
+        )
 
     session = None
     if args.trace or args.metrics or args.manifest:
@@ -233,12 +248,13 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 cells,
                 config,
                 checkpoint=store,
-                policy=None if args.no_fallback else FitPolicy(),
+                policy=policy,
                 report=report,
-                isolate_errors=not args.no_fallback,
+                isolate_errors=isolate_errors,
                 progress=ProgressReporter(enabled=args.progress),
                 workers=args.workers,
                 pool=pool_config,
+                granularity=args.granularity,
             )
             text = library.to_text()
             if args.out:
@@ -256,6 +272,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 config_hash=run_fingerprint(engine, cells, config),
                 seed=args.seed,
                 workers=args.workers,
+                granularity=args.granularity,
                 n_samples=args.samples,
                 grid=[grid, grid],
                 cells=list(args.cells),
@@ -512,10 +529,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if not args.quiet:
         configure_progress_logging()
+    pool_config = None
+    if args.workers > 1:
+        from repro.runtime.pool import PoolConfig
+
+        pool_config = PoolConfig(
+            n_workers=args.workers,
+            claim_timeout=args.claim_timeout,
+        )
     suite = run_all(
         scenario_samples=args.samples,
         progress=not args.quiet,
         checkpoint=_checkpoint_store(args),
+        workers=args.workers,
+        pool=pool_config,
+        granularity=args.granularity,
     )
     print(suite.to_text())
     return 0
@@ -636,6 +664,15 @@ def build_parser() -> argparse.ArgumentParser:
         "dead worker's claim is reclaimed",
     )
     characterize.add_argument(
+        "--granularity",
+        choices=("pin", "grid"),
+        default="pin",
+        help="with --workers: work-unit size — 'pin' (one claim per "
+        "cell/pin payload) or 'grid' (one claim per slew-load grid "
+        "point; load-balances per-pin-dominated workloads); output "
+        "is byte-identical either way",
+    )
+    characterize.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -695,6 +732,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="reuse completed arcs from --checkpoint-dir",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="split the Table 2 library sweep across N worker "
+        "processes (output is identical to a serial run)",
+    )
+    bench.add_argument(
+        "--claim-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="with --workers: seconds without a heartbeat before a "
+        "dead worker's claim is reclaimed",
+    )
+    bench.add_argument(
+        "--granularity",
+        choices=("pin", "grid"),
+        default="pin",
+        help="with --workers: pool work-unit size for the Table 2 "
+        "sweep (see characterize --granularity)",
     )
 
     trace = sub.add_parser(

@@ -57,6 +57,9 @@ def run_all(
     table2_config: Table2Config | None = None,
     progress: bool = False,
     checkpoint: CheckpointStore | None = None,
+    workers: int = 1,
+    pool=None,
+    granularity: str = "pin",
 ) -> ExperimentSuite:
     """Execute every experiment of the paper's evaluation section.
 
@@ -66,27 +69,42 @@ def run_all(
         progress: Log per-experiment progress lines.
         checkpoint: Optional checkpoint store forwarded to the Table 2
             library sweep so a killed bench run resumes mid-sweep.
+        workers: Worker-process count for the Table 2 library sweep —
+            the only experiment heavy enough to pool; its result is
+            byte-identical to a serial sweep.
+        pool: Optional :class:`~repro.runtime.pool.PoolConfig`
+            override forwarded to the Table 2 sweep.
+        granularity: Pool work-unit size for the Table 2 sweep,
+            ``"pin"`` or ``"grid"``.
     """
+    # The tag is ``experiment=...`` (not ``name=...``) because
+    # ``telemetry.span(name, **tags)`` reserves ``name`` for the span
+    # itself.
     reporter = ProgressReporter.from_flag(progress)
     reporter.info("fig3: scenario fits ...")
-    with telemetry.span("experiment", name="fig3"):
+    with telemetry.span("experiment", experiment="fig3"):
         fig3 = run_fig3(scenario_samples)
     reporter.info("table1: scenario binning ...")
-    with telemetry.span("experiment", name="table1"):
+    with telemetry.span("experiment", experiment="table1"):
         table1 = run_table1(scenario_samples)
     reporter.info("table2: library assessment ...")
-    with telemetry.span("experiment", name="table2"):
+    with telemetry.span("experiment", experiment="table2"):
         table2 = run_table2(
-            table2_config, progress=progress, checkpoint=checkpoint
+            table2_config,
+            progress=progress,
+            checkpoint=checkpoint,
+            workers=workers,
+            pool=pool,
+            granularity=granularity,
         )
     reporter.info("fig4: accuracy pattern ...")
-    with telemetry.span("experiment", name="fig4"):
+    with telemetry.span("experiment", experiment="fig4"):
         fig4 = run_fig4()
     reporter.info("fig5: path propagation ...")
-    with telemetry.span("experiment", name="fig5"):
+    with telemetry.span("experiment", experiment="fig5"):
         fig5 = run_fig5()
     reporter.info("clt: convergence ...")
-    with telemetry.span("experiment", name="clt"):
+    with telemetry.span("experiment", experiment="clt"):
         clt = run_clt_convergence()
     return ExperimentSuite(
         fig3=fig3,

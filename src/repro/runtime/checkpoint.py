@@ -71,6 +71,17 @@ class CheckpointStore:
         """Whether a checkpoint for ``token`` exists on disk."""
         return self.path_for(token).exists()
 
+    def missing(self, tokens: Iterable[str]) -> tuple[str, ...]:
+        """The given tokens that have no checkpoint on disk yet.
+
+        Order-preserving, so callers (pool respawn accounting, the
+        parent sweep's completeness check) see missing work in the
+        same serial order the items were generated in.
+        """
+        return tuple(
+            token for token in tokens if not self.contains(token)
+        )
+
     def load(self, token: str) -> Any | None:
         """Load the payload for ``token``; None on miss (or fresh run).
 

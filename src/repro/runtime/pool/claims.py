@@ -161,6 +161,24 @@ class ClaimStore:
         info = self._read_path(self.key_path(key))
         return info if self.is_live(info) else None
 
+    def scan(self, *, live_only: bool = False) -> tuple[ClaimInfo, ...]:
+        """Decode every claim file in the directory, sorted by key.
+
+        With ``live_only`` the stale/dead ones are filtered out —
+        tests and post-run audits use this to assert that a completed
+        pool left no claim debris behind (beyond deliberately injected
+        kills).
+        """
+        infos = []
+        for path in sorted(self.directory.glob("*.claim")):
+            info = self._read_path(path)
+            if info is None:
+                continue
+            if live_only and not self.is_live(info):
+                continue
+            infos.append(info)
+        return tuple(infos)
+
     # ------------------------------------------------------------------
     # Acquire / heartbeat / release
     # ------------------------------------------------------------------

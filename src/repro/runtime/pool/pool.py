@@ -312,8 +312,8 @@ def run_pool(
                 code in _RETRYABLE_CODES or code < 0
                 for code in all_codes
             )
-            and not all(
-                pool_store.contains(item.token) for item in sequence
+            and pool_store.missing(
+                item.token for item in sequence
             )
         ):
             round_index += 1
@@ -329,10 +329,9 @@ def run_pool(
         )
         result.parent_computed = computed
         result.reclaimed = reclaimed
+    absent = set(pool_store.missing(item.token for item in sequence))
     missing = [
-        item.label
-        for item in sequence
-        if not pool_store.contains(item.token)
+        item.label for item in sequence if item.token in absent
     ]
     if missing:  # pragma: no cover - the sweep computes in-parent
         raise CharacterizationError(
@@ -346,6 +345,9 @@ def run_pool(
     result.worker_traces = tuple(all_traces)
 
     telemetry.gauge_set("pool.workers", config.n_workers)
+    groups = {item.group for item in sequence if item.group}
+    if groups:
+        telemetry.gauge_set("pool.groups", len(groups))
     telemetry.counter_inc("pool.items", len(sequence))
     telemetry.counter_inc("pool.parent_computed", computed)
     telemetry.counter_inc("pool.reclaimed", reclaimed)

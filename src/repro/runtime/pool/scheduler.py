@@ -41,6 +41,12 @@ class WorkItem:
         args: Positional arguments (must pickle under spawn).
         companions: Additional tokens the task writes (e.g. per-arc
             Monte-Carlo checkpoints); claimed alongside ``token``.
+        group: Assembly-group label for sub-pin work units — the
+            per-pin LUT a grid-point payload folds into during the
+            parent's two-level assembly.  Empty when the item is its
+            own assembly unit (pin granularity).  Scheduling ignores
+            it; journals and spans record it so a merged trace can be
+            grouped back into pins.
     """
 
     token: str
@@ -48,6 +54,7 @@ class WorkItem:
     task: Callable[..., object]
     args: tuple = ()
     companions: tuple[str, ...] = field(default=())
+    group: str = ""
 
     @property
     def key(self) -> str:
@@ -70,17 +77,21 @@ def shards(
     """Partition items into per-worker shards by content key.
 
     Raises:
-        ParameterError: On duplicate item tokens — two items mapping
-            to the same checkpoint key would race each other's payload.
+        ParameterError: On duplicate content keys — two items mapping
+            to the same checkpoint key would race each other's claim
+            and payload.  (Keys are sha256 of the token, so in
+            practice this means duplicate tokens.)
     """
     sequence = tuple(items)
-    seen: set[str] = set()
+    seen: dict[str, str] = {}
     for item in sequence:
-        if item.token in seen:
+        other = seen.get(item.key)
+        if other is not None:
             raise ParameterError(
-                f"duplicate work-item token for {item.label!r}"
+                f"duplicate work-item content key: {item.label!r} "
+                f"collides with {other!r}"
             )
-        seen.add(item.token)
+        seen[item.key] = item.label
     buckets: list[list[WorkItem]] = [[] for _ in range(n_workers)]
     for item in sequence:
         buckets[shard_of(item, n_workers)].append(item)

@@ -116,9 +116,15 @@ def execute_item(
             # Re-check after winning the claim: the previous owner may
             # have finished the payload before abandoning the claim.
             if not store.contains(item.token):
-                with telemetry.span("pool.item", label=item.label):
+                tags: dict[str, object] = {"label": item.label}
+                if item.group:
+                    tags["group"] = item.group
+                with telemetry.span("pool.item", **tags):
                     payload = item.task(store, *item.args)
                 store.save(item.token, payload)
+                record: dict[str, object] = {}
+                if item.group:
+                    record["group"] = item.group
                 journal.append(
                     "task",
                     key=item.key,
@@ -126,6 +132,7 @@ def execute_item(
                     worker=worker,
                     host=socket.gethostname(),
                     pid=os.getpid(),
+                    **record,
                 )
                 telemetry.counter_inc("pool.items_computed")
     except InjectedKill:

@@ -67,6 +67,7 @@ NEVER_SAMPLED = frozenset(
         "pool.run",
         "pool.worker",
         "pool.item",
+        "pool.assemble",
         "ssta.propagate",
         "experiment.table2",
     }
@@ -82,12 +83,15 @@ class TelemetrySession:
         run_id: Short stable id tagging this session's records.
         sample: Sink-side span sampling rate in ``(0, 1]``.  At 1.0
             (default) every span record reaches the sinks.  Below 1.0,
-            high-frequency ``ok`` spans are downsampled per span name
-            (every ``round(1/sample)``-th occurrence kept); spans named
-            in :data:`NEVER_SAMPLED` and spans whose status is not
-            ``ok`` always pass.  Sampling is sink-side only: the
-            in-memory tracer keeps every span, so stage totals and
-            manifests stay exact.
+            ``ok`` spans are downsampled **rate-adaptively per span
+            name**: every name's first ``round(1/sample)`` occurrences
+            always pass (so a rare span name is never thinned — only
+            names frequent enough to fill a whole stride window get
+            downsampled), after which every ``round(1/sample)``-th
+            occurrence is kept.  Spans named in :data:`NEVER_SAMPLED`
+            and spans whose status is not ``ok`` always pass.
+            Sampling is sink-side only: the in-memory tracer keeps
+            every span, so stage totals and manifests stay exact.
     """
 
     def __init__(
@@ -138,6 +142,11 @@ class TelemetrySession:
         with self._sample_lock:
             count = self._span_counts.get(record.name, 0)
             self._span_counts[record.name] = count + 1
+        if count < self._stride:
+            # Rate-adaptive grace window: a name must repeat beyond a
+            # full stride before thinning starts, so span names too
+            # rare to fill one window reach the sinks in full.
+            return False
         return count % self._stride != 0
 
     def emit(self, record: dict) -> None:

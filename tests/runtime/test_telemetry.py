@@ -384,14 +384,42 @@ class TestSpanSampling:
         assert len(records) == 10
         session.close()
 
-    def test_half_rate_keeps_every_other_span(self):
+    def test_half_rate_thins_after_the_grace_window(self):
         session, records = self.collect(0.5)
         with telemetry.activate(session):
             for _ in range(10):
                 with telemetry.span("mc.condition"):
                     pass
         spans = [r for r in records if r["type"] == "span"]
-        assert len(spans) == 5
+        # stride 2: occurrences 0-1 pass on the rate-adaptive grace
+        # window, then every other one (2, 4, 6, 8) — 6 of 10.
+        assert len(spans) == 6
+        session.close()
+
+    def test_rare_span_names_are_never_thinned(self):
+        # Skewed distribution: one hot name, several rare ones.  The
+        # rare names must reach the sink in full at any rate, while
+        # the hot name is downsampled to roughly the requested rate.
+        session, records = self.collect(0.1)
+        rare_names = [f"rare.{index}" for index in range(4)]
+        with telemetry.activate(session):
+            for index in range(1000):
+                with telemetry.span("mc.condition"):
+                    pass
+                if index % 250 == 0:
+                    for name in rare_names:
+                        with telemetry.span(name):
+                            pass
+        by_name: dict[str, int] = {}
+        for record in records:
+            if record["type"] == "span":
+                by_name[record["name"]] = (
+                    by_name.get(record["name"], 0) + 1
+                )
+        for name in rare_names:
+            assert by_name[name] == 4  # fewer than the stride: all kept
+        # Hot name: 10-span grace window + every 10th afterwards.
+        assert by_name["mc.condition"] == 10 + 99
         session.close()
 
     def test_never_sampled_names_always_pass(self):
@@ -441,7 +469,9 @@ class TestSpanSampling:
                 with telemetry.span("mc.condition"):
                     pass
         snapshot = session.metrics.snapshot()
-        assert snapshot["counters"]["telemetry.spans_sampled_out"] == 5
+        # 10 spans at stride 2: 6 kept (grace window + every other),
+        # 4 sampled out.
+        assert snapshot["counters"]["telemetry.spans_sampled_out"] == 4
         session.close()
 
     def test_rate_out_of_range_rejected(self):

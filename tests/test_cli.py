@@ -511,3 +511,108 @@ class TestParallelFlags:
         )
         assert code != 0
         assert "sample" in capsys.readouterr().err
+
+    def test_granularity_flags_parse_with_defaults(self):
+        for command in ("characterize", "bench"):
+            args = build_parser().parse_args([command])
+            assert args.granularity == "pin"
+            assert args.workers == 1
+            assert args.claim_timeout == 600.0
+            args = build_parser().parse_args(
+                [command, "--granularity", "grid"]
+            )
+            assert args.granularity == "grid"
+
+    def test_grid_granularity_characterize_matches_serial(
+        self, tmp_path, capsys
+    ):
+        base = [
+            "characterize",
+            "--cells",
+            "INV",
+            "NAND2",
+            "--grid",
+            "2",
+            "--samples",
+            "64",
+            "--seed",
+            "7",
+        ]
+        serial = tmp_path / "serial.lib"
+        grid = tmp_path / "grid.lib"
+        assert main(base + ["--out", str(serial)]) == 0
+        assert (
+            main(
+                base
+                + [
+                    "--out",
+                    str(grid),
+                    "--workers",
+                    "2",
+                    "--granularity",
+                    "grid",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert serial.read_bytes() == grid.read_bytes()
+
+
+class _StubExperiment:
+    """Cheap stand-in for the experiments the bench test skips."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def to_text(self):
+        return f"[{self.name} stub]"
+
+
+class TestBenchParallel:
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        # Keep only the Table 2 sweep real (that is the experiment
+        # the pool flags actually route through) and shrink it; the
+        # other five experiments become text stubs so the three bench
+        # runs below stay fast.
+        from repro.experiments import runner, table2
+
+        for name in (
+            "run_fig3",
+            "run_table1",
+            "run_fig4",
+            "run_fig5",
+            "run_clt_convergence",
+        ):
+            stub = name.removeprefix("run_")
+            monkeypatch.setattr(
+                runner, name, lambda *a, _s=stub, **k: _StubExperiment(_s)
+            )
+        tiny = table2.Table2Config(
+            cell_types=("INV",),
+            drives=(1.0,),
+            n_samples=64,
+            slews=(0.01, 0.05),
+            loads=(0.01, 0.1),
+            max_arcs_per_cell=1,
+            seed=7,
+        )
+        monkeypatch.setattr(
+            table2.Table2Config, "auto", classmethod(lambda cls: tiny)
+        )
+
+    def test_parallel_bench_output_matches_serial(
+        self, tiny_suite, capsys
+    ):
+        def bench(extra=()):
+            assert main(["bench", "--quiet", *extra]) == 0
+            return capsys.readouterr().out
+
+        serial = bench()
+        assert "[fig3 stub]" in serial
+        assert "Table 2" in serial
+        assert bench(["--workers", "2"]) == serial
+        assert (
+            bench(["--workers", "2", "--granularity", "grid"]) == serial
+        )
