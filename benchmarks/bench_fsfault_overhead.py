@@ -1,0 +1,218 @@
+"""FS-seam overhead: characterisation cost of the fsfaults layer.
+
+Every checkpoint, claim, journal and export access now routes through
+the :mod:`repro.runtime.fsfaults` seam (retry wrapper + fault hooks).
+With no plan active the hooks are cheap early-outs, but "cheap" is a
+claim this benchmark measures rather than assumes:
+
+1. **seam microbench** — raw checkpoint save/load round-trips per
+   second through the seam, with no plan, with an inactive plan (rules
+   that never match), and with a firing plan (every read retried
+   once);
+2. **end-to-end** — a small library characterisation with a
+   checkpoint store, clean vs. under a bounded fault storm, verifying
+   the storm run's output is byte-identical to the clean one.
+
+Timings are *recorded, not asserted* (CI containers are noisy); the
+byte-identity check is the hard gate, exactly as in
+``bench_parallel_scaling``.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_fsfault_overhead.py
+
+Exits non-zero only when the fault-storm run's output diverges from
+the clean run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROUND_TRIPS = 300
+PAYLOAD_FLOATS = 512
+GRID = 2
+SAMPLES = 128
+
+
+def _store_round_trips(directory: Path, label: str) -> float:
+    """Save/load round-trips per second under the current plan."""
+    from repro.runtime.checkpoint import CheckpointStore
+
+    store = CheckpointStore(directory / label, reuse=True)
+    payload = {"grid": [float(index) for index in range(PAYLOAD_FLOATS)]}
+    start = time.perf_counter()
+    for index in range(ROUND_TRIPS):
+        token = f"bench|{label}|{index}"
+        store.save(token, payload)
+        assert store.load(token) is not None
+    elapsed = time.perf_counter() - start
+    return ROUND_TRIPS / elapsed if elapsed > 0 else float("inf")
+
+
+def _microbench(directory: Path) -> None:
+    from repro.runtime.fsfaults import (
+        FsFaultPlan,
+        FsFaultRule,
+        RetryPolicy,
+        inject_fs,
+        use_retry_policy,
+    )
+
+    print(
+        f"seam microbench: {ROUND_TRIPS} checkpoint save/load "
+        f"round-trips, {PAYLOAD_FLOATS}-float payload"
+    )
+    baseline = _store_round_trips(directory, "no-plan")
+    print(f"  no plan          {baseline:9.1f} round-trips/s")
+
+    idle_plan = FsFaultPlan(
+        rules=(
+            FsFaultRule(
+                kind="read_error", path_glob="never-matches-*"
+            ),
+        )
+    )
+    with inject_fs(idle_plan):
+        idle = _store_round_trips(directory, "idle-plan")
+    overhead = (baseline / idle - 1.0) * 100.0 if idle > 0 else 0.0
+    print(
+        f"  idle plan        {idle:9.1f} round-trips/s  "
+        f"(overhead {overhead:+.1f}%)"
+    )
+
+    firing_plan = FsFaultPlan(
+        rules=(
+            FsFaultRule(
+                kind="read_error",
+                op="checkpoint.read",
+                times=1,
+            ),
+        )
+    )
+    with (
+        inject_fs(firing_plan),
+        use_retry_policy(RetryPolicy(retries=2, backoff=0.0)),
+    ):
+        firing = _store_round_trips(directory, "firing-plan")
+    print(
+        f"  firing plan      {firing:9.1f} round-trips/s  "
+        f"(every first read retried once, zero backoff)"
+    )
+
+
+def _characterize(checkpoint_dir: Path) -> tuple[str, str, float]:
+    from repro.circuits import (
+        CharacterizationConfig,
+        GateTimingEngine,
+        TT_GLOBAL_LOCAL_MC,
+        build_cell,
+        characterize_library,
+    )
+    from repro.circuits.characterize import PAPER_LOADS, PAPER_SLEWS
+    from repro.runtime import FitPolicy, FitReport
+    from repro.runtime.checkpoint import CheckpointStore
+
+    engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
+    cells = [build_cell("INV", 1.0), build_cell("NAND2", 1.0)]
+    config = CharacterizationConfig(
+        slews=PAPER_SLEWS[:GRID],
+        loads=PAPER_LOADS[:GRID],
+        n_samples=SAMPLES,
+        seed=7,
+    )
+    report = FitReport()
+    start = time.perf_counter()
+    library = characterize_library(
+        engine,
+        cells,
+        config,
+        policy=FitPolicy(),
+        report=report,
+        isolate_errors=True,
+        checkpoint=CheckpointStore(checkpoint_dir, reuse=True),
+    )
+    elapsed = time.perf_counter() - start
+    return (
+        library.to_text(),
+        json.dumps(report.to_dict(), sort_keys=True),
+        elapsed,
+    )
+
+
+def _end_to_end(directory: Path) -> bool:
+    """Clean vs. fault-storm characterisation; True when diverged."""
+    from repro.runtime.fsfaults import (
+        FsFaultPlan,
+        FsFaultRule,
+        RetryPolicy,
+        inject_fs,
+        use_retry_policy,
+    )
+
+    print(
+        f"end-to-end: 2 cells, {GRID}x{GRID} grid, {SAMPLES} samples, "
+        f"checkpointed"
+    )
+    clean_lib, clean_report, clean_time = _characterize(
+        directory / "clean-store"
+    )
+    print(f"  clean            wall={clean_time:8.3f}s")
+
+    storm = FsFaultPlan(
+        rules=(
+            FsFaultRule(
+                kind="torn_write",
+                op="checkpoint.write",
+                times=None,
+                keep_fraction=0.5,
+            ),
+            FsFaultRule(
+                kind="read_error",
+                op="checkpoint.read",
+                times=1,
+                probability=0.5,
+            ),
+            FsFaultRule(kind="hidden_entry", op="checkpoint.exists"),
+        )
+    )
+    with (
+        inject_fs(storm),
+        use_retry_policy(RetryPolicy(retries=2, backoff=0.0)),
+    ):
+        storm_lib, storm_report, storm_time = _characterize(
+            directory / "storm-store"
+        )
+    identical = (
+        storm_lib == clean_lib and storm_report == clean_report
+    )
+    slowdown = storm_time / clean_time if clean_time > 0 else 1.0
+    print(
+        f"  fault storm      wall={storm_time:8.3f}s  "
+        f"slowdown={slowdown:5.2f}x  "
+        f"faults fired={storm.total_fired()}  "
+        f"byte-identical={'yes' if identical else 'NO'}"
+    )
+    return not identical
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        _microbench(directory)
+        failed = _end_to_end(directory)
+    if failed:
+        print(
+            "FAIL: the fault-storm run diverged from the clean output",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,9 @@ Numerical safety
 Parallel readiness (``repro.runtime`` and the write path)
     ``PAR001`` — module-level mutable containers in ``repro/runtime``;
     ``PAR002`` — write-mode ``open()`` / ``Path.write_text`` outside
-    the atomic :mod:`repro.runtime.export` / telemetry sink modules;
+    the atomic :mod:`repro.runtime.export` / telemetry sink modules
+    (calls through the :mod:`repro.runtime.fsfaults` seam are the
+    sanctioned path and never match);
     ``PAR003`` — ``global`` rebinding inside ``repro/runtime``
     functions (the sites a worker protocol must revisit).
 
@@ -284,7 +286,9 @@ class _FileLinter(ast.NodeVisitor):
                 and mode.value in self._WRITE_MODES
             )
         elif name[-1] in ("write_text", "write_bytes") and len(name) > 1:
-            bypass = True
+            # Calls routed through the retrying FS seam are the
+            # sanctioned write path, not a Path method bypassing it.
+            bypass = name[-2] != "fsfaults"
         elif name[-1] == "open" and len(name) > 1:
             # Path.open("w") method form.
             mode = node.args[0] if node.args else None

@@ -175,11 +175,16 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         run_fingerprint,
     )
     from repro.runtime import FitPolicy, FitReport, ProgressReporter
-    from repro.runtime import telemetry
+    from repro.runtime import fsfaults, telemetry
     from repro.runtime.export import write_text_file
     from repro.runtime.progress import configure_progress_logging
 
     configure_progress_logging()
+    fsfaults.set_retry_policy(
+        fsfaults.RetryPolicy(
+            retries=args.fs_retries, backoff=args.fs_backoff
+        )
+    )
     engine = GateTimingEngine(corner=TT_GLOBAL_LOCAL_MC)
     grid = args.grid
     config = CharacterizationConfig(
@@ -229,6 +234,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         pool_config = PoolConfig(
             n_workers=args.workers,
             claim_timeout=args.claim_timeout,
+            claim_skew=args.claim_skew,
+            fs_retry=fsfaults.retry_policy(),
             seed=args.seed,
             run_id=session.run_id if session is not None else None,
             trace_dir=trace_dir,
@@ -671,6 +678,32 @@ def build_parser() -> argparse.ArgumentParser:
         "cell/pin payload) or 'grid' (one claim per slew-load grid "
         "point; load-balances per-pin-dominated workloads); output "
         "is byte-identical either way",
+    )
+    characterize.add_argument(
+        "--claim-skew",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --workers: extra cross-host clock skew tolerated "
+        "on top of --claim-timeout before a claim is judged stale "
+        "(NFS mtimes come from the server's clock)",
+    )
+    characterize.add_argument(
+        "--fs-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts after a transient filesystem error "
+        "(EIO/ESTALE/ENOSPC) on checkpoint, claim, journal and "
+        "export I/O before giving up",
+    )
+    characterize.add_argument(
+        "--fs-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base delay before the first filesystem retry; doubles "
+        "per retry",
     )
     characterize.add_argument(
         "--trace",

@@ -12,6 +12,10 @@ drivers survivable, observable and testable under failure:
 - :mod:`repro.runtime.faults`     — deterministic fault injection
   (NaN samples, forced EM non-convergence, mid-run kills, truncated
   or fsync-failing Liberty exports);
+- :mod:`repro.runtime.fsfaults`   — flaky-filesystem fault model and
+  the retrying FS-access seam the checkpoint/claim/journal/export
+  layers route through (transient EIO/ESTALE/ENOSPC, torn writes,
+  stale listings, clock-skewed mtimes);
 - :mod:`repro.runtime.export`     — verified atomic text export;
 - :mod:`repro.runtime.progress`   — logging-based progress reporting;
 - :mod:`repro.runtime.telemetry`  — hierarchical tracing, metrics
@@ -49,6 +53,10 @@ _EXPORTS = MappingProxyType({
     "FaultRule": "repro.runtime.faults",
     "InjectedKill": "repro.runtime.faults",
     "inject": "repro.runtime.faults",
+    "FsFaultPlan": "repro.runtime.fsfaults",
+    "FsFaultRule": "repro.runtime.fsfaults",
+    "RetryPolicy": "repro.runtime.fsfaults",
+    "inject_fs": "repro.runtime.fsfaults",
     "DEFAULT_RUNGS": "repro.runtime.policy",
     "FitPolicy": "repro.runtime.policy",
     "ProgressReporter": "repro.runtime.progress",

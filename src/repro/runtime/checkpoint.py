@@ -13,7 +13,20 @@ Payloads are arbitrary Python objects (sample grids, fitted models)
 persisted with :mod:`pickle`; the store is a private cache directory
 owned by this library, not an interchange format.  Writes are atomic
 (temp file + ``os.replace``) so a kill mid-write never leaves a
-truncated checkpoint behind.
+truncated checkpoint behind *on a well-behaved filesystem*.  Shared
+mounts are not well behaved, so the store also defends its reads:
+
+- every filesystem access routes through the seam in
+  :mod:`repro.runtime.fsfaults`, which retries transient errors
+  (``EIO``/``ESTALE``/``ENOSPC``) with bounded deterministic backoff;
+- format v2 entries carry a sha256 checksum of the pickled payload,
+  so a torn or bit-flipped entry is *detected* rather than trusted;
+- a corrupt entry is **quarantined** — renamed to ``<name>.corrupt``,
+  counted (``quarantined`` attribute, ``checkpoint.quarantined``
+  telemetry) — and reported as a cache miss, so the caller recomputes
+  it instead of aborting the whole run;
+- v1 entries (no checksum) still load, so a pre-existing store
+  resumes under the new format.
 """
 
 from __future__ import annotations
@@ -28,12 +41,21 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import CheckpointError
-from repro.runtime import telemetry
+from repro.runtime import fsfaults, telemetry
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "QUARANTINE_SUFFIX"]
 
-#: Bump when the on-disk layout changes; stale formats are rejected.
-_FORMAT_VERSION = 1
+#: Bump when the on-disk layout changes.  v2 wraps the payload pickle
+#: in a checksummed envelope; v1 (payload stored directly) is still
+#: readable.  Unknown formats are quarantined, not fatal.
+_FORMAT_VERSION = 2
+
+#: Appended to a corrupt entry's file name when it is quarantined.
+QUARANTINE_SUFFIX = ".corrupt"
+
+
+class _CorruptEntry(Exception):
+    """Internal: a stored entry failed decoding or verification."""
 
 
 class CheckpointStore:
@@ -46,6 +68,8 @@ class CheckpointStore:
         hits: Number of successful loads.
         misses: Number of loads that found nothing.
         writes: Number of checkpoints saved.
+        quarantined: Corrupt entries renamed aside and re-reported as
+            misses (each one also counts into ``misses``).
     """
 
     def __init__(
@@ -57,6 +81,7 @@ class CheckpointStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     @staticmethod
     def key_of(token: str) -> str:
@@ -69,7 +94,9 @@ class CheckpointStore:
 
     def contains(self, token: str) -> bool:
         """Whether a checkpoint for ``token`` exists on disk."""
-        return self.path_for(token).exists()
+        return fsfaults.exists(
+            self.path_for(token), op="checkpoint.exists"
+        )
 
     def missing(self, tokens: Iterable[str]) -> tuple[str, ...]:
         """The given tokens that have no checkpoint on disk yet.
@@ -82,62 +109,126 @@ class CheckpointStore:
             token for token in tokens if not self.contains(token)
         )
 
+    @staticmethod
+    def _decode(blob: bytes, token: str) -> Any:
+        """Decode and verify one stored entry.
+
+        Raises:
+            _CorruptEntry: On any torn, foreign, checksum-failing or
+                unknown-format entry — the caller quarantines it.
+        """
+        try:
+            entry = pickle.loads(blob)
+        except Exception as error:
+            raise _CorruptEntry(f"undecodable pickle: {error}")
+        if not isinstance(entry, dict) or "payload" not in entry:
+            raise _CorruptEntry("unknown entry layout")
+        if entry.get("token") != token:
+            raise _CorruptEntry("written for a different request")
+        version = entry.get("version")
+        if version == 1:
+            # Pre-checksum format: the payload object is stored
+            # directly.  Trusted as-is for read compatibility.
+            return entry["payload"]
+        if version != _FORMAT_VERSION:
+            raise _CorruptEntry(f"unknown format version {version!r}")
+        payload_bytes = entry["payload"]
+        if not isinstance(payload_bytes, bytes):
+            raise _CorruptEntry("v2 payload is not a byte string")
+        digest = hashlib.sha256(payload_bytes).hexdigest()
+        if digest != entry.get("sha256"):
+            raise _CorruptEntry("payload checksum mismatch")
+        try:
+            return pickle.loads(payload_bytes)
+        except Exception as error:
+            raise _CorruptEntry(f"undecodable payload: {error}")
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Rename a corrupt entry aside and count it.
+
+        The quarantined file keeps its bytes (``<name>.corrupt``
+        next to the store entries) for post-mortem inspection; the
+        key becomes a miss, so the payload is recomputed and saved
+        fresh.  A quarantine that cannot rename falls back to
+        unlinking — the entry must stop being loadable either way.
+        """
+        target = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        self.quarantined += 1
+        telemetry.counter_inc("checkpoint.quarantined")
+
     def load(self, token: str) -> Any | None:
         """Load the payload for ``token``; None on miss (or fresh run).
 
-        Raises:
-            CheckpointError: If the stored entry cannot be read or was
-                written for a different request (hash collision or
-                foreign file).
+        A corrupt entry — torn write, checksum mismatch, foreign or
+        unknown format, or unreadable after the transient-error
+        retries — is quarantined (renamed to ``*.corrupt``) and
+        reported as a miss so the caller recomputes it; it never
+        aborts the run.
         """
         path = self.path_for(token)
-        if not self.reuse or not path.exists():
+        if not self.reuse or not fsfaults.exists(
+            path, op="checkpoint.exists"
+        ):
             self.misses += 1
             telemetry.counter_inc("checkpoint.miss")
             return None
         with telemetry.span("checkpoint.load", stage="checkpoint"):
             try:
-                with path.open("rb") as handle:
-                    entry = pickle.load(handle)
-            except Exception as error:
-                raise CheckpointError(
-                    f"unreadable checkpoint {path.name}: {error}"
-                ) from error
-            if (
-                not isinstance(entry, dict)
-                or entry.get("version") != _FORMAT_VERSION
-                or "payload" not in entry
-            ):
-                raise CheckpointError(
-                    f"checkpoint {path.name} has an unknown format"
+                blob = fsfaults.read_bytes(path, op="checkpoint.read")
+            except FileNotFoundError:
+                # Raced a concurrent gc/invalidate between the
+                # existence probe and the read: a plain miss.
+                self.misses += 1
+                telemetry.counter_inc("checkpoint.miss")
+                return None
+            except OSError as error:
+                self._quarantine(
+                    path, f"unreadable after retries: {error}"
                 )
-            if entry.get("token") != token:
-                raise CheckpointError(
-                    f"checkpoint {path.name} was written for a "
-                    f"different request"
-                )
+                self.misses += 1
+                telemetry.counter_inc("checkpoint.miss")
+                return None
+            try:
+                payload = self._decode(blob, token)
+            except _CorruptEntry as corrupt:
+                self._quarantine(path, str(corrupt))
+                self.misses += 1
+                telemetry.counter_inc("checkpoint.miss")
+                return None
         self.hits += 1
         telemetry.counter_inc("checkpoint.hit")
-        return entry["payload"]
+        return payload
 
     def save(self, token: str, payload: Any) -> Path:
         """Atomically persist ``payload`` under ``token``'s key."""
         path = self.path_for(token)
+        payload_bytes = pickle.dumps(
+            payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
         entry = {
             "version": _FORMAT_VERSION,
             "token": token,
-            "payload": payload,
+            "sha256": hashlib.sha256(payload_bytes).hexdigest(),
+            "payload": payload_bytes,
         }
+        blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
         descriptor, tmp_name = tempfile.mkstemp(
             dir=self.directory, suffix=".tmp"
         )
+        os.close(descriptor)
         with telemetry.span("checkpoint.save", stage="checkpoint"):
             try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    pickle.dump(
-                        entry, handle, protocol=pickle.HIGHEST_PROTOCOL
-                    )
-                os.replace(tmp_name, path)
+                fsfaults.write_bytes(
+                    tmp_name, blob, op="checkpoint.write"
+                )
+                fsfaults.replace(tmp_name, path, op="checkpoint.write")
             except BaseException:
                 # A kill between mkstemp and replace must not leave temp
                 # litter that a later clear() would miss.
@@ -150,27 +241,54 @@ class CheckpointStore:
         telemetry.counter_inc("checkpoint.write")
         return path
 
+    def _entries(self) -> tuple[Path, ...]:
+        """Every checkpoint file currently visible in the directory.
+
+        Quarantined ``*.corrupt`` files and foreign debris
+        (``.DS_Store``, editor swap files...) never match.
+        """
+        return fsfaults.listdir(
+            self.directory, "*.ckpt", op="checkpoint.list"
+        )
+
     def keys(self) -> tuple[str, ...]:
         """Keys of every checkpoint currently on disk (sorted)."""
-        return tuple(
-            sorted(p.stem for p in self.directory.glob("*.ckpt"))
-        )
+        return tuple(sorted(p.stem for p in self._entries()))
 
     def __len__(self) -> int:
         return len(self.keys())
 
     def clear(self) -> int:
-        """Delete every checkpoint; returns how many were removed."""
+        """Delete every checkpoint; returns how many were removed.
+
+        Tolerates a concurrent worker/gc unlinking entries
+        mid-iteration: an entry that vanished before our unlink is
+        simply not counted.  Quarantined ``*.corrupt`` files are
+        swept as well (uncounted — they were never live entries).
+        """
         removed = 0
-        for path in self.directory.glob("*.ckpt"):
-            path.unlink()
+        for path in self._entries():
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
             removed += 1
+        for path in fsfaults.listdir(
+            self.directory, f"*.ckpt{QUARANTINE_SUFFIX}",
+            op="checkpoint.list",
+        ):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
         return removed
 
     def total_bytes(self) -> int:
         """Total on-disk size of every checkpoint, in bytes."""
         total = 0
-        for path in self.directory.glob("*.ckpt"):
+        for path in self._entries():
             try:
                 total += path.stat().st_size
             except OSError:
@@ -183,7 +301,8 @@ class CheckpointStore:
         Pool runs use this to honour fresh-run (``reuse=False``)
         semantics: the parallel workers share a reusing store handle,
         so the parent drops this run's entries up front instead of
-        suppressing loads per process.
+        suppressing loads per process.  Concurrent unlinks (another
+        pool's gc racing this one) are tolerated, not errors.
         """
         removed = 0
         for token in tokens:
@@ -215,7 +334,9 @@ class CheckpointStore:
             else ClaimStore(self.directory, timeout=claim_timeout)
         )
         live = []
-        for path in self.directory.glob("*.claim"):
+        for path in fsfaults.listdir(
+            self.directory, "*.claim", op="claim.list"
+        ):
             info = claims.live_claim_for_key(path.stem)
             if info is not None:
                 live.append(path.stem)
@@ -268,7 +389,7 @@ class CheckpointStore:
         removed = 0
         protected = 0
         survivors: list[tuple[float, int, Path]] = []
-        for path in self.directory.glob("*.ckpt"):
+        for path in self._entries():
             try:
                 stat = path.stat()
             except OSError:

@@ -10,12 +10,22 @@ artifacts the safe way:
 3. verify the on-disk size matches the serialised payload;
 4. atomically ``os.replace`` onto the destination.
 
+The write and rename route through the :mod:`repro.runtime.fsfaults`
+seam, so *transient* filesystem errors (``ENOSPC``/``EIO``/``ESTALE``
+— injected or real) are retried with bounded deterministic backoff
+before anything is declared a failure.  A *short* write, however, is
+never retried: the size verification exists to catch silent torn
+writes, and a torn final artifact must fail loudly with the previous
+good library left untouched.
+
 Any failure raises :class:`~repro.errors.LibertyWriteError` (exit
 code 4 via the CLI's per-family mapping) and leaves the destination
 untouched — a previous good library is never clobbered by a bad
 write.  The fault-injection plan kinds ``export_truncate`` and
 ``export_fsync`` (see :mod:`repro.runtime.faults`) exercise both
-failure paths deterministically in tests.
+failure paths deterministically in tests; the filesystem fault model
+(:mod:`repro.runtime.fsfaults`) exercises the transient-error retry
+path.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ import tempfile
 from pathlib import Path
 
 from repro.errors import LibertyWriteError
-from repro.runtime import faults, telemetry
+from repro.runtime import faults, fsfaults, telemetry
 
 __all__ = ["write_text_file"]
 
@@ -43,8 +53,8 @@ def write_text_file(
 
     Raises:
         LibertyWriteError: On a short write, an fsync failure, or any
-            OS-level write error.  The destination keeps its previous
-            content.
+            OS-level write error that survives the transient-error
+            retries.  The destination keeps its previous content.
     """
     destination = Path(path)
     data = text.encode()
@@ -63,16 +73,17 @@ def write_text_file(
             raise LibertyWriteError(
                 f"cannot create temp file next to {destination}: {error}"
             ) from error
+        os.close(descriptor)
         try:
             try:
-                with os.fdopen(descriptor, "wb") as handle:
-                    handle.write(data)
-                    handle.flush()
-                    if fsync:
-                        fsync_error = faults.export_fsync_error()
-                        if fsync_error is not None:
-                            raise OSError(fsync_error)
-                        os.fsync(handle.fileno())
+                fsync_error = (
+                    faults.export_fsync_error() if fsync else None
+                )
+                if fsync_error is not None:
+                    raise OSError(fsync_error)
+                fsfaults.write_bytes(
+                    tmp_name, data, op="export.write", fsync=fsync
+                )
             except OSError as error:
                 raise LibertyWriteError(
                     f"writing {destination} failed: {error}"
@@ -83,7 +94,14 @@ def write_text_file(
                     f"short write to {destination}: {written} of "
                     f"{expected} bytes reached disk"
                 )
-            os.replace(tmp_name, destination)
+            try:
+                fsfaults.replace(
+                    tmp_name, destination, op="export.replace"
+                )
+            except OSError as error:
+                raise LibertyWriteError(
+                    f"publishing {destination} failed: {error}"
+                ) from error
         except BaseException:
             try:
                 os.unlink(tmp_name)

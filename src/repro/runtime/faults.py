@@ -22,6 +22,12 @@ manager; production code paths call the module-level hooks
 :func:`arc_completed`), which are no-ops when no plan is active.  All
 randomness is derived from the arc-condition identity, so a plan
 injects byte-identical faults on every run.
+
+Filesystem-level faults (transient ``EIO``/``ESTALE``/``ENOSPC``,
+torn writes, stale directory listings, clock-skewed mtimes) live in
+the sibling module :mod:`repro.runtime.fsfaults`, which follows the
+same plan/inject/hook pattern but fires inside the FS-access seam the
+checkpoint, claim, journal and export layers route through.
 """
 
 from __future__ import annotations

@@ -28,6 +28,17 @@ Claims are advisory: the checkpoint store itself never requires them,
 but :meth:`CheckpointStore.gc` respects them (a live claim protects
 its entry from eviction) and the worker pool never simulates an item
 whose claim it could not take.
+
+Shared-mount hardening: all claim reads, stats, listings and the
+``O_EXCL`` create route through the :mod:`repro.runtime.fsfaults`
+seam, so transient ``EIO``/``ESTALE``/``ENOSPC`` are retried with
+bounded backoff instead of mis-reading a live claim as dead.
+Staleness judgements add a configurable ``skew_tolerance`` on top of
+the timeout, because raw ``time.time() - mtime`` deltas lie when the
+heartbeating host's clock drifts from ours (NFS stores the *server's*
+idea of mtime).  In the worst case a duplicated claim only costs
+duplicated work: payloads are content-addressed, so two owners
+computing the same item write byte-identical entries.
 """
 
 from __future__ import annotations
@@ -43,15 +54,27 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import ParameterError
+from repro.runtime import fsfaults
 from repro.runtime.checkpoint import CheckpointStore
 
-__all__ = ["DEFAULT_CLAIM_TIMEOUT", "ClaimInfo", "ClaimStore"]
+__all__ = [
+    "DEFAULT_CLAIM_TIMEOUT",
+    "DEFAULT_SKEW_TOLERANCE",
+    "ClaimInfo",
+    "ClaimStore",
+]
 
 #: Seconds without a heartbeat after which a claim is presumed
 #: abandoned.  Generous: a claim's owner refreshes the mtime several
 #: times per timeout window, so only a hard-killed (or unreachable)
 #: owner ever lets a claim go stale.
 DEFAULT_CLAIM_TIMEOUT = 600.0
+
+#: Extra seconds of cross-host clock skew tolerated on top of the
+#: claim timeout before a claim is judged stale.  NTP-disciplined
+#: hosts drift well under this; the cost of being generous is a
+#: slightly slower reclaim of a genuinely dead foreign claim.
+DEFAULT_SKEW_TOLERANCE = 5.0
 
 
 @dataclass(frozen=True)
@@ -80,6 +103,8 @@ class ClaimStore:
         directory: The shared store root (same as the checkpoint
             store's).
         timeout: Staleness threshold in seconds.
+        skew_tolerance: Extra seconds of cross-host clock skew
+            tolerated before a claim is judged stale.
         owner: Label written into claims this store acquires.
         acquired: Claims successfully taken by this store.
         contested: Acquire attempts lost to a live foreign claim.
@@ -91,15 +116,22 @@ class ClaimStore:
         directory: str | os.PathLike[str],
         *,
         timeout: float = DEFAULT_CLAIM_TIMEOUT,
+        skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
         owner: str | None = None,
     ) -> None:
         if timeout <= 0:
             raise ParameterError(
                 f"claim timeout must be > 0 seconds, got {timeout}"
             )
+        if skew_tolerance < 0:
+            raise ParameterError(
+                f"claim skew tolerance must be >= 0 seconds, "
+                f"got {skew_tolerance}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.timeout = float(timeout)
+        self.skew_tolerance = float(skew_tolerance)
         self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
         self.acquired = 0
         self.contested = 0
@@ -118,9 +150,14 @@ class ClaimStore:
 
     def _read_path(self, path: Path) -> ClaimInfo | None:
         try:
-            stat = path.stat()
-            body = json.loads(path.read_text())
+            mtime = fsfaults.stat_mtime(path, op="claim.stat")
+            body = json.loads(
+                fsfaults.read_text(path, op="claim.read")
+            )
         except (OSError, ValueError):
+            # Absent, unreadable past the transient-error retries, or
+            # a torn/garbage body (foreign files, editor droppings):
+            # no decodable claim here.
             return None
         if not isinstance(body, dict):
             return None
@@ -129,7 +166,7 @@ class ClaimStore:
             host=str(body.get("host", "")),
             pid=int(body.get("pid", 0) or 0),
             owner=str(body.get("owner", "")),
-            mtime=stat.st_mtime,
+            mtime=mtime,
         )
 
     def read(self, token: str) -> ClaimInfo | None:
@@ -139,13 +176,16 @@ class ClaimStore:
     def is_live(self, info: ClaimInfo | None) -> bool:
         """Whether a claim still protects its entry.
 
-        Stale mtime (older than the timeout) means dead; a same-host
-        claim whose pid no longer exists is dead regardless of mtime.
-        An unreadable/absent claim (``None``) is dead.
+        Stale mtime (older than the timeout plus the skew tolerance)
+        means dead; a same-host claim whose pid no longer exists is
+        dead regardless of mtime.  An unreadable/absent claim
+        (``None``) is dead.  An mtime *ahead* of our clock (the
+        heartbeating host runs fast) is trivially within the window —
+        future mtimes never mark a claim dead.
         """
         if info is None:
             return False
-        if time.time() - info.mtime > self.timeout:
+        if time.time() - info.mtime > self.timeout + self.skew_tolerance:
             return False
         if info.pid and info.host == socket.gethostname():
             try:
@@ -170,7 +210,9 @@ class ClaimStore:
         kills).
         """
         infos = []
-        for path in sorted(self.directory.glob("*.claim")):
+        for path in fsfaults.listdir(
+            self.directory, "*.claim", op="claim.list"
+        ):
             info = self._read_path(path)
             if info is None:
                 continue
@@ -187,41 +229,36 @@ class ClaimStore:
         # Two rounds: lose the first O_EXCL to an existing file, judge
         # it dead, unlink, and race the re-create once.  Losing the
         # second round means another reclaimer won — back off.
+        body = json.dumps(
+            {
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+                "owner": self.owner,
+                "acquired_at": time.time(),
+            },
+            sort_keys=True,
+        )
         for _ in range(2):
             try:
-                descriptor = os.open(
-                    path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                created = fsfaults.create_exclusive(
+                    path, body.encode(), op="claim.create"
                 )
-            except FileExistsError:
-                info = self._read_path(path)
-                if self.is_live(info):
-                    self.contested += 1
-                    return False
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-                self.reclaimed += 1
-                continue
             except OSError as error:
                 raise ParameterError(
                     f"cannot create claim file {path}: {error}"
                 ) from error
-            body = json.dumps(
-                {
-                    "host": socket.gethostname(),
-                    "pid": os.getpid(),
-                    "owner": self.owner,
-                    "acquired_at": time.time(),
-                },
-                sort_keys=True,
-            )
+            if created:
+                self.acquired += 1
+                return True
+            info = self._read_path(path)
+            if self.is_live(info):
+                self.contested += 1
+                return False
             try:
-                os.write(descriptor, body.encode())
-            finally:
-                os.close(descriptor)
-            self.acquired += 1
-            return True
+                path.unlink()
+            except OSError:
+                pass
+            self.reclaimed += 1
         self.contested += 1
         return False
 

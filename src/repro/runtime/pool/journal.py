@@ -9,8 +9,16 @@ same directory.  Tests assert exactly that; operators read it to see
 how work spread across workers and hosts.
 
 Writes go through ``os.open(O_APPEND)`` with a single ``os.write`` per
-record, so concurrent processes appending to the same journal cannot
-interleave partial lines (POSIX guarantees atomic small appends).
+record (via the :mod:`repro.runtime.fsfaults` seam, which retries
+transient ``ENOSPC``/``EIO``), so concurrent processes appending to
+the same journal cannot interleave partial lines (POSIX guarantees
+atomic small appends).  A *crashed* writer can still leave a
+truncated trailing line — and under flaky-filesystem torn-write
+faults, a truncated line mid-file — so :meth:`PoolJournal.records`
+reads leniently, matching the trace-merge reader: undecodable lines
+are skipped and counted (``skipped`` attribute), never fatal.  The
+journal is observability, not a correctness input; a skipped line
+loses one audit record, nothing else.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ import json
 import os
 from pathlib import Path
 
-from repro.runtime.telemetry.sinks import read_jsonl
+from repro.runtime import fsfaults
 
 __all__ = ["JOURNAL_FILENAME", "PoolJournal"]
 
@@ -28,29 +36,55 @@ JOURNAL_FILENAME = "pool-journal.jsonl"
 
 
 class PoolJournal:
-    """Cross-process append-only event log in a store directory."""
+    """Cross-process append-only event log in a store directory.
+
+    Attributes:
+        path: The journal file inside the store directory.
+        skipped: Undecodable lines skipped by the last
+            :meth:`records` call (torn appends left by killed or
+            fault-injected writers).
+    """
 
     def __init__(self, directory: str | os.PathLike[str]) -> None:
         self.path = Path(directory) / JOURNAL_FILENAME
+        self.skipped = 0
 
     def append(self, event: str, **fields: object) -> None:
         """Append one event record (atomic single-line write)."""
         record: dict[str, object] = {"event": event}
         record.update(fields)
         line = (json.dumps(record, sort_keys=True) + "\n").encode()
-        descriptor = os.open(
-            self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
-        )
-        try:
-            os.write(descriptor, line)
-        finally:
-            os.close(descriptor)
+        fsfaults.append_line(self.path, line, op="journal.append")
 
     def records(self) -> tuple[dict, ...]:
-        """All journal records in append order (empty when absent)."""
-        if not self.path.exists():
+        """All decodable journal records in append order.
+
+        Empty when the journal is absent.  Lines that fail to decode
+        — a truncated trailing line from a killed writer, or a torn
+        append injected by the filesystem fault model — are skipped
+        and counted in :attr:`skipped`.
+        """
+        try:
+            text = fsfaults.read_text(self.path, op="journal.read")
+        except FileNotFoundError:
+            self.skipped = 0
             return ()
-        return tuple(read_jsonl(self.path))
+        records: list[dict] = []
+        skipped = 0
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+            else:
+                skipped += 1
+        self.skipped = skipped
+        return tuple(records)
 
     def events(self, event: str) -> tuple[dict, ...]:
         """Records of one event kind (``"task"``, ``"reclaim"`` ...)."""

@@ -38,11 +38,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from types import MappingProxyType
 
-from repro.errors import EXIT_CODES, CharacterizationError, ParameterError
-from repro.runtime import faults, telemetry
+from repro.errors import EXIT_CODES, ParameterError
+from repro.runtime import faults, fsfaults, telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.faults import FaultPlan
-from repro.runtime.pool.claims import DEFAULT_CLAIM_TIMEOUT, ClaimStore
+from repro.runtime.fsfaults import FsFaultPlan, RetryPolicy
+from repro.runtime.pool.claims import (
+    DEFAULT_CLAIM_TIMEOUT,
+    DEFAULT_SKEW_TOLERANCE,
+    ClaimStore,
+)
 from repro.runtime.pool.journal import PoolJournal
 from repro.runtime.pool.scheduler import WorkItem, shards
 from repro.runtime.pool.worker import (
@@ -95,6 +100,15 @@ class PoolConfig:
         fault_plans: Per-worker-id fault plans (tests kill *one*
             worker with ``{0: plan}``).  When None, the parent's
             active plan — if any — is forwarded to every worker.
+        fs_fault_plans: Per-worker-id filesystem fault plans (the
+            chaos harness storms *specific* workers).  When None, the
+            parent's active fs plan — if any — is forwarded to every
+            first-round worker; replacement rounds always run clean.
+        fs_retry: Transient-filesystem-error retry policy installed
+            in every worker.  When None, workers inherit the parent's
+            process-wide policy at spawn time.
+        claim_skew: Cross-host clock-skew tolerance (seconds) added
+            to the claim timeout in every liveness judgement.
         respawn: How many replacement rounds to spawn when workers
             die retryably with items still missing.
         poll_interval: Parent-sweep wait between attempts on a live
@@ -112,6 +126,9 @@ class PoolConfig:
     trace_dir: str | None = None
     trace_sample: float = 1.0
     fault_plans: Mapping[int, FaultPlan] | None = None
+    fs_fault_plans: Mapping[int, FsFaultPlan] | None = None
+    fs_retry: RetryPolicy | None = None
+    claim_skew: float = DEFAULT_SKEW_TOLERANCE
     respawn: int = 1
     poll_interval: float = 0.05
     merge_traces: bool = True
@@ -168,6 +185,7 @@ def _spawn_round(
                 / f"trace-{run_id}{suffix}-w{worker_id:02d}.jsonl"
             )
         plan = None
+        fs_plan = None
         if round_index == 0:
             # Replacement rounds run clean: the plan already did its
             # damage and a retry is supposed to recover from it.
@@ -175,6 +193,10 @@ def _spawn_round(
                 plan = config.fault_plans.get(worker_id)
             else:
                 plan = faults.active_plan()
+            if config.fs_fault_plans is not None:
+                fs_plan = config.fs_fault_plans.get(worker_id)
+            else:
+                fs_plan = fsfaults.active_fs_plan()
         specs.append(
             WorkerSpec(
                 worker_id=worker_id,
@@ -182,11 +204,14 @@ def _spawn_round(
                 store_dir=store_dir,
                 items=items,
                 claim_timeout=config.claim_timeout,
+                claim_skew=config.claim_skew,
                 seed=config.seed,
                 trace_path=trace_path,
                 trace_sample=config.trace_sample,
                 run_id=run_id,
                 fault_plan=plan,
+                fs_plan=fs_plan,
+                fs_retry=config.fs_retry or fsfaults.retry_policy(),
             )
         )
     processes = [
@@ -229,6 +254,7 @@ def _parent_sweep(
     claims = ClaimStore(
         pool_store.directory,
         timeout=config.claim_timeout,
+        skew_tolerance=config.claim_skew,
         owner=f"{socket.gethostname()}:{os.getpid()}:parent",
     )
     writes_before = pool_store.writes
@@ -249,25 +275,29 @@ def run_pool(
 
     Raises:
         ParameterError: On invalid configuration or duplicate tokens.
-        CharacterizationError: When the sweep somehow cannot complete
-            an item (defensive; the sweep computes in-parent).
         ReproError: Whatever a deterministically failing item raises —
-            re-raised from the parent sweep with serial semantics.
+            re-raised from the parent or repair sweep with serial
+            semantics.
     """
     sequence = tuple(items)
     if config.n_workers < 1:
         raise ParameterError(
             f"pool needs n_workers >= 1, got {config.n_workers}"
         )
-    if config.fault_plans is not None:
+    for label, plans in (
+        ("fault_plans", config.fault_plans),
+        ("fs_fault_plans", config.fs_fault_plans),
+    ):
+        if plans is None:
+            continue
         unknown = [
             worker_id
-            for worker_id in config.fault_plans
+            for worker_id in plans
             if not 0 <= worker_id < config.n_workers
         ]
         if unknown:
             raise ParameterError(
-                f"fault_plans target unknown worker ids {unknown}"
+                f"{label} target unknown worker ids {unknown}"
             )
     run_id = config.run_id or hashlib.sha256(
         f"{os.getpid()}|{time.time_ns()}".encode()
@@ -329,14 +359,27 @@ def run_pool(
         )
         result.parent_computed = computed
         result.reclaimed = reclaimed
-    absent = set(pool_store.missing(item.token for item in sequence))
-    missing = [
-        item.label for item in sequence if item.token in absent
-    ]
-    if missing:  # pragma: no cover - the sweep computes in-parent
-        raise CharacterizationError(
-            f"pool finished with incomplete items: {missing}"
+    # Post-sweep integrity pass.  The sweep guarantees every item was
+    # *executed*, but a hostile filesystem can still leave an entry
+    # torn (checksum-quarantined on load) or temporarily invisible
+    # (NFS close-to-open).  Only a failed *load* convicts an entry —
+    # a bare existence probe lies both ways on a stale mount — and a
+    # convicted item is recomputed in-parent: a corrupt cache entry
+    # costs a recompute, never the run.  An item that is genuinely
+    # uncomputable raises its own ReproError out of the repair sweep,
+    # with the same serial semantics as the main sweep.
+    invalid = tuple(
+        item
+        for item in sequence
+        if pool_store.load(item.token) is None
+    )
+    if invalid:
+        repaired, reclaimed = _parent_sweep(
+            invalid, pool_store, config, journal
         )
+        result.parent_computed += repaired
+        result.reclaimed += reclaimed
+        telemetry.counter_inc("pool.repaired", len(invalid))
     families: dict[str, int] = {}
     for code in all_codes:
         label = exit_family(code)

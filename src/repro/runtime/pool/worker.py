@@ -32,10 +32,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ReproError, exit_code_for
-from repro.runtime import faults, telemetry
+from repro.runtime import faults, fsfaults, telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.faults import FaultPlan, InjectedKill
-from repro.runtime.pool.claims import DEFAULT_CLAIM_TIMEOUT, ClaimStore
+from repro.runtime.fsfaults import FsFaultPlan, RetryPolicy
+from repro.runtime.pool.claims import (
+    DEFAULT_CLAIM_TIMEOUT,
+    DEFAULT_SKEW_TOLERANCE,
+    ClaimStore,
+)
 from repro.runtime.pool.journal import PoolJournal
 from repro.runtime.pool.scheduler import WorkItem, shard_of, shards
 
@@ -77,6 +82,12 @@ class WorkerSpec:
             ``"<run_id>-wNN"``.
         fault_plan: Fault-injection plan activated inside the worker
             (tests target individual workers with this).
+        claim_skew: Clock-skew tolerance forwarded to the worker's
+            :class:`ClaimStore` staleness judgements.
+        fs_plan: Filesystem fault plan activated inside the worker
+            (chaos tests target individual workers with this).
+        fs_retry: Transient-filesystem-error retry policy installed in
+            the worker process (None keeps the process default).
     """
 
     worker_id: int
@@ -89,6 +100,9 @@ class WorkerSpec:
     trace_sample: float = 1.0
     run_id: str | None = None
     fault_plan: FaultPlan | None = field(default=None)
+    claim_skew: float = DEFAULT_SKEW_TOLERANCE
+    fs_plan: FsFaultPlan | None = field(default=None)
+    fs_retry: RetryPolicy | None = field(default=None)
 
 
 def execute_item(
@@ -192,10 +206,13 @@ def _drain(
 
 def run_worker(spec: WorkerSpec) -> int:
     """In-process worker body; returns the process exit code."""
+    if spec.fs_retry is not None:
+        fsfaults.set_retry_policy(spec.fs_retry)
     store = CheckpointStore(spec.store_dir, reuse=True)
     claims = ClaimStore(
         spec.store_dir,
         timeout=spec.claim_timeout,
+        skew_tolerance=spec.claim_skew,
         owner=(
             f"{socket.gethostname()}:{os.getpid()}"
             f":w{spec.worker_id:02d}"
@@ -218,6 +235,11 @@ def run_worker(spec: WorkerSpec) -> int:
         if spec.fault_plan is not None
         else nullcontext()
     )
+    fs_context = (
+        fsfaults.inject_fs(spec.fs_plan)
+        if spec.fs_plan is not None
+        else nullcontext()
+    )
     telemetry_context = (
         telemetry.activate(session)
         if session is not None
@@ -225,7 +247,7 @@ def run_worker(spec: WorkerSpec) -> int:
     )
     error: ReproError | None = None
     try:
-        with plan_context, telemetry_context, telemetry.span(
+        with plan_context, fs_context, telemetry_context, telemetry.span(
             "pool.worker",
             worker=spec.worker_id,
             n_workers=spec.n_workers,

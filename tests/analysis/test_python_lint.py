@@ -245,6 +245,18 @@ class TestParallelRules:
         )
         assert "PAR002" not in _rules(findings)
 
+    def test_fsfaults_seam_write_clean(self):
+        # Writes routed through the retrying FS seam are the
+        # sanctioned path, not a Path.write_bytes bypass.
+        findings = _lint(
+            'fsfaults.write_bytes(tmp, blob, op="checkpoint.write")\n'
+        )
+        assert "PAR002" not in _rules(findings)
+
+    def test_path_write_bytes_still_flagged(self):
+        findings = _lint('path.write_bytes(b"x")\n')
+        assert "PAR002" in _rules(findings)
+
     def test_global_rebind_in_runtime_flagged(self):
         findings = _lint(
             """

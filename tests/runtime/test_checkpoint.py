@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 
 import numpy as np
@@ -9,6 +10,7 @@ import pytest
 
 from repro.errors import CheckpointError
 from repro.runtime import CheckpointStore
+from repro.runtime.checkpoint import QUARANTINE_SUFFIX
 
 
 @pytest.fixture
@@ -59,26 +61,162 @@ class TestFreshRunMode:
         assert resumed.load("t") == 42
 
 
-class TestCorruption:
-    def test_truncated_file_raises_checkpoint_error(self, store):
+class TestQuarantine:
+    """Corrupt entries are quarantined and re-reported as misses.
+
+    Torn writes, checksum mismatches, hijacked or foreign entries:
+    each is renamed aside (``<name>.ckpt.corrupt``), counted, and the
+    caller recomputes — an unreadable cache entry must never abort a
+    characterisation run.
+    """
+
+    def corrupt_path(self, store, token):
+        path = store.path_for(token)
+        return path.with_name(path.name + QUARANTINE_SUFFIX)
+
+    def test_truncated_file_is_quarantined_miss(self, store):
         store.save("t", {"x": 1})
         path = store.path_for("t")
         path.write_bytes(path.read_bytes()[:10])
-        with pytest.raises(CheckpointError):
-            store.load("t")
+        assert store.load("t") is None
+        assert store.quarantined == 1
+        assert store.misses == 1
+        assert not path.exists()
+        assert self.corrupt_path(store, "t").exists()
 
-    def test_foreign_pickle_raises(self, store):
-        path = store.path_for("t")
-        path.write_bytes(pickle.dumps([1, 2, 3]))
-        with pytest.raises(CheckpointError):
-            store.load("t")
+    def test_foreign_pickle_is_quarantined_miss(self, store):
+        store.path_for("t").write_bytes(pickle.dumps([1, 2, 3]))
+        assert store.load("t") is None
+        assert store.quarantined == 1
+        assert self.corrupt_path(store, "t").exists()
 
-    def test_token_mismatch_raises(self, store):
+    def test_token_mismatch_is_quarantined_miss(self, store):
         store.save("original", 1)
         hijacked = store.path_for("other")
         store.path_for("original").rename(hijacked)
-        with pytest.raises(CheckpointError):
-            store.load("other")
+        assert store.load("other") is None
+        assert store.quarantined == 1
+        assert self.corrupt_path(store, "other").exists()
+
+    def test_checksum_mismatch_is_quarantined_miss(self, store):
+        # A well-formed v2 envelope whose payload bytes were bit
+        # flipped after the checksum was computed.
+        payload = pickle.dumps({"x": 1})
+        entry = {
+            "version": 2,
+            "token": "t",
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload[:-1] + b"\x00",
+        }
+        store.path_for("t").write_bytes(pickle.dumps(entry))
+        assert store.load("t") is None
+        assert store.quarantined == 1
+        assert self.corrupt_path(store, "t").exists()
+
+    def test_unknown_version_is_quarantined_miss(self, store):
+        entry = {"version": 99, "token": "t", "payload": b""}
+        store.path_for("t").write_bytes(pickle.dumps(entry))
+        assert store.load("t") is None
+        assert store.quarantined == 1
+
+    def test_quarantine_counts_into_telemetry(self, store):
+        from repro.runtime import telemetry
+
+        store.path_for("t").write_bytes(b"garbage")
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            assert store.load("t") is None
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["checkpoint.quarantined"] == 1
+        assert counters["checkpoint.miss"] == 1
+        session.close()
+
+    def test_recompute_after_quarantine_round_trips(self, store):
+        store.save("t", 1)
+        store.path_for("t").write_bytes(b"torn")
+        assert store.load("t") is None
+        store.save("t", 1)  # the caller's recompute path
+        assert store.load("t") == 1
+        assert store.quarantined == 1
+
+    def test_quarantined_entries_invisible_to_keys_and_len(self, store):
+        store.save("keep", 1)
+        store.path_for("bad").write_bytes(b"torn")
+        store.load("bad")
+        assert store.keys() == (CheckpointStore.key_of("keep"),)
+        assert len(store) == 1
+
+
+class TestFormatCompat:
+    def test_v1_entry_without_checksum_still_loads(self, store):
+        # A store written before the checksum bump: the payload
+        # object is stored directly, with no sha256 field.
+        entry = {"version": 1, "token": "t", "payload": {"x": 41}}
+        store.path_for("t").write_bytes(
+            pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert store.load("t") == {"x": 41}
+        assert store.hits == 1
+        assert store.quarantined == 0
+
+    def test_v2_round_trip_carries_checksum(self, store):
+        store.save("t", {"grid": [1.0, 2.0]})
+        entry = pickle.loads(store.path_for("t").read_bytes())
+        assert entry["version"] == 2
+        payload = entry["payload"]
+        assert isinstance(payload, bytes)
+        assert entry["sha256"] == hashlib.sha256(payload).hexdigest()
+        assert store.load("t") == {"grid": [1.0, 2.0]}
+
+
+class TestForeignFiles:
+    def test_keys_ignore_foreign_and_quarantined_files(self, store):
+        store.save("t", 1)
+        (store.directory / ".DS_Store").write_bytes(b"\x00")
+        (store.directory / "notes.txt.swp").write_bytes(b"vim")
+        (store.directory / "dead.ckpt.corrupt").write_bytes(b"junk")
+        assert store.keys() == (CheckpointStore.key_of("t"),)
+        assert len(store) == 1
+
+    def test_gc_leaves_foreign_files_alone(self, store):
+        store.save("keep", 1)
+        store.save("orphan", 2)
+        foreign = store.directory / ".DS_Store"
+        foreign.write_bytes(b"\x00")
+        corrupt = store.directory / "dead.ckpt.corrupt"
+        corrupt.write_bytes(b"junk")
+        assert store.gc(["keep"]) == 1
+        assert foreign.exists()
+        assert corrupt.exists()
+        assert store.contains("keep")
+
+    def test_clear_sweeps_quarantined_but_not_foreign(self, store):
+        store.save("t", 1)
+        foreign = store.directory / ".DS_Store"
+        foreign.write_bytes(b"\x00")
+        corrupt = store.directory / "dead.ckpt.corrupt"
+        corrupt.write_bytes(b"junk")
+        assert store.clear() == 1
+        assert not corrupt.exists()
+        assert foreign.exists()
+
+    def test_clear_tolerates_concurrent_unlink(self, store, monkeypatch):
+        # A racing worker (or another pool's gc) unlinks an entry
+        # between our listing and our unlink: skipped, not fatal.
+        store.save("a", 1)
+        store.save("b", 2)
+        victim = store.path_for("a")
+        entries = store._entries()
+        monkeypatch.setattr(store, "_entries", lambda: entries)
+        victim.unlink()
+        assert store.clear() == 1
+        monkeypatch.undo()
+        assert len(store) == 0
+
+    def test_invalidate_tolerates_concurrent_unlink(self, store):
+        store.save("a", 1)
+        store.path_for("a").unlink()
+        assert store.invalidate(["a", "never-saved"]) == 0
 
 
 class TestGarbageCollection:

@@ -98,7 +98,7 @@ class TestLiveness:
         assert claims.is_live(claims.read("token"))
 
     def test_stale_mtime_is_dead(self, tmp_path):
-        claims = ClaimStore(tmp_path, timeout=0.2)
+        claims = ClaimStore(tmp_path, timeout=0.2, skew_tolerance=0.0)
         plant_claim(
             tmp_path,
             "token",
@@ -146,7 +146,9 @@ class TestReclaim:
         assert claims.read("token").owner == "taker"
 
     def test_stale_claim_is_reclaimed_after_timeout(self, tmp_path):
-        claims = ClaimStore(tmp_path, timeout=0.2, owner="taker")
+        claims = ClaimStore(
+            tmp_path, timeout=0.2, skew_tolerance=0.0, owner="taker"
+        )
         plant_claim(
             tmp_path,
             "token",
@@ -156,6 +158,102 @@ class TestReclaim:
         )
         assert claims.acquire("token")
         assert claims.reclaimed == 1
+
+
+class TestSkewTolerance:
+    def test_negative_skew_tolerance_raises(self, tmp_path):
+        with pytest.raises(ParameterError):
+            ClaimStore(tmp_path, skew_tolerance=-1.0)
+
+    def test_skew_window_keeps_a_past_timeout_claim_live(self, tmp_path):
+        # Aged past the timeout but inside timeout + skew_tolerance:
+        # a drifting foreign clock, not an abandoned claim.
+        claims = ClaimStore(tmp_path, timeout=1.0, skew_tolerance=60.0)
+        plant_claim(
+            tmp_path, "token", pid=0, host="elsewhere", age=5.0
+        )
+        assert claims.is_live(claims.read("token"))
+
+    def test_beyond_skew_window_is_dead(self, tmp_path):
+        claims = ClaimStore(tmp_path, timeout=1.0, skew_tolerance=2.0)
+        plant_claim(
+            tmp_path, "token", pid=0, host="elsewhere", age=10.0
+        )
+        assert not claims.is_live(claims.read("token"))
+
+    def test_future_mtime_is_live(self, tmp_path):
+        # The heartbeating host's clock runs *ahead* of ours: the
+        # delta is negative, which must never read as stale.
+        claims = ClaimStore(tmp_path, timeout=0.2, skew_tolerance=0.0)
+        plant_claim(
+            tmp_path, "token", pid=0, host="elsewhere", age=-120.0
+        )
+        assert claims.is_live(claims.read("token"))
+
+    def test_clock_skew_fault_within_tolerance_stays_live(
+        self, tmp_path
+    ):
+        # An injected stat-time shear (NFS server clock behind ours)
+        # ages the claim past the bare timeout; the tolerance absorbs
+        # it instead of triggering a bogus reclaim.
+        from repro.runtime import fsfaults
+
+        claims = ClaimStore(tmp_path, timeout=1.0, skew_tolerance=10.0)
+        strict = ClaimStore(tmp_path, timeout=1.0, skew_tolerance=0.0)
+        plant_claim(tmp_path, "token", pid=0, host="elsewhere")
+        plan = fsfaults.FsFaultPlan(
+            rules=(
+                fsfaults.FsFaultRule(
+                    kind="clock_skew",
+                    op="claim.stat",
+                    times=None,
+                    skew_seconds=-4.0,
+                ),
+            )
+        )
+        with fsfaults.inject_fs(plan):
+            assert not strict.is_live(strict.read("token"))
+            assert claims.is_live(claims.read("token"))
+
+
+class TestScan:
+    def test_scan_decodes_all_claims_sorted(self, claims):
+        claims.acquire("b-token")
+        claims.acquire("a-token")
+        infos = claims.scan()
+        assert len(infos) == 2
+        assert [info.key for info in infos] == sorted(
+            info.key for info in infos
+        )
+        assert all(info.owner == "test-owner" for info in infos)
+
+    def test_scan_live_only_drops_stale_claims(self, tmp_path):
+        claims = ClaimStore(
+            tmp_path, timeout=0.2, skew_tolerance=0.0, owner="scanner"
+        )
+        claims.acquire("fresh")
+        plant_claim(
+            tmp_path, "old", pid=0, host="elsewhere", age=30.0
+        )
+        assert len(claims.scan()) == 2
+        live = claims.scan(live_only=True)
+        assert len(live) == 1
+        assert live[0].owner == "scanner"
+
+    def test_scan_ignores_foreign_and_garbage_files(
+        self, tmp_path, claims
+    ):
+        # Editor droppings, quarantined checkpoints, torn claim
+        # bodies: none of these may crash or pollute a scan.
+        claims.acquire("token")
+        (tmp_path / ".DS_Store").write_bytes(b"\x00\x01")
+        (tmp_path / ".swp").write_bytes(b"vim")
+        (tmp_path / "deadbeef.ckpt.corrupt").write_bytes(b"junk")
+        (tmp_path / "not-json.claim").write_text("{torn off mid")
+        (tmp_path / "wrong-type.claim").write_text('["a", "list"]')
+        infos = claims.scan()
+        assert len(infos) == 1
+        assert infos[0].owner == "test-owner"
 
 
 class TestHeartbeat:

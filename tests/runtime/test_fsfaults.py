@@ -1,0 +1,414 @@
+"""Tests for the filesystem fault model and the retrying FS seam."""
+
+from __future__ import annotations
+
+import errno
+import pickle
+
+import pytest
+
+from repro.errors import LibertyWriteError, ParameterError
+from repro.runtime import fsfaults, telemetry
+from repro.runtime.export import write_text_file
+from repro.runtime.fsfaults import (
+    FsFaultPlan,
+    FsFaultRule,
+    RetryPolicy,
+    inject_fs,
+    use_retry_policy,
+)
+from repro.runtime.pool.journal import PoolJournal
+
+#: Zero-sleep policy so retry tests run at full speed.
+FAST = RetryPolicy(retries=2, backoff=0.0)
+NO_RETRY = RetryPolicy(retries=0, backoff=0.0)
+
+
+def plan_of(*rules: FsFaultRule, seed: int = 0) -> FsFaultPlan:
+    return FsFaultPlan(rules=rules, seed=seed)
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.retries == 2
+        assert policy.backoff == 0.05
+        assert policy.multiplier == 2.0
+
+    def test_delay_grows_exponentially(self):
+        policy = RetryPolicy(retries=3, backoff=0.1, multiplier=2.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+
+    def test_negative_retries_raises(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(retries=-1)
+
+    def test_negative_backoff_raises(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(backoff=-0.1)
+
+    def test_sub_one_multiplier_raises(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_set_and_restore(self):
+        before = fsfaults.retry_policy()
+        with use_retry_policy(FAST):
+            assert fsfaults.retry_policy() is FAST
+        assert fsfaults.retry_policy() is before
+
+
+class TestRuleValidation:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="disk_on_fire")
+
+    def test_zero_times_raises(self):
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="read_error", times=0)
+
+    def test_bad_probability_raises(self):
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="read_error", probability=0.0)
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="read_error", probability=1.5)
+
+    def test_bad_errno_label_raises(self):
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="read_error", error="EPERM")
+
+    def test_bad_keep_fraction_raises(self):
+        with pytest.raises(ParameterError):
+            FsFaultRule(kind="torn_write", keep_fraction=2.0)
+
+    def test_rule_matching_globs(self):
+        rule = FsFaultRule(
+            kind="read_error", path_glob="*.ckpt", op="checkpoint.*"
+        )
+        assert rule.matches("abc.ckpt", "checkpoint.read")
+        assert not rule.matches("abc.claim", "checkpoint.read")
+        assert not rule.matches("abc.ckpt", "claim.read")
+
+
+class TestReadFaults:
+    def test_transient_read_error_is_retried_away(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"payload")
+        plan = plan_of(FsFaultRule(kind="read_error", times=1))
+        with inject_fs(plan), use_retry_policy(FAST):
+            assert fsfaults.read_bytes(target) == b"payload"
+        assert plan.fired == {"read_error": 1}
+
+    def test_estale_is_transient_too(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(
+            FsFaultRule(kind="read_error", error="ESTALE", times=1)
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            assert fsfaults.read_bytes(target) == b"x"
+
+    def test_exhausted_retries_reraise(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(FsFaultRule(kind="read_error", times=5))
+        with inject_fs(plan), use_retry_policy(FAST):
+            with pytest.raises(OSError) as excinfo:
+                fsfaults.read_bytes(target)
+        assert excinfo.value.errno == errno.EIO
+
+    def test_no_retries_fail_immediately(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(FsFaultRule(kind="read_error", times=1))
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            with pytest.raises(OSError):
+                fsfaults.read_bytes(target)
+
+    def test_enoent_is_never_retried(self, tmp_path):
+        with use_retry_policy(FAST):
+            with pytest.raises(FileNotFoundError):
+                fsfaults.read_bytes(tmp_path / "absent.bin")
+
+    def test_retries_count_into_telemetry(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(
+            FsFaultRule(kind="read_error", op="checkpoint.read")
+        )
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            with inject_fs(plan), use_retry_policy(FAST):
+                fsfaults.read_bytes(target, op="checkpoint.read")
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["fs.retries"] == 1
+        assert counters["fs.retries.checkpoint.read"] == 1
+        assert counters["fs.retry_recovered"] == 1
+        assert counters["fsfaults.read_error"] == 1
+        session.close()
+
+    def test_exhaustion_counts_into_telemetry(self, tmp_path):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(FsFaultRule(kind="read_error", times=None))
+        session = telemetry.TelemetrySession()
+        with telemetry.activate(session):
+            with inject_fs(plan), use_retry_policy(FAST):
+                with pytest.raises(OSError):
+                    fsfaults.read_bytes(target)
+        counters = session.metrics.snapshot()["counters"]
+        assert counters["fs.retry_exhausted"] == 1
+        assert counters["fs.retries"] == FAST.retries
+        session.close()
+
+
+class TestWriteFaults:
+    def test_transient_enospc_is_retried_away(self, tmp_path):
+        target = tmp_path / "out.bin"
+        plan = plan_of(FsFaultRule(kind="write_error", times=1))
+        with inject_fs(plan), use_retry_policy(FAST):
+            assert fsfaults.write_bytes(target, b"data") == 4
+        assert target.read_bytes() == b"data"
+
+    def test_exhausted_write_raises_enospc(self, tmp_path):
+        target = tmp_path / "out.bin"
+        plan = plan_of(FsFaultRule(kind="write_error", times=None))
+        with inject_fs(plan), use_retry_policy(FAST):
+            with pytest.raises(OSError) as excinfo:
+                fsfaults.write_bytes(target, b"data")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_torn_write_keeps_a_prefix(self, tmp_path):
+        target = tmp_path / "out.bin"
+        plan = plan_of(
+            FsFaultRule(kind="torn_write", keep_bytes=2, times=1)
+        )
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            assert fsfaults.write_bytes(target, b"abcdef") == 2
+        assert target.read_bytes() == b"ab"
+        # The rule is spent: the next write lands whole.
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            fsfaults.write_bytes(target, b"abcdef")
+        assert target.read_bytes() == b"abcdef"
+
+    def test_torn_write_keep_fraction(self, tmp_path):
+        target = tmp_path / "out.bin"
+        plan = plan_of(
+            FsFaultRule(kind="torn_write", keep_fraction=0.5, times=1)
+        )
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            fsfaults.write_bytes(target, b"abcdef")
+        assert target.read_bytes() == b"abc"
+
+    def test_create_exclusive_existing_is_an_answer(self, tmp_path):
+        target = tmp_path / "x.claim"
+        with use_retry_policy(FAST):
+            assert fsfaults.create_exclusive(target, b"one")
+            assert not fsfaults.create_exclusive(target, b"two")
+        assert target.read_bytes() == b"one"
+
+
+class TestVisibilityFaults:
+    def test_hidden_entry_hides_one_probe(self, tmp_path):
+        target = tmp_path / "entry.ckpt"
+        target.write_bytes(b"x")
+        plan = plan_of(
+            FsFaultRule(kind="hidden_entry", path_glob="*.ckpt")
+        )
+        with inject_fs(plan):
+            assert not fsfaults.exists(target)
+            assert fsfaults.exists(target)  # rule spent
+        assert plan.fired == {"hidden_entry": 1}
+
+    def test_stale_listing_omits_matching_entries(self, tmp_path):
+        (tmp_path / "a.ckpt").write_bytes(b"")
+        (tmp_path / "b.ckpt").write_bytes(b"")
+        plan = plan_of(
+            FsFaultRule(
+                kind="stale_listing", path_glob="a.ckpt", times=1
+            )
+        )
+        with inject_fs(plan):
+            first = fsfaults.listdir(tmp_path, "*.ckpt")
+            second = fsfaults.listdir(tmp_path, "*.ckpt")
+        assert [p.name for p in first] == ["b.ckpt"]
+        assert [p.name for p in second] == ["a.ckpt", "b.ckpt"]
+
+    def test_clock_skew_shifts_mtime(self, tmp_path):
+        target = tmp_path / "x.claim"
+        target.write_bytes(b"")
+        true_mtime = target.stat().st_mtime
+        plan = plan_of(
+            FsFaultRule(
+                kind="clock_skew", times=None, skew_seconds=-120.0
+            )
+        )
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            skewed = fsfaults.stat_mtime(target)
+        assert skewed == pytest.approx(true_mtime - 120.0)
+
+
+class TestPlanMechanics:
+    def test_inject_nests_and_restores(self):
+        outer = plan_of(FsFaultRule(kind="read_error"))
+        inner = plan_of(FsFaultRule(kind="write_error"))
+        assert fsfaults.active_fs_plan() is None
+        with inject_fs(outer):
+            assert fsfaults.active_fs_plan() is outer
+            with inject_fs(inner):
+                assert fsfaults.active_fs_plan() is inner
+            assert fsfaults.active_fs_plan() is outer
+        assert fsfaults.active_fs_plan() is None
+
+    def test_plan_pickles_with_state(self, tmp_path):
+        target = tmp_path / "x.bin"
+        target.write_bytes(b"x")
+        plan = plan_of(FsFaultRule(kind="read_error", times=1))
+        with inject_fs(plan), use_retry_policy(FAST):
+            fsfaults.read_bytes(target)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.fired == plan.fired
+        assert clone.total_fired() == 1
+
+    def test_fixed_seed_replays_identical_fault_sequence(self):
+        # Satellite: a seeded plan is a pure function of its access
+        # sequence — replaying the same accesses against a fresh plan
+        # with the same seed fires the identical fault subset.
+        rule = FsFaultRule(
+            kind="read_error", probability=0.4, times=None
+        )
+        accesses = [
+            (f"entry-{i % 7}.ckpt", "checkpoint.read")
+            for i in range(40)
+        ]
+
+        def draw(seed: int) -> list[bool]:
+            plan = plan_of(rule, seed=seed)
+            return [
+                plan.should_fire(0, rule, name, op)
+                for name, op in accesses
+            ]
+
+        first = draw(seed=123)
+        assert draw(seed=123) == first
+        assert any(first) and not all(first)
+        assert draw(seed=124) != first
+
+    def test_times_bound_is_per_path_and_op(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        a.write_bytes(b"")
+        b.write_bytes(b"")
+        plan = plan_of(FsFaultRule(kind="read_error", times=1))
+        with inject_fs(plan), use_retry_policy(FAST):
+            fsfaults.read_bytes(a)
+            fsfaults.read_bytes(b)
+        # Each path absorbed its own single fault.
+        assert plan.fired == {"read_error": 2}
+
+
+class TestJournalLenience:
+    def test_missing_journal_is_empty(self, tmp_path):
+        journal = PoolJournal(tmp_path)
+        assert journal.records() == ()
+        assert journal.skipped == 0
+
+    def test_truncated_trailing_line_is_skipped(self, tmp_path):
+        journal = PoolJournal(tmp_path)
+        journal.append("task", key="a")
+        journal.append("task", key="b")
+        # A killed writer's torn final append.
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"event": "task", "ke')
+        records = journal.records()
+        assert [r["key"] for r in records] == ["a", "b"]
+        assert journal.skipped == 1
+
+    def test_non_dict_line_is_skipped(self, tmp_path):
+        journal = PoolJournal(tmp_path)
+        journal.append("task", key="a")
+        with open(journal.path, "ab") as handle:
+            handle.write(b'["not", "a", "record"]\n')
+        assert len(journal.records()) == 1
+        assert journal.skipped == 1
+
+    def test_injected_torn_append_mid_file_is_skipped(self, tmp_path):
+        journal = PoolJournal(tmp_path)
+        plan = plan_of(
+            FsFaultRule(
+                kind="torn_write",
+                op="journal.append",
+                keep_fraction=0.5,
+                times=1,
+            )
+        )
+        with inject_fs(plan), use_retry_policy(NO_RETRY):
+            journal.append("task", key="torn-one")
+            # The torn record lost its newline, so the next append
+            # merges with the debris into one undecodable line...
+            journal.append("task", key="merged-two")
+            # ...whose own newline re-frames the stream: appends
+            # after it decode cleanly again.
+            journal.append("task", key="whole-three")
+        records = journal.records()
+        assert [r["key"] for r in records] == ["whole-three"]
+        assert journal.skipped == 1
+        assert plan.fired == {"torn_write": 1}
+
+
+class TestExportUnderFaults:
+    def test_transient_enospc_is_retried_to_success(self, tmp_path):
+        out = tmp_path / "lib.lib"
+        plan = plan_of(
+            FsFaultRule(
+                kind="write_error", op="export.write", times=1
+            )
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            assert write_text_file(out, "library") == 7
+        assert out.read_text() == "library"
+        assert plan.fired == {"write_error": 1}
+
+    def test_exhausted_enospc_raises_liberty_error(self, tmp_path):
+        out = tmp_path / "lib.lib"
+        plan = plan_of(
+            FsFaultRule(
+                kind="write_error", op="export.write", times=None
+            )
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            with pytest.raises(LibertyWriteError):
+                write_text_file(out, "library")
+        assert not out.exists()
+
+    def test_torn_export_fails_loudly_never_publishes(self, tmp_path):
+        # A short write on the final artifact must never be retried
+        # into silence: the size check fails the export and the
+        # destination keeps its previous content.
+        out = tmp_path / "lib.lib"
+        out.write_text("previous good library")
+        plan = plan_of(
+            FsFaultRule(
+                kind="torn_write",
+                op="export.write",
+                keep_fraction=0.5,
+                times=1,
+            )
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            with pytest.raises(LibertyWriteError):
+                write_text_file(out, "shiny new library")
+        assert out.read_text() == "previous good library"
+
+    def test_transient_replace_error_is_retried(self, tmp_path):
+        out = tmp_path / "lib.lib"
+        plan = plan_of(
+            FsFaultRule(
+                kind="write_error", op="export.replace", times=1
+            )
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            assert write_text_file(out, "library") == 7
+        assert out.read_text() == "library"
