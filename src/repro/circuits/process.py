@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.runtime import telemetry
 from repro.stats.lhs import latin_hypercube
 
 __all__ = [
@@ -178,9 +179,12 @@ class VariationModel:
         if use_lhs:
             from scipy.special import ndtri
 
-            normals = ndtri(
-                latin_hypercube(n_samples, n_dims, rng=generator)
-            )
+            with telemetry.span(
+                "lhs.sample", n=n_samples, dims=n_dims
+            ):
+                normals = ndtri(
+                    latin_hypercube(n_samples, n_dims, rng=generator)
+                )
         else:
             normals = generator.standard_normal((n_samples, n_dims))
         vth_sigmas = np.array(

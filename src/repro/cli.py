@@ -8,7 +8,10 @@ Subcommands:
 - ``characterize``  — Monte-Carlo characterise cells into a `.lib`
 - ``liberty``       — parse and summarise a Liberty file
 - ``bench``         — regenerate the paper's tables and figures
-- ``trace``         — summarise a telemetry trace file
+  (``--json`` records a perf report; ``bench compare`` judges one
+  against a committed baseline)
+- ``status``        — live progress of a pool checkpoint directory
+- ``trace``         — summarise, merge or analyze telemetry traces
 - ``lint``          — static determinism lint over Python sources
 - ``lint-lib``      — domain lint over Liberty/LVF2 artifacts
 - ``fo4``           — print the technology FO4 delay
@@ -368,28 +371,122 @@ def _merge_worker_traces(trace_path: str, run_id: str) -> None:
     )
 
 
-def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+def _resolve_trace_dir(directory: str) -> str | None:
+    """Resolve a directory argument to its single trace file.
+
+    Returns None — after printing an explicit "no spans" summary —
+    when the directory documents a run (a manifest or pool metadata
+    file) but holds no trace files: a run that simply was not traced
+    is an answer, not a usage error.
+
+    Raises:
+        ParameterError: When the directory holds several trace files
+            (ambiguous — merge or name one) or no trace of a run at
+            all.
+    """
+    import glob
     import os
 
-    from repro.runtime.telemetry import load_trace, summarize_trace
+    traces = sorted(glob.glob(os.path.join(directory, "*.jsonl")))
+    if len(traces) == 1:
+        return traces[0]
+    if len(traces) > 1:
+        names = ", ".join(os.path.basename(path) for path in traces[:4])
+        more = "..." if len(traces) > 4 else ""
+        raise ParameterError(
+            f"{directory!r} holds {len(traces)} trace files "
+            f"({names}{more}); merge them first "
+            "(`repro trace merge <files> -o merged.jsonl`) or name one"
+        )
+    manifests = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.json"))):
+        try:
+            with open(path) as handle:
+                body = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(body, dict) and str(
+            body.get("schema", "")
+        ).startswith("repro."):
+            manifests.append((os.path.basename(path), body))
+    if not manifests:
+        raise ParameterError(
+            f"{directory!r} contains no .jsonl trace files and no run "
+            "manifest — nothing to summarise"
+        )
+    print(f"no spans: {directory} documents a run but holds no trace files")
+    for name, body in manifests:
+        detail = ", ".join(
+            f"{key}={body[key]}"
+            for key in ("schema", "command", "run_id", "n_items")
+            if key in body
+        )
+        print(f"  {name}: {detail}")
+    print("hint: re-run with --trace FILE to record spans")
+    return None
+
+
+def _load_trace_checked(path: str):
+    """Load a trace file, turning empty/recordless files into clear
+    one-line errors instead of tracebacks or blank summaries."""
+    import os
+
+    from repro.runtime.telemetry import load_trace
 
     try:
-        empty = os.path.getsize(args.file) == 0
+        empty = os.path.getsize(path) == 0
     except OSError as error:
         raise ParameterError(
-            f"cannot read trace file {args.file!r}: {error}"
+            f"cannot read trace file {path!r}: {error}"
         ) from error
     if empty:
         raise ParameterError(
-            f"trace file {args.file!r} is empty — the traced run "
+            f"trace file {path!r} is empty — the traced run "
             "wrote no records (killed before the first span?)"
         )
-    data = load_trace(args.file)
+    data = load_trace(path)
     if not data.spans and not data.metrics and data.manifest is None:
         raise ParameterError(
-            f"trace file {args.file!r} contains no trace records"
+            f"trace file {path!r} contains no trace records"
         )
-    print(summarize_trace(data))
+    return data
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runtime.telemetry import summarize_trace
+
+    target = args.file
+    if os.path.isdir(target):
+        resolved = _resolve_trace_dir(target)
+        if resolved is None:
+            return 0
+        target = resolved
+    print(summarize_trace(_load_trace_checked(target)))
+    return 0
+
+
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.runtime.telemetry import analyze_trace, render_analysis
+
+    target = args.file
+    if os.path.isdir(target):
+        resolved = _resolve_trace_dir(target)
+        if resolved is None:
+            return 0
+        target = resolved
+    analysis = analyze_trace(_load_trace_checked(target), top=args.top)
+    if args.json:
+        print(
+            json.dumps(
+                analysis.to_dict(top=args.top), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_analysis(analysis, top=args.top))
     return 0
 
 
@@ -422,8 +519,30 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "summarize": _cmd_trace_summarize,
         "merge": _cmd_trace_merge,
+        "analyze": _cmd_trace_analyze,
     }
     return handlers[args.trace_command](args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.runtime.pool import read_pool_status, render_status
+
+    while True:
+        status = read_pool_status(
+            args.directory, claim_timeout=args.claim_timeout
+        )
+        if args.json:
+            print(json.dumps(status.to_dict(), sort_keys=True))
+        else:
+            print(render_status(status))
+        if not args.watch or status.complete:
+            return 0
+        sys.stdout.flush()
+        time.sleep(args.interval)
+        if not args.json:
+            print()
 
 
 def _lint_report(args: argparse.Namespace, findings, sources) -> int:
@@ -529,9 +648,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
+    if getattr(args, "bench_command", None) == "compare":
+        return _cmd_bench_compare(args)
+    if args.paper and args.smoke:
+        raise ParameterError(
+            "--paper and --smoke are opposite scales; pick one"
+        )
     if args.paper:
         os.environ["REPRO_PAPER"] = "1"
     from repro.experiments import run_all
+    from repro.runtime import telemetry
     from repro.runtime.progress import configure_progress_logging
 
     if not args.quiet:
@@ -543,17 +669,100 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         pool_config = PoolConfig(
             n_workers=args.workers,
             claim_timeout=args.claim_timeout,
+            claim_skew=args.claim_skew,
         )
-    suite = run_all(
-        scenario_samples=args.samples,
-        progress=not args.quiet,
-        checkpoint=_checkpoint_store(args),
-        workers=args.workers,
-        pool=pool_config,
-        granularity=args.granularity,
+    table2_config = None
+    scale_kwargs: dict = {}
+    samples = args.samples
+    if args.smoke:
+        from repro.experiments import Table2Config
+
+        # Sub-minute CI scale: every experiment shrunk, and the scale
+        # recorded in the report config so a smoke report can never be
+        # compared against a full-scale baseline.
+        table2_config = Table2Config.smoke()
+        samples = min(samples, 2000)
+        scale_kwargs = {
+            "fig4_samples": 500,
+            "fig5_samples": 500,
+            "clt_samples": 2000,
+        }
+    session = None
+    records: list[dict] = []
+    calibration = 0.0
+    if args.json:
+        from repro.perf import calibrate
+
+        # Calibrate before the run, in the same process, so the
+        # report's machine-speed reference sees the same interpreter
+        # and BLAS state the timed suite does.
+        calibration = calibrate()
+        session = telemetry.TelemetrySession(sinks=(records.append,))
+    context = (
+        telemetry.activate(session)
+        if session is not None
+        else nullcontext()
     )
+    try:
+        with context:
+            suite = run_all(
+                scenario_samples=samples,
+                table2_config=table2_config,
+                progress=not args.quiet,
+                checkpoint=_checkpoint_store(args),
+                workers=args.workers,
+                pool=pool_config,
+                granularity=args.granularity,
+                **scale_kwargs,
+            )
+    finally:
+        if session is not None:
+            session.close()
     print(suite.to_text())
+    if args.json:
+        from repro.perf import build_report, experiment_timings
+        from repro.runtime.export import write_text_file
+
+        report = build_report(
+            experiment_timings(records),
+            calibration,
+            config={
+                "samples": samples,
+                "workers": args.workers,
+                "granularity": args.granularity,
+                "paper": bool(args.paper),
+                "smoke": bool(args.smoke),
+            },
+        )
+        write_text_file(
+            args.json,
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote perf report {args.json}", file=sys.stderr)
     return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.perf import compare_reports, load_report, render_comparison
+
+    rows = compare_reports(
+        load_report(args.baseline),
+        load_report(args.current),
+        max_regression_pct=args.max_regression,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                [row.to_dict() for row in rows], indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(
+            render_comparison(
+                rows, max_regression_pct=args.max_regression
+            )
+        )
+    return 1 if any(row.failed for row in rows) else 0
 
 
 def _cmd_fo4(_: argparse.Namespace) -> int:
@@ -566,6 +775,52 @@ def _cmd_fo4(_: argparse.Namespace) -> int:
     print(f"FO4 delay: {delay * 1e3:.3f} ps")
     print(f"FO4 condition: slew={slew * 1e3:.3f} ps load={load:.5f} pF")
     return 0
+
+
+def _add_pool_flags(
+    parser: argparse.ArgumentParser, *, sweep: str
+) -> None:
+    """Shared worker-pool flags (``characterize`` and ``bench``).
+
+    Args:
+        parser: The subcommand parser to extend.
+        sweep: What ``--workers`` splits, for the help text
+            ("characterisation", "the Table 2 library sweep").
+    """
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=f"split {sweep} across N worker processes (claim-file "
+        "coordination; output is byte-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--claim-timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="with --workers: seconds without a heartbeat before a "
+        "dead worker's claim is reclaimed",
+    )
+    parser.add_argument(
+        "--granularity",
+        choices=("pin", "grid"),
+        default="pin",
+        help="with --workers: work-unit size — 'pin' (one claim per "
+        "cell/pin payload) or 'grid' (one claim per slew-load grid "
+        "point; load-balances per-pin-dominated workloads); output "
+        "is byte-identical either way",
+    )
+    parser.add_argument(
+        "--claim-skew",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --workers: extra cross-host clock skew tolerated "
+        "on top of --claim-timeout before a claim is judged stale "
+        "(NFS mtimes come from the server's clock)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -653,41 +908,7 @@ def build_parser() -> argparse.ArgumentParser:
         "entries, evict oldest checkpoints until the store fits "
         "under this size cap",
     )
-    characterize.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="split characterisation across N worker processes "
-        "(claim-file coordination; output is byte-identical to a "
-        "serial run)",
-    )
-    characterize.add_argument(
-        "--claim-timeout",
-        type=float,
-        default=600.0,
-        metavar="SECONDS",
-        help="with --workers: seconds without a heartbeat before a "
-        "dead worker's claim is reclaimed",
-    )
-    characterize.add_argument(
-        "--granularity",
-        choices=("pin", "grid"),
-        default="pin",
-        help="with --workers: work-unit size — 'pin' (one claim per "
-        "cell/pin payload) or 'grid' (one claim per slew-load grid "
-        "point; load-balances per-pin-dominated workloads); output "
-        "is byte-identical either way",
-    )
-    characterize.add_argument(
-        "--claim-skew",
-        type=float,
-        default=5.0,
-        metavar="SECONDS",
-        help="with --workers: extra cross-host clock skew tolerated "
-        "on top of --claim-timeout before a claim is judged stale "
-        "(NFS mtimes come from the server's clock)",
-    )
+    _add_pool_flags(characterize, sweep="characterisation")
     characterize.add_argument(
         "--fs-retries",
         type=int,
@@ -754,6 +975,13 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="regenerate the paper's tables and figures"
     )
     bench.add_argument("--paper", action="store_true")
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="sub-minute CI scale: shrink every experiment; perf "
+        "reports record the scale so smoke and full-scale runs never "
+        "compare against each other",
+    )
     bench.add_argument("--samples", type=int, default=50_000)
     bench.add_argument("--quiet", action="store_true")
     bench.add_argument(
@@ -766,39 +994,111 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse completed arcs from --checkpoint-dir",
     )
+    _add_pool_flags(bench, sweep="the Table 2 library sweep")
     bench.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="split the Table 2 library sweep across N worker "
-        "processes (output is identical to a serial run)",
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="write a repro.bench/1 perf report (per-experiment wall "
+        "times plus a machine calibration) for `bench compare`",
     )
-    bench.add_argument(
+    bench_sub = bench.add_subparsers(dest="bench_command")
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="judge a perf report against a baseline "
+        "(calibration-normalised; exits 1 on regression)",
+    )
+    bench_compare.add_argument(
+        "baseline", help="committed baseline report (benchmarks/baseline.json)"
+    )
+    bench_compare.add_argument(
+        "current", help="freshly recorded report (`repro bench --json`)"
+    )
+    bench_compare.add_argument(
+        "--max-regression",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="normalised slowdown (percent) above which an "
+        "experiment fails the gate",
+    )
+    bench_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the comparison rows as JSON instead of the table",
+    )
+
+    status = sub.add_parser(
+        "status",
+        help="live progress of a pool checkpoint directory "
+        "(units done/total, per-worker heartbeats, throughput, ETA)",
+    )
+    status.add_argument(
+        "directory",
+        help="the --checkpoint-dir of the running (or finished) pool",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print one machine-readable status object per report",
+    )
+    status.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep reporting every --interval seconds until the run "
+        "completes",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period for --watch",
+    )
+    status.add_argument(
         "--claim-timeout",
         type=float,
         default=600.0,
         metavar="SECONDS",
-        help="with --workers: seconds without a heartbeat before a "
-        "dead worker's claim is reclaimed",
-    )
-    bench.add_argument(
-        "--granularity",
-        choices=("pin", "grid"),
-        default="pin",
-        help="with --workers: pool work-unit size for the Table 2 "
-        "sweep (see characterize --granularity)",
+        help="claim liveness threshold used for the in-flight count "
+        "(match the run's --claim-timeout)",
     )
 
     trace = sub.add_parser(
-        "trace", help="summarise a JSONL telemetry trace file"
+        "trace",
+        help="summarise, merge or profile JSONL telemetry traces",
     )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_summarize = trace_sub.add_parser(
         "summarize",
         help="pretty-print the span tree, stage totals and metrics",
     )
-    trace_summarize.add_argument("file")
+    trace_summarize.add_argument(
+        "file",
+        help="trace file, or a directory holding one trace "
+        "(a run directory with a manifest but no traces reports "
+        "'no spans' instead of erroring)",
+    )
+    trace_analyze = trace_sub.add_parser(
+        "analyze",
+        help="profile a (merged) trace: per-phase wall-time "
+        "attribution, worker utilization, stragglers, span waterfall",
+    )
+    trace_analyze.add_argument(
+        "file", help="trace file (or a directory holding one)"
+    )
+    trace_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.trace_analysis/1 report as JSON",
+    )
+    trace_analyze.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="straggler / critical-path / waterfall row count",
+    )
     trace_merge = trace_sub.add_parser(
         "merge",
         help="merge per-worker JSONL traces into one worker-tagged "
@@ -879,6 +1179,7 @@ _COMMANDS = {
     "liberty": _cmd_liberty,
     "validate": _cmd_validate,
     "bench": _cmd_bench,
+    "status": _cmd_status,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "lint-lib": _cmd_lint_lib,

@@ -60,6 +60,9 @@ def run_all(
     workers: int = 1,
     pool=None,
     granularity: str = "pin",
+    fig4_samples: int | None = None,
+    fig5_samples: int | None = None,
+    clt_samples: int | None = None,
 ) -> ExperimentSuite:
     """Execute every experiment of the paper's evaluation section.
 
@@ -76,6 +79,11 @@ def run_all(
             override forwarded to the Table 2 sweep.
         granularity: Pool work-unit size for the Table 2 sweep,
             ``"pin"`` or ``"grid"``.
+        fig4_samples: Monte-Carlo population override for the Fig. 4
+            accuracy map (None: the experiment's own scale).
+        fig5_samples: Population override for the Fig. 5 paths.
+        clt_samples: Population override for the CLT convergence
+            table.
     """
     # The tag is ``experiment=...`` (not ``name=...``) because
     # ``telemetry.span(name, **tags)`` reserves ``name`` for the span
@@ -99,13 +107,17 @@ def run_all(
         )
     reporter.info("fig4: accuracy pattern ...")
     with telemetry.span("experiment", experiment="fig4"):
-        fig4 = run_fig4()
+        fig4 = run_fig4(n_samples=fig4_samples)
     reporter.info("fig5: path propagation ...")
     with telemetry.span("experiment", experiment="fig5"):
-        fig5 = run_fig5()
+        fig5 = run_fig5(n_samples=fig5_samples)
     reporter.info("clt: convergence ...")
     with telemetry.span("experiment", experiment="clt"):
-        clt = run_clt_convergence()
+        clt = (
+            run_clt_convergence()
+            if clt_samples is None
+            else run_clt_convergence(n_samples=clt_samples)
+        )
     return ExperimentSuite(
         fig3=fig3,
         table1=table1,

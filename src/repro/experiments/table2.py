@@ -113,6 +113,15 @@ class Table2Config:
         )
 
     @classmethod
+    def smoke(cls) -> "Table2Config":
+        """Sub-minute scale for perf gating (``repro bench --smoke``)."""
+        return cls(
+            cell_types=tuple(list(CELL_TYPES)[:4]),
+            n_samples=500,
+            max_arcs_per_cell=1,
+        )
+
+    @classmethod
     def auto(cls) -> "Table2Config":
         """Paper scale when ``REPRO_PAPER=1``, CI scale otherwise."""
         return cls.paper() if paper_scale() else cls()

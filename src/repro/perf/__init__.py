@@ -1,0 +1,37 @@
+"""Performance baselines: record bench timings, compare for regressions.
+
+Two halves, mirroring the record/verify split of the checkpoint and
+telemetry subsystems:
+
+- :mod:`repro.perf.record` — run a machine calibration workload and
+  assemble a stable-schema (``repro.bench/1``) timing report from the
+  ``experiment`` spans a bench run emits (``repro bench --json``);
+- :mod:`repro.perf.compare` — compare a current report against a
+  committed baseline (``benchmarks/baseline.json``), normalising by
+  the calibration ratio so a slower CI runner does not read as a code
+  regression (``repro bench compare``).
+"""
+
+from repro.perf.compare import (
+    ComparisonRow,
+    compare_reports,
+    load_report,
+    render_comparison,
+)
+from repro.perf.record import (
+    BENCH_SCHEMA,
+    build_report,
+    calibrate,
+    experiment_timings,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "ComparisonRow",
+    "build_report",
+    "calibrate",
+    "compare_reports",
+    "experiment_timings",
+    "load_report",
+    "render_comparison",
+]

@@ -13,7 +13,9 @@ twice or changing a single output byte relative to the serial run.
 - :mod:`repro.runtime.pool.worker` — spawned worker lifecycle with
   per-error-family exit codes;
 - :mod:`repro.runtime.pool.pool` — orchestration: spawn, respawn,
-  parent sweep, trace merge.
+  parent sweep, trace merge;
+- :mod:`repro.runtime.pool.status` — live run status: heartbeat
+  files, run metadata, the ``repro status`` progress reader.
 
 Submodules load lazily (PEP 562): importing the package costs nothing
 until a name is touched, and ``pool.pool`` can lazily reach back into
@@ -28,21 +30,30 @@ __all__ = [
     "ClaimInfo",
     "ClaimStore",
     "DEFAULT_CLAIM_TIMEOUT",
+    "DEFAULT_STATUS_INTERVAL",
     "EXIT_CRASH",
     "EXIT_KILLED",
     "EXIT_OK",
     "JOURNAL_FILENAME",
+    "META_FILENAME",
     "PoolConfig",
     "PoolJournal",
     "PoolResult",
+    "PoolStatus",
+    "StatusWriter",
     "WorkItem",
     "WorkerSpec",
+    "WorkerStatus",
     "exit_family",
+    "finalize_pool_meta",
+    "read_pool_status",
+    "render_status",
     "run_pool",
     "run_worker",
     "shard_of",
     "shards",
     "worker_main",
+    "write_pool_meta",
 ]
 
 #: Exported name -> defining submodule (read-only by construction).
@@ -51,21 +62,30 @@ _EXPORTS = MappingProxyType(
         "ClaimInfo": "repro.runtime.pool.claims",
         "ClaimStore": "repro.runtime.pool.claims",
         "DEFAULT_CLAIM_TIMEOUT": "repro.runtime.pool.claims",
+        "DEFAULT_STATUS_INTERVAL": "repro.runtime.pool.status",
         "EXIT_CRASH": "repro.runtime.pool.worker",
         "EXIT_KILLED": "repro.runtime.pool.worker",
         "EXIT_OK": "repro.runtime.pool.worker",
         "JOURNAL_FILENAME": "repro.runtime.pool.journal",
+        "META_FILENAME": "repro.runtime.pool.status",
         "PoolConfig": "repro.runtime.pool.pool",
         "PoolJournal": "repro.runtime.pool.journal",
         "PoolResult": "repro.runtime.pool.pool",
+        "PoolStatus": "repro.runtime.pool.status",
+        "StatusWriter": "repro.runtime.pool.status",
         "WorkItem": "repro.runtime.pool.scheduler",
         "WorkerSpec": "repro.runtime.pool.worker",
+        "WorkerStatus": "repro.runtime.pool.status",
         "exit_family": "repro.runtime.pool.pool",
+        "finalize_pool_meta": "repro.runtime.pool.status",
+        "read_pool_status": "repro.runtime.pool.status",
+        "render_status": "repro.runtime.pool.status",
         "run_pool": "repro.runtime.pool.pool",
         "run_worker": "repro.runtime.pool.worker",
         "shard_of": "repro.runtime.pool.scheduler",
         "shards": "repro.runtime.pool.scheduler",
         "worker_main": "repro.runtime.pool.worker",
+        "write_pool_meta": "repro.runtime.pool.status",
     }
 )
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections.abc import Mapping
 from pathlib import Path
 
 from repro.runtime import fsfaults
@@ -45,13 +46,22 @@ class PoolJournal:
             fault-injected writers).
     """
 
-    def __init__(self, directory: str | os.PathLike[str]) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        defaults: Mapping[str, object] | None = None,
+    ) -> None:
         self.path = Path(directory) / JOURNAL_FILENAME
         self.skipped = 0
+        # Stamped into every record this instance appends (e.g. the
+        # pool run id, so `repro status` can scope progress to a run).
+        self.defaults = dict(defaults or {})
 
     def append(self, event: str, **fields: object) -> None:
         """Append one event record (atomic single-line write)."""
         record: dict[str, object] = {"event": event}
+        record.update(self.defaults)
         record.update(fields)
         line = (json.dumps(record, sort_keys=True) + "\n").encode()
         fsfaults.append_line(self.path, line, op="journal.append")

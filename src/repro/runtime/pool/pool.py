@@ -50,6 +50,12 @@ from repro.runtime.pool.claims import (
 )
 from repro.runtime.pool.journal import PoolJournal
 from repro.runtime.pool.scheduler import WorkItem, shards
+from repro.runtime.pool.status import (
+    DEFAULT_STATUS_INTERVAL,
+    StatusWriter,
+    finalize_pool_meta,
+    write_pool_meta,
+)
 from repro.runtime.pool.worker import (
     EXIT_CRASH,
     EXIT_KILLED,
@@ -117,6 +123,9 @@ class PoolConfig:
             ``trace-<run_id>-merged.jsonl`` (callers that fold the
             worker traces into a bigger merge themselves turn this
             off).
+        status_interval: Minimum seconds between a worker's live
+            status-file rewrites (``repro status`` reads these; see
+            :mod:`repro.runtime.pool.status`).
     """
 
     n_workers: int = 2
@@ -132,6 +141,7 @@ class PoolConfig:
     respawn: int = 1
     poll_interval: float = 0.05
     merge_traces: bool = True
+    status_interval: float = DEFAULT_STATUS_INTERVAL
 
 
 @dataclass
@@ -212,6 +222,7 @@ def _spawn_round(
                 fault_plan=plan,
                 fs_plan=fs_plan,
                 fs_retry=config.fs_retry or fsfaults.retry_policy(),
+                status_interval=config.status_interval,
             )
         )
     processes = [
@@ -257,12 +268,18 @@ def _parent_sweep(
         skew_tolerance=config.claim_skew,
         owner=f"{socket.gethostname()}:{os.getpid()}:parent",
     )
+    status = StatusWriter(
+        pool_store.directory, "parent", interval=config.status_interval
+    )
     writes_before = pool_store.writes
     for item in items:
+        status.update("sweeping", item=item.label)
         while True:
             if execute_item(item, pool_store, claims, journal, "parent"):
                 break
             time.sleep(config.poll_interval)
+        status.advance()
+    status.close("done")
     return pool_store.writes - writes_before, claims.reclaimed
 
 
@@ -320,8 +337,22 @@ def run_pool(
             for item in sequence
             for token in (item.token, *item.companions)
         )
-    journal = PoolJournal(pool_store.directory)
+    journal = PoolJournal(
+        pool_store.directory, defaults={"run": run_id}
+    )
     store_dir = str(pool_store.directory)
+    try:
+        write_pool_meta(
+            store_dir,
+            run_id=run_id,
+            n_items=len(sequence),
+            n_workers=config.n_workers,
+            seed=config.seed,
+        )
+    except OSError:
+        # Metadata is observability; a flaky mount losing it costs
+        # `repro status` its denominator, never the run.
+        telemetry.counter_inc("pool.status_write_errors")
 
     with telemetry.span(
         "pool.run",
@@ -386,6 +417,10 @@ def run_pool(
         families[label] = families.get(label, 0) + 1
     result.exit_families = families
     result.worker_traces = tuple(all_traces)
+    try:
+        finalize_pool_meta(store_dir)
+    except OSError:
+        telemetry.counter_inc("pool.status_write_errors")
 
     telemetry.gauge_set("pool.workers", config.n_workers)
     groups = {item.group for item in sequence if item.group}

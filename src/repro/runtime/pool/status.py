@@ -1,0 +1,461 @@
+"""Live pool status: heartbeat files, run metadata, progress reader.
+
+The claim protocol makes a pool *correct* without a coordinator, but
+it also makes a running pool opaque: claims are hashed filenames and
+the journal only shows finished work.  This module adds the cheap,
+observability-grade live layer the ``repro status`` command (and the
+future characterization-service front-end) reads:
+
+- **run metadata** (``pool-meta.json``): written once by the parent
+  at pool start — run id, item total, worker count, start time — and
+  finalised with ``completed_at`` when the run finishes.  This is how
+  a reader knows the denominator of "done/total";
+- **worker status files** (``pool-status-<worker>.json``): each
+  worker (and the parent sweep) rewrites its own small JSON file at
+  work-unit boundaries, rate-limited to one write per
+  :data:`DEFAULT_STATUS_INTERVAL` seconds, recording its state, the
+  unit it is working on and its personal done-count.  Writes are
+  atomic (temp file + rename through the :mod:`~repro.runtime.fsfaults`
+  seam) so a reader never sees a torn record, and *best-effort*: a
+  failed status write is counted (``pool.status_write_errors``) and
+  swallowed — status is observability, never a correctness input;
+- **the reader** (:func:`read_pool_status`): combines metadata,
+  status heartbeats, live claims and the journal into one
+  :class:`PoolStatus` — units done/total, per-worker state with
+  heartbeat age, throughput and ETA.
+
+Progress semantics: "done" counts units *journalled by this run*
+(distinct content keys of ``task`` events carrying the run id), which
+is exactly the work this run computed; units satisfied from a resumed
+checkpoint store never appear in the journal and are reported through
+the shrinking remainder instead.  The throughput/ETA figures derive
+from journal timestamps, so they survive a reader restart.
+
+None of this participates in the byte-identity story: status and
+metadata files live alongside the claims, are ignored by the
+checkpoint store and gc, and carry no data any computation reads
+back.  The ``status.write`` seam op is deliberately *not* in
+:data:`~repro.runtime.telemetry.session.NEVER_SAMPLED` — status
+traffic is high-frequency background noise a sampled trace is free
+to thin.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ParameterError
+from repro.runtime import fsfaults, telemetry
+from repro.runtime.pool.claims import DEFAULT_CLAIM_TIMEOUT, ClaimStore
+from repro.runtime.pool.journal import PoolJournal
+
+__all__ = [
+    "DEFAULT_STATUS_INTERVAL",
+    "META_FILENAME",
+    "META_SCHEMA",
+    "PoolStatus",
+    "STATUS_SCHEMA",
+    "StatusWriter",
+    "WorkerStatus",
+    "finalize_pool_meta",
+    "read_pool_status",
+    "render_status",
+    "write_pool_meta",
+]
+
+#: Minimum seconds between two status-file rewrites by one writer
+#: (state changes always write).  One small JSON write per second per
+#: worker is far below the fs noise floor of the pool itself.
+DEFAULT_STATUS_INTERVAL = 1.0
+
+#: Run-metadata file name inside the shared store directory.
+META_FILENAME = "pool-meta.json"
+
+#: Schema tags stamped into the metadata / status files.
+META_SCHEMA = "repro.pool_meta/1"
+STATUS_SCHEMA = "repro.pool_status/1"
+
+_STATUS_PREFIX = "pool-status-"
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Stage-and-rename a small JSON file through the fsfaults seam."""
+    staging = path.with_name(path.name + ".tmp")
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    fsfaults.write_bytes(staging, data, op="status.write")
+    fsfaults.replace(staging, path, op="status.write")
+
+
+def write_pool_meta(
+    directory: str | os.PathLike[str],
+    *,
+    run_id: str,
+    n_items: int,
+    n_workers: int,
+    seed: int = 0,
+) -> Path:
+    """Record one pool run's metadata; returns the file written."""
+    path = Path(directory) / META_FILENAME
+    _write_json_atomic(
+        path,
+        {
+            "schema": META_SCHEMA,
+            "run_id": run_id,
+            "n_items": int(n_items),
+            "n_workers": int(n_workers),
+            "seed": int(seed),
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "started_at": time.time(),
+        },
+    )
+    return path
+
+
+def finalize_pool_meta(directory: str | os.PathLike[str]) -> None:
+    """Stamp ``completed_at`` into an existing run-metadata file."""
+    path = Path(directory) / META_FILENAME
+    meta = _read_json(path)
+    if meta is None:
+        return
+    meta["completed_at"] = time.time()
+    _write_json_atomic(path, meta)
+
+
+def _read_json(path: Path) -> dict | None:
+    """Best-effort JSON read; None on absence, torn or foreign data."""
+    try:
+        body = json.loads(fsfaults.read_text(path, op="status.read"))
+    except (OSError, ValueError):
+        return None
+    return body if isinstance(body, dict) else None
+
+
+class StatusWriter:
+    """Rate-limited atomic writer of one worker's status file.
+
+    Every public method is safe to call on the hot path: writes are
+    skipped while the interval has not elapsed (unless the state
+    changed or ``force`` is set), and any filesystem failure is
+    swallowed after counting it — a flaky mount may lose a heartbeat,
+    never a run.
+
+    Attributes:
+        path: This writer's status file.
+        worker: Worker label recorded in every status record.
+        interval: Minimum seconds between rewrites.
+        items_done: Units this writer has marked finished.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        worker: str,
+        *,
+        interval: float = DEFAULT_STATUS_INTERVAL,
+    ) -> None:
+        if interval < 0:
+            raise ParameterError(
+                f"status interval must be >= 0 seconds, got {interval}"
+            )
+        self.path = Path(directory) / f"{_STATUS_PREFIX}{worker}.json"
+        self.worker = worker
+        self.interval = float(interval)
+        self.items_done = 0
+        self._state = ""
+        self._item = ""
+        self._last_write = float("-inf")
+
+    def update(
+        self, state: str, *, item: str = "", force: bool = False
+    ) -> bool:
+        """Record the worker's state; returns True when written.
+
+        Args:
+            state: Free-form state label (``"working"``, ``"idle"``,
+                ``"done"``, ``"error"``).
+            item: Label of the unit being worked on ("" when none).
+            force: Write even within the rate-limit window.
+        """
+        changed = state != self._state
+        self._state = state
+        self._item = item
+        now = time.monotonic()
+        if (
+            not force
+            and not changed
+            and now - self._last_write < self.interval
+        ):
+            return False
+        self._last_write = now
+        payload = {
+            "schema": STATUS_SCHEMA,
+            "worker": self.worker,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "state": state,
+            "item": item,
+            "items_done": self.items_done,
+            "updated_at": time.time(),
+        }
+        try:
+            _write_json_atomic(self.path, payload)
+        except OSError:
+            telemetry.counter_inc("pool.status_write_errors")
+            return False
+        telemetry.counter_inc("pool.status_writes")
+        return True
+
+    def advance(self) -> None:
+        """Count one finished unit (next ``update`` reports it)."""
+        self.items_done += 1
+
+    def close(self, state: str = "done") -> None:
+        """Write the final state unconditionally."""
+        self.update(state, force=True)
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """Decoded status heartbeat of one worker.
+
+    Attributes:
+        worker: Worker label (``w00``, ``parent``).
+        host: Hostname at the last write.
+        pid: Writer's process id.
+        state: Last reported state label.
+        item: Unit the worker last reported working on.
+        items_done: Units the worker has finished.
+        age: Seconds since the last heartbeat (reader's clock).
+        stale: Whether ``age`` exceeds the staleness threshold while
+            the worker still claims to be working.
+    """
+
+    worker: str
+    host: str
+    pid: int
+    state: str
+    item: str
+    items_done: int
+    age: float
+    stale: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "worker": self.worker,
+            "host": self.host,
+            "pid": self.pid,
+            "state": self.state,
+            "item": self.item,
+            "items_done": self.items_done,
+            "age_s": self.age,
+            "stale": self.stale,
+        }
+
+
+@dataclass
+class PoolStatus:
+    """Live progress of one pool checkpoint directory.
+
+    Attributes:
+        directory: The store directory read.
+        run_id: Run id from the metadata ("" when absent).
+        total: Unit total from the metadata (None when unknown).
+        done: Units journalled as computed by this run.
+        live_claims: Claim files currently live (work in flight).
+        workers: Per-worker heartbeats, label order.
+        started_at: Run start (epoch seconds; None without metadata).
+        completed_at: Run completion stamp, if the run finished.
+        elapsed: Seconds since start (0 without metadata).
+        rate: Units per second over the journalled window (0 when
+            unknown).
+        eta: Estimated seconds to completion (None when unknowable).
+    """
+
+    directory: str
+    run_id: str = ""
+    total: int | None = None
+    done: int = 0
+    live_claims: int = 0
+    workers: list[WorkerStatus] = field(default_factory=list)
+    started_at: float | None = None
+    completed_at: float | None = None
+    elapsed: float = 0.0
+    rate: float = 0.0
+    eta: float | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether the run has finished (stamp or full count)."""
+        if self.completed_at is not None:
+            return True
+        return self.total is not None and self.done >= self.total
+
+    def to_dict(self) -> dict:
+        """JSON view (``repro status --json``)."""
+        return {
+            "schema": "repro.pool_status_report/1",
+            "directory": self.directory,
+            "run_id": self.run_id,
+            "total": self.total,
+            "done": self.done,
+            "live_claims": self.live_claims,
+            "complete": self.complete,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "elapsed_s": self.elapsed,
+            "rate_units_per_s": self.rate,
+            "eta_s": self.eta,
+            "workers": [worker.to_dict() for worker in self.workers],
+        }
+
+
+def read_pool_status(
+    directory: str | os.PathLike[str],
+    *,
+    claim_timeout: float = DEFAULT_CLAIM_TIMEOUT,
+    stale_after: float = 30.0,
+) -> PoolStatus:
+    """Read the live status of a pool checkpoint directory.
+
+    Args:
+        directory: The shared store directory of the run.
+        claim_timeout: Liveness threshold for the claim scan.
+        stale_after: Heartbeat age past which a "working" worker is
+            flagged stale (its process may be gone; its claims will
+            be judged by the much longer ``claim_timeout``).
+
+    Raises:
+        ParameterError: When the directory carries no trace of a pool
+            run (no metadata, no journal, no status files).
+    """
+    root = Path(directory)
+    meta = _read_json(root / META_FILENAME)
+    journal = PoolJournal(root)
+    tasks = journal.events("task")
+    status_paths = fsfaults.listdir(
+        root, f"{_STATUS_PREFIX}*.json", op="status.list"
+    )
+    if meta is None and not tasks and not status_paths:
+        raise ParameterError(
+            f"{root} has no pool run to report: no {META_FILENAME}, "
+            "no pool journal, no status files (is this a pool "
+            "checkpoint directory?)"
+        )
+
+    status = PoolStatus(directory=str(root))
+    if meta is not None:
+        status.run_id = str(meta.get("run_id", ""))
+        if meta.get("n_items") is not None:
+            status.total = int(meta["n_items"])
+        started = meta.get("started_at")
+        status.started_at = float(started) if started else None
+        completed = meta.get("completed_at")
+        status.completed_at = float(completed) if completed else None
+
+    run_tasks = [
+        record
+        for record in tasks
+        if not status.run_id
+        or record.get("run") in (None, "", status.run_id)
+    ]
+    status.done = len(
+        {record.get("key") for record in run_tasks if record.get("key")}
+    )
+
+    now = time.time()
+    if status.started_at is not None:
+        end = status.completed_at if status.completed_at else now
+        status.elapsed = max(0.0, end - status.started_at)
+    timestamps = sorted(
+        float(record["ts"]) for record in run_tasks if record.get("ts")
+    )
+    if timestamps and status.done:
+        window_start = (
+            status.started_at
+            if status.started_at is not None
+            else timestamps[0]
+        )
+        window = timestamps[-1] - window_start
+        if window <= 0.0:
+            window = status.elapsed
+        if window > 0.0:
+            status.rate = status.done / window
+    if (
+        status.total is not None
+        and status.rate > 0
+        and not status.complete
+    ):
+        status.eta = max(0.0, (status.total - status.done) / status.rate)
+
+    claims = ClaimStore(root, timeout=claim_timeout)
+    status.live_claims = len(claims.scan(live_only=True))
+
+    for path in status_paths:
+        body = _read_json(path)
+        if body is None:
+            continue
+        updated = float(body.get("updated_at", 0.0) or 0.0)
+        age = max(0.0, now - updated)
+        state = str(body.get("state", ""))
+        status.workers.append(
+            WorkerStatus(
+                worker=str(body.get("worker", path.stem)),
+                host=str(body.get("host", "")),
+                pid=int(body.get("pid", 0) or 0),
+                state=state,
+                item=str(body.get("item", "")),
+                items_done=int(body.get("items_done", 0) or 0),
+                age=age,
+                stale=state == "working" and age > stale_after,
+            )
+        )
+    status.workers.sort(key=lambda worker: worker.worker)
+    return status
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_status(status: PoolStatus) -> str:
+    """Human-readable status block (what ``repro status`` prints)."""
+    lines: list[str] = []
+    total = "?" if status.total is None else str(status.total)
+    share = ""
+    if status.total:
+        share = f" ({100.0 * status.done / status.total:.1f}%)"
+    run = f"run {status.run_id}" if status.run_id else "run"
+    state = "complete" if status.complete else "in flight"
+    lines.append(
+        f"{run}: {status.done}/{total} units{share}, {state}, "
+        f"elapsed {status.elapsed:.1f}s, "
+        f"{status.rate:.2f} units/s"
+        + (
+            f", ETA {_format_eta(status.eta)}"
+            if status.eta is not None
+            else ""
+        )
+    )
+    if status.live_claims:
+        lines.append(f"  {status.live_claims} claim(s) in flight")
+    for worker in status.workers:
+        marker = " STALE" if worker.stale else ""
+        item = f"  {worker.item}" if worker.item else ""
+        lines.append(
+            f"  {worker.worker:<8s} {worker.state:<8s} "
+            f"done={worker.items_done:<5d} "
+            f"heartbeat {worker.age:.1f}s ago{marker}{item}"
+        )
+    if not status.workers:
+        lines.append("  (no worker status files)")
+    return "\n".join(lines)

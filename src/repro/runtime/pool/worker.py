@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import socket
 import sys
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -43,6 +44,7 @@ from repro.runtime.pool.claims import (
 )
 from repro.runtime.pool.journal import PoolJournal
 from repro.runtime.pool.scheduler import WorkItem, shard_of, shards
+from repro.runtime.pool.status import DEFAULT_STATUS_INTERVAL, StatusWriter
 
 __all__ = [
     "EXIT_CRASH",
@@ -88,6 +90,9 @@ class WorkerSpec:
             (chaos tests target individual workers with this).
         fs_retry: Transient-filesystem-error retry policy installed in
             the worker process (None keeps the process default).
+        status_interval: Minimum seconds between live-status heartbeat
+            rewrites (``pool-status-wNN.json``; see
+            :mod:`repro.runtime.pool.status`).
     """
 
     worker_id: int
@@ -103,6 +108,7 @@ class WorkerSpec:
     claim_skew: float = DEFAULT_SKEW_TOLERANCE
     fs_plan: FsFaultPlan | None = field(default=None)
     fs_retry: RetryPolicy | None = field(default=None)
+    status_interval: float = DEFAULT_STATUS_INTERVAL
 
 
 def execute_item(
@@ -146,6 +152,7 @@ def execute_item(
                     worker=worker,
                     host=socket.gethostname(),
                     pid=os.getpid(),
+                    ts=time.time(),
                     **record,
                 )
                 telemetry.counter_inc("pool.items_computed")
@@ -164,6 +171,7 @@ def _drain(
     claims: ClaimStore,
     journal: PoolJournal,
     rng: np.random.Generator,
+    status: StatusWriter,
 ) -> ReproError | None:
     """Own shard first, then steal; returns the first terminal error.
 
@@ -191,12 +199,14 @@ def _drain(
         for item in order:
             if item.token not in incomplete:
                 continue
+            status.update("working", item=item.label)
             try:
                 done = execute_item(item, store, claims, journal, worker)
             except ReproError as error:
                 telemetry.counter_inc("pool.item_errors")
                 return error
             if done:
+                status.advance()
                 incomplete.discard(item.token)
                 progressed = True
         if not progressed:
@@ -218,7 +228,15 @@ def run_worker(spec: WorkerSpec) -> int:
             f":w{spec.worker_id:02d}"
         ),
     )
-    journal = PoolJournal(spec.store_dir)
+    journal = PoolJournal(
+        spec.store_dir,
+        defaults={"run": spec.run_id} if spec.run_id else None,
+    )
+    status = StatusWriter(
+        spec.store_dir,
+        f"w{spec.worker_id:02d}",
+        interval=spec.status_interval,
+    )
     rng = np.random.default_rng(
         np.random.SeedSequence([spec.seed, spec.worker_id])
     )
@@ -253,22 +271,28 @@ def run_worker(spec: WorkerSpec) -> int:
             n_workers=spec.n_workers,
             n_items=len(spec.items),
         ):
-            error = _drain(spec, store, claims, journal, rng)
+            error = _drain(spec, store, claims, journal, rng, status)
     except InjectedKill:
         # A real SIGKILL would leave a truncated trace; flushing here
         # is a concession to inspectability — the *protocol* debris
         # (stale claims, missing payload) is identical either way.
+        # The status file is deliberately NOT finalised: a killed
+        # worker's last heartbeat stays "working" and goes stale,
+        # which is exactly what `repro status` should show.
         if session is not None:
             session.close()
         return EXIT_KILLED
     except ReproError as terminal:
+        status.close("error")
         if session is not None:
             session.close()
         return exit_code_for(terminal)
     except Exception:
+        status.close("error")
         if session is not None:
             session.close()
         return EXIT_CRASH
+    status.close("error" if error is not None else "done")
     if session is not None:
         session.close()
     if error is not None:

@@ -27,6 +27,16 @@ any layer (stats, liberty, ssta) may instrument itself without import
 cycles.
 """
 
+from repro.runtime.telemetry.analyze import (
+    PHASES,
+    PhaseReport,
+    TraceAnalysis,
+    UnitReport,
+    WorkerReport,
+    analyze_trace,
+    phase_of,
+    render_analysis,
+)
 from repro.runtime.telemetry.merge import (
     MERGE_SCHEMA,
     merge_trace_files,
@@ -68,6 +78,14 @@ from repro.runtime.telemetry.tracer import (
 
 __all__ = [
     "CallableSink",
+    "PHASES",
+    "PhaseReport",
+    "TraceAnalysis",
+    "UnitReport",
+    "WorkerReport",
+    "analyze_trace",
+    "phase_of",
+    "render_analysis",
     "Counter",
     "Gauge",
     "Histogram",

@@ -109,12 +109,13 @@ def _initial_mixture(
     config: EMConfig,
 ) -> Mixture:
     """K-means + per-group method-of-moments initialisation (§3.2)."""
-    result = kmeans_1d(
-        samples,
-        n_components,
-        n_restarts=config.kmeans_restarts,
-        seed=config.seed,
-    )
+    with telemetry.span("kmeans.seed", n=int(samples.size)):
+        result = kmeans_1d(
+            samples,
+            n_components,
+            n_restarts=config.kmeans_restarts,
+            seed=config.seed,
+        )
     groups = split_by_labels(samples, result.labels)
     weights: list[float] = []
     components: list[Any] = []

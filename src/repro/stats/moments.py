@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import FittingError
+from repro.runtime import telemetry
 
 __all__ = [
     "MomentSummary",
@@ -130,14 +131,15 @@ def sample_moments(samples: np.ndarray) -> MomentSummary:
             a constant "distribution" cannot parameterise any of the
             timing models.
     """
-    array = validate_samples(samples)
-    mean = float(array.mean())
-    std = float(array.std())
-    if std == 0.0:
-        raise FittingError("samples have zero variance")
-    deviations = (array - mean) / std
-    skew = float(np.mean(deviations**3))
-    kurt = float(np.mean(deviations**4) - 3.0)
+    with telemetry.span("moments.sample", n=int(np.size(samples))):
+        array = validate_samples(samples)
+        mean = float(array.mean())
+        std = float(array.std())
+        if std == 0.0:
+            raise FittingError("samples have zero variance")
+        deviations = (array - mean) / std
+        skew = float(np.mean(deviations**3))
+        kurt = float(np.mean(deviations**4) - 3.0)
     return MomentSummary(mean, std, skew, kurt, count=array.size)
 
 

@@ -1,0 +1,80 @@
+"""Edge-case tests for percentile() and Histogram.summary().
+
+The main telemetry tests cover the common paths; these pin down the
+boundary behaviour the trace analyzer and status reports depend on:
+empty inputs, single observations, duplicate-heavy distributions,
+and the q=0/q=100 extremes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.telemetry import percentile
+from repro.runtime.telemetry.metrics import Histogram
+
+
+class TestPercentileEdges:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ParameterError):
+            percentile([], 50.0)
+
+    def test_single_value_at_any_q(self):
+        for q in (0.0, 50.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q_zero_is_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_q_hundred_is_maximum(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_all_duplicates(self):
+        values = [4.0] * 9
+        for q in (0.0, 25.0, 50.0, 99.0, 100.0):
+            assert percentile(values, q) == 4.0
+
+    def test_linear_interpolation_between_ranks(self):
+        # rank = 0.5 * (2 - 1) = 0.5 → halfway between the two values.
+        assert percentile([0.0, 1.0], 50.0) == 0.5
+        # rank = 0.25 * 4 = 1.0 → exactly the second of five values.
+        assert percentile([0.0, 1.0, 2.0, 3.0, 4.0], 25.0) == 1.0
+
+    def test_input_order_does_not_matter(self):
+        assert percentile([5.0, 1.0, 3.0], 50.0) == percentile(
+            [1.0, 3.0, 5.0], 50.0
+        )
+
+
+class TestHistogramSummaryEdges:
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0}
+
+    def test_single_observation(self):
+        histogram = Histogram("h")
+        histogram.observe(2.5)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == 2.5
+        assert summary["min"] == 2.5
+        assert summary["max"] == 2.5
+        assert summary["p50"] == 2.5
+        assert summary["p99"] == 2.5
+
+    def test_duplicates_collapse_percentiles(self):
+        histogram = Histogram("h")
+        for _ in range(10):
+            histogram.observe(1.0)
+        summary = histogram.summary()
+        assert summary["count"] == 10
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 1.0
+
+    def test_min_max_exact_with_mixed_values(self):
+        histogram = Histogram("h")
+        for value in (5.0, -1.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["min"] == -1.0
+        assert summary["max"] == 5.0
+        assert summary["mean"] == pytest.approx(7.0 / 3.0)

@@ -1,0 +1,213 @@
+"""Tests for the live pool status layer: heartbeats, meta, reader.
+
+Everything runs against a plain tmp_path store directory — the writer
+and reader are exercised directly, the way the pool and the ``repro
+status`` command use them, without spawning worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime.pool import (
+    ClaimStore,
+    PoolJournal,
+    StatusWriter,
+    finalize_pool_meta,
+    read_pool_status,
+    render_status,
+    write_pool_meta,
+)
+from repro.runtime.pool.status import META_FILENAME, META_SCHEMA, STATUS_SCHEMA
+
+
+class TestStatusWriter:
+    def test_first_update_writes(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=10.0)
+        assert writer.update("working", item="INV/Y/rise") is True
+        body = json.loads(writer.path.read_text())
+        assert body["schema"] == STATUS_SCHEMA
+        assert body["worker"] == "w00"
+        assert body["state"] == "working"
+        assert body["item"] == "INV/Y/rise"
+        assert body["items_done"] == 0
+
+    def test_rate_limit_skips_same_state(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=60.0)
+        assert writer.update("working", item="a") is True
+        assert writer.update("working", item="b") is False
+        # The skipped write never touched the file.
+        assert json.loads(writer.path.read_text())["item"] == "a"
+
+    def test_state_change_bypasses_rate_limit(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=60.0)
+        writer.update("working")
+        assert writer.update("idle") is True
+        assert json.loads(writer.path.read_text())["state"] == "idle"
+
+    def test_force_bypasses_rate_limit(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=60.0)
+        writer.update("working", item="a")
+        assert writer.update("working", item="b", force=True) is True
+        assert json.loads(writer.path.read_text())["item"] == "b"
+
+    def test_advance_counts_into_next_write(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=0.0)
+        writer.update("working")
+        writer.advance()
+        writer.advance()
+        writer.update("working")
+        assert json.loads(writer.path.read_text())["items_done"] == 2
+
+    def test_close_forces_final_state(self, tmp_path):
+        writer = StatusWriter(tmp_path, "w00", interval=60.0)
+        writer.update("working")
+        writer.close("done")
+        assert json.loads(writer.path.read_text())["state"] == "done"
+
+    def test_write_failure_is_swallowed(self, tmp_path):
+        # Point the writer at a directory that does not exist: the
+        # atomic write raises OSError, which update must swallow.
+        writer = StatusWriter(tmp_path / "gone", "w00", interval=0.0)
+        assert writer.update("working") is False
+
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            StatusWriter(tmp_path, "w00", interval=-1.0)
+
+
+class TestPoolMeta:
+    def test_write_and_finalize(self, tmp_path):
+        path = write_pool_meta(
+            tmp_path, run_id="r1", n_items=12, n_workers=3, seed=7
+        )
+        assert path.name == META_FILENAME
+        body = json.loads(path.read_text())
+        assert body["schema"] == META_SCHEMA
+        assert body["run_id"] == "r1"
+        assert body["n_items"] == 12
+        assert body["n_workers"] == 3
+        assert "completed_at" not in body
+        finalize_pool_meta(tmp_path)
+        body = json.loads(path.read_text())
+        assert body["completed_at"] > 0
+        # Finalizing preserves the original fields.
+        assert body["run_id"] == "r1"
+
+    def test_finalize_without_meta_is_noop(self, tmp_path):
+        finalize_pool_meta(tmp_path)
+        assert not (tmp_path / META_FILENAME).exists()
+
+
+class TestReadPoolStatus:
+    def _seed_run(self, tmp_path, *, done=2, total=4, run_id="r1"):
+        write_pool_meta(
+            tmp_path, run_id=run_id, n_items=total, n_workers=2
+        )
+        journal = PoolJournal(tmp_path, defaults={"run": run_id})
+        now = time.time()
+        for index in range(done):
+            journal.append(
+                "task", key=f"k{index}", worker=0, ts=now + index
+            )
+        return journal
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            read_pool_status(tmp_path)
+
+    def test_done_total_and_progress(self, tmp_path):
+        self._seed_run(tmp_path, done=2, total=4)
+        status = read_pool_status(tmp_path)
+        assert status.run_id == "r1"
+        assert status.total == 4
+        assert status.done == 2
+        assert not status.complete
+        assert status.rate > 0
+        assert status.eta is not None
+
+    def test_duplicate_task_keys_count_once(self, tmp_path):
+        journal = self._seed_run(tmp_path, done=1, total=4)
+        journal.append("task", key="k0", worker=1, ts=time.time())
+        assert read_pool_status(tmp_path).done == 1
+
+    def test_foreign_run_tasks_are_excluded(self, tmp_path):
+        self._seed_run(tmp_path, done=1, total=4, run_id="r2")
+        stale = PoolJournal(tmp_path, defaults={"run": "r1"})
+        stale.append("task", key="old", worker=0, ts=time.time())
+        assert read_pool_status(tmp_path).done == 1
+
+    def test_legacy_tasks_without_run_field_count(self, tmp_path):
+        self._seed_run(tmp_path, done=1, total=4)
+        legacy = PoolJournal(tmp_path)
+        legacy.append("task", key="legacy", worker=0)
+        assert read_pool_status(tmp_path).done == 2
+
+    def test_complete_via_finalized_meta(self, tmp_path):
+        self._seed_run(tmp_path, done=4, total=4)
+        finalize_pool_meta(tmp_path)
+        status = read_pool_status(tmp_path)
+        assert status.complete
+        assert status.eta is None
+
+    def test_complete_via_full_count(self, tmp_path):
+        self._seed_run(tmp_path, done=4, total=4)
+        assert read_pool_status(tmp_path).complete
+
+    def test_worker_heartbeats_and_staleness(self, tmp_path):
+        self._seed_run(tmp_path)
+        fresh = StatusWriter(tmp_path, "w00")
+        fresh.update("working", item="INV/Y/rise")
+        stale = StatusWriter(tmp_path, "w01")
+        stale.update("working", item="NAND2/Y/fall")
+        # Age the second heartbeat past the staleness threshold.
+        body = json.loads(stale.path.read_text())
+        body["updated_at"] = time.time() - 120.0
+        stale.path.write_text(json.dumps(body))
+        status = read_pool_status(tmp_path, stale_after=30.0)
+        by_worker = {w.worker: w for w in status.workers}
+        assert not by_worker["w00"].stale
+        assert by_worker["w01"].stale
+        assert by_worker["w00"].item == "INV/Y/rise"
+
+    def test_done_worker_is_never_stale(self, tmp_path):
+        self._seed_run(tmp_path)
+        writer = StatusWriter(tmp_path, "w00")
+        writer.close("done")
+        body = json.loads(writer.path.read_text())
+        body["updated_at"] = time.time() - 120.0
+        writer.path.write_text(json.dumps(body))
+        status = read_pool_status(tmp_path, stale_after=30.0)
+        assert not status.workers[0].stale
+
+    def test_torn_status_file_is_skipped(self, tmp_path):
+        self._seed_run(tmp_path)
+        (tmp_path / "pool-status-w09.json").write_text("{torn")
+        status = read_pool_status(tmp_path)
+        assert [w.worker for w in status.workers] == []
+
+    def test_live_claims_counted(self, tmp_path):
+        self._seed_run(tmp_path)
+        claims = ClaimStore(tmp_path, owner="w00")
+        assert claims.acquire("some-token")
+        assert read_pool_status(tmp_path).live_claims == 1
+
+    def test_to_dict_schema(self, tmp_path):
+        self._seed_run(tmp_path)
+        report = read_pool_status(tmp_path).to_dict()
+        assert report["schema"] == "repro.pool_status_report/1"
+        assert report["done"] == 2
+        assert report["total"] == 4
+        assert isinstance(report["workers"], list)
+
+    def test_render_status_text(self, tmp_path):
+        self._seed_run(tmp_path)
+        StatusWriter(tmp_path, "w00").update("working", item="INV")
+        text = render_status(read_pool_status(tmp_path))
+        assert "2/4 units" in text
+        assert "in flight" in text
+        assert "w00" in text

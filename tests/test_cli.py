@@ -616,3 +616,232 @@ class TestBenchParallel:
         assert (
             bench(["--workers", "2", "--granularity", "grid"]) == serial
         )
+
+    def test_bench_json_records_comparable_report(
+        self, tiny_suite, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "report.json"
+        assert main(["bench", "--quiet", "--json", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.bench/1"
+        assert report["calibration_s"] > 0
+        assert "table2" in report["timings_s"]
+        assert report["timings_s"]["total"] > 0
+        assert report["config"]["samples"] > 0
+        # A report always passes the gate against itself.
+        assert main(["bench", "compare", str(path), str(path)]) == 0
+
+
+def _write_trace(path, records):
+    import json
+
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in records)
+    )
+
+
+def _span_record(name, span_id, *, wall=1.0, start=0.0, tags=None):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": None,
+        "start": start,
+        "wall": wall,
+        "cpu": 0.0,
+        "tags": dict(tags or {}),
+    }
+
+
+class TestTraceAnalyzeCli:
+    def test_analyze_file(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(
+            trace,
+            [
+                _span_record("em.fit", 1, wall=2.0),
+                _span_record(
+                    "pool.item",
+                    2,
+                    wall=3.0,
+                    tags={"worker": "w00", "label": "INV/Y/rise"},
+                ),
+            ],
+        )
+        assert main(["trace", "analyze", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "phases (self-time attribution):" in output
+        assert "INV/Y/rise" in output
+
+    def test_analyze_json(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace, [_span_record("em.fit", 1, wall=2.0)])
+        assert main(["trace", "analyze", str(trace), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.trace_analysis/1"
+        assert report["span_count"] == 1
+
+    def test_directory_with_single_trace(self, tmp_path, capsys):
+        _write_trace(
+            tmp_path / "merged.jsonl",
+            [_span_record("em.fit", 1, wall=2.0)],
+        )
+        assert main(["trace", "analyze", str(tmp_path)]) == 0
+        assert "phases" in capsys.readouterr().out
+
+    def test_directory_with_manifest_but_no_traces(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        (tmp_path / "pool-meta.json").write_text(
+            json.dumps(
+                {
+                    "schema": "repro.pool_meta/1",
+                    "run_id": "r1",
+                    "n_items": 4,
+                }
+            )
+        )
+        assert main(["trace", "summarize", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "no spans" in output
+        assert "pool-meta.json" in output
+        assert main(["trace", "analyze", str(tmp_path)]) == 0
+        assert "no spans" in capsys.readouterr().out
+
+    def test_directory_with_multiple_traces_is_ambiguous(
+        self, tmp_path, capsys
+    ):
+        for name in ("a.jsonl", "b.jsonl"):
+            _write_trace(
+                tmp_path / name, [_span_record("em.fit", 1)]
+            )
+        assert main(["trace", "analyze", str(tmp_path)]) == 2
+        assert "merge" in capsys.readouterr().err
+
+    def test_empty_directory_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "analyze", str(tmp_path)]) == 2
+        assert "nothing to summarise" in capsys.readouterr().err
+
+
+class TestStatusCli:
+    def _seed(self, tmp_path, *, done=1, total=3):
+        import time
+
+        from repro.runtime.pool import (
+            PoolJournal,
+            StatusWriter,
+            write_pool_meta,
+        )
+
+        write_pool_meta(tmp_path, run_id="r1", n_items=total, n_workers=1)
+        journal = PoolJournal(tmp_path, defaults={"run": "r1"})
+        for index in range(done):
+            journal.append(
+                "task", key=f"k{index}", worker=0, ts=time.time()
+            )
+        StatusWriter(tmp_path, "w00").update("working", item="INV")
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["status", "x"])
+        assert args.command == "status"
+        assert args.directory == "x"
+        assert not args.watch
+        assert args.interval == 2.0
+        assert args.claim_timeout == 600.0
+
+    def test_status_text(self, tmp_path, capsys):
+        self._seed(tmp_path)
+        assert main(["status", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "1/3 units" in output
+        assert "w00" in output
+
+    def test_status_json(self, tmp_path, capsys):
+        import json
+
+        self._seed(tmp_path, done=3, total=3)
+        assert main(["status", str(tmp_path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.pool_status_report/1"
+        assert report["complete"] is True
+
+    def test_status_on_bare_directory_errors(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 2
+        assert "no pool run" in capsys.readouterr().err
+
+    def test_watch_exits_when_complete(self, tmp_path, capsys):
+        self._seed(tmp_path, done=3, total=3)
+        assert main(["status", str(tmp_path), "--watch"]) == 0
+
+
+class TestBenchCompareCli:
+    def _report(self, tmp_path, name, timings, *, calibration=1.0):
+        import json
+
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.bench/1",
+                    "config": {"samples": 200},
+                    "calibration_s": calibration,
+                    "timings_s": timings,
+                }
+            )
+        )
+        return str(path)
+
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["bench", "compare", "base.json", "cur.json"]
+        )
+        assert args.bench_command == "compare"
+        assert args.baseline == "base.json"
+        assert args.current == "cur.json"
+        assert args.max_regression == 50.0
+
+    def test_bench_shares_pool_flags(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.workers == 1
+        assert args.claim_timeout == 600.0
+        assert args.granularity == "pin"
+        assert args.claim_skew == 5.0
+        assert not args.smoke
+
+    def test_paper_and_smoke_conflict(self, capsys):
+        assert main(["bench", "--paper", "--smoke"]) == 2
+        assert "opposite scales" in capsys.readouterr().err
+
+    def test_compare_passes(self, tmp_path, capsys):
+        base = self._report(tmp_path, "base.json", {"fig3": 2.0})
+        cur = self._report(tmp_path, "cur.json", {"fig3": 2.1})
+        assert main(["bench", "compare", base, cur]) == 0
+        assert "ok: no experiment regressed" in capsys.readouterr().out
+
+    def test_compare_fails_on_regression(self, tmp_path, capsys):
+        base = self._report(tmp_path, "base.json", {"fig3": 2.0})
+        cur = self._report(tmp_path, "cur.json", {"fig3": 5.0})
+        assert main(["bench", "compare", base, cur]) == 1
+        assert "perf regression: fig3" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        import json
+
+        base = self._report(tmp_path, "base.json", {"fig3": 2.0})
+        cur = self._report(tmp_path, "cur.json", {"fig3": 2.0})
+        assert main(["bench", "compare", base, cur, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["key"] == "fig3"
+        assert rows[0]["failed"] is False
+
+    def test_compare_missing_baseline_errors(self, tmp_path, capsys):
+        cur = self._report(tmp_path, "cur.json", {"fig3": 2.0})
+        assert main(["bench", "compare", str(tmp_path / "no.json"), cur]) == 2
+        assert "error:" in capsys.readouterr().err
