@@ -1,0 +1,108 @@
+"""Wall-time budget for the full lint gate, flow pass included.
+
+The CI lint job runs ``repro lint --flow src/repro`` on every push;
+the interprocedural pass re-analyzes the whole tree to a fixpoint, so
+its cost grows with the call graph.  This benchmark keeps that growth
+honest: the complete gate — per-file syntactic lint plus the flow
+fixpoint plus reporting — must finish inside the budget, or the gate
+starts taxing every contributor.
+
+1. collect/parse the tree once (I/O + ast.parse — the floor);
+2. time the per-file syntactic engine alone;
+3. time the interprocedural flow engine alone;
+4. assert the combined wall time stays under ``BUDGET_SECONDS``
+   (default 10, override via ``REPRO_LINT_BUDGET_SECONDS``).
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_lint_runtime.py
+
+Exits non-zero when the budget is blown or the tree is not clean.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+BUDGET_SECONDS = float(os.environ.get("REPRO_LINT_BUDGET_SECONDS", "10"))
+TREE = os.path.join(os.path.dirname(__file__), "..", "src", "repro")
+
+
+def _time_best_of(fn, repeats: int = 3):
+    """Best-of-N wall time and last result — robust to scheduler noise."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> int:
+    from repro.analysis import (
+        apply_suppressions,
+        collect_python_files,
+        lint_flow_paths,
+        lint_flow_sources,
+        lint_paths,
+    )
+
+    tree = os.path.normpath(TREE)
+
+    parse_time, files = _time_best_of(
+        lambda: collect_python_files([tree])
+    )
+    print(f"collect       {parse_time * 1e3:8.1f} ms  {len(files)} files")
+
+    syntactic_time, (_, sources) = _time_best_of(
+        lambda: lint_paths([tree])
+    )
+    loc = sum(len(text.splitlines()) for text in sources.values())
+    print(f"syntactic     {syntactic_time * 1e3:8.1f} ms  {loc} loc")
+
+    flow_time, flow_findings = _time_best_of(
+        lambda: lint_flow_sources(sources)
+    )
+    print(f"flow fixpoint {flow_time * 1e3:8.1f} ms")
+
+    end_to_end_time, (findings, _) = _time_best_of(
+        lambda: lint_flow_paths([tree])
+    )
+    print(f"end-to-end    {end_to_end_time * 1e3:8.1f} ms")
+
+    total = syntactic_time + flow_time
+    print(
+        f"gate total    {total * 1e3:8.1f} ms  "
+        f"(budget {BUDGET_SECONDS:.1f} s)"
+    )
+
+    failed = False
+    if total > BUDGET_SECONDS:
+        print(
+            f"FAIL: lint gate {total:.2f} s exceeds the "
+            f"{BUDGET_SECONDS:.1f} s budget",
+            file=sys.stderr,
+        )
+        failed = True
+    active = [
+        f
+        for f in apply_suppressions(flow_findings + findings, sources)
+        if f.is_active
+    ]
+    if active:
+        # The benchmark doubles as a tripwire: a dirty tree means the
+        # timing above measures finding-formatting, not analysis.
+        print(
+            f"FAIL: tree is not flow-clean "
+            f"({len(active)} active finding(s))",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,22 +1,29 @@
 """Static analysis: determinism lint for sources and LVF2 artifacts.
 
-Two engines share one rule registry, finding model and reporter (see
-DESIGN.md §"Static analysis"):
+Three engines share one rule registry, finding model and reporters
+(see DESIGN.md §"Static analysis" and §12):
 
-- :mod:`repro.analysis.python_lint` — an :mod:`ast`-based linter for
-  the repo's own sources, enforcing the reproducibility contract the
-  checkpoint/resume layer and the future parallel characterisation
-  workers depend on (RNG discipline, determinism hazards, numerical
-  safety, shared-state rules).  CLI: ``repro lint``.
+- :mod:`repro.analysis.python_lint` — an :mod:`ast`-based per-file
+  linter for the repo's own sources, enforcing the reproducibility
+  contract the checkpoint/resume layer and the parallel
+  characterisation workers depend on (RNG discipline, determinism
+  hazards, numerical safety, shared-state rules).  CLI: ``repro
+  lint``.
 - :mod:`repro.analysis.liberty_lint` — a domain linter over the parsed
   Liberty AST that statically checks LVF2 semantics (λ range, Eq. 10
   backward compatibility, LUT shape/axis agreement, mixture moment
   sanity) so a bad library is rejected with rule-tagged diagnostics
   before it reaches SSTA.  CLI: ``repro lint-lib``.
+- :mod:`repro.analysis.flow` — an interprocedural taint pass over the
+  whole linted tree: determinism provenance (FLOW0xx — RNG/entropy/
+  wall-clock/env values crossing function boundaries into sampling or
+  content keys) and the pool filesystem-race detector (POOL0xx —
+  protocol paths mutated outside the fsfaults/O_EXCL/temp+rename
+  idioms).  CLI: ``repro lint --flow``.
 
-Both support inline suppression (``# repro-lint: disable=RULE``) and a
+All support inline suppression (``# repro-lint: disable=RULE``) and a
 grandfathering baseline file (:mod:`repro.analysis.suppressions`), and
-emit human text or telemetry-convention JSONL
+emit human text, telemetry-convention JSONL, or SARIF 2.1.0
 (:mod:`repro.analysis.reporter`).  Like the telemetry package, this
 package imports nothing heavyweight at module load.
 """
@@ -27,6 +34,11 @@ from repro.analysis.findings import (
     LintSeverity,
     Rule,
     RuleRegistry,
+)
+from repro.analysis.flow import (
+    FlowConfig,
+    lint_flow_paths,
+    lint_flow_sources,
 )
 from repro.analysis.liberty_lint import (
     collect_lib_files,
@@ -42,7 +54,10 @@ from repro.analysis.python_lint import (
 from repro.analysis.reporter import (
     fails,
     render_jsonl,
+    render_sarif,
+    render_stats,
     render_text,
+    scan_stats,
     summarize,
 )
 from repro.analysis.suppressions import (
@@ -55,6 +70,7 @@ from repro.analysis.suppressions import (
 
 __all__ = [
     "Finding",
+    "FlowConfig",
     "LintConfig",
     "LintSeverity",
     "REGISTRY",
@@ -66,13 +82,18 @@ __all__ = [
     "collect_lib_files",
     "collect_python_files",
     "fails",
+    "lint_flow_paths",
+    "lint_flow_sources",
     "lint_library_paths",
     "lint_library_text",
     "lint_paths",
     "lint_source",
     "load_baseline",
     "render_jsonl",
+    "render_sarif",
+    "render_stats",
     "render_text",
+    "scan_stats",
     "summarize",
     "write_baseline",
 ]

@@ -293,6 +293,55 @@ _register(
 )
 
 # ---------------------------------------------------------------------------
+# Interprocedural flow rules (engine 3): determinism provenance and the
+# pool filesystem-race detector (:mod:`repro.analysis.flow`).  Unlike
+# the per-file RNG/DET rules above, these track values across
+# call/return/attribute flow through the whole linted tree.
+# ---------------------------------------------------------------------------
+_register(
+    "FLOW001",
+    "tainted-rng-flow",
+    "flow",
+    LintSeverity.ERROR,
+    "entropy/wall-clock/env-seeded RNG reaches a sampling API",
+)
+_register(
+    "FLOW002",
+    "wallclock-into-key",
+    "flow",
+    LintSeverity.ERROR,
+    "wall-clock/entropy value flows into a content key or shard",
+)
+_register(
+    "FLOW003",
+    "env-into-key",
+    "flow",
+    LintSeverity.ERROR,
+    "os.environ value flows into a content key or shard",
+)
+_register(
+    "POOL001",
+    "pool-write-bypasses-seam",
+    "flow",
+    LintSeverity.ERROR,
+    "pool-protocol path mutated without the fsfaults retry seam",
+)
+_register(
+    "POOL002",
+    "claim-write-not-exclusive",
+    "flow",
+    LintSeverity.ERROR,
+    "claim-file body written without an O_CREAT|O_EXCL create",
+)
+_register(
+    "POOL003",
+    "inplace-pool-write",
+    "flow",
+    LintSeverity.ERROR,
+    "pool payload truncated in place; stage to a temp file + rename",
+)
+
+# ---------------------------------------------------------------------------
 # Liberty / LVF2 domain rules (engine 2), paper §3.3 semantics.
 # ---------------------------------------------------------------------------
 _register(

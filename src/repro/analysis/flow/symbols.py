@@ -1,0 +1,396 @@
+"""Module-level symbol resolution for the interprocedural flow engine.
+
+The flow pass (:mod:`repro.analysis.flow.engine`) needs to answer one
+question the per-file linters never ask: *which function does this
+call land in?*  This module builds the whole-program index that makes
+that answer cheap:
+
+- every linted file becomes a :class:`ModuleInfo` with its dotted
+  module name (``src/repro/runtime/pool/claims.py`` →
+  ``repro.runtime.pool.claims``), its import alias map, its top-level
+  constants, and its functions/methods;
+- every function/method becomes a :class:`FunctionInfo` keyed by
+  qualified name (``repro.runtime.checkpoint.CheckpointStore.save``);
+- :meth:`SymbolTable.resolve` maps a dotted call expression, as
+  written at a call site, to the candidate :class:`FunctionInfo`
+  targets — through import aliases, ``self.``-method dispatch,
+  same-module names, class constructors, and (for attribute calls on
+  values of unknown type) a join over every method sharing the
+  terminal name.
+
+Resolution is deliberately *may-call*: when the receiver type is
+unknown, all same-named methods are candidates and the taint engine
+joins their summaries.  That over-approximates data flow (documented
+in DESIGN.md §12 with the other soundness limits) but never invents a
+concrete taint source, so it widens coverage without manufacturing
+false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "SymbolTable",
+    "build_symbol_table",
+    "module_name_for",
+]
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def module_name_for(path: str, root: str | None = None) -> str:
+    """Dotted module name for a source path.
+
+    Files inside a ``repro`` package directory get their canonical
+    package name (so aliases resolve identically no matter where the
+    checkout lives); anything else is named relative to ``root`` (the
+    common parent of the linted files), which is what makes small
+    fixture trees in a tmp directory resolve their own imports.
+    """
+    pure = PurePosixPath(_posix(path)).with_suffix("")
+    parts = list(pure.parts)
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    elif root is not None:
+        root_parts = PurePosixPath(_posix(root)).parts
+        if tuple(parts[: len(root_parts)]) == root_parts:
+            parts = parts[len(root_parts):]
+        else:
+            parts = parts[-1:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part) or pure.stem
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method.
+
+    Attributes:
+        qualname: Fully qualified name, e.g.
+            ``repro.runtime.pool.claims.ClaimStore.key_path``.
+        module: Dotted name of the defining module.
+        cls: Qualified name of the enclosing class, or None.
+        name: Terminal (unqualified) name.
+        file: Source path as given to the engine.
+        node: The function's AST.
+        params: Positional parameter names in order (including
+            ``self``/``cls`` for instance/class methods).
+        kwonly: Keyword-only parameter names.
+        is_method: Whether calls in attribute form bind a receiver
+            (False for plain functions and ``@staticmethod``).
+    """
+
+    qualname: str
+    module: str
+    cls: str | None
+    name: str
+    file: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+    kwonly: tuple[str, ...]
+    is_method: bool
+
+    @property
+    def display(self) -> str:
+        """Short human name for finding messages."""
+        if self.cls is not None:
+            return f"{self.cls.rsplit('.', 1)[-1]}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its import-time namespace.
+
+    Attributes:
+        name: Dotted module name.
+        file: Source path as given to the engine.
+        tree: Parsed AST of the whole module.
+        imports: Local alias → qualified dotted prefix.
+        constants: Top-level simple-assignment expressions by name
+            (taint-evaluated by the engine each round, so a module
+            constant like ``SUFFIX = ".claim"`` seeds path taint).
+        classes: Class name → method-name set, for constructor and
+            ``ClassName.method`` resolution.
+    """
+
+    name: str
+    file: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+    constants: dict[str, ast.expr] = field(default_factory=dict)
+    classes: dict[str, set[str]] = field(default_factory=dict)
+
+
+#: Method names shared with builtin containers/strings/files.  The
+#: unknown-receiver fallback in :meth:`SymbolTable.resolve` never
+#: joins these — a plain ``list.append`` or ``dict.update`` call site
+#: would otherwise inherit the summaries of every linted method that
+#: happens to reuse the name.
+_BUILTIN_METHODS = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popitem",
+        "clear",
+        "copy",
+        "count",
+        "index",
+        "sort",
+        "reverse",
+        "update",
+        "get",
+        "setdefault",
+        "keys",
+        "values",
+        "items",
+        "join",
+        "split",
+        "rsplit",
+        "splitlines",
+        "strip",
+        "lstrip",
+        "rstrip",
+        "format",
+        "replace",
+        "startswith",
+        "endswith",
+        "encode",
+        "decode",
+        "lower",
+        "upper",
+        "read",
+        "readline",
+        "readlines",
+        "write",
+        "close",
+        "flush",
+        "seek",
+        "tell",
+    }
+)
+
+
+def _is_static(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(dec, ast.Name) and dec.id == "staticmethod"
+        for dec in node.decorator_list
+    )
+
+
+def _param_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    positional = tuple(
+        arg.arg for arg in node.args.posonlyargs + node.args.args
+    )
+    kwonly = tuple(arg.arg for arg in node.args.kwonlyargs)
+    return positional, kwonly
+
+
+class SymbolTable:
+    """Whole-program function index over the linted files."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_file: dict[str, ModuleInfo] = {}
+        self.by_qualname: dict[str, FunctionInfo] = {}
+        self._by_terminal: dict[str, list[FunctionInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_module(self, path: str, tree: ast.Module, root: str | None) -> ModuleInfo:
+        name = module_name_for(path, root)
+        module = ModuleInfo(name=name, file=path, tree=tree)
+        self._index_imports(module)
+        self._index_body(module)
+        self.modules[name] = module
+        self.by_file[path] = module
+        return module
+
+    def _index_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    module.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: one level strips the module
+                    # itself, further levels strip enclosing packages.
+                    parts = module.name.split(".")
+                    parts = parts[: max(len(parts) - node.level, 0)]
+                    if node.module:
+                        parts.append(node.module)
+                    base = ".".join(parts)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _register(self, info: FunctionInfo) -> None:
+        self.by_qualname[info.qualname] = info
+        self._by_terminal.setdefault(info.name, []).append(info)
+
+    def _index_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> None:
+        params, kwonly = _param_names(node)
+        qual = (
+            f"{cls}.{node.name}" if cls else f"{module.name}.{node.name}"
+        )
+        self._register(
+            FunctionInfo(
+                qualname=qual,
+                module=module.name,
+                cls=cls,
+                name=node.name,
+                file=module.file,
+                node=node,
+                params=params,
+                kwonly=kwonly,
+                is_method=cls is not None and not _is_static(node),
+            )
+        )
+
+    def _index_body(self, module: ModuleInfo) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._index_function(module, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qual = f"{module.name}.{stmt.name}"
+                methods: set[str] = set()
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods.add(sub.name)
+                        self._index_function(module, sub, cls=cls_qual)
+                module.classes[stmt.name] = methods
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module.constants[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                    module.constants[stmt.target.id] = stmt.value
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+    def functions(self) -> list[FunctionInfo]:
+        """All indexed functions in a stable (qualname) order."""
+        return [
+            self.by_qualname[key] for key in sorted(self.by_qualname)
+        ]
+
+    def resolve(
+        self,
+        module: ModuleInfo,
+        cls: str | None,
+        dotted: tuple[str, ...],
+    ) -> list[tuple[FunctionInfo, int]]:
+        """Candidate ``(target, receiver_offset)`` pairs for a call.
+
+        ``receiver_offset`` is 1 when the call's positional arguments
+        bind from the target's second parameter on (instance-style
+        dispatch where ``self`` is the receiver), 0 when they bind
+        from the first.
+        """
+        if not dotted:
+            return []
+        if dotted[0] == "self" and cls is not None and len(dotted) == 2:
+            info = self.by_qualname.get(f"{cls}.{dotted[1]}")
+            if info is not None:
+                return [(info, 1 if info.is_method else 0)]
+        head = dotted[0]
+        qual: str | None = None
+        if head in module.imports:
+            qual = ".".join((module.imports[head], *dotted[1:]))
+        elif len(dotted) == 1:
+            if f"{module.name}.{head}" in self.by_qualname:
+                qual = f"{module.name}.{head}"
+            elif head in module.classes:
+                qual = f"{module.name}.{head}"
+        elif dotted[0] in module.classes:
+            qual = f"{module.name}.{'.'.join(dotted)}"
+        if qual is not None:
+            info = self.by_qualname.get(qual)
+            if info is not None:
+                # Explicit ClassName.method(obj, ...) passes the
+                # receiver positionally; self.m / alias-module calls
+                # do not reach this branch with a receiver.
+                offset = 0
+                return [(info, offset)]
+            init = self.by_qualname.get(f"{qual}.__init__")
+            if init is not None:
+                return [(init, 1)]
+            return []  # resolved to something outside the linted tree
+        if len(dotted) >= 2 and dotted[-1] not in _BUILTIN_METHODS:
+            # Attribute call on a value of unknown type: join every
+            # same-named method (may-call approximation).  Names that
+            # collide with builtin container/string/file methods are
+            # excluded — `diagnostics.append(...)` must not join
+            # `PoolJournal.append` just because both say "append".
+            return [
+                (info, 1)
+                for info in self._by_terminal.get(dotted[-1], ())
+                if info.is_method
+            ]
+        return []
+
+
+def build_symbol_table(sources: dict[str, str]) -> SymbolTable:
+    """Parse and index ``path → source text`` into a symbol table.
+
+    Raises:
+        ParameterError: When a source does not parse — like the
+            per-file engine, the flow pass cannot vouch for a tree it
+            cannot read.
+    """
+    if not sources:
+        raise ParameterError("flow lint needs at least one source file")
+    directories = {
+        os.path.dirname(_posix(path)) or "." for path in sources
+    }
+    root = os.path.commonpath(list(directories)) if directories else None
+    table = SymbolTable()
+    for path in sorted(sources):
+        try:
+            tree = ast.parse(sources[path], filename=path)
+        except SyntaxError as error:
+            raise ParameterError(
+                f"{path}: cannot flow-lint unparseable source: {error}"
+            ) from error
+        table.add_module(path, tree, root)
+    return table

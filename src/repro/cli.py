@@ -553,10 +553,18 @@ def _lint_report(args: argparse.Namespace, findings, sources) -> int:
         fails,
         load_baseline,
         render_jsonl,
+        render_sarif,
+        render_stats,
         render_text,
+        scan_stats,
         write_baseline,
     )
 
+    if args.stats and args.format == "sarif":
+        raise ParameterError(
+            "--stats is not available with --format sarif; the SARIF "
+            "document carries results only"
+        )
     findings = apply_suppressions(findings, sources)
     if args.write_baseline:
         if not args.baseline:
@@ -575,8 +583,14 @@ def _lint_report(args: argparse.Namespace, findings, sources) -> int:
         findings = apply_baseline(findings, load_baseline(args.baseline))
     if args.format == "jsonl":
         render_jsonl(findings, sys.stdout)
+        if args.stats:
+            print(json.dumps(scan_stats(findings, sources), sort_keys=True))
+    elif args.format == "sarif":
+        render_sarif(findings, sys.stdout)
     else:
         render_text(findings, sys.stdout)
+        if args.stats:
+            render_stats(findings, sources, sys.stdout)
     return 1 if fails(findings) else 0
 
 
@@ -592,6 +606,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "(e.g. `repro lint src/repro`)"
         )
     findings, sources = lint_paths(args.paths)
+    if args.flow:
+        from repro.analysis import Finding, lint_flow_sources
+
+        findings = sorted(
+            findings + lint_flow_sources(sources), key=Finding.sort_key
+        )
     return _lint_report(args, findings, sources)
 
 
@@ -1123,10 +1143,16 @@ def build_parser() -> argparse.ArgumentParser:
     def add_lint_output_flags(lint_parser: argparse.ArgumentParser) -> None:
         lint_parser.add_argument(
             "--format",
-            choices=("text", "jsonl"),
+            choices=("text", "jsonl", "sarif"),
             default="text",
             help="report format (jsonl follows the telemetry sink "
-            "conventions)",
+            "conventions; sarif targets GitHub code scanning)",
+        )
+        lint_parser.add_argument(
+            "--stats",
+            action="store_true",
+            help="append per-rule finding counts and scanned "
+            "file/loc totals to the report",
         )
         lint_parser.add_argument(
             "--baseline",
@@ -1152,7 +1178,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules",
         action="store_true",
-        help="print the rule table (both engines) and exit",
+        help="print the rule table (all engines) and exit",
+    )
+    lint.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural flow pass (FLOW0xx "
+        "determinism provenance + POOL0xx filesystem-race rules)",
     )
     add_lint_output_flags(lint)
 

@@ -154,7 +154,7 @@ class CheckpointStore:
         """
         target = path.with_name(path.name + QUARANTINE_SUFFIX)
         try:
-            os.replace(path, target)
+            fsfaults.replace(path, target, op="checkpoint.quarantine")
         except OSError:
             try:
                 path.unlink(missing_ok=True)

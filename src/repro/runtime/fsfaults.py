@@ -83,6 +83,7 @@ __all__ = [
     "retry_policy",
     "set_retry_policy",
     "stat_mtime",
+    "touch",
     "use_retry_policy",
     "write_bytes",
 ]
@@ -592,6 +593,25 @@ def replace(
     def attempt() -> None:
         _maybe_error("write_error", op, target)
         os.replace(src, dst)
+
+    _with_retries(op, target, attempt)
+
+
+def touch(
+    path: str | os.PathLike[str], *, op: str = "fs.touch"
+) -> None:
+    """Refresh an existing file's mtime, retrying transient errors.
+
+    Claim heartbeats live on this: a heartbeat lost to a transient
+    shared-mount error ages the claim toward the reclaim timeout, so
+    it goes through the same retry discipline as every other protocol
+    write.  The file must already exist — touch never creates (claim
+    birth is :func:`create_exclusive`'s job)."""
+    target = Path(path)
+
+    def attempt() -> None:
+        _maybe_error("write_error", op, target)
+        os.utime(target)
 
     _with_retries(op, target, attempt)
 

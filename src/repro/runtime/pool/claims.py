@@ -287,7 +287,9 @@ class ClaimStore:
         """Refresh the mtime of claims this owner holds."""
         for token in tokens:
             try:
-                os.utime(self.path_for(token))
+                fsfaults.touch(
+                    self.path_for(token), op="claim.heartbeat"
+                )
             except OSError:
                 pass
 

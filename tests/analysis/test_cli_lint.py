@@ -95,6 +95,125 @@ class TestLintCommand:
         assert "(baselined)" in capsys.readouterr().out
 
 
+class TestSarifFormat:
+    def test_sarif_document_shape(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        declared = {rule["id"] for rule in driver["rules"]}
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error",
+                "warning",
+                "note",
+            )
+        assert run["results"]
+        for result in run["results"]:
+            assert result["ruleId"] in declared
+            assert result["message"]["text"]
+            (location,) = result["locations"]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith(
+                "dirty.py"
+            )
+            assert physical["region"]["startLine"] >= 1
+
+    def test_sarif_marks_suppressed_findings(self, tmp_path, capsys):
+        path = tmp_path / "waived.py"
+        path.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+        )
+        assert main(["lint", str(path), "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        (result,) = document["runs"][0]["results"]
+        assert result["suppressions"] == [{"kind": "inSource"}]
+
+    def test_sarif_shared_by_lint_lib(self, tmp_path, capsys):
+        path = tmp_path / "bad.lib"
+        path.write_text(BAD_LIB)
+        assert main(["lint-lib", str(path), "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert any(
+            result["ruleId"].startswith("LIB")
+            for result in document["runs"][0]["results"]
+        )
+
+    def test_stats_with_sarif_is_parameter_error(self, dirty_file, capsys):
+        code = main(
+            ["lint", str(dirty_file), "--format", "sarif", "--stats"]
+        )
+        assert code == 2
+        assert "--stats" in capsys.readouterr().err
+
+
+class TestStatsFlag:
+    def test_text_stats_block(self, dirty_file, capsys):
+        assert main(["lint", str(dirty_file), "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "scanned 1 file(s), 2 line(s)" in out
+        assert "RNG001  total=1 active=1" in out
+
+    def test_jsonl_stats_record(self, dirty_file, capsys):
+        code = main(
+            ["lint", str(dirty_file), "--format", "jsonl", "--stats"]
+        )
+        assert code == 1
+        records = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert records[-1]["type"] == "lint_stats"
+        assert records[-1]["files"] == 1
+        assert records[-1]["loc"] == 2
+        assert records[-1]["by_rule"]["RNG001"]["active"] == 1
+
+    def test_stats_counts_waived_findings(self, tmp_path, capsys):
+        path = tmp_path / "waived.py"
+        path.write_text(
+            "import numpy as np\n"
+            "np.random.seed(0)  # repro-lint: disable=RNG001\n"
+        )
+        assert main(["lint", str(path), "--stats"]) == 0
+        assert (
+            "RNG001  total=1 active=0 suppressed=1"
+            in capsys.readouterr().out
+        )
+
+
+class TestFlowFlag:
+    def test_flow_adds_interprocedural_findings(self, tmp_path, capsys):
+        # A cross-file leak the per-file pass cannot see: the RNG is
+        # built behind a call in one file, sampled in another.
+        (tmp_path / "gen.py").write_text(
+            "import time\n"
+            "import numpy as np\n\n\n"
+            "def fresh():\n"
+            "    return np.random.default_rng(time.time_ns())\n"
+        )
+        (tmp_path / "mc.py").write_text(
+            "from gen import fresh\n"
+            "from repro.stats.lhs import latin_hypercube\n\n\n"
+            "def draw(n):\n"
+            "    return latin_hypercube(n, rng=fresh())\n"
+        )
+        assert main(["lint", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--flow"]) == 1
+        out = capsys.readouterr().out
+        assert "FLOW001" in out
+        assert "mc.py:6" in out
+
+    def test_flow_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(CLEAN_PY)
+        assert main(["lint", str(tmp_path), "--flow"]) == 0
+
+
 class TestLintLibCommand:
     def test_clean_library_exits_zero(self, tmp_path, capsys):
         path = tmp_path / "ok.lib"
@@ -127,6 +246,12 @@ class TestRepoIsLintClean:
 
     def test_src_repro_lints_clean(self, repo_root, capsys):
         assert main(["lint", str(repo_root / "src" / "repro")]) == 0
+
+    def test_src_repro_flow_lints_clean(self, repo_root, capsys):
+        assert (
+            main(["lint", str(repo_root / "src" / "repro"), "--flow"])
+            == 0
+        )
 
     def test_examples_lint_clean(self, repo_root, capsys):
         assert main(["lint-lib", str(repo_root / "examples")]) == 0

@@ -1,0 +1,453 @@
+"""Interprocedural flow-lint tests: FLOW0xx/POOL0xx true positives.
+
+The fixture tree below is crafted so the *per-file* engine
+(:mod:`repro.analysis.python_lint`) reports nothing — every hazard
+crosses a function or file boundary, or hides behind an idiom the
+syntactic rules deliberately exempt (``conftest.py`` RNG allowance,
+the fsfaults seam) — while the flow engine must flag each one.  That
+miss/catch contrast is asserted explicitly, because it is the whole
+reason the flow pass exists.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_flow_paths, lint_flow_sources, lint_paths
+from repro.analysis.flow import build_symbol_table, module_name_for
+from repro.errors import ParameterError
+
+# ---------------------------------------------------------------------------
+# Fixture tree: three FLOW hazards + three POOL hazards, all
+# interprocedural, all invisible to the per-file rules.
+# ---------------------------------------------------------------------------
+
+#: RNG factory in conftest.py — the per-file RNG002 allowlist skips
+#: conftest files, so the seedless default_rng() is syntactically
+#: legal here.  The hazard appears only when the result crosses into
+#: a sampling call in another file.
+CONFTEST = """\
+import numpy as np
+
+
+def fresh_rng():
+    return np.random.default_rng()
+"""
+
+#: Helpers that launder wall-clock and environment reads through an
+#: extra function, defeating any lexical-scope check.
+HELPERS = """\
+import os
+import time
+
+
+def session_seed():
+    return time.time_ns()
+
+
+def stamp():
+    return time.time()
+
+
+def worker_count():
+    return int(os.environ.get("WORKERS", "4"))
+"""
+
+#: The sampling/key callers: each hazard materialises here, one file
+#: away from its source.
+CONSUMERS = """\
+import hashlib
+
+import numpy as np
+
+from conftest import fresh_rng
+from helpers import session_seed, stamp, worker_count
+from repro.stats.lhs import latin_hypercube, lhs_normal
+
+
+def draw(n):
+    rng = fresh_rng()
+    return latin_hypercube(n, rng=rng)
+
+
+def draw_normal(n):
+    rng = np.random.default_rng(session_seed())
+    return lhs_normal(n, rng=rng)
+
+
+def make_token(value, name):
+    digest = hashlib.sha256(f"{value}|{name}".encode())
+    return digest.hexdigest()
+
+
+def label_for(name):
+    return make_token(stamp(), name)
+
+
+def shard_of(item, n_workers):
+    return hash(item) % n_workers
+
+
+def pick_shard(item):
+    return shard_of(item, worker_count())
+"""
+
+#: Pool-protocol path constructors, one file away from the writers.
+STORE = """\
+from pathlib import Path
+
+
+def entry_path(directory, key):
+    return Path(directory) / f"{key}.ckpt"
+
+
+def claim_path(directory, key):
+    return Path(directory) / f"{key}.claim"
+
+
+def journal_path(directory):
+    return Path(directory) / "pool-journal.jsonl"
+"""
+
+#: The writers: raw os.replace/os.utime (which PAR002 never covers)
+#: and seam calls misused on claim/journal paths (which PAR002
+#: explicitly exempts as the sanctioned write route).
+WRITERS = """\
+import os
+
+from repro.runtime import fsfaults
+from store import claim_path, entry_path, journal_path
+
+
+def finalize(directory, key):
+    tmp = entry_path(directory, key).with_suffix(".tmp")
+    os.replace(tmp, entry_path(directory, key))
+
+
+def refresh(directory, key):
+    os.utime(claim_path(directory, key))
+
+
+def claim(directory, key, body):
+    fsfaults.write_bytes(claim_path(directory, key), body)
+
+
+def rewrite_journal(directory, payload):
+    fsfaults.write_bytes(journal_path(directory), payload)
+
+
+def safe_rewrite(directory, payload):
+    tmp = journal_path(directory).with_name("pool-journal.jsonl.tmp")
+    fsfaults.write_bytes(tmp, payload)
+    fsfaults.replace(tmp, journal_path(directory))
+"""
+
+FIXTURES = {
+    "conftest.py": CONFTEST,
+    "helpers.py": HELPERS,
+    "consumers.py": CONSUMERS,
+    "store.py": STORE,
+    "writers.py": WRITERS,
+}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    for name, text in FIXTURES.items():
+        (tmp_path / name).write_text(text)
+    return tmp_path
+
+
+def flow_findings(tree):
+    findings, _ = lint_flow_paths([str(tree)])
+    return findings
+
+
+def rules_at(findings, filename):
+    return sorted(
+        (f.rule_id, f.line)
+        for f in findings
+        if f.file.endswith(filename)
+    )
+
+
+class TestFlowTruePositives:
+    def test_per_file_rules_miss_every_fixture_hazard(self, tree):
+        findings, _ = lint_paths([str(tree)])
+        assert findings == []
+
+    def test_unseeded_rng_across_files_reaches_sampling(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "consumers.py")
+        # draw(): conftest entropy RNG into latin_hypercube.
+        assert ("FLOW001", 12) in rules
+
+    def test_wallclock_seeded_rng_reaches_sampling(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "consumers.py")
+        # draw_normal(): time.time_ns-derived seed via helpers.py.
+        assert ("FLOW001", 17) in rules
+
+    def test_wallclock_into_content_key(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "consumers.py")
+        # label_for(): stamp() into make_token().
+        assert ("FLOW002", 26) in rules
+
+    def test_env_into_shard_assignment(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "consumers.py")
+        # pick_shard(): WORKERS env var into shard_of().
+        assert ("FLOW003", 34) in rules
+
+    def test_raw_replace_onto_checkpoint_path(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "writers.py")
+        assert ("POOL001", 9) in rules
+
+    def test_raw_utime_on_claim_path(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "writers.py")
+        assert ("POOL001", 13) in rules
+
+    def test_claim_body_written_without_o_excl(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "writers.py")
+        assert ("POOL002", 17) in rules
+
+    def test_inplace_journal_write_through_seam(self, tree):
+        findings = flow_findings(tree)
+        rules = rules_at(findings, "writers.py")
+        assert ("POOL003", 21) in rules
+
+    def test_staged_rewrite_is_not_flagged(self, tree):
+        findings = flow_findings(tree)
+        lines = [
+            f.line for f in findings if f.file.endswith("writers.py")
+        ]
+        # safe_rewrite (lines 24-27) stages to .tmp then renames —
+        # the sanctioned idiom must stay silent.
+        assert not any(line >= 24 for line in lines)
+
+    def test_counts_meet_issue_floor(self, tree):
+        findings = flow_findings(tree)
+        flow = [f for f in findings if f.rule_id.startswith("FLOW")]
+        pool = [f for f in findings if f.rule_id.startswith("POOL")]
+        assert len(flow) >= 3
+        assert len(pool) >= 3
+
+    def test_findings_carry_source_lines(self, tree):
+        findings = flow_findings(tree)
+        assert findings
+        assert all(f.source for f in findings)
+
+
+class TestFlowNegatives:
+    def test_seeded_rng_chain_is_clean(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            textwrap.dedent(
+                """\
+                import numpy as np
+
+
+                def derive(seed, index):
+                    return np.random.default_rng(seed + index)
+                """
+            )
+        )
+        (tmp_path / "b.py").write_text(
+            textwrap.dedent(
+                """\
+                from a import derive
+                from repro.stats.lhs import latin_hypercube
+
+
+                def draw(seed, n):
+                    return latin_hypercube(n, rng=derive(seed, 1))
+                """
+            )
+        )
+        findings, _ = lint_flow_paths([str(tmp_path)])
+        assert findings == []
+
+    def test_sample_count_from_env_is_not_an_rng_finding(self, tmp_path):
+        # Environment steering *how many* samples is a scenario knob,
+        # not a determinism leak; only the rng/seed channel counts.
+        (tmp_path / "a.py").write_text(
+            textwrap.dedent(
+                """\
+                import os
+
+                from repro.stats.lhs import latin_hypercube
+
+
+                def draw(rng):
+                    n = int(os.environ.get("N_SAMPLES", "64"))
+                    return latin_hypercube(n, rng=rng)
+                """
+            )
+        )
+        findings, _ = lint_flow_paths([str(tmp_path)])
+        assert findings == []
+
+    def test_unrelated_path_write_is_clean(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            textwrap.dedent(
+                """\
+                import os
+
+
+                def publish(directory, name):
+                    os.replace(directory / "stage", directory / name)
+                """
+            )
+        )
+        findings, _ = lint_flow_paths([str(tmp_path)])
+        assert findings == []
+
+    def test_empty_tree_is_parameter_error(self, tmp_path):
+        with pytest.raises(ParameterError):
+            lint_flow_paths([str(tmp_path)])
+
+    def test_unparseable_source_is_parameter_error(self):
+        with pytest.raises(ParameterError):
+            lint_flow_sources({"bad.py": "def broken(:\n"})
+
+
+class TestWaiverInterplay:
+    """Suppressions and baselines must treat flow findings exactly
+    like syntactic ones — directives live at the *finding* line (the
+    call site the engine reports), not at the taint source."""
+
+    def _sources(self, writers_text):
+        sources = {
+            name: text
+            for name, text in FIXTURES.items()
+            if name != "writers.py"
+        }
+        sources["writers.py"] = writers_text
+        return sources
+
+    def test_inline_disable_waives_flow_finding(self):
+        from repro.analysis import apply_suppressions
+
+        suppressed = WRITERS.replace(
+            "    os.replace(tmp, entry_path(directory, key))",
+            "    os.replace(tmp, entry_path(directory, key))"
+            "  # repro-lint: disable=POOL001",
+        )
+        sources = self._sources(suppressed)
+        findings = apply_suppressions(
+            lint_flow_sources(sources), sources
+        )
+        at_nine = [
+            f
+            for f in findings
+            if f.file == "writers.py" and f.line == 9
+        ]
+        assert at_nine and all(f.suppressed for f in at_nine)
+        # The other POOL findings stay active.
+        assert any(
+            f.is_active and f.rule_id.startswith("POOL")
+            for f in findings
+        )
+
+    def test_baseline_survives_flow_finding_moving_lines(self, tmp_path):
+        from repro.analysis import (
+            apply_baseline,
+            load_baseline,
+            write_baseline,
+        )
+
+        sources = self._sources(WRITERS)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, lint_flow_sources(sources))
+        # Shift every writers.py finding down two lines; the baseline
+        # keys on (file, rule, source-line hash), so the drifted
+        # findings are still grandfathered.
+        shifted = self._sources("# moved\n# moved\n" + WRITERS)
+        drifted = lint_flow_sources(shifted)
+        assert drifted  # still found, at new lines
+        waived = apply_baseline(drifted, load_baseline(baseline_path))
+        assert all(f.baselined for f in waived)
+
+    def test_lint_paths_mixes_syntactic_and_flow_findings(self, tmp_path):
+        # One tree with both a per-file hazard (global np.random.seed)
+        # and a cross-file flow hazard; the combined report the CLI
+        # builds for --flow interleaves both rule families sorted.
+        (tmp_path / "syntactic.py").write_text(
+            "import numpy as np\nnp.random.seed(0)\n"
+        )
+        (tmp_path / "helpers.py").write_text(HELPERS)
+        (tmp_path / "conftest.py").write_text(CONFTEST)
+        (tmp_path / "consumers.py").write_text(CONSUMERS)
+        syntactic, sources = lint_paths([str(tmp_path)])
+        combined = sorted(
+            syntactic + lint_flow_sources(sources),
+            key=lambda f: f.sort_key(),
+        )
+        rules = {f.rule_id for f in combined}
+        assert "RNG001" in rules
+        assert "FLOW001" in rules
+        assert combined == sorted(combined, key=lambda f: f.sort_key())
+
+
+class TestSymbolTable:
+    def test_module_name_anchors_at_repro(self):
+        assert (
+            module_name_for("src/repro/runtime/pool/claims.py")
+            == "repro.runtime.pool.claims"
+        )
+
+    def test_module_name_relative_to_root(self):
+        assert module_name_for("/tmp/x/helpers.py", "/tmp/x") == "helpers"
+
+    def test_init_file_names_the_package(self):
+        assert (
+            module_name_for("src/repro/analysis/__init__.py")
+            == "repro.analysis"
+        )
+
+    def test_resolves_import_alias_and_self_methods(self):
+        table = build_symbol_table(
+            {
+                "a.py": textwrap.dedent(
+                    """\
+                    class Store:
+                        def save(self, key):
+                            return self.path_for(key)
+
+                        def path_for(self, key):
+                            return key
+                    """
+                ),
+                "b.py": "from a import Store\n",
+            }
+        )
+        module = table.modules["a"]
+        hits = table.resolve(module, "a.Store", ("self", "path_for"))
+        assert [(h[0].qualname, h[1]) for h in hits] == [
+            ("a.Store.path_for", 1)
+        ]
+        user = table.modules["b"]
+        ctor = table.resolve(user, None, ("Store",))
+        assert ctor == []  # no __init__ defined — nothing to bind
+
+    def test_builtin_method_names_do_not_join(self):
+        table = build_symbol_table(
+            {
+                "a.py": textwrap.dedent(
+                    """\
+                    class Journal:
+                        def append(self, record):
+                            return record
+                    """
+                ),
+            }
+        )
+        module = table.modules["a"]
+        # `records.append(x)` on an unknown receiver must NOT join
+        # Journal.append just because the names collide.
+        assert table.resolve(module, None, ("records", "append")) == []

@@ -84,6 +84,31 @@ class TestQuarantine:
         assert not path.exists()
         assert self.corrupt_path(store, "t").exists()
 
+    def test_quarantine_rename_retries_transient_errors(self, store):
+        # The quarantine rename goes through the fsfaults seam: a
+        # transient error must not collapse into the unlink fallback
+        # (which would destroy the evidence bytes).
+        from repro.runtime import fsfaults
+
+        store.save("t", {"x": 1})
+        path = store.path_for("t")
+        path.write_bytes(path.read_bytes()[:10])
+        plan = fsfaults.FsFaultPlan(
+            rules=(
+                fsfaults.FsFaultRule(
+                    kind="write_error",
+                    op="checkpoint.quarantine",
+                    times=1,
+                ),
+            )
+        )
+        fast = fsfaults.RetryPolicy(retries=2, backoff=0.0)
+        with fsfaults.inject_fs(plan), fsfaults.use_retry_policy(fast):
+            assert store.load("t") is None
+        assert plan.fired == {"write_error": 1}
+        assert store.quarantined == 1
+        assert self.corrupt_path(store, "t").exists()
+
     def test_foreign_pickle_is_quarantined_miss(self, store):
         store.path_for("t").write_bytes(pickle.dumps([1, 2, 3]))
         assert store.load("t") is None

@@ -265,6 +265,29 @@ class TestHeartbeat:
         claims.heartbeat(["token"])
         assert time.time() - path.stat().st_mtime < 10.0
 
+    def test_heartbeat_retries_transient_errors(self, claims):
+        # Heartbeats route through the fsfaults seam: a transient
+        # shared-mount error must be retried, not silently swallowed
+        # into an aging claim that another worker then reclaims.
+        from repro.runtime import fsfaults
+
+        claims.acquire("token")
+        path = claims.path_for("token")
+        past = time.time() - 100.0
+        os.utime(path, (past, past))
+        plan = fsfaults.FsFaultPlan(
+            rules=(
+                fsfaults.FsFaultRule(
+                    kind="write_error", op="claim.heartbeat", times=1
+                ),
+            )
+        )
+        fast = fsfaults.RetryPolicy(retries=2, backoff=0.0)
+        with fsfaults.inject_fs(plan), fsfaults.use_retry_policy(fast):
+            claims.heartbeat(["token"])
+        assert plan.fired == {"write_error": 1}
+        assert time.time() - path.stat().st_mtime < 10.0
+
     def test_hold_keeps_a_short_timeout_claim_alive(self, tmp_path):
         claims = ClaimStore(tmp_path, timeout=0.3, owner="holder")
         other = ClaimStore(tmp_path, timeout=0.3, owner="thief")

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import errno
+import os
 import pickle
+import time
 
 import pytest
 
@@ -412,3 +414,31 @@ class TestExportUnderFaults:
         with inject_fs(plan), use_retry_policy(FAST):
             assert write_text_file(out, "library") == 7
         assert out.read_text() == "library"
+
+
+class TestTouch:
+    def test_touch_refreshes_mtime(self, tmp_path):
+        target = tmp_path / "beat.claim"
+        target.write_bytes(b"{}")
+        past = time.time() - 100.0
+        os.utime(target, (past, past))
+        fsfaults.touch(target)
+        assert time.time() - target.stat().st_mtime < 10.0
+
+    def test_transient_error_is_retried(self, tmp_path):
+        target = tmp_path / "beat.claim"
+        target.write_bytes(b"{}")
+        past = time.time() - 100.0
+        os.utime(target, (past, past))
+        plan = plan_of(
+            FsFaultRule(kind="write_error", op="claim.heartbeat", times=1)
+        )
+        with inject_fs(plan), use_retry_policy(FAST):
+            fsfaults.touch(target, op="claim.heartbeat")
+        assert plan.fired == {"write_error": 1}
+        assert time.time() - target.stat().st_mtime < 10.0
+
+    def test_missing_file_raises_without_retry(self, tmp_path):
+        with use_retry_policy(FAST):
+            with pytest.raises(FileNotFoundError):
+                fsfaults.touch(tmp_path / "absent.claim")
