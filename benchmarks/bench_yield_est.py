@@ -1,0 +1,139 @@
+"""Accuracy/efficiency gate for the yield estimator zoo.
+
+The package's reason to exist is quantitative, so CI asserts it, not
+just the unit tests: on a fitted LVF2 arc with an analytic ground
+truth (the Multi-Peaks scenario — its mixture tail stays numerically
+resolvable at 4 sigma),
+
+1. **4-sigma accuracy** — adaptive-IS estimates the 4-sigma failure
+   probability within 5% relative RMSE over seeded repeats, spending
+   at most 10% of the ``(1 - p) / (p * 0.05^2)`` samples plain MC
+   would need for the same accuracy (in practice ~0.0003%);
+2. **3.5-sigma efficiency** — both IS engines stay within tolerance
+   at a 3.5-sigma target while implying >= 10x fewer samples than
+   plain MC for their achieved accuracy;
+3. **MC honesty** — plain MC at the same budget cannot resolve the
+   4-sigma tail at all (zero effective failure observations), which
+   is exactly the gap the engines close.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_yield_est.py
+
+Budgets shrink under ``REPRO_YIELD_GATE_SMOKE=1`` (looser tolerances,
+sub-minute runtime).  Exits non-zero when any criterion fails.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+SMOKE = os.environ.get("REPRO_YIELD_GATE_SMOKE", "") == "1"
+
+#: (budget, repeats, rmse tolerance) for the 4-sigma adaptive-IS gate.
+FOUR_SIGMA = (16384, 3, 0.12) if SMOKE else (65536, 4, 0.05)
+
+#: (budget, repeats, per-engine rmse tolerance) at 3.5 sigma.
+THREE_FIVE = (
+    (4096, 2, {"is": 0.35, "adaptive-is": 0.15})
+    if SMOKE
+    else (8192, 4, {"is": 0.20, "adaptive-is": 0.08})
+)
+
+#: Minimum implied plain-MC-samples / budget ratio for the IS engines.
+MIN_EFFICIENCY = 10.0
+
+
+def main() -> int:
+    import numpy as np
+
+    from repro.circuits.scenarios import get_scenario
+    from repro.experiments.yield_study import mc_samples_required
+    from repro.models import fit_model
+    from repro.yield_est import estimate_yield
+
+    model = fit_model(
+        "LVF2", get_scenario("Multi-Peaks").sample(20000, rng=0)
+    )
+    moments = model.moments()
+    failures: list[str] = []
+
+    def check(label: str, ok: bool, detail: str) -> None:
+        status = "ok  " if ok else "FAIL"
+        print(f"{status} {label}: {detail}")
+        if not ok:
+            failures.append(label)
+
+    def rel_rmse(engine: str, k: float, budget: int, repeats: int):
+        threshold = moments.sigma_point(k)
+        truth = float(model.sf(threshold))
+        errors = [
+            estimate_yield(
+                model,
+                threshold,
+                engine=engine,
+                budget=budget,
+                rng=seed,
+            ).relative_error(truth)
+            for seed in range(1, repeats + 1)
+        ]
+        return float(np.sqrt(np.mean(np.square(errors)))), truth
+
+    # 1. 4-sigma accuracy at a fraction of the MC cost.
+    budget, repeats, tolerance = FOUR_SIGMA
+    rmse, truth = rel_rmse("adaptive-is", 4.0, budget, repeats)
+    mc_cost = mc_samples_required(truth, 0.05)
+    check(
+        "4sigma adaptive-is accuracy",
+        rmse <= tolerance,
+        f"rel RMSE {rmse:.2%} (tolerance {tolerance:.0%}, "
+        f"p={truth:.3g}, {repeats} seeds, budget {budget})",
+    )
+    check(
+        "4sigma budget vs MC",
+        budget <= 0.10 * mc_cost,
+        f"budget {budget} vs 10% of MC cost "
+        f"{0.10 * mc_cost:.3g} for 5% error",
+    )
+
+    # 2. Both IS engines at 3.5 sigma, >= 10x fewer samples than MC.
+    budget, repeats, tolerances = THREE_FIVE
+    for engine, tolerance in tolerances.items():
+        rmse, truth = rel_rmse(engine, 3.5, budget, repeats)
+        check(
+            f"3.5sigma {engine} accuracy",
+            rmse <= tolerance,
+            f"rel RMSE {rmse:.2%} (tolerance {tolerance:.0%}, "
+            f"budget {budget})",
+        )
+        implied = mc_samples_required(truth, max(rmse, 1e-12))
+        check(
+            f"3.5sigma {engine} efficiency",
+            implied >= MIN_EFFICIENCY * budget,
+            f"implied MC cost {implied:.3g} = "
+            f"{implied / budget:.0f}x budget "
+            f"(need >= {MIN_EFFICIENCY:.0f}x)",
+        )
+
+    # 3. Plain MC at the IS budget is blind to the 4-sigma tail.
+    threshold = moments.sigma_point(4.0)
+    mc_estimate = estimate_yield(
+        model, threshold, engine="mc", budget=budget, rng=1
+    )
+    check(
+        "4sigma mc blindness",
+        mc_estimate.ess < 1.0,
+        f"plain MC ess {mc_estimate.ess:.0f} at budget {budget} "
+        "(tail beyond its resolution, as expected)",
+    )
+
+    if failures:
+        print(f"{len(failures)} gate criterion(s) failed")
+        return 1
+    print("yield estimator gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,9 +8,12 @@ from repro.binning.bins import (
 )
 from repro.binning.metrics import (
     DistributionScore,
+    YieldReference,
     binning_error,
     cdf_rmse,
     error_reduction,
+    estimated_sigma_yield,
+    estimated_yield_error,
     evaluate_distribution,
     evaluate_models,
     geometric_mean,
@@ -29,9 +32,12 @@ __all__ = [
     "DistributionLike",
     "DistributionScore",
     "PriceProfile",
+    "YieldReference",
     "binning_error",
     "cdf_rmse",
     "error_reduction",
+    "estimated_sigma_yield",
+    "estimated_yield_error",
     "evaluate_distribution",
     "evaluate_models",
     "expected_revenue",

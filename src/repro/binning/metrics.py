@@ -24,17 +24,38 @@ from repro.binning.bins import (
 )
 from repro.errors import ParameterError
 from repro.stats.empirical import EmpiricalDistribution
+from repro.stats.moments import MomentSummary
 
 __all__ = [
     "DistributionScore",
+    "YieldReference",
     "binning_error",
     "cdf_rmse",
     "error_reduction",
+    "estimated_sigma_yield",
+    "estimated_yield_error",
     "evaluate_distribution",
     "evaluate_models",
     "sigma_yield",
     "yield_error",
 ]
+
+#: Reference types accepted wherever a ``mu + k sigma`` design target
+#: is derived: golden samples, or their moment summary directly.
+YieldReference = EmpiricalDistribution | MomentSummary
+
+
+def _reference_summary(reference: YieldReference) -> MomentSummary:
+    """Moment summary of a yield reference (samples or summary)."""
+    if isinstance(reference, MomentSummary):
+        return reference
+    moments = getattr(reference, "moments", None)
+    if callable(moments):
+        return moments()
+    raise ParameterError(
+        "yield reference must be a MomentSummary or expose .moments(), "
+        f"got {type(reference).__name__}"
+    )
 
 
 def binning_error(
@@ -61,19 +82,22 @@ def binning_error(
 
 def sigma_yield(
     dist: DistributionLike,
-    golden: EmpiricalDistribution,
+    golden: YieldReference,
     k: float = 3.0,
     *,
     two_sided: bool = False,
 ) -> float:
-    """Yield at the golden ``mu + k sigma`` design target.
+    """Yield at the reference ``mu + k sigma`` design target.
 
-    ``T_max = mu_golden + k * sigma_golden`` is the target delay chips
-    must satisfy (§2.1); the k-sigma yield is ``P(t <= T_max)``.  With
-    ``two_sided`` the leakage-limited lower cut ``T_min = mu - k sigma``
-    is applied as well.
+    ``T_max = mu + k * sigma`` of the reference is the target delay
+    chips must satisfy (§2.1); the k-sigma yield is ``P(t <= T_max)``
+    under ``dist``.  With ``two_sided`` the leakage-limited lower cut
+    ``T_min = mu - k sigma`` is applied as well.  ``golden`` may be
+    the golden sample set or a bare :class:`MomentSummary`, so design
+    targets at arbitrary ``k`` (4–5 sigma included) do not require a
+    sample set that can resolve them.
     """
-    summary = golden.moments()
+    summary = _reference_summary(golden)
     upper = summary.sigma_point(k)
     value = float(np.asarray(dist.cdf(np.asarray(upper))))
     if two_sided:
@@ -88,12 +112,73 @@ def yield_error(
     k: float = 3.0,
     *,
     two_sided: bool = False,
+    reference: YieldReference | None = None,
 ) -> float:
-    """Absolute k-sigma yield error of ``model`` vs the golden samples."""
+    """Absolute k-sigma yield error of ``model`` vs the golden samples.
+
+    ``reference`` (default: ``golden``) fixes the design target; the
+    golden side is read from the empirical CDF, so past ``golden``'s
+    tail resolution (``k`` above roughly ``ppf(1 - 1/n)``) this metric
+    saturates — use :func:`estimated_yield_error` there.
+    """
+    ref = golden if reference is None else reference
     return abs(
-        sigma_yield(model, golden, k, two_sided=two_sided)
-        - sigma_yield(golden, golden, k, two_sided=two_sided)
+        sigma_yield(model, ref, k, two_sided=two_sided)
+        - sigma_yield(golden, ref, k, two_sided=two_sided)
     )
+
+
+def estimated_sigma_yield(
+    target: object,
+    reference: YieldReference,
+    k: float = 3.0,
+    *,
+    engine: str = "adaptive-is",
+    budget: int = 8192,
+    rng: np.random.Generator | int | None = None,
+):
+    """Estimator-backed k-sigma yield of ``target``.
+
+    Far-tail variant of :func:`sigma_yield`: instead of evaluating a
+    CDF (useless for raw samplers, resolution-capped for empirical
+    distributions) it runs a :mod:`repro.yield_est` engine at the
+    ``mu + k sigma`` target of ``reference`` and returns the full
+    :class:`~repro.yield_est.result.YieldEstimate` — yield is its
+    ``yield_fraction``, with standard error and budget accounting
+    attached rather than discarded.
+    """
+    from repro.yield_est import estimate_yield
+
+    threshold = _reference_summary(reference).sigma_point(k)
+    return estimate_yield(
+        target, threshold, engine=engine, budget=budget, rng=rng
+    )
+
+
+def estimated_yield_error(
+    model: object,
+    golden: EmpiricalDistribution,
+    k: float = 3.0,
+    *,
+    engine: str = "adaptive-is",
+    budget: int = 8192,
+    rng: np.random.Generator | int | None = None,
+    reference: YieldReference | None = None,
+) -> float:
+    """Absolute k-sigma yield error with an estimator on the model side.
+
+    The model's tail probability comes from a :mod:`repro.yield_est`
+    engine (so ``model`` may be any estimator target, fitted models
+    and raw samplers alike); the golden side is still the empirical
+    CDF, so beyond ``golden.tail_resolution`` the golden term clamps
+    to 0 and this reads as the model's absolute tail mass.
+    """
+    ref = golden if reference is None else reference
+    estimate = estimated_sigma_yield(
+        model, ref, k, engine=engine, budget=budget, rng=rng
+    )
+    golden_failure = 1.0 - sigma_yield(golden, ref, k)
+    return abs(estimate.failure_probability - golden_failure)
 
 
 def cdf_rmse(

@@ -19,6 +19,12 @@ from repro.experiments.table2 import (
     Table2Result,
     run_table2,
 )
+from repro.experiments.yield_study import (
+    YieldStudyCell,
+    YieldStudyResult,
+    mc_samples_required,
+    run_yield_study,
+)
 
 __all__ = [
     "CLTResult",
@@ -34,9 +40,12 @@ __all__ = [
     "Table1Result",
     "Table2Config",
     "Table2Result",
+    "YieldStudyCell",
+    "YieldStudyResult",
     "diagonal_contrast",
     "fit_paper_models",
     "format_table",
+    "mc_samples_required",
     "paper_scale",
     "run_all",
     "run_clt_convergence",
@@ -45,5 +54,6 @@ __all__ = [
     "run_fig5",
     "run_table1",
     "run_table2",
+    "run_yield_study",
     "score_paper_models",
 ]

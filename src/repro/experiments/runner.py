@@ -20,6 +20,7 @@ from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Config, Table2Result, run_table2
+from repro.experiments.yield_study import YieldStudyResult, run_yield_study
 from repro.runtime import telemetry
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.progress import ProgressReporter
@@ -37,6 +38,7 @@ class ExperimentSuite:
     fig4: Fig4Result
     fig5: Fig5Result
     clt: CLTResult
+    yield_est: YieldStudyResult
 
     def to_text(self) -> str:
         sections = [
@@ -46,6 +48,7 @@ class ExperimentSuite:
             self.fig4.to_text(),
             self.fig5.to_text(),
             self.clt.to_text(),
+            self.yield_est.to_text(),
         ]
         divider = "\n" + "=" * 72 + "\n"
         return divider.join(sections)
@@ -63,6 +66,8 @@ def run_all(
     fig4_samples: int | None = None,
     fig5_samples: int | None = None,
     clt_samples: int | None = None,
+    yield_budgets: tuple[int, ...] | None = None,
+    yield_repeats: int | None = None,
 ) -> ExperimentSuite:
     """Execute every experiment of the paper's evaluation section.
 
@@ -84,6 +89,9 @@ def run_all(
         fig5_samples: Population override for the Fig. 5 paths.
         clt_samples: Population override for the CLT convergence
             table.
+        yield_budgets: Budget-ladder override for the yield estimator
+            study (None: the study's own scale).
+        yield_repeats: Seeded-repeat override for the yield study.
     """
     # The tag is ``experiment=...`` (not ``name=...``) because
     # ``telemetry.span(name, **tags)`` reserves ``name`` for the span
@@ -118,6 +126,14 @@ def run_all(
             if clt_samples is None
             else run_clt_convergence(n_samples=clt_samples)
         )
+    reporter.info("yield_est: estimator accuracy vs budget ...")
+    yield_kwargs: dict = {"fit_samples": scenario_samples}
+    if yield_budgets is not None:
+        yield_kwargs["budgets"] = tuple(yield_budgets)
+    if yield_repeats is not None:
+        yield_kwargs["repeats"] = yield_repeats
+    with telemetry.span("experiment", experiment="yield_est"):
+        yield_est = run_yield_study(**yield_kwargs)
     return ExperimentSuite(
         fig3=fig3,
         table1=table1,
@@ -125,4 +141,5 @@ def run_all(
         fig4=fig4,
         fig5=fig5,
         clt=clt,
+        yield_est=yield_est,
     )

@@ -1,0 +1,303 @@
+"""Accuracy-vs-budget study for the yield estimator zoo.
+
+The estimator-zoo counterpart of the paper's §4 accuracy tables: fit
+the paper's model to a scenario arc, take the model's analytic tail
+probability at ``mu + k sigma`` as ground truth, and score every
+engine's relative RMSE against it across a ladder of simulator-call
+budgets (seeded repeats per cell).
+
+The headline column is **sample efficiency**: how many plain-MC
+samples the achieved accuracy would have cost, over the budget the
+engine actually spent.  Plain MC needs ``n = (1 - p) / (p eps^2)``
+samples for relative error ``eps`` at failure probability ``p`` —
+about 1.3e7 for 5% at 4 sigma — which is the cost the
+importance-sampling engines amortise away.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.binning.metrics import geometric_mean
+from repro.circuits.scenarios import get_scenario
+from repro.errors import ParameterError
+from repro.experiments.common import format_table
+from repro.models import fit_model
+
+__all__ = [
+    "YieldStudyCell",
+    "YieldStudyResult",
+    "mc_samples_required",
+    "run_yield_study",
+]
+
+#: Default budget ladder (simulator calls per estimate).
+DEFAULT_BUDGETS: tuple[int, ...] = (2048, 8192, 32768)
+
+#: Engines scored by the study, golden baseline first.
+DEFAULT_ENGINES: tuple[str, ...] = ("mc", "is", "adaptive-is")
+
+
+def mc_samples_required(p: float, rel_err: float) -> float:
+    """Plain-MC samples for relative standard error ``rel_err`` at ``p``.
+
+    From the binomial variance: ``n = (1 - p) / (p * rel_err^2)``.
+    """
+    if not 0.0 < p < 1.0:
+        raise ParameterError(
+            f"failure probability must lie in (0, 1), got {p}"
+        )
+    if rel_err <= 0.0:
+        raise ParameterError(
+            f"relative error must be positive, got {rel_err}"
+        )
+    return (1.0 - p) / (p * rel_err * rel_err)
+
+
+@dataclass(frozen=True)
+class YieldStudyCell:
+    """One engine at one budget, aggregated over seeded repeats.
+
+    Attributes:
+        engine: Registry name of the engine.
+        budget: Simulator-call budget per estimate.
+        rel_rmse: Root-mean-square relative error vs the analytic
+            truth over the repeats.
+        mean_ess: Mean effective failure observations per estimate.
+        n_repeats: Seeded repeats aggregated.
+        efficiency: Plain-MC samples the achieved ``rel_rmse`` would
+            cost, over ``budget`` — the "x fewer samples" headline
+            (``>> 10`` for a working IS engine).  NaN when the cell
+            effectively observed no failure at all (mean ESS below 1):
+            an estimate pinned at 0 has relative error exactly 1 by
+            construction, which the binomial cost formula would
+            mistake for legitimate accuracy.
+    """
+
+    engine: str
+    budget: int
+    rel_rmse: float
+    mean_ess: float
+    n_repeats: int
+    efficiency: float
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine,
+            "budget": int(self.budget),
+            "rel_rmse": float(self.rel_rmse),
+            "mean_ess": float(self.mean_ess),
+            "n_repeats": int(self.n_repeats),
+            "efficiency": (
+                float(self.efficiency)
+                if math.isfinite(self.efficiency)
+                else None
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class YieldStudyResult:
+    """Full accuracy-vs-budget grid for one arc and target.
+
+    Attributes:
+        scenario: Scenario arc the model was fitted to.
+        model: Fitted model family providing the analytic truth.
+        k: Sigma level of the design target.
+        threshold: The resolved ``mu + k sigma`` delay target.
+        truth: Analytic ``P(t > threshold)`` of the fitted model.
+        cells: One :class:`YieldStudyCell` per engine x budget.
+    """
+
+    scenario: str
+    model: str
+    k: float
+    threshold: float
+    truth: float
+    cells: tuple[YieldStudyCell, ...]
+
+    def cell(self, engine: str, budget: int) -> YieldStudyCell:
+        for candidate in self.cells:
+            if candidate.engine == engine and candidate.budget == budget:
+                return candidate
+        raise ParameterError(
+            f"no study cell for engine={engine!r} budget={budget}"
+        )
+
+    def engine_efficiency(self, engine: str) -> float:
+        """Geometric-mean sample efficiency of one engine."""
+        values = [
+            cell.efficiency
+            for cell in self.cells
+            if cell.engine == engine
+        ]
+        if not values:
+            raise ParameterError(f"engine {engine!r} not in the study")
+        return geometric_mean(values)
+
+    def to_text(self) -> str:
+        title = (
+            "Yield estimator accuracy vs budget — "
+            f"{self.scenario} / {self.model}, "
+            f"target {self.k:g} sigma "
+            f"(T={self.threshold:.6g}, "
+            f"P_fail={self.truth:.4g})"
+        )
+        rows = [
+            [
+                cell.engine,
+                cell.budget,
+                f"{cell.rel_rmse:.3%}",
+                f"{cell.mean_ess:.0f}",
+                (
+                    f"{cell.efficiency:.1f}x"
+                    if math.isfinite(cell.efficiency)
+                    else "-"
+                ),
+            ]
+            for cell in self.cells
+        ]
+        return format_table(
+            ["engine", "budget", "rel RMSE", "mean ESS", "vs MC"],
+            rows,
+            title=title,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.yield_study/1",
+            "scenario": self.scenario,
+            "model": self.model,
+            "k": float(self.k),
+            "threshold": float(self.threshold),
+            "truth": float(self.truth),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def run_yield_study(
+    scenario: str = "Multi-Peaks",
+    *,
+    model: str = "LVF2",
+    k: float = 4.0,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    engines: tuple[str, ...] = DEFAULT_ENGINES,
+    repeats: int = 5,
+    fit_samples: int = 50_000,
+    seed: int = 0,
+) -> YieldStudyResult:
+    """Score every engine x budget cell against the analytic truth.
+
+    Each repeat is independently seeded from ``(seed, engine index,
+    budget index, repeat index)``, so the whole grid is deterministic
+    and cells do not share sample streams.
+    """
+    from repro.yield_est import estimate_yield
+
+    if repeats < 1:
+        raise ParameterError(f"repeats must be >= 1, got {repeats}")
+    arc = get_scenario(scenario)
+    samples = arc.sample(fit_samples, rng=seed)
+    fitted = fit_model(model, samples)
+    threshold = float(fitted.moments().sigma_point(k))
+    truth = float(fitted.sf(threshold))
+    if not truth > 0.0:
+        raise ParameterError(
+            f"analytic failure probability vanished at k={k}; "
+            "lower the target"
+        )
+    cells: list[YieldStudyCell] = []
+    for engine_index, engine in enumerate(engines):
+        for budget_index, budget in enumerate(budgets):
+            errors = []
+            ess_values = []
+            for repeat in range(repeats):
+                estimate = estimate_yield(
+                    fitted,
+                    threshold,
+                    engine=engine,
+                    budget=budget,
+                    rng=np.random.default_rng(
+                        [seed, engine_index, budget_index, repeat]
+                    ),
+                )
+                errors.append(estimate.relative_error(truth))
+                ess_values.append(estimate.ess)
+            rel_rmse = float(
+                np.sqrt(np.mean(np.square(errors)))
+            )
+            mean_ess = float(np.mean(ess_values))
+            if mean_ess < 1.0:
+                efficiency = math.nan
+            else:
+                # A cell nailing the truth to numerical precision
+                # would divide by zero; floor matches
+                # error_reduction's.
+                efficiency = mc_samples_required(
+                    truth, max(rel_rmse, 1e-12)
+                ) / budget
+            cells.append(
+                YieldStudyCell(
+                    engine=engine,
+                    budget=int(budget),
+                    rel_rmse=rel_rmse,
+                    mean_ess=mean_ess,
+                    n_repeats=repeats,
+                    efficiency=float(efficiency),
+                )
+            )
+    return YieldStudyResult(
+        scenario=scenario,
+        model=model,
+        k=k,
+        threshold=threshold,
+        truth=truth,
+        cells=tuple(cells),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: ``python -m repro.experiments.yield_study``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="yield estimator accuracy-vs-budget study"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI scale: fewer repeats, smaller budgets and fit set",
+    )
+    parser.add_argument("--k", type=float, default=4.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the repro.yield_study/1 document",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = run_yield_study(
+            k=args.k,
+            budgets=(1024, 4096),
+            repeats=2,
+            fit_samples=8000,
+            seed=args.seed,
+        )
+    else:
+        result = run_yield_study(k=args.k, seed=args.seed)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -70,6 +70,7 @@ NEVER_SAMPLED = frozenset(
         "pool.assemble",
         "ssta.propagate",
         "experiment.table2",
+        "yield.estimate",
     }
 )
 

@@ -20,13 +20,40 @@ from repro.stats.moments import MomentSummary, sample_moments, validate_samples
 __all__ = ["EmpiricalDistribution", "ecdf", "cdf_grid"]
 
 
+def _validate_query(x: np.ndarray) -> np.ndarray:
+    """Coerce CDF query points to float, rejecting NaN.
+
+    ``+/-inf`` queries are legitimate limits (they clamp to 1 and 0)
+    but a NaN query has no ordering against the samples —
+    ``searchsorted`` would silently place it past the maximum and
+    report ``F = 1``, turning a data bug into fake full yield.
+    """
+    array = np.asarray(x, dtype=float)
+    if np.any(np.isnan(array)):
+        raise ParameterError("CDF query points must not be NaN")
+    return array
+
+
 def ecdf(samples: np.ndarray, x: np.ndarray) -> np.ndarray:
     """Empirical CDF of ``samples`` evaluated at points ``x``.
 
     Uses the right-continuous convention ``F(x) = #{s <= x} / n``.
+
+    Far-tail convention: strictly below the sample minimum the value
+    clamps to exactly ``0`` and at/above the maximum to exactly ``1``
+    — never NaN.  The smallest resolvable tail probability is
+    ``1 / n``; probing beyond that resolution needs the
+    variance-reduced engines in :mod:`repro.yield_est`.
+
+    Raises:
+        FittingError: If ``samples`` is empty or contains non-finite
+            values (an empty sample set has no CDF — the old behaviour
+            was a silent NaN from ``0 / 0``).
+        ParameterError: If ``x`` contains NaN (``+/-inf`` is allowed
+            and clamps to 0/1).
     """
-    sorted_samples = np.sort(np.asarray(samples, dtype=float).ravel())
-    positions = np.searchsorted(sorted_samples, np.asarray(x, float), "right")
+    sorted_samples = np.sort(validate_samples(samples, minimum=1))
+    positions = np.searchsorted(sorted_samples, _validate_query(x), "right")
     return positions / sorted_samples.size
 
 
@@ -63,13 +90,27 @@ class EmpiricalDistribution:
     def size(self) -> int:
         return int(self.samples.size)
 
+    @property
+    def tail_resolution(self) -> float:
+        """Smallest tail probability the sample set can resolve, ``1/n``.
+
+        Below this, :meth:`sf` reads exactly 0 — a resolution floor,
+        not evidence of zero failures.  Far-tail queries should go
+        through :mod:`repro.yield_est` instead.
+        """
+        return 1.0 / self.size
+
     def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Right-continuous empirical CDF (see :func:`ecdf` for the
+        far-tail clamp convention; NaN queries raise)."""
         positions = np.searchsorted(
-            self._sorted, np.asarray(x, dtype=float), side="right"
+            self._sorted, _validate_query(x), side="right"
         )
         return positions / self._sorted.size
 
     def sf(self, x: np.ndarray) -> np.ndarray:
+        """Survival function ``1 - cdf``; clamps to exactly 0 at and
+        past the sample maximum (resolution :attr:`tail_resolution`)."""
         return 1.0 - self.cdf(x)
 
     def ppf(self, q: np.ndarray) -> np.ndarray:

@@ -1,0 +1,68 @@
+"""Variance-reduced yield estimation for far-tail speed binning.
+
+The paper's 3-sigma yield metric reads the golden Monte-Carlo sample
+set directly, which caps it at the tail resolution ``1/n`` of that
+set.  This package estimates ``P(t > T)`` at 4-sigma-and-beyond
+targets behind one interface (the OpenYield estimator-zoo shape, with
+ISLE's mean-shift proposal math):
+
+- ``mc`` — :class:`~repro.yield_est.mc.MonteCarloEstimator`, the
+  unbiased golden baseline;
+- ``is`` — :class:`~repro.yield_est.shift.MeanShiftISEstimator`,
+  pilot-aimed mean-shift importance sampling with ESS diagnostics;
+- ``adaptive-is`` —
+  :class:`~repro.yield_est.adaptive.AdaptiveISEstimator`,
+  cross-entropy level adaptation that re-centers the proposal on the
+  failure region.
+
+Engines consume fitted analytic models, ISLE-style latent simulators,
+and raw sampler callables (see :mod:`repro.yield_est.problem`), are
+fully seeded (same seed, byte-identical
+:meth:`~repro.yield_est.result.YieldEstimate.to_json`), and report
+through the :mod:`repro.runtime.telemetry` registry (``yield.estimate``
+spans, ``yield.samples`` metric).
+"""
+
+from repro.yield_est.adaptive import AdaptiveISEstimator
+from repro.yield_est.base import (
+    YieldEstimator,
+    available_estimators,
+    effective_sample_size,
+    estimate_yield,
+    get_estimator,
+    register_estimator,
+)
+from repro.yield_est.mc import MonteCarloEstimator
+from repro.yield_est.problem import (
+    DensityProblem,
+    LatentProblem,
+    SampleBatch,
+    SamplerProblem,
+    YieldProblem,
+    as_problem,
+    ensure_shiftable,
+)
+from repro.yield_est.result import RESULT_SCHEMA, TracePoint, YieldEstimate
+from repro.yield_est.shift import MeanShiftISEstimator
+
+__all__ = [
+    "AdaptiveISEstimator",
+    "DensityProblem",
+    "LatentProblem",
+    "MeanShiftISEstimator",
+    "MonteCarloEstimator",
+    "RESULT_SCHEMA",
+    "SampleBatch",
+    "SamplerProblem",
+    "TracePoint",
+    "YieldEstimate",
+    "YieldEstimator",
+    "YieldProblem",
+    "as_problem",
+    "available_estimators",
+    "effective_sample_size",
+    "ensure_shiftable",
+    "estimate_yield",
+    "get_estimator",
+    "register_estimator",
+]

@@ -1,0 +1,204 @@
+"""Adaptive importance sampling: cross-entropy level adaptation.
+
+The OpenYield MNIS/AIS shape: instead of aiming one proposal from one
+pilot, the proposal walks toward the failure region through a ladder
+of intermediate levels (the cross-entropy method for rare events):
+
+1. Sample a batch from the current proposal; set the working level
+   ``gamma`` to the batch's upper ``rho``-quantile, capped at the
+   true threshold.
+2. Re-center the proposal on the likelihood-weighted mean of the
+   samples above ``gamma`` (ESS-guarded; see
+   :func:`repro.yield_est.base._select_shift`).
+3. Repeat until ``gamma`` reaches the threshold — each rung moves
+   roughly ``Phi^{-1}(1 - rho)`` sigmas, so a 4–5 sigma target takes
+   a handful of cheap batches — then spend the reserved remainder of
+   the budget estimating from the converged proposal.
+
+If the ladder has not reached the threshold when the adaptation
+budget runs out, the engine still estimates from its best proposal
+and flags the result ``exhausted``: the point estimate is usable and
+the confidence interval (rule-of-three when no failure was weighted
+in) reflects the shortfall honestly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.yield_est.base import (
+    YieldEstimator,
+    _select_shift,
+    _WeightedAccumulator,
+    register_estimator,
+)
+from repro.yield_est.result import TracePoint, YieldEstimate
+
+__all__ = ["AdaptiveISEstimator"]
+
+
+@register_estimator
+class AdaptiveISEstimator(YieldEstimator):
+    """Cross-entropy re-centered importance sampling.
+
+    Args:
+        level_size: Simulator calls per adaptation rung.  ``None``
+            (default) scales with the budget — ``budget // 8`` clamped
+            to ``[256, 4096]`` — so small budgets still fit enough
+            rungs to walk a 4–5 sigma ladder.
+        batch_size: Estimation-phase calls per batch.
+        rho: Elite fraction defining each intermediate level (the
+            working level is the ``1 - rho`` quantile of the rung).
+        estimate_fraction: Budget fraction reserved for the final
+            estimation phase regardless of how many rungs adaptation
+            takes.
+        surrogate: Model family fitted to raw-sampler targets before
+            importance sampling.
+    """
+
+    name = "adaptive-is"
+
+    def __init__(
+        self,
+        *,
+        level_size: int | None = None,
+        batch_size: int = 8192,
+        rho: float = 0.1,
+        estimate_fraction: float = 0.5,
+        surrogate: str = "LVF2",
+    ) -> None:
+        if level_size is not None and level_size < 2:
+            raise ParameterError(
+                f"level size must be >= 2, got {level_size}"
+            )
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        if not 0.0 < rho < 1.0:
+            raise ParameterError(
+                f"elite fraction must lie in (0, 1), got {rho}"
+            )
+        if not 0.0 < estimate_fraction < 1.0:
+            raise ParameterError(
+                f"estimate fraction must lie in (0, 1), got "
+                f"{estimate_fraction}"
+            )
+        self.level_size = level_size
+        self.batch_size = batch_size
+        self.rho = rho
+        self.estimate_fraction = estimate_fraction
+        self.surrogate = surrogate
+
+    def _run(
+        self, problem, budget: int, rng: np.random.Generator
+    ) -> YieldEstimate:
+        from repro.yield_est.problem import ensure_shiftable
+
+        trace: list[TracePoint] = []
+        problem, pilot_batch, diagnostics = ensure_shiftable(
+            problem, budget=budget, rng=rng, surrogate=self.surrogate
+        )
+        used = pilot_batch.n if pilot_batch is not None else 0
+        center = problem.nominal_center()
+        shift = np.zeros_like(np.atleast_1d(np.asarray(center, float)))
+        reserve = max(int(budget * self.estimate_fraction), 1)
+        level_size = (
+            self.level_size
+            if self.level_size is not None
+            else max(min(budget // 8, 4096), 256)
+        )
+        converged = False
+        n_levels = 0
+        # A surrogate pilot doubles as the first adaptation rung: it
+        # was sampled from the nominal law, which is exactly what the
+        # ladder's first step needs.
+        pending = pilot_batch
+        while used < budget - reserve or pending is not None:
+            if pending is not None:
+                batch = pending
+                pending = None
+            else:
+                size = min(level_size, budget - reserve - used)
+                if size < 2:
+                    break
+                batch = problem.sample(
+                    size, rng, shift=None if n_levels == 0 else shift
+                )
+                used += size
+            level = float(
+                np.quantile(batch.values, 1.0 - self.rho)
+            )
+            n_levels += 1
+            if level >= problem.threshold:
+                converged = True
+                shift = _select_shift(
+                    batch,
+                    problem.threshold,
+                    center,
+                    top_fraction=self.rho,
+                )
+                trace.append(
+                    TracePoint(
+                        n_samples=used,
+                        estimate=0.0,
+                        std_error=0.0,
+                        phase="adapt",
+                        shift=float(
+                            np.linalg.norm(np.atleast_1d(shift))
+                        ),
+                        level=float(problem.threshold),
+                    )
+                )
+                break
+            shift = _select_shift(
+                batch, level, center, top_fraction=self.rho
+            )
+            trace.append(
+                TracePoint(
+                    n_samples=used,
+                    estimate=0.0,
+                    std_error=0.0,
+                    phase="adapt",
+                    shift=float(np.linalg.norm(np.atleast_1d(shift))),
+                    level=level,
+                )
+            )
+        shift_norm = float(np.linalg.norm(np.atleast_1d(shift)))
+        accumulator = _WeightedAccumulator()
+        while used < budget:
+            size = min(self.batch_size, budget - used)
+            batch = problem.sample(size, rng, shift=shift)
+            weights = batch.weights()
+            contributions = weights * (
+                batch.values > problem.threshold
+            )
+            accumulator.add(contributions)
+            used += size
+            trace.append(
+                TracePoint(
+                    n_samples=used,
+                    estimate=accumulator.estimate,
+                    std_error=accumulator.std_error,
+                    phase="estimate",
+                    shift=shift_norm,
+                )
+            )
+        diagnostics = {
+            **diagnostics,
+            "level_size": level_size,
+            "batch_size": self.batch_size,
+            "n_levels": n_levels,
+            "shift_norm": shift_norm,
+            "converged": converged,
+        }
+        return self._build_estimate(
+            problem,
+            accumulator,
+            budget=budget,
+            n_samples=used,
+            exhausted=not converged or accumulator.n == 0,
+            trace=trace,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,267 @@
+"""Estimator interface, registry, and the shared weighted numerics.
+
+The engine surface mirrors the timing-model registry: every engine is
+a :class:`YieldEstimator` subclass registered by name, so the CLI and
+experiments select engines by string.  ``estimate()`` takes anything
+:func:`repro.yield_est.problem.as_problem` understands — a fitted
+model, a latent simulator, a raw sampler callable or a prepared
+:class:`~repro.yield_est.problem.YieldProblem` — plus the delay
+threshold, a total simulator-call budget and a seed, and returns a
+:class:`~repro.yield_est.result.YieldEstimate`.
+
+Everything statistical that more than one engine needs lives here:
+the running weighted-mean accumulator (estimate, variance, ESS in one
+pass), proposal-shift selection from a batch of failing points, and
+effective-sample-size computation.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import ClassVar, TypeVar
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.yield_est.problem import SampleBatch
+from repro.yield_est.result import TracePoint, YieldEstimate
+
+__all__ = [
+    "YieldEstimator",
+    "available_estimators",
+    "get_estimator",
+    "register_estimator",
+    "estimate_yield",
+    "effective_sample_size",
+]
+
+_ESTIMATOR_REGISTRY: dict[str, type["YieldEstimator"]] = {}
+
+EstimatorT = TypeVar("EstimatorT", bound="YieldEstimator")
+
+
+def register_estimator(cls: type[EstimatorT]) -> type[EstimatorT]:
+    """Class decorator adding ``cls`` to the engine registry."""
+    name = cls.name
+    if not name:
+        raise ParameterError(f"{cls.__name__} must define an engine name")
+    if name in _ESTIMATOR_REGISTRY:
+        raise ParameterError(f"engine name {name!r} already registered")
+    _ESTIMATOR_REGISTRY[name] = cls
+    return cls
+
+
+def available_estimators() -> tuple[str, ...]:
+    """Names of all registered engines, sorted."""
+    return tuple(sorted(_ESTIMATOR_REGISTRY))
+
+
+def get_estimator(name: str) -> type["YieldEstimator"]:
+    """Look up an engine class by registry name."""
+    try:
+        return _ESTIMATOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_estimators())
+        raise ParameterError(
+            f"unknown yield engine {name!r}; available: {known}"
+        ) from None
+
+
+def estimate_yield(
+    target: object,
+    threshold: float,
+    *,
+    engine: str = "mc",
+    budget: int = 10_000,
+    rng: np.random.Generator | int | None = None,
+    **engine_kwargs: object,
+) -> YieldEstimate:
+    """Convenience: build the named engine and run one estimate."""
+    estimator = get_estimator(engine)(**engine_kwargs)
+    return estimator.estimate(target, threshold, budget=budget, rng=rng)
+
+
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish effective sample size ``(sum w)^2 / sum w^2``.
+
+    0 for an empty or all-zero weight vector.  For unweighted samples
+    this equals the sample count; heavy weight concentration (a
+    proposal shifted past the failure region) drives it toward 1.
+    """
+    array = np.asarray(weights, dtype=float).ravel()
+    total_sq = float(np.sum(array * array))
+    if total_sq <= 0.0:
+        return 0.0
+    total = float(np.sum(array))
+    return total * total / total_sq
+
+
+class _WeightedAccumulator:
+    """Streaming mean/variance/ESS of per-sample contributions.
+
+    Feeds on batches of contributions ``c_i = w_i * 1{t_i > T}``
+    (``w_i = 1`` for plain MC); keeps the sums needed for the
+    failure-probability estimate, its standard error and the Kish ESS
+    of the failure mass without retaining sample arrays.  Zero
+    contributions (non-failing samples) do not enter the ESS, so the
+    diagnostic reads as "effectively independent failure
+    observations": the plain-MC hit count, shrinking as importance
+    weights concentrate.
+    """
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def add(self, contributions: np.ndarray) -> None:
+        array = np.asarray(contributions, dtype=float).ravel()
+        self.n += array.size
+        self._sum += float(np.sum(array))
+        self._sum_sq += float(np.sum(array * array))
+
+    @property
+    def estimate(self) -> float:
+        if self.n == 0:
+            return 0.0
+        return self._sum / self.n
+
+    @property
+    def std_error(self) -> float:
+        if self.n == 0:
+            return 0.0
+        mean = self.estimate
+        variance = max(self._sum_sq / self.n - mean * mean, 0.0)
+        return math.sqrt(variance / self.n)
+
+    @property
+    def ess(self) -> float:
+        if self._sum_sq <= 0.0:
+            return 0.0
+        return self._sum * self._sum / self._sum_sq
+
+
+def _select_shift(
+    batch: SampleBatch,
+    threshold: float,
+    center: np.ndarray,
+    *,
+    top_fraction: float,
+    min_ess: float = 8.0,
+) -> np.ndarray:
+    """Proposal shift from a batch: toward the (near-)failure region.
+
+    Prefers the weighted mean of failing coordinates (weights are the
+    nominal/proposal likelihood ratios, so the average approximates
+    the conditional mean under the *nominal* law given failure).  With
+    no failures, falls back to the top ``top_fraction`` of the batch
+    by delay — the exploratory move that makes the first far-tail
+    iteration possible.  Degenerate weight concentrations (ESS below
+    ``min_ess``) fall back to the unweighted elite mean, which is
+    biased toward the proposal but numerically stable.
+    """
+    values = batch.values
+    mask = values > threshold
+    if not np.any(mask):
+        n_top = max(int(math.ceil(top_fraction * values.size)), 1)
+        order = np.argsort(values, kind="stable")
+        chosen = order[-n_top:]
+        mask = np.zeros(values.size, dtype=bool)
+        mask[chosen] = True
+    coords = np.asarray(batch.coords, dtype=float)[mask]
+    weights = batch.weights()[mask]
+    if effective_sample_size(weights) >= min_ess:
+        mean = np.average(coords, axis=0, weights=weights)
+    else:
+        mean = np.mean(coords, axis=0)
+    return np.asarray(mean - center)
+
+
+class YieldEstimator(abc.ABC):
+    """One far-tail yield estimation engine.
+
+    Subclasses implement :meth:`_run` over a prepared problem; the
+    public :meth:`estimate` handles target wrapping, budget/seed
+    validation and telemetry, so every engine reports the same spans
+    and the same ``yield.samples`` metric.
+    """
+
+    #: Registry key, e.g. ``"adaptive-is"``.
+    name: ClassVar[str] = ""
+
+    def estimate(
+        self,
+        target: object,
+        threshold: float,
+        *,
+        budget: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> YieldEstimate:
+        """Estimate ``P(t > threshold)`` within ``budget`` simulator calls.
+
+        Args:
+            target: Fitted model, latent simulator, raw sampler
+                callable or prepared problem (see
+                :func:`repro.yield_est.problem.as_problem`).
+            threshold: Delay target; failure is ``t > threshold``.
+            budget: Total simulator calls the engine may spend,
+                pilot/adaptation phases included.
+            rng: Seed or generator; identical seeds give
+                byte-identical estimates.
+        """
+        from repro.runtime import telemetry
+        from repro.yield_est.problem import as_problem, _coerce_rng
+
+        if budget < 2:
+            raise ParameterError(
+                f"yield estimation budget must be >= 2, got {budget}"
+            )
+        problem = as_problem(target, threshold)
+        generator = _coerce_rng(rng)
+        with telemetry.span(
+            "yield.estimate",
+            engine=self.name,
+            threshold=float(problem.threshold),
+            budget=int(budget),
+        ):
+            estimate = self._run(problem, int(budget), generator)
+            telemetry.observe("yield.samples", estimate.n_samples)
+            telemetry.counter_inc("yield.estimates")
+        return estimate
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        problem,
+        budget: int,
+        rng: np.random.Generator,
+    ) -> YieldEstimate:
+        """Engine body: spend up to ``budget`` calls on ``problem``."""
+
+    # ------------------------------------------------------------------
+    # Shared assembly
+    # ------------------------------------------------------------------
+    def _build_estimate(
+        self,
+        problem,
+        accumulator: _WeightedAccumulator,
+        *,
+        budget: int,
+        n_samples: int,
+        exhausted: bool,
+        trace: list[TracePoint],
+        diagnostics: dict,
+    ) -> YieldEstimate:
+        return YieldEstimate(
+            engine=self.name,
+            threshold=float(problem.threshold),
+            failure_probability=min(max(accumulator.estimate, 0.0), 1.0),
+            std_error=accumulator.std_error,
+            n_samples=n_samples,
+            budget=budget,
+            exhausted=exhausted,
+            ess=accumulator.ess,
+            trace=tuple(trace),
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,96 @@
+"""Plain Monte-Carlo yield estimation — the golden baseline.
+
+Batched nominal sampling with the binomial variance estimate.  No
+variance reduction: at a ``k``-sigma target the relative standard
+error is ``sqrt((1 - p) / (n p))``, so 4-sigma yields need tens of
+millions of samples for percent-level accuracy — exactly the cost the
+importance-sampling engines exist to avoid.  MC remains the engine of
+record: it consumes *any* problem (including raw samplers, with no
+surrogate caveat) and its estimate is unbiased by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.yield_est.base import (
+    YieldEstimator,
+    _WeightedAccumulator,
+    register_estimator,
+)
+from repro.yield_est.result import TracePoint, YieldEstimate
+
+__all__ = ["MonteCarloEstimator"]
+
+
+@register_estimator
+class MonteCarloEstimator(YieldEstimator):
+    """Batched plain MC over the nominal distribution.
+
+    Args:
+        batch_size: Simulator calls per batch (one trace point each).
+        target_rel_err: Optional early-stop target on the relative
+            standard error ``se / p``; when set and reached, the
+            engine stops below budget.  When set and *not* reached,
+            the estimate is flagged ``exhausted``.
+    """
+
+    name = "mc"
+
+    def __init__(
+        self,
+        *,
+        batch_size: int = 8192,
+        target_rel_err: float | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        if target_rel_err is not None and target_rel_err <= 0.0:
+            raise ParameterError(
+                f"target relative error must be positive, got "
+                f"{target_rel_err}"
+            )
+        self.batch_size = batch_size
+        self.target_rel_err = target_rel_err
+
+    def _run(
+        self, problem, budget: int, rng: np.random.Generator
+    ) -> YieldEstimate:
+        accumulator = _WeightedAccumulator()
+        trace: list[TracePoint] = []
+        used = 0
+        converged = False
+        while used < budget:
+            size = min(self.batch_size, budget - used)
+            batch = problem.sample(size, rng)
+            failures = (batch.values > problem.threshold).astype(float)
+            accumulator.add(failures)
+            used += size
+            trace.append(
+                TracePoint(
+                    n_samples=used,
+                    estimate=accumulator.estimate,
+                    std_error=accumulator.std_error,
+                    phase="estimate",
+                )
+            )
+            if self.target_rel_err is not None:
+                estimate = accumulator.estimate
+                if (
+                    estimate > 0.0
+                    and accumulator.std_error / estimate
+                    <= self.target_rel_err
+                ):
+                    converged = True
+                    break
+        exhausted = self.target_rel_err is not None and not converged
+        return self._build_estimate(
+            problem,
+            accumulator,
+            budget=budget,
+            n_samples=used,
+            exhausted=exhausted,
+            trace=trace,
+            diagnostics={"batch_size": self.batch_size},
+        )

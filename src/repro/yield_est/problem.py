@@ -1,0 +1,377 @@
+"""Yield problems: one sampling surface over models and simulators.
+
+Every engine sees the same object — a :class:`YieldProblem` — no
+matter where the delays come from:
+
+- **Fitted analytic models** (LVF2 / Norm2 / Gaussian ... anything
+  with ``rvs``/``logpdf``) become a :class:`DensityProblem`.  The
+  proposal family is the model's own density translated by a shift
+  ``Delta`` (sample ``x ~ f``, report ``x + Delta``), so
+  likelihood-ratio weights are two ``logpdf`` calls and no quantile
+  inversion is ever needed.
+- **Latent simulators** — the ISLE shape, a function ``g(u)`` mapping
+  standard-normal process parameters ``u in R^d`` to a delay — become
+  a :class:`LatentProblem`.  Proposals are mean-shifted standard
+  normals ``N(s, I)`` with closed-form weights.
+- **Raw sampler callables** ``sampler(n, rng) -> delays`` (e.g. the
+  per-sample path delays of :mod:`repro.ssta`) become a
+  :class:`SamplerProblem`.  Plain MC consumes them directly; the
+  importance-sampling engines cannot reweight a black box, so
+  :func:`ensure_shiftable` first fits a **surrogate** model (through
+  the ordinary model registry, LVF2 by default with an LVF/Gaussian
+  fallback) to a pilot batch and importance-samples the surrogate.
+  The estimate then inherits the surrogate's tail-shape error — a
+  stated validity limit (DESIGN.md §13), recorded in the estimate's
+  diagnostics so no one mistakes it for a black-box tail measurement.
+
+Failure is always the upper tail, ``t > threshold`` — the chip misses
+the delay target.  Yield is the complement.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import FittingError, ParameterError
+
+__all__ = [
+    "SampleBatch",
+    "YieldProblem",
+    "DensityProblem",
+    "LatentProblem",
+    "SamplerProblem",
+    "as_problem",
+    "ensure_shiftable",
+]
+
+
+@dataclass(frozen=True)
+class SampleBatch:
+    """One batch of simulator calls.
+
+    Attributes:
+        values: Delays, shape ``(n,)``.
+        coords: Proposal-space coordinates of each sample — the delay
+            itself for a density problem (``(n,)``), the latent vector
+            for a latent problem (``(n, d)``).  Engines average the
+            failing coordinates to re-center proposals.
+        log_weights: Log likelihood ratio ``log f_nominal / f_proposal``
+            per sample; all zeros for nominal (unshifted) sampling.
+    """
+
+    values: np.ndarray
+    coords: np.ndarray
+    log_weights: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.values.size)
+
+    def weights(self) -> np.ndarray:
+        """Likelihood-ratio weights ``exp(log_weights)``."""
+        return np.exp(self.log_weights)
+
+
+def _coerce_rng(
+    rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+class YieldProblem(abc.ABC):
+    """A failure event ``t > threshold`` over a sampling surface."""
+
+    threshold: float
+
+    @property
+    @abc.abstractmethod
+    def supports_shift(self) -> bool:
+        """Whether mean-shifted proposals (importance sampling) work."""
+
+    @abc.abstractmethod
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        shift: np.ndarray | None = None,
+    ) -> SampleBatch:
+        """Draw ``n`` delays, optionally from a mean-shifted proposal."""
+
+    @abc.abstractmethod
+    def nominal_center(self) -> np.ndarray:
+        """Proposal-space origin the shift is measured from."""
+
+    def analytic_failure_probability(self) -> float | None:
+        """Closed-form ``P(t > threshold)`` when one exists."""
+        return None
+
+    def with_threshold(self, threshold: float) -> "YieldProblem":
+        """Same sampling surface, different delay target."""
+        return replace(self, threshold=_validate_threshold(threshold))
+
+
+def _validate_threshold(threshold: float) -> float:
+    value = float(threshold)
+    if not np.isfinite(value):
+        raise ParameterError(
+            f"yield threshold must be finite, got {threshold}"
+        )
+    return value
+
+
+def _validate_n(n: int) -> int:
+    if n < 1:
+        raise ParameterError(f"sample count must be >= 1, got {n}")
+    return int(n)
+
+
+@dataclass(frozen=True)
+class DensityProblem(YieldProblem):
+    """A fitted model sampled through its own translated density.
+
+    The proposal family is ``q_Delta(y) = f(y - Delta)``: sample
+    ``x ~ f`` via the model's ``rvs`` and report ``y = x + Delta``,
+    with weight ``w(y) = f(y) / f(y - Delta)`` computed from two
+    ``logpdf`` evaluations.  ``Delta = 0`` is exact nominal sampling.
+    """
+
+    model: object
+    threshold: float
+
+    def __post_init__(self) -> None:
+        for attr in ("rvs", "logpdf", "moments"):
+            if not hasattr(self.model, attr):
+                raise ParameterError(
+                    f"density problem needs a model with .{attr}(); "
+                    f"got {type(self.model).__name__}"
+                )
+        object.__setattr__(
+            self, "threshold", _validate_threshold(self.threshold)
+        )
+
+    @property
+    def supports_shift(self) -> bool:
+        return True
+
+    def nominal_center(self) -> np.ndarray:
+        return np.asarray(float(self.model.moments().mean))
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        shift: np.ndarray | None = None,
+    ) -> SampleBatch:
+        n = _validate_n(n)
+        base = np.asarray(self.model.rvs(n, rng=rng), dtype=float)
+        if shift is None:
+            return SampleBatch(base, base, np.zeros(n))
+        delta = float(np.asarray(shift))
+        shifted = base + delta
+        log_weights = np.asarray(
+            self.model.logpdf(shifted), dtype=float
+        ) - np.asarray(self.model.logpdf(base), dtype=float)
+        return SampleBatch(shifted, shifted, log_weights)
+
+    def analytic_failure_probability(self) -> float | None:
+        if hasattr(self.model, "sf"):
+            return float(np.asarray(self.model.sf(self.threshold)))
+        if hasattr(self.model, "cdf"):
+            return 1.0 - float(np.asarray(self.model.cdf(self.threshold)))
+        return None
+
+
+@dataclass(frozen=True)
+class LatentProblem(YieldProblem):
+    """A simulator over standard-normal latents (the ISLE shape).
+
+    ``fn`` maps an ``(n, dim)`` array of standard-normal process
+    parameters to ``(n,)`` delays.  Proposals are ``N(s, I)`` with the
+    closed-form log weight ``|s|^2 / 2 - u . s``.
+    """
+
+    fn: Callable[[np.ndarray], np.ndarray]
+    dim: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ParameterError(
+                f"latent dimension must be >= 1, got {self.dim}"
+            )
+        object.__setattr__(
+            self, "threshold", _validate_threshold(self.threshold)
+        )
+
+    @property
+    def supports_shift(self) -> bool:
+        return True
+
+    def nominal_center(self) -> np.ndarray:
+        return np.zeros(self.dim)
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        shift: np.ndarray | None = None,
+    ) -> SampleBatch:
+        n = _validate_n(n)
+        latents = rng.standard_normal((n, self.dim))
+        log_weights = np.zeros(n)
+        if shift is not None:
+            vector = np.asarray(shift, dtype=float).reshape(self.dim)
+            latents = latents + vector
+            log_weights = 0.5 * float(vector @ vector) - latents @ vector
+        values = np.asarray(self.fn(latents), dtype=float).ravel()
+        if values.size != n:
+            raise ParameterError(
+                f"latent simulator returned {values.size} delays "
+                f"for {n} samples"
+            )
+        return SampleBatch(values, latents, log_weights)
+
+
+@dataclass(frozen=True)
+class SamplerProblem(YieldProblem):
+    """A raw ``sampler(n, rng) -> delays`` callable; nominal-only.
+
+    The black box exposes no density, so mean-shifted proposals are
+    impossible; importance-sampling engines route through
+    :func:`ensure_shiftable` and a fitted surrogate instead.
+    """
+
+    sampler: Callable[..., np.ndarray]
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if not callable(self.sampler):
+            raise ParameterError(
+                f"sampler must be callable, got {type(self.sampler).__name__}"
+            )
+        object.__setattr__(
+            self, "threshold", _validate_threshold(self.threshold)
+        )
+
+    @property
+    def supports_shift(self) -> bool:
+        return False
+
+    def nominal_center(self) -> np.ndarray:
+        return np.asarray(0.0)
+
+    def sample(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        shift: np.ndarray | None = None,
+    ) -> SampleBatch:
+        n = _validate_n(n)
+        if shift is not None:
+            raise ParameterError(
+                "raw sampler problems cannot be importance-sampled "
+                "directly; fit a surrogate first (ensure_shiftable)"
+            )
+        values = np.asarray(self.sampler(n, rng), dtype=float).ravel()
+        if values.size != n:
+            raise ParameterError(
+                f"sampler returned {values.size} delays for {n} samples"
+            )
+        return SampleBatch(values, values, np.zeros(n))
+
+
+def as_problem(target: object, threshold: float) -> YieldProblem:
+    """Wrap a model, simulator or callable into a :class:`YieldProblem`.
+
+    Dispatch order:
+
+    1. An existing :class:`YieldProblem` is re-targeted to
+       ``threshold`` and returned.
+    2. Anything with ``rvs`` **and** ``logpdf`` (every registered
+       timing model, any :class:`~repro.stats.mixtures.Mixture`)
+       becomes a :class:`DensityProblem`.
+    3. Anything else with ``rvs`` (e.g. an
+       :class:`~repro.stats.empirical.EmpiricalDistribution`, which
+       has no density) is treated as a raw sampler over its ``rvs``.
+    4. A bare callable ``sampler(n, rng)`` becomes a
+       :class:`SamplerProblem`.
+    """
+    if isinstance(target, YieldProblem):
+        return target.with_threshold(threshold)
+    if hasattr(target, "rvs") and hasattr(target, "logpdf"):
+        return DensityProblem(model=target, threshold=threshold)
+    if hasattr(target, "rvs"):
+        return SamplerProblem(
+            sampler=lambda n, rng: target.rvs(n, rng=rng),
+            threshold=threshold,
+        )
+    if callable(target):
+        return SamplerProblem(sampler=target, threshold=threshold)
+    raise ParameterError(
+        "cannot build a yield problem from "
+        f"{type(target).__name__}: need a fitted model (rvs/logpdf), "
+        "a sampler callable (n, rng) -> delays, or a YieldProblem"
+    )
+
+
+#: Surrogate fit ladder: the requested family first, then the
+#: single-component skew-normal, then plain Gaussian moments.
+_SURROGATE_LADDER = ("LVF", "Gaussian")
+
+
+def _fit_surrogate(values: np.ndarray, family: str):
+    from repro.models import fit_model
+
+    names = [family]
+    names.extend(name for name in _SURROGATE_LADDER if name != family)
+    last: FittingError | None = None
+    for name in names:
+        try:
+            return fit_model(name, values), name
+        except FittingError as error:
+            last = error
+    raise FittingError(
+        f"no surrogate family could fit the pilot batch: {last}"
+    )
+
+
+def ensure_shiftable(
+    problem: YieldProblem,
+    *,
+    budget: int,
+    rng: np.random.Generator,
+    surrogate: str = "LVF2",
+    pilot: int = 2000,
+) -> tuple[YieldProblem, SampleBatch | None, dict]:
+    """Make ``problem`` importance-samplable, fitting a surrogate if needed.
+
+    Returns ``(shiftable_problem, pilot_batch, diagnostics)``.  For a
+    problem that already supports shifts this is a no-op (no samples
+    spent, no pilot batch).  For a raw sampler it draws a pilot batch
+    (counted against ``budget`` by the caller via ``pilot_batch.n``),
+    fits a surrogate through the model registry and returns a
+    :class:`DensityProblem` over it.  The pilot batch is returned so
+    engines can reuse it for proposal selection instead of paying for
+    a second one.
+    """
+    if problem.supports_shift:
+        return problem, None, {}
+    n_pilot = min(int(pilot), max(budget // 2, 2))
+    if n_pilot < 2:
+        raise ParameterError(
+            f"budget {budget} leaves no room for a surrogate pilot"
+        )
+    batch = problem.sample(n_pilot, rng)
+    model, family = _fit_surrogate(batch.values, surrogate)
+    shiftable = DensityProblem(model=model, threshold=problem.threshold)
+    diagnostics = {
+        "surrogate": family,
+        "surrogate_pilot": n_pilot,
+    }
+    return shiftable, batch, diagnostics

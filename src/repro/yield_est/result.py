@@ -1,0 +1,200 @@
+"""The :class:`YieldEstimate` result type shared by every engine.
+
+A yield estimate is the full answer to "what fraction of chips meets
+the delay target ``T``": the point estimate of the failure probability
+``p = P(t > T)``, its sampling variance, a normal-approximation
+confidence interval, the simulator-call budget accounting, and a
+convergence trace recording how the estimate evolved batch by batch.
+
+Determinism contract: an estimate contains **no wall-clock or entropy
+material** — only quantities derived from the seeded sample stream —
+so the same seed reproduces a byte-identical :meth:`YieldEstimate.to_json`
+document.  Timing lives in telemetry spans, not here.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["TracePoint", "YieldEstimate", "RESULT_SCHEMA"]
+
+#: Schema tag stamped into every serialised estimate.
+RESULT_SCHEMA = "repro.yield_estimate/1"
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One convergence-trace entry (one batch of simulator calls).
+
+    Attributes:
+        n_samples: Cumulative simulator calls after this batch.
+        estimate: Running failure-probability estimate.
+        std_error: Running standard error of the estimate.
+        phase: ``"pilot"`` (proposal search), ``"adapt"`` (level
+            adaptation) or ``"estimate"`` (the batches that feed the
+            final number).
+        shift: Proposal-shift norm in effect for this batch (0 for
+            nominal sampling).
+        level: Intermediate failure level of an adaptive engine, or
+            ``None`` outside level adaptation.
+    """
+
+    n_samples: int
+    estimate: float
+    std_error: float
+    phase: str
+    shift: float = 0.0
+    level: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "n_samples": int(self.n_samples),
+            "estimate": float(self.estimate),
+            "std_error": float(self.std_error),
+            "phase": self.phase,
+            "shift": float(self.shift),
+            "level": None if self.level is None else float(self.level),
+        }
+
+
+@dataclass(frozen=True)
+class YieldEstimate:
+    """Point estimate, uncertainty and accounting for one yield query.
+
+    Attributes:
+        engine: Registry name of the engine that produced it.
+        threshold: The delay target ``T``; failure is ``t > T``.
+        failure_probability: Point estimate of ``P(t > T)``.
+        std_error: Standard error of the failure-probability estimate.
+        n_samples: Simulator calls actually spent (pilot and
+            adaptation batches included).
+        budget: Simulator-call budget the engine was given.
+        exhausted: True when the budget ran out before the engine's
+            own convergence target was met — the estimate is still
+            usable but carries a wider (or rule-of-three) interval.
+        ess: Kish effective sample size of the failure contributions
+            ``w_i * 1{t_i > T}`` — the effectively independent failure
+            observations behind the estimate.  For unweighted MC this
+            is the failure hit count; weight concentration in a
+            mis-aimed proposal drives it toward 1.
+        trace: Convergence trace, one :class:`TracePoint` per batch.
+        diagnostics: Engine-specific scalars/strings (proposal-shift
+            norm, surrogate model name, level count ...), JSON-safe.
+    """
+
+    engine: str
+    threshold: float
+    failure_probability: float
+    std_error: float
+    n_samples: int
+    budget: int
+    exhausted: bool
+    ess: float
+    trace: tuple[TracePoint, ...] = ()
+    diagnostics: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_probability <= 1.0:
+            raise ParameterError(
+                "failure probability must lie in [0, 1], got "
+                f"{self.failure_probability}"
+            )
+        if self.std_error < 0.0:
+            raise ParameterError(
+                f"standard error must be non-negative, got {self.std_error}"
+            )
+        if self.n_samples > self.budget:
+            raise ParameterError(
+                f"spent {self.n_samples} samples but budget was "
+                f"{self.budget}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def yield_fraction(self) -> float:
+        """``P(t <= T)`` — the quantity speed binning prices."""
+        return 1.0 - self.failure_probability
+
+    @property
+    def variance(self) -> float:
+        """Sampling variance of the failure-probability estimate."""
+        return self.std_error * self.std_error
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI on the failure probability.
+
+        Clipped to ``[0, 1]``.  When no failure was observed (point
+        estimate 0 with zero sample variance) the upper limit falls
+        back to the rule-of-three bound ``3 / n_samples`` — the
+        classic 95% upper limit for zero observed events — so an
+        empty tail never reports false certainty.
+        """
+        if z <= 0.0:
+            raise ParameterError(f"z must be positive, got {z}")
+        low = self.failure_probability - z * self.std_error
+        high = self.failure_probability + z * self.std_error
+        if self.failure_probability == 0.0 and self.std_error == 0.0:
+            high = 3.0 / self.n_samples if self.n_samples > 0 else 1.0
+        return (max(low, 0.0), min(high, 1.0))
+
+    def relative_error(self, truth: float) -> float:
+        """``|p_hat - truth| / truth`` versus a reference probability."""
+        if truth <= 0.0:
+            raise ParameterError(
+                f"reference probability must be positive, got {truth}"
+            )
+        return abs(self.failure_probability - truth) / truth
+
+    def relative_ci_width(self) -> float:
+        """CI width over the point estimate (``inf`` when it is 0)."""
+        low, high = self.confidence_interval()
+        if self.failure_probability == 0.0:
+            return math.inf
+        return (high - low) / self.failure_probability
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        low, high = self.confidence_interval()
+        return {
+            "schema": RESULT_SCHEMA,
+            "engine": self.engine,
+            "threshold": float(self.threshold),
+            "failure_probability": float(self.failure_probability),
+            "yield_fraction": float(self.yield_fraction),
+            "std_error": float(self.std_error),
+            "ci_low": float(low),
+            "ci_high": float(high),
+            "n_samples": int(self.n_samples),
+            "budget": int(self.budget),
+            "exhausted": bool(self.exhausted),
+            "ess": float(self.ess),
+            "trace": [point.to_dict() for point in self.trace],
+            "diagnostics": dict(sorted(self.diagnostics.items())),
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace variance.
+
+        Byte-identical for byte-identical estimates — the determinism
+        tests compare these strings directly.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def summary(self) -> str:
+        """One human line, the CLI's text rendering."""
+        low, high = self.confidence_interval()
+        flag = " (budget exhausted)" if self.exhausted else ""
+        return (
+            f"{self.engine}: P(fail)={self.failure_probability:.4g} "
+            f"[{low:.4g}, {high:.4g}] yield={self.yield_fraction:.6g} "
+            f"ess={self.ess:.0f} "
+            f"samples={self.n_samples}/{self.budget}{flag}"
+        )

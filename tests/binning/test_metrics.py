@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,8 @@ from repro.binning.metrics import (
     binning_error,
     cdf_rmse,
     error_reduction,
+    estimated_sigma_yield,
+    estimated_yield_error,
     evaluate_distribution,
     evaluate_models,
     geometric_mean,
@@ -21,6 +25,11 @@ from repro.models.gaussian import GaussianModel
 from repro.models.lvf import LVFModel
 from repro.models.lvf2 import LVF2Model
 from repro.stats.empirical import EmpiricalDistribution
+from repro.yield_est import YieldEstimate
+
+
+def normal_cdf(k: float) -> float:
+    return 0.5 * (1.0 + math.erf(k / math.sqrt(2.0)))
 
 
 @pytest.fixture
@@ -55,6 +64,73 @@ class TestSigmaYield:
 
     def test_yield_error_zero_for_golden(self, golden):
         assert yield_error(golden, golden) == 0.0
+
+    @pytest.mark.parametrize("k", [4.0, 5.0])
+    def test_far_tail_k_against_analytic_gaussian(self, k):
+        # With the model's own moments as the reference the k-sigma
+        # yield of a Gaussian is exactly Phi(k) — sample sets cannot
+        # resolve these targets, a MomentSummary reference can.
+        model = GaussianModel(1.0, 0.1)
+        value = sigma_yield(model, model.moments(), k)
+        assert value == pytest.approx(normal_cdf(k), rel=1e-9)
+
+    def test_two_sided_far_tail(self):
+        model = GaussianModel(0.0, 2.0)
+        value = sigma_yield(model, model.moments(), 4.0, two_sided=True)
+        expected = normal_cdf(4.0) - normal_cdf(-4.0)
+        assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_moment_summary_reference_sets_target(self, golden):
+        # An explicit reference shifts the design target away from the
+        # distribution under test.
+        reference = GaussianModel(0.0, 1.0).moments()
+        expected = float(golden.cdf(reference.sigma_point(3.0)))
+        assert sigma_yield(golden, reference) == pytest.approx(expected)
+
+    def test_invalid_reference_rejected(self, golden):
+        with pytest.raises(ParameterError):
+            sigma_yield(golden, object())
+
+    def test_yield_error_reference_kwarg(self, golden, bimodal_samples):
+        # Same target for both sides: golden vs itself is still zero
+        # error regardless of whose moments set the target.
+        reference = LVF2Model.fit(bimodal_samples).moments()
+        assert yield_error(golden, golden, 4.0, reference=reference) == 0.0
+
+
+class TestEstimatedYield:
+    def test_estimated_sigma_yield_matches_analytic(self):
+        model = GaussianModel(1.0, 0.1)
+        estimate = estimated_sigma_yield(
+            model, model.moments(), 4.0, budget=8192, rng=11
+        )
+        assert isinstance(estimate, YieldEstimate)
+        truth = 1.0 - normal_cdf(4.0)
+        assert estimate.relative_error(truth) < 0.25
+        assert estimate.yield_fraction == pytest.approx(
+            1.0 - estimate.failure_probability
+        )
+
+    def test_estimated_yield_error_consistent(self, gaussian_samples):
+        # The helper is |estimated model tail - golden empirical tail|
+        # at the same target; with an integer seed both calls are
+        # deterministic, so the identity is exact.
+        model = GaussianModel(1.0, 0.1)
+        golden = EmpiricalDistribution(gaussian_samples)
+        reference = model.moments()
+        error = estimated_yield_error(
+            model, golden, 4.0, budget=4096, rng=3, reference=reference
+        )
+        estimate = estimated_sigma_yield(
+            model, reference, 4.0, budget=4096, rng=3
+        )
+        golden_tail = 1.0 - sigma_yield(golden, reference, 4.0)
+        assert error == pytest.approx(
+            abs(estimate.failure_probability - golden_tail)
+        )
+        # Past the empirical tail resolution the golden term is tiny,
+        # so the error reads as the model's own tail mass.
+        assert error < 1e-3
 
 
 class TestCDFRMSE:

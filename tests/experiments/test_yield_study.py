@@ -1,0 +1,116 @@
+"""Tests for the accuracy-vs-budget yield estimation study."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.yield_study import (
+    YieldStudyResult,
+    mc_samples_required,
+    run_yield_study,
+)
+
+
+class TestMCSamplesRequired:
+    def test_formula(self):
+        # n = (1 - p) / (p * eps^2): textbook binomial relative error.
+        assert mc_samples_required(0.5, 0.1) == pytest.approx(100.0)
+        assert mc_samples_required(1e-6, 0.05) == pytest.approx(
+            (1.0 - 1e-6) / (1e-6 * 0.05**2)
+        )
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ParameterError):
+            mc_samples_required(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            mc_samples_required(0.5, 0.0)
+
+
+class TestRunYieldStudy:
+    @pytest.fixture(scope="class")
+    def result(self) -> YieldStudyResult:
+        # Tiny scale: enough to exercise every engine and the report
+        # plumbing without far-tail budgets.
+        return run_yield_study(
+            k=3.0,
+            budgets=(256, 1024),
+            repeats=1,
+            fit_samples=2000,
+            seed=0,
+        )
+
+    def test_grid_complete(self, result):
+        assert len(result.cells) == 6  # 3 engines x 2 budgets
+        for engine in ("mc", "is", "adaptive-is"):
+            for budget in (256, 1024):
+                cell = result.cell(engine, budget)
+                assert cell.n_repeats == 1
+                assert cell.rel_rmse >= 0.0
+
+    def test_missing_cell_raises(self, result):
+        with pytest.raises(ParameterError):
+            result.cell("mc", 999)
+
+    def test_truth_positive(self, result):
+        assert result.truth > 0.0
+        assert result.threshold > 0.0
+
+    def test_is_engines_beat_mc_ess(self, result):
+        # At matched budget the IS engines should carry at least as
+        # much effective tail information as plain MC.
+        mc = result.cell("mc", 1024)
+        adaptive = result.cell("adaptive-is", 1024)
+        assert adaptive.mean_ess >= mc.mean_ess
+
+    def test_to_text(self, result):
+        text = result.to_text()
+        assert "Yield estimator accuracy vs budget" in text
+        assert "adaptive-is" in text
+
+    def test_to_dict_json_serialisable(self, result):
+        document = result.to_dict()
+        assert document["schema"] == "repro.yield_study/1"
+        text = json.dumps(document)  # NaN efficiency must become null
+        assert "NaN" not in text
+
+    def test_efficiency_nan_or_positive(self, result):
+        for cell in result.cells:
+            assert math.isnan(cell.efficiency) or cell.efficiency > 0.0
+
+    def test_engine_efficiency_geometric_mean(self, result):
+        # The IS engines always report a finite efficiency; MC can be
+        # NaN (zero tail hits at tiny budgets), which the geometric
+        # mean propagates rather than hides.
+        value = result.engine_efficiency("adaptive-is")
+        assert value > 0.0
+        with pytest.raises(ParameterError):
+            result.engine_efficiency("bogus")
+
+    def test_deterministic(self, result):
+        again = run_yield_study(
+            k=3.0,
+            budgets=(256, 1024),
+            repeats=1,
+            fit_samples=2000,
+            seed=0,
+        )
+        assert json.dumps(again.to_dict(), sort_keys=True) == json.dumps(
+            result.to_dict(), sort_keys=True
+        )
+
+
+class TestValidation:
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ParameterError):
+            run_yield_study(repeats=0)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ParameterError):
+            run_yield_study(
+                engines=("bogus",), budgets=(256,), repeats=1,
+                fit_samples=2000,
+            )

@@ -19,6 +19,35 @@ class TestECDF:
             ecdf(samples, x), [0.0, 1 / 3, 2 / 3, 1.0, 1.0]
         )
 
+    def test_far_tail_clamps_exactly(self):
+        # Documented convention: 0 strictly left of the minimum, 1 at
+        # and past the maximum — exact values, never NaN.
+        samples = np.array([1.0, 2.0, 3.0])
+        values = ecdf(samples, np.array([-1e30, 1e30]))
+        assert values[0] == 0.0
+        assert values[1] == 1.0
+
+    def test_infinite_queries_clamp(self):
+        samples = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(
+            ecdf(samples, np.array([-np.inf, np.inf])), [0.0, 1.0]
+        )
+
+    def test_empty_samples_raise_not_nan(self):
+        # Regression: used to return NaN from 0/0 (with a warning).
+        with pytest.raises(FittingError):
+            ecdf(np.array([]), np.array([1.0]))
+
+    def test_non_finite_samples_rejected(self):
+        with pytest.raises(FittingError):
+            ecdf(np.array([1.0, np.nan]), np.array([1.0]))
+
+    def test_nan_query_rejected(self):
+        # Regression: searchsorted silently sorted NaN past the
+        # maximum and reported F = 1 (fake full yield).
+        with pytest.raises(ParameterError):
+            ecdf(np.array([1.0, 2.0]), np.array([np.nan]))
+
 
 class TestEmpiricalDistribution:
     def test_cdf_right_continuous(self):
@@ -45,6 +74,25 @@ class TestEmpiricalDistribution:
     def test_rejects_bad_samples(self):
         with pytest.raises(FittingError):
             EmpiricalDistribution(np.array([1.0, np.nan]))
+
+    def test_nan_query_rejected(self):
+        dist = EmpiricalDistribution(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ParameterError):
+            dist.cdf(np.nan)
+        with pytest.raises(ParameterError):
+            dist.sf(np.array([1.0, np.nan]))
+
+    def test_far_tail_clamp_and_resolution(self):
+        dist = EmpiricalDistribution(np.arange(1.0, 101.0))
+        # Exactly 0/1 outside the sample range, never NaN.
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(100.0) == 1.0
+        assert dist.sf(100.0) == 0.0
+        assert dist.sf(np.inf) == 0.0
+        assert dist.cdf(-np.inf) == 0.0
+        # The smallest nonzero tail probability is 1/n.
+        assert dist.tail_resolution == pytest.approx(0.01)
+        assert dist.sf(99.0) == pytest.approx(dist.tail_resolution)
 
     def test_probability_between(self):
         dist = EmpiricalDistribution(np.arange(1.0, 11.0))

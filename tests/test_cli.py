@@ -23,6 +23,7 @@ class TestParser:
             ["characterize"],
             ["liberty", "x.lib"],
             ["bench"],
+            ["yield", "x.npy"],
         ):
             args = parser.parse_args(command)
             assert args.command == command[0]
@@ -59,6 +60,75 @@ class TestCommands:
         # ParameterError family -> exit code 2.
         assert main(["fit", str(path), "--model", "Bogus"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_yield_text(self, tmp_path, capsys, gaussian_samples):
+        path = tmp_path / "samples.npy"
+        np.save(path, gaussian_samples)
+        code = main(
+            [
+                "yield",
+                str(path),
+                "--engine",
+                "is",
+                "--budget",
+                "2048",
+                "--target-sigma",
+                "3.0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "is:" in output and "P(fail)=" in output
+
+    def test_yield_json(self, tmp_path, capsys, gaussian_samples):
+        import json
+
+        path = tmp_path / "samples.npy"
+        np.save(path, gaussian_samples)
+        code = main(
+            [
+                "yield",
+                str(path),
+                "--budget",
+                "2048",
+                "--seed",
+                "7",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro.yield_estimate/1"
+        assert document["engine"] == "adaptive-is"
+        assert 0.0 <= document["failure_probability"] <= 1.0
+
+    def test_yield_explicit_threshold_raw_sampler(
+        self, tmp_path, capsys, gaussian_samples
+    ):
+        # --model none routes the bootstrap sampler (no analytic CDF)
+        # through the surrogate path.
+        path = tmp_path / "samples.npy"
+        np.save(path, gaussian_samples)
+        code = main(
+            [
+                "yield",
+                str(path),
+                "--model",
+                "none",
+                "--threshold",
+                "1.2",
+                "--budget",
+                "2048",
+            ]
+        )
+        assert code == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_yield_unknown_engine_errors(self, tmp_path, capsys):
+        path = tmp_path / "samples.npy"
+        np.save(path, np.random.default_rng(0).normal(size=100))
+        with pytest.raises(SystemExit):
+            main(["yield", str(path), "--engine", "bogus"])
 
     def test_scenario_single(self, capsys):
         code = main(

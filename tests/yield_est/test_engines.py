@@ -1,0 +1,228 @@
+"""Engine tests: accuracy vs analytic truth, determinism, exhaustion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models import fit_model
+from repro.runtime import telemetry
+from repro.yield_est import (
+    LatentProblem,
+    MonteCarloEstimator,
+    available_estimators,
+    estimate_yield,
+    get_estimator,
+)
+
+ENGINES = ("mc", "is", "adaptive-is")
+
+
+@pytest.fixture
+def gaussian_model(gaussian_samples):
+    return fit_model("Gaussian", gaussian_samples)
+
+
+def sigma_target(model, k: float) -> tuple[float, float]:
+    threshold = model.moments().sigma_point(k)
+    return threshold, float(model.sf(threshold))
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        assert set(ENGINES) <= set(available_estimators())
+
+    def test_unknown_engine(self):
+        with pytest.raises(ParameterError):
+            get_estimator("bogus")
+
+    def test_budget_validation(self, gaussian_model):
+        with pytest.raises(ParameterError):
+            estimate_yield(gaussian_model, 1.3, budget=1)
+
+
+class TestAccuracy:
+    def test_mc_matches_analytic_at_2sigma(self, gaussian_model):
+        threshold, truth = sigma_target(gaussian_model, 2.0)
+        estimate = estimate_yield(
+            gaussian_model, threshold, engine="mc", budget=8192, rng=0
+        )
+        assert estimate.relative_error(truth) < 0.2
+        assert estimate.ess == pytest.approx(
+            estimate.failure_probability * estimate.n_samples
+        )
+
+    @pytest.mark.parametrize("engine", ["is", "adaptive-is"])
+    def test_is_engines_resolve_3_5_sigma(self, gaussian_model, engine):
+        # p ~ 2e-4: plain MC at this budget would see ~2 failures;
+        # the IS engines get percent-level accuracy.
+        threshold, truth = sigma_target(gaussian_model, 3.5)
+        estimate = estimate_yield(
+            gaussian_model, threshold, engine=engine, budget=8192, rng=1
+        )
+        assert estimate.relative_error(truth) < 0.25
+        assert not estimate.exhausted
+        assert estimate.ess > 10
+
+    def test_adaptive_is_on_latent_path(self):
+        # Linear 4-parameter path: delay ~ N(1, 0.07^2), so the
+        # analytic tail is exact and multi-dimensional shifts are
+        # exercised end to end.
+        weights = np.array([0.02, 0.05, 0.03, 0.04])
+        scale = float(np.linalg.norm(weights))
+        problem = LatentProblem(
+            fn=lambda latents: 1.0 + latents @ weights,
+            dim=4,
+            threshold=1.0 + 3.5 * scale,
+        )
+        from math import erfc, sqrt
+
+        truth = 0.5 * erfc(3.5 / sqrt(2.0))
+        estimate = estimate_yield(
+            problem,
+            problem.threshold,
+            engine="adaptive-is",
+            budget=8192,
+            rng=5,
+        )
+        assert estimate.relative_error(truth) < 0.25
+
+    @pytest.mark.parametrize("engine", ["is", "adaptive-is"])
+    def test_raw_sampler_through_surrogate(self, engine):
+        # A stage-delay style sampler (sum of independent stage
+        # delays): the engines fit a surrogate and record the validity
+        # limit; accuracy is judged against the sampler's own normal
+        # law.
+        def path_delays(n, rng):
+            stages = rng.normal(0.25, 0.02, (n, 4))
+            return stages.sum(axis=1)
+
+        truth_model = fit_model(
+            "Gaussian", path_delays(20000, np.random.default_rng(0))
+        )
+        threshold, truth = sigma_target(truth_model, 3.0)
+        estimate = estimate_yield(
+            path_delays, threshold, engine=engine, budget=8192, rng=2
+        )
+        assert estimate.diagnostics["surrogate"] in (
+            "LVF2",
+            "LVF",
+            "Gaussian",
+        )
+        # Surrogate tail error dominates; the estimate must still land
+        # in the right decade.
+        assert estimate.relative_error(truth) < 0.5
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_same_seed_byte_identical(self, gaussian_model, engine):
+        threshold, _ = sigma_target(gaussian_model, 3.0)
+
+        def run():
+            return estimate_yield(
+                gaussian_model,
+                threshold,
+                engine=engine,
+                budget=2048,
+                rng=42,
+            ).to_json()
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self, gaussian_model):
+        # The IS estimate is a continuous weighted mean, so distinct
+        # sample streams almost surely give distinct documents (plain
+        # MC can collide: two seeds with the same hit count serialise
+        # identically).
+        threshold, _ = sigma_target(gaussian_model, 3.0)
+        first = estimate_yield(
+            gaussian_model, threshold, engine="is", budget=2048, rng=1
+        )
+        second = estimate_yield(
+            gaussian_model, threshold, engine="is", budget=2048, rng=2
+        )
+        assert first.to_json() != second.to_json()
+
+
+class TestBudgetExhaustion:
+    def test_partial_budget_usable_with_wider_ci(self, gaussian_model):
+        # The kill/resume story: an estimate cut off early is still a
+        # valid document, just wider.  MC with an unreachable accuracy
+        # target flags exhaustion; the small-budget CI must contain
+        # the large-budget one comfortably.
+        threshold, truth = sigma_target(gaussian_model, 3.0)
+        starved = MonteCarloEstimator(
+            batch_size=128, target_rel_err=0.01
+        ).estimate(gaussian_model, threshold, budget=256, rng=0)
+        assert starved.exhausted
+        assert starved.n_samples == 256
+        generous = estimate_yield(
+            gaussian_model, threshold, engine="mc", budget=65536, rng=0
+        )
+        starved_width = np.diff(starved.confidence_interval())[0]
+        generous_width = np.diff(generous.confidence_interval())[0]
+        assert starved_width > generous_width
+        # ... and the wide interval actually covers the truth.
+        low, high = starved.confidence_interval()
+        assert low <= truth <= high
+
+    def test_mc_early_stop_under_budget(self, gaussian_model):
+        # An easy target with a loose accuracy goal stops early.
+        threshold, _ = sigma_target(gaussian_model, 0.0)
+        estimate = MonteCarloEstimator(
+            batch_size=512, target_rel_err=0.2
+        ).estimate(gaussian_model, threshold, budget=65536, rng=0)
+        assert not estimate.exhausted
+        assert estimate.n_samples < 65536
+
+    def test_adaptive_flags_unconverged_ladder(self, gaussian_model):
+        # A budget too small for the ladder to reach a far threshold:
+        # the estimate is still returned, flagged exhausted.
+        threshold, _ = sigma_target(gaussian_model, 6.0)
+        estimate = estimate_yield(
+            gaussian_model,
+            threshold,
+            engine="adaptive-is",
+            budget=128,
+            rng=0,
+        )
+        assert estimate.exhausted
+        assert not estimate.diagnostics["converged"]
+        assert estimate.n_samples <= 128
+        low, high = estimate.confidence_interval()
+        assert high > 0.0
+
+
+class TestTelemetry:
+    def test_span_and_samples_metric(self, gaussian_model):
+        records: list[dict] = []
+        session = telemetry.TelemetrySession(sinks=(records.append,))
+        with telemetry.activate(session):
+            estimate_yield(
+                gaussian_model, 1.3, engine="mc", budget=512, rng=0
+            )
+        session.close()
+        spans = [r for r in records if r.get("name") == "yield.estimate"]
+        assert len(spans) == 1
+        assert spans[0]["tags"]["engine"] == "mc"
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["yield.estimates"] == 1
+        assert snapshot["histograms"]["yield.samples"]["max"] == 512.0
+
+
+class TestTrace:
+    @pytest.mark.parametrize("engine", ["is", "adaptive-is"])
+    def test_trace_phases(self, gaussian_model, engine):
+        threshold, _ = sigma_target(gaussian_model, 3.5)
+        estimate = estimate_yield(
+            gaussian_model, threshold, engine=engine, budget=4096, rng=0
+        )
+        phases = {point.phase for point in estimate.trace}
+        assert "estimate" in phases
+        assert phases <= {"pilot", "adapt", "estimate"}
+        # Cumulative sample counts never decrease and end at n_samples.
+        counts = [point.n_samples for point in estimate.trace]
+        assert counts == sorted(counts)
+        assert counts[-1] == estimate.n_samples

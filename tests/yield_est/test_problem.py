@@ -1,0 +1,173 @@
+"""Tests for the problem abstraction (density/latent/sampler surfaces)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.models import fit_model
+from repro.stats import EmpiricalDistribution
+from repro.yield_est import (
+    DensityProblem,
+    LatentProblem,
+    SamplerProblem,
+    as_problem,
+    ensure_shiftable,
+)
+
+
+@pytest.fixture
+def gaussian_model(gaussian_samples):
+    return fit_model("Gaussian", gaussian_samples)
+
+
+class TestDensityProblem:
+    def test_as_problem_dispatch(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        assert isinstance(problem, DensityProblem)
+        assert problem.supports_shift
+        assert problem.threshold == pytest.approx(1.3)
+
+    def test_nominal_sampling_unweighted(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        batch = problem.sample(100, np.random.default_rng(0))
+        assert batch.n == 100
+        np.testing.assert_array_equal(batch.log_weights, np.zeros(100))
+
+    def test_shifted_weights_average_to_one(self, gaussian_model):
+        # E_q[f/q] = 1 for any translated proposal: the importance
+        # identity the whole package rests on.  One-sigma shift keeps
+        # the weight variance small enough for a tight check.
+        problem = as_problem(gaussian_model, 1.3)
+        sigma = gaussian_model.moments().std
+        batch = problem.sample(
+            8000, np.random.default_rng(1), shift=np.asarray(sigma)
+        )
+        assert float(np.mean(batch.weights())) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_shift_translates_samples(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        nominal = problem.sample(50, rng_a)
+        shifted = problem.sample(50, rng_b, shift=np.asarray(0.25))
+        np.testing.assert_allclose(
+            shifted.values, nominal.values + 0.25
+        )
+
+    def test_analytic_failure_probability(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        assert problem.analytic_failure_probability() == pytest.approx(
+            float(gaussian_model.sf(1.3))
+        )
+
+    def test_non_finite_threshold_rejected(self, gaussian_model):
+        with pytest.raises(ParameterError):
+            as_problem(gaussian_model, math.inf)
+
+
+class TestLatentProblem:
+    @staticmethod
+    def path_delay(latents: np.ndarray) -> np.ndarray:
+        # Synthetic 4-stage path: nominal 1.0 plus per-stage linear
+        # sensitivities to standard-normal process parameters.
+        weights = np.array([0.02, 0.05, 0.03, 0.04])
+        return 1.0 + latents @ weights
+
+    def test_dimensions_and_coords(self):
+        problem = LatentProblem(fn=self.path_delay, dim=4, threshold=1.2)
+        batch = problem.sample(64, np.random.default_rng(0))
+        assert batch.values.shape == (64,)
+        assert batch.coords.shape == (64, 4)
+        np.testing.assert_array_equal(batch.log_weights, np.zeros(64))
+
+    def test_shifted_weights_average_to_one(self):
+        problem = LatentProblem(fn=self.path_delay, dim=4, threshold=1.2)
+        shift = np.array([0.5, 0.5, 0.0, 0.5])
+        batch = problem.sample(
+            8000, np.random.default_rng(3), shift=shift
+        )
+        assert float(np.mean(batch.weights())) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_invalid_dim(self):
+        with pytest.raises(ParameterError):
+            LatentProblem(fn=self.path_delay, dim=0, threshold=1.2)
+
+    def test_size_mismatch_detected(self):
+        problem = LatentProblem(
+            fn=lambda latents: np.zeros(3), dim=2, threshold=1.0
+        )
+        with pytest.raises(ParameterError):
+            problem.sample(5, np.random.default_rng(0))
+
+
+class TestSamplerProblem:
+    def test_callable_dispatch(self):
+        problem = as_problem(
+            lambda n, rng: rng.normal(1.0, 0.1, n), 1.3
+        )
+        assert isinstance(problem, SamplerProblem)
+        assert not problem.supports_shift
+
+    def test_empirical_distribution_dispatch(self, gaussian_samples):
+        # EmpiricalDistribution has rvs but no density: raw-sampler path.
+        problem = as_problem(EmpiricalDistribution(gaussian_samples), 1.3)
+        assert isinstance(problem, SamplerProblem)
+        batch = problem.sample(32, np.random.default_rng(0))
+        assert batch.n == 32
+
+    def test_shift_rejected(self):
+        problem = as_problem(
+            lambda n, rng: rng.normal(1.0, 0.1, n), 1.3
+        )
+        with pytest.raises(ParameterError):
+            problem.sample(
+                8, np.random.default_rng(0), shift=np.asarray(0.1)
+            )
+
+    def test_unbuildable_target_rejected(self):
+        with pytest.raises(ParameterError):
+            as_problem(object(), 1.0)
+
+
+class TestEnsureShiftable:
+    def test_noop_for_density(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        shiftable, pilot, diagnostics = ensure_shiftable(
+            problem, budget=1000, rng=np.random.default_rng(0)
+        )
+        assert shiftable is problem
+        assert pilot is None
+        assert diagnostics == {}
+
+    def test_surrogate_for_sampler(self):
+        problem = as_problem(
+            lambda n, rng: rng.normal(1.0, 0.1, n), 1.3
+        )
+        shiftable, pilot, diagnostics = ensure_shiftable(
+            problem,
+            budget=4096,
+            rng=np.random.default_rng(0),
+            surrogate="Gaussian",
+        )
+        assert shiftable.supports_shift
+        assert pilot is not None and pilot.n > 0
+        assert diagnostics["surrogate"] == "Gaussian"
+        assert diagnostics["surrogate_pilot"] == pilot.n
+        # The surrogate reproduces the sampler's law well enough that
+        # its analytic tail is in the right ballpark.
+        mean = shiftable.model.moments().mean
+        assert mean == pytest.approx(1.0, abs=0.02)
+
+    def test_retarget_keeps_surface(self, gaussian_model):
+        problem = as_problem(gaussian_model, 1.3)
+        retargeted = as_problem(problem, 1.4)
+        assert retargeted.threshold == pytest.approx(1.4)
+        assert retargeted.model is problem.model

@@ -1,0 +1,113 @@
+"""Tests for the YieldEstimate result type (validation, CI, JSON)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.yield_est import RESULT_SCHEMA, TracePoint, YieldEstimate
+
+
+def make_estimate(**overrides) -> YieldEstimate:
+    base = dict(
+        engine="mc",
+        threshold=1.2,
+        failure_probability=1e-4,
+        std_error=2e-5,
+        n_samples=1000,
+        budget=1000,
+        exhausted=False,
+        ess=10.0,
+        trace=(
+            TracePoint(
+                n_samples=1000,
+                estimate=1e-4,
+                std_error=2e-5,
+                phase="estimate",
+            ),
+        ),
+        diagnostics={"batch_size": 512},
+    )
+    base.update(overrides)
+    return YieldEstimate(**base)
+
+
+class TestValidation:
+    def test_probability_out_of_range(self):
+        with pytest.raises(ParameterError):
+            make_estimate(failure_probability=1.5)
+        with pytest.raises(ParameterError):
+            make_estimate(failure_probability=-0.1)
+
+    def test_negative_std_error(self):
+        with pytest.raises(ParameterError):
+            make_estimate(std_error=-1e-6)
+
+    def test_overspent_budget(self):
+        with pytest.raises(ParameterError):
+            make_estimate(n_samples=1001, budget=1000)
+
+
+class TestDerived:
+    def test_yield_is_complement(self):
+        estimate = make_estimate(failure_probability=0.25)
+        assert estimate.yield_fraction == pytest.approx(0.75)
+
+    def test_variance_is_se_squared(self):
+        estimate = make_estimate(std_error=3e-5)
+        assert estimate.variance == pytest.approx(9e-10)
+
+    def test_confidence_interval_normal(self):
+        estimate = make_estimate()
+        low, high = estimate.confidence_interval()
+        assert low == pytest.approx(1e-4 - 1.96 * 2e-5)
+        assert high == pytest.approx(1e-4 + 1.96 * 2e-5)
+
+    def test_confidence_interval_clips(self):
+        estimate = make_estimate(
+            failure_probability=1e-6, std_error=1e-5
+        )
+        low, _ = estimate.confidence_interval()
+        assert low == 0.0
+
+    def test_rule_of_three_on_zero_failures(self):
+        estimate = make_estimate(
+            failure_probability=0.0, std_error=0.0, ess=0.0
+        )
+        low, high = estimate.confidence_interval()
+        assert low == 0.0
+        # 95% upper bound for 0 events in n trials: 3 / n.
+        assert high == pytest.approx(3.0 / 1000)
+
+    def test_invalid_z(self):
+        with pytest.raises(ParameterError):
+            make_estimate().confidence_interval(z=0.0)
+
+    def test_relative_error(self):
+        estimate = make_estimate(failure_probability=1.1e-4)
+        assert estimate.relative_error(1e-4) == pytest.approx(0.1)
+        with pytest.raises(ParameterError):
+            estimate.relative_error(0.0)
+
+
+class TestSerialisation:
+    def test_schema_and_fields(self):
+        document = make_estimate().to_dict()
+        assert document["schema"] == RESULT_SCHEMA
+        assert document["engine"] == "mc"
+        assert document["ci_low"] <= document["ci_high"]
+        assert document["trace"][0]["phase"] == "estimate"
+
+    def test_json_roundtrip_and_sorted_keys(self):
+        text = make_estimate().to_json()
+        parsed = json.loads(text)
+        assert parsed["failure_probability"] == pytest.approx(1e-4)
+        # Canonical form: identical estimates serialise byte-identically.
+        assert text == make_estimate().to_json()
+        assert text == json.dumps(parsed, sort_keys=True)
+
+    def test_summary_mentions_exhaustion(self):
+        assert "exhausted" not in make_estimate().summary()
+        assert "exhausted" in make_estimate(exhausted=True).summary()
