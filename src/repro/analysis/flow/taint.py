@@ -103,8 +103,10 @@ class FlowConfig:
             "lhs_normal",
             "lhs_transform",
             "fit_mixture_em",
+            "fit_mixture_em_batch",
             "fit_mixture_em_multi",
             "kmeans_1d",
+            "kmeans_1d_batch",
             "kmeans_nd",
             "sample",
             "sample_path_delays",

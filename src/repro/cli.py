@@ -267,6 +267,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 pool=pool_config,
                 granularity=args.granularity,
+                vectorized=not args.serial_fit,
             )
             text = library.to_text()
             if args.out:
@@ -710,6 +711,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "clt_samples": 2000,
             "yield_budgets": (1024, 4096),
             "yield_repeats": 2,
+            "fit_points": 24,
+            "fit_samples": 200,
         }
     session = None
     records: list[dict] = []
@@ -767,17 +770,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
-    from repro.perf import compare_reports, load_report, render_comparison
+    from repro.perf import (
+        check_speedups,
+        compare_reports,
+        load_report,
+        render_comparison,
+        render_speedups,
+    )
 
+    current = load_report(args.current)
     rows = compare_reports(
         load_report(args.baseline),
-        load_report(args.current),
+        current,
         max_regression_pct=args.max_regression,
     )
+    # Intra-report invariants (e.g. the batched fit must beat the
+    # serial loop) are judged on the *current* report alone — they
+    # need no baseline and no calibration.
+    speedups = check_speedups(current)
     if args.json:
         print(
             json.dumps(
-                [row.to_dict() for row in rows], indent=2, sort_keys=True
+                {
+                    "comparison": [row.to_dict() for row in rows],
+                    "speedups": [row.to_dict() for row in speedups],
+                },
+                indent=2,
+                sort_keys=True,
             )
         )
     else:
@@ -786,7 +805,11 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
                 rows, max_regression_pct=args.max_regression
             )
         )
-    return 1 if any(row.failed for row in rows) else 0
+        print(render_speedups(speedups))
+    failed = any(row.failed for row in rows) or any(
+        row.failed for row in speedups
+    )
+    return 1 if failed else 0
 
 
 def _cmd_yield(args: argparse.Namespace) -> int:
@@ -952,6 +975,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="log one line per characterised arc",
+    )
+    characterize.add_argument(
+        "--serial-fit",
+        action="store_true",
+        help="fit grid points one at a time instead of through the "
+        "batched EM path (bit-identical output either way; serial is "
+        "slower and exists for cross-checking)",
     )
     characterize.add_argument(
         "--checkpoint-gc",

@@ -18,6 +18,10 @@ from repro.experiments.clt_convergence import CLTResult, run_clt_convergence
 from repro.experiments.fig3 import Fig3Result, run_fig3
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fit_throughput import (
+    FitThroughputResult,
+    run_fit_throughput,
+)
 from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Config, Table2Result, run_table2
 from repro.experiments.yield_study import YieldStudyResult, run_yield_study
@@ -39,6 +43,7 @@ class ExperimentSuite:
     fig5: Fig5Result
     clt: CLTResult
     yield_est: YieldStudyResult
+    fit_throughput: FitThroughputResult
 
     def to_text(self) -> str:
         sections = [
@@ -49,6 +54,7 @@ class ExperimentSuite:
             self.fig5.to_text(),
             self.clt.to_text(),
             self.yield_est.to_text(),
+            self.fit_throughput.to_text(),
         ]
         divider = "\n" + "=" * 72 + "\n"
         return divider.join(sections)
@@ -68,6 +74,8 @@ def run_all(
     clt_samples: int | None = None,
     yield_budgets: tuple[int, ...] | None = None,
     yield_repeats: int | None = None,
+    fit_points: int | None = None,
+    fit_samples: int | None = None,
 ) -> ExperimentSuite:
     """Execute every experiment of the paper's evaluation section.
 
@@ -92,6 +100,10 @@ def run_all(
         yield_budgets: Budget-ladder override for the yield estimator
             study (None: the study's own scale).
         yield_repeats: Seeded-repeat override for the yield study.
+        fit_points: Grid-point override for the fit-throughput
+            comparison (None: the experiment's own scale).
+        fit_samples: Per-point sample override for the
+            fit-throughput comparison.
     """
     # The tag is ``experiment=...`` (not ``name=...``) because
     # ``telemetry.span(name, **tags)`` reserves ``name`` for the span
@@ -134,6 +146,15 @@ def run_all(
         yield_kwargs["repeats"] = yield_repeats
     with telemetry.span("experiment", experiment="yield_est"):
         yield_est = run_yield_study(**yield_kwargs)
+    reporter.info("fit_throughput: batched vs serial EM ...")
+    # No outer span: the experiment opens its own ``fit_serial`` /
+    # ``fit_batch`` spans so the perf gate can compare the two sides.
+    fit_kwargs: dict = {}
+    if fit_points is not None:
+        fit_kwargs["n_points"] = fit_points
+    if fit_samples is not None:
+        fit_kwargs["n_samples"] = fit_samples
+    fit_throughput = run_fit_throughput(**fit_kwargs)
     return ExperimentSuite(
         fig3=fig3,
         table1=table1,
@@ -142,4 +163,5 @@ def run_all(
         fig5=fig5,
         clt=clt,
         yield_est=yield_est,
+        fit_throughput=fit_throughput,
     )

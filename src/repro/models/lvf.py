@@ -14,20 +14,102 @@ of the error sources LVF2 removes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.errors import ParameterError
 from repro.models.base import TimingModel, register_model
 from repro.stats.moments import (
     MomentSummary,
     sample_moments,
     weighted_moments,
 )
-from repro.stats.skew_normal import SkewNormal
+from repro.stats.skew_normal import (
+    _B,
+    _HALF_GAP,
+    DEFAULT_SKEW_MARGIN,
+    MAX_SKEWNESS,
+    SkewNormal,
+)
 
 __all__ = ["LVFModel"]
+
+
+def _lvf_from_moments_fast(
+    mean: float, std: float, skew: float
+) -> "LVFModel":
+    """Construct ``LVFModel(mean, std, skew)`` without dispatch overhead.
+
+    The EM M-step builds one model per component per iteration per grid
+    point, so the dataclass ``__init__``/``__post_init__`` machinery —
+    two object constructions, a moments->params inversion wrapped in
+    three call layers, and a params->moments round trip — is hot.  This
+    helper runs the *same scalar expressions in the same order* (the
+    inlined bodies of :func:`~repro.stats.skew_normal.moments_to_params`,
+    ``SkewNormal.__post_init__`` and the ``skewness`` round trip), so
+    the resulting model is bit-identical, field for field, to the
+    dataclass path and raises the same :class:`ParameterError` on the
+    same inputs.
+    """
+    # --- moments_to_params, inlined -----------------------------------
+    if not (std > 0.0 and math.isfinite(std)):
+        raise ParameterError(
+            f"std must be positive and finite, got {std}"
+        )
+    bound = MAX_SKEWNESS - DEFAULT_SKEW_MARGIN
+    if skew > bound:
+        gamma = float(bound)
+    elif skew < -bound:
+        gamma = float(-bound)
+    else:
+        gamma = float(skew)
+    magnitude = abs(gamma)
+    if magnitude < 1e-14:
+        xi, omega, alpha = float(mean), float(std), 0.0
+    else:
+        ratio = magnitude ** (2.0 / 3.0)
+        abs_delta = math.sqrt(
+            (math.pi / 2.0) * ratio / (ratio + _HALF_GAP)
+        )
+        delta = math.copysign(min(abs_delta, 1.0 - 1e-12), gamma)
+        if not -1.0 < delta < 1.0:
+            raise ParameterError(
+                f"delta must lie in (-1, 1), got {delta}"
+            )
+        alpha = delta / math.sqrt(1.0 - delta * delta)
+        omega = std / math.sqrt(1.0 - (_B * delta) ** 2)
+        xi = mean - omega * delta * _B
+        xi, omega, alpha = float(xi), float(omega), float(alpha)
+    # --- SkewNormal.__post_init__ validation --------------------------
+    if not (omega > 0.0 and math.isfinite(omega)):
+        raise ParameterError(
+            f"omega must be positive and finite, got {omega}"
+        )
+    if not (math.isfinite(xi) and math.isfinite(alpha)):
+        raise ParameterError("xi and alpha must be finite")
+    # --- stored skewness: params_to_moments gamma term ----------------
+    delta_back = alpha / math.sqrt(1.0 + alpha * alpha)
+    centered = delta_back * _B
+    stored_gamma = float(
+        0.5
+        * (4.0 - math.pi)
+        * centered**3
+        / (1.0 - centered**2) ** 1.5
+    )
+    sn = SkewNormal.__new__(SkewNormal)
+    object.__setattr__(sn, "xi", xi)
+    object.__setattr__(sn, "omega", omega)
+    object.__setattr__(sn, "alpha", alpha)
+    model = LVFModel.__new__(LVFModel)
+    object.__setattr__(model, "mu", mean)
+    object.__setattr__(model, "sigma", std)
+    object.__setattr__(model, "gamma", stored_gamma)
+    object.__setattr__(model, "nominal", None)
+    object.__setattr__(model, "_sn", sn)
+    return model
 
 
 @register_model
@@ -65,6 +147,10 @@ class LVFModel(TimingModel):
     def fit(cls, samples: np.ndarray, **kwargs: Any) -> "LVFModel":
         """Moment-match a skew-normal to the samples."""
         summary = sample_moments(samples)
+        if cls is LVFModel:
+            return _lvf_from_moments_fast(
+                summary.mean, summary.std, summary.skewness
+            )
         return cls(summary.mean, summary.std, summary.skewness)
 
     @classmethod
@@ -73,6 +159,10 @@ class LVFModel(TimingModel):
     ) -> "LVFModel":
         """Weighted moment fit — the LVF2 EM M-step for one component."""
         summary = weighted_moments(samples, weights)
+        if cls is LVFModel:
+            return _lvf_from_moments_fast(
+                summary.mean, summary.std, summary.skewness
+            )
         return cls(summary.mean, summary.std, summary.skewness)
 
     @classmethod

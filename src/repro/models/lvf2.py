@@ -27,24 +27,177 @@ from scipy.special import expit, logit
 
 from repro.errors import FittingError, ParameterError
 from repro.models.base import TimingModel, register_model
-from repro.models.lvf import LVFModel
+from repro.models.lvf import LVFModel, _lvf_from_moments_fast
 from repro.stats.em import (
     ComponentFamily,
     EMConfig,
+    EMResult,
+    concentric_initial,
     fit_mixture_em,
+    fit_mixture_em_batch,
     fit_mixture_em_multi,
 )
 from repro.stats.mixtures import Mixture
-from repro.stats.moments import MomentSummary
-from repro.stats.skew_normal import SkewNormal
+from repro.stats.moments import MomentSummary, weighted_moments_batch
+from repro.stats.skew_normal import (
+    _B,
+    _HALF_GAP,
+    DEFAULT_SKEW_MARGIN,
+    MAX_SKEWNESS,
+    SkewNormal,
+)
 
 __all__ = ["LVF2Model", "SKEW_NORMAL_FAMILY"]
+
+
+class _SNLane:
+    """EM-internal stand-in for an intermediate skew-normal component.
+
+    The lockstep E-step only reads the direct parameters
+    ``(xi, omega, alpha)``; building a full ``LVFModel`` (two frozen
+    dataclasses plus the stored-skewness round trip) for every
+    component of every iteration of every grid point is the single
+    hottest scalar cost of the batched fit.  A lane carries just the
+    moment triple and the direct parameters; ``_sn_realize`` turns it
+    into the exact model the serial M-step would have produced once
+    its row converges.
+    """
+
+    __slots__ = ("mean", "std", "skew", "xi", "omega", "alpha")
+
+
+def _sn_lane(mean: float, std: float, skew: float) -> _SNLane:
+    """Compute a lane via the exact ``moments_to_params`` expressions.
+
+    Token-for-token the first half of
+    :func:`repro.models.lvf._lvf_from_moments_fast` (same clamping,
+    same validation, same error messages); it stops after the
+    ``SkewNormal`` parameter checks instead of building the model
+    objects and the stored skewness, which no intermediate iteration
+    reads.
+    """
+    if not (std > 0.0 and math.isfinite(std)):
+        raise ParameterError(
+            f"std must be positive and finite, got {std}"
+        )
+    bound = MAX_SKEWNESS - DEFAULT_SKEW_MARGIN
+    if skew > bound:
+        gamma = float(bound)
+    elif skew < -bound:
+        gamma = float(-bound)
+    else:
+        gamma = float(skew)
+    magnitude = abs(gamma)
+    if magnitude < 1e-14:
+        xi, omega, alpha = float(mean), float(std), 0.0
+    else:
+        ratio = magnitude ** (2.0 / 3.0)
+        abs_delta = math.sqrt(
+            (math.pi / 2.0) * ratio / (ratio + _HALF_GAP)
+        )
+        delta = math.copysign(min(abs_delta, 1.0 - 1e-12), gamma)
+        if not -1.0 < delta < 1.0:
+            raise ParameterError(
+                f"delta must lie in (-1, 1), got {delta}"
+            )
+        alpha = delta / math.sqrt(1.0 - delta * delta)
+        omega = std / math.sqrt(1.0 - (_B * delta) ** 2)
+        xi = mean - omega * delta * _B
+        xi, omega, alpha = float(xi), float(omega), float(alpha)
+    if not (omega > 0.0 and math.isfinite(omega)):
+        raise ParameterError(
+            f"omega must be positive and finite, got {omega}"
+        )
+    if not (math.isfinite(xi) and math.isfinite(alpha)):
+        raise ParameterError("xi and alpha must be finite")
+    lane = _SNLane()
+    lane.mean = mean
+    lane.std = std
+    lane.skew = skew
+    lane.xi = xi
+    lane.omega = omega
+    lane.alpha = alpha
+    return lane
+
+
+def _sn_realize(component: Any) -> Any:
+    """Turn an :class:`_SNLane` into the serial-identical model."""
+    if type(component) is _SNLane:
+        return _lvf_from_moments_fast(
+            component.mean, component.std, component.skew
+        )
+    return component
+
+
+def _sn_logpdf_batch(
+    components: "list[LVFModel | _SNLane]", data: np.ndarray
+) -> np.ndarray:
+    """Row-wise skew-normal log-density over a stacked batch.
+
+    Mirrors :meth:`repro.stats.skew_normal.SkewNormal.logpdf` term for
+    term: the per-component scalar constant uses the same
+    ``math.log(2.0 / omega)`` call, and the array expression keeps the
+    serial association order ``(const + log_phi) + log_ndtr``, so every
+    lane is bit-identical to the serial method.  Components may be
+    models (warm starts, kept-previous estimates) or :class:`_SNLane`
+    stand-ins from the batched M-step, interchangeably.
+    """
+    from scipy.special import log_ndtr
+
+    params: list[tuple[float, float, float]] = []
+    for component in components:
+        if type(component) is _SNLane:
+            params.append(
+                (component.xi, component.omega, component.alpha)
+            )
+        else:
+            # LVFModel wraps its distribution; a bare SkewNormal (a
+            # legal serial warm-start component) carries the direct
+            # parameters itself.
+            sn = getattr(component, "skew_normal", component)
+            params.append((sn.xi, sn.omega, sn.alpha))
+    xis = np.array([p[0] for p in params], dtype=float)
+    omegas = np.array([p[1] for p in params], dtype=float)
+    alphas = np.array([p[2] for p in params], dtype=float)
+    consts = np.array(
+        [math.log(2.0 / p[1]) for p in params], dtype=float
+    )
+    z = (data - xis[:, None]) / omegas[:, None]
+    log_phi = -0.5 * z * z - 0.5 * math.log(2.0 * math.pi)
+    return consts[:, None] + log_phi + log_ndtr(alphas[:, None] * z)
+
+
+def _sn_fit_weighted_batch(
+    data: np.ndarray, weights: np.ndarray
+) -> "list[_SNLane | Exception]":
+    """Row-wise :meth:`LVFModel.fit_weighted` over a batch.
+
+    Returns :class:`_SNLane` stand-ins (realized by
+    :func:`_sn_realize` on convergence); the scalar expressions and
+    error behaviour per row match the serial ``fit_weighted`` exactly.
+    """
+    results: "list[_SNLane | Exception]" = []
+    for summary in weighted_moments_batch(
+        data, weights, errors="capture", raw=True
+    ):
+        if isinstance(summary, Exception):
+            results.append(summary)
+            continue
+        try:
+            results.append(_sn_lane(*summary))
+        except Exception as error:  # noqa: BLE001 — mirrors serial raise
+            results.append(error)
+    return results
+
 
 #: Component family wiring LVFModel (skew-normal) into the EM driver.
 SKEW_NORMAL_FAMILY = ComponentFamily(
     name="skew-normal",
     fit=LVFModel.fit,
     fit_weighted=LVFModel.fit_weighted,
+    logpdf_batch=_sn_logpdf_batch,
+    fit_weighted_batch=_sn_fit_weighted_batch,
+    realize=_sn_realize,
 )
 
 
@@ -166,6 +319,178 @@ class LVF2Model(TimingModel):
             for component in gaussian.mixture.components
         )
         return Mixture(gaussian.mixture.weights, components)
+
+    @classmethod
+    def fit_batch(
+        cls,
+        samples: np.ndarray,
+        *,
+        config: EMConfig | None = None,
+        errors: str = "raise",
+    ) -> "list[LVF2Model | Exception]":
+        """Fit one LVF2 model per row of a ``(n_points, n_samples)`` stack.
+
+        Bit-identical to looping :meth:`fit` (with ``refine="none"``)
+        over the rows: the same multi-start schedule runs as three
+        batched EM sweeps — the Norm2 warm start, the k-means start and
+        the concentric start — and each row picks the first
+        highest-likelihood candidate in the serial candidate order
+        (k-means, concentric, warm).  Rows that error in an earlier
+        phase skip the later ones, exactly as the serial control flow
+        would.
+
+        Args:
+            samples: Stacked observations, one grid point per row.
+            config: EM settings shared by all rows.
+            errors: ``"raise"`` re-raises the first failing row's error
+                in row order; ``"capture"`` stores exceptions in their
+                row slots so the caller can fall back per point.
+
+        Returns:
+            One fitted model (or captured exception) per row.
+        """
+        from repro.models.norm2 import GAUSSIAN_FAMILY
+
+        if errors not in ("raise", "capture"):
+            raise ValueError(f"unknown errors mode: {errors!r}")
+        stack = np.asarray(samples, dtype=float)
+        if stack.ndim != 2:
+            raise FittingError(
+                "batched samples must be a 2-D (n_points, n_samples) "
+                f"array, got ndim={stack.ndim}"
+            )
+        stack = np.ascontiguousarray(stack)
+        n_points = stack.shape[0]
+        results: "list[LVF2Model | Exception | None]" = [None] * n_points
+
+        # Phase 1 — Norm2 warm starts (serial order: computed before
+        # the skew-normal multi-start).  FittingError means "no warm
+        # start"; anything else fails the row like the serial path.
+        warms: list[Mixture | None] = [None] * n_points
+        gaussian_results = fit_mixture_em_batch(
+            stack,
+            GAUSSIAN_FAMILY,
+            n_components=2,
+            config=config,
+            errors="capture",
+        )
+        for p, gaussian in enumerate(gaussian_results):
+            if isinstance(gaussian, FittingError):
+                continue
+            if isinstance(gaussian, Exception):
+                results[p] = gaussian
+                continue
+            if gaussian.mixture.n_components != 2:
+                continue
+            try:
+                components = tuple(
+                    LVFModel(component.mu, component.sigma, 0.0)
+                    for component in gaussian.mixture.components
+                )
+                warms[p] = Mixture(gaussian.mixture.weights, components)
+            except Exception as error:  # noqa: BLE001 — serial raise
+                results[p] = error
+
+        # Phase 2 — k-means-seeded EM.  An error here aborts the row
+        # before the other starts run (fit_mixture_em_multi raises out
+        # of its first fit).
+        candidates: dict[int, list[EMResult]] = {}
+        live = [p for p in range(n_points) if results[p] is None]
+        for p, outcome in zip(
+            live,
+            fit_mixture_em_batch(
+                stack[np.asarray(live, dtype=np.intp)],
+                SKEW_NORMAL_FAMILY,
+                n_components=2,
+                config=config,
+                errors="capture",
+            )
+            if live
+            else [],
+        ):
+            if isinstance(outcome, Exception):
+                results[p] = outcome
+            else:
+                candidates[p] = [outcome]
+
+        # Phase 3 — concentric starts.
+        conc_initials: dict[int, Mixture] = {}
+        for p in [p for p in live if results[p] is None]:
+            try:
+                concentric = concentric_initial(
+                    stack[p], SKEW_NORMAL_FAMILY
+                )
+            except Exception as error:  # noqa: BLE001 — serial raise
+                results[p] = error
+                continue
+            if concentric is not None:
+                conc_initials[p] = concentric
+        conc_rows = [p for p in conc_initials if results[p] is None]
+        if conc_rows:
+            for p, outcome in zip(
+                conc_rows,
+                fit_mixture_em_batch(
+                    stack[np.asarray(conc_rows, dtype=np.intp)],
+                    SKEW_NORMAL_FAMILY,
+                    n_components=2,
+                    config=config,
+                    initials=[conc_initials[p] for p in conc_rows],
+                    errors="capture",
+                ),
+            ):
+                if isinstance(outcome, Exception):
+                    results[p] = outcome
+                else:
+                    candidates[p].append(outcome)
+
+        # Phase 4 — Norm2 warm starts as extra initials.
+        warm_rows = [
+            p
+            for p in live
+            if results[p] is None and warms[p] is not None
+        ]
+        if warm_rows:
+            for p, outcome in zip(
+                warm_rows,
+                fit_mixture_em_batch(
+                    stack[np.asarray(warm_rows, dtype=np.intp)],
+                    SKEW_NORMAL_FAMILY,
+                    n_components=2,
+                    config=config,
+                    initials=[warms[p] for p in warm_rows],
+                    errors="capture",
+                ),
+            ):
+                if isinstance(outcome, Exception):
+                    results[p] = outcome
+                else:
+                    candidates[p].append(outcome)
+
+        # First-max-wins over the serial candidate order.
+        for p in range(n_points):
+            if results[p] is not None:
+                continue
+            best = max(
+                candidates[p], key=lambda result: result.loglik
+            )
+            mixture = best.mixture
+            try:
+                if mixture.n_components == 1:
+                    results[p] = cls(0.0, mixture.components[0], None)
+                else:
+                    results[p] = cls(
+                        float(mixture.weights[1]),
+                        mixture.components[0],
+                        mixture.components[1],
+                    )
+            except Exception as error:  # noqa: BLE001 — serial raise
+                results[p] = error
+        if errors == "raise":
+            for outcome in results:
+                if isinstance(outcome, Exception):
+                    raise outcome
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
 
     @classmethod
     def from_lvf(cls, lvf: LVFModel) -> "LVF2Model":

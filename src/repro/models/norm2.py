@@ -8,6 +8,8 @@ LVF2 but with plain-Gaussian components.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -18,15 +20,59 @@ from repro.models.base import TimingModel, register_model
 from repro.models.gaussian import GaussianModel
 from repro.stats.em import ComponentFamily, EMConfig, fit_mixture_em_multi
 from repro.stats.mixtures import Mixture
-from repro.stats.moments import MomentSummary
+from repro.stats.moments import MomentSummary, weighted_moments_batch
 
 __all__ = ["Norm2Model", "GAUSSIAN_FAMILY"]
+
+
+def _gaussian_logpdf_batch(
+    components: Sequence[GaussianModel], data: np.ndarray
+) -> np.ndarray:
+    """Row-wise :meth:`GaussianModel.logpdf` over a stacked batch.
+
+    The per-component scalar constants (``math.log(sigma)``) are
+    computed with the same ``math`` calls as the serial method; the
+    array expression mirrors its term order, so every lane is
+    bit-identical to the serial log-density.
+    """
+    mus = np.array([c.mu for c in components], dtype=float)
+    sigmas = np.array([c.sigma for c in components], dtype=float)
+    log_sigmas = np.array(
+        [math.log(c.sigma) for c in components], dtype=float
+    )
+    z = (data - mus[:, None]) / sigmas[:, None]
+    return (
+        -0.5 * z * z
+        - log_sigmas[:, None]
+        - 0.5 * math.log(2.0 * math.pi)
+    )
+
+
+def _gaussian_fit_weighted_batch(
+    data: np.ndarray, weights: np.ndarray
+) -> list[GaussianModel | Exception]:
+    """Row-wise :meth:`GaussianModel.fit_weighted` over a batch."""
+    results: list[GaussianModel | Exception] = []
+    for summary in weighted_moments_batch(
+        data, weights, errors="capture"
+    ):
+        if isinstance(summary, Exception):
+            results.append(summary)
+            continue
+        try:
+            results.append(GaussianModel(summary.mean, summary.std))
+        except Exception as error:  # noqa: BLE001 — mirrors serial raise
+            results.append(error)
+    return results
+
 
 #: Component family wiring GaussianModel into the generic EM driver.
 GAUSSIAN_FAMILY = ComponentFamily(
     name="normal",
     fit=GaussianModel.fit,
     fit_weighted=GaussianModel.fit_weighted,
+    logpdf_batch=_gaussian_logpdf_batch,
+    fit_weighted_batch=_gaussian_fit_weighted_batch,
 )
 
 

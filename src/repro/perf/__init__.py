@@ -13,10 +13,14 @@ telemetry subsystems:
 """
 
 from repro.perf.compare import (
+    DEFAULT_SPEEDUP_GATES,
     ComparisonRow,
+    SpeedupRow,
+    check_speedups,
     compare_reports,
     load_report,
     render_comparison,
+    render_speedups,
 )
 from repro.perf.record import (
     BENCH_SCHEMA,
@@ -27,11 +31,15 @@ from repro.perf.record import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DEFAULT_SPEEDUP_GATES",
     "ComparisonRow",
+    "SpeedupRow",
     "build_report",
     "calibrate",
+    "check_speedups",
     "compare_reports",
     "experiment_timings",
     "load_report",
     "render_comparison",
+    "render_speedups",
 ]

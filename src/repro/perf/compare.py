@@ -27,10 +27,14 @@ from repro.perf.record import BENCH_SCHEMA
 
 __all__ = [
     "DEFAULT_MAX_REGRESSION_PCT",
+    "DEFAULT_SPEEDUP_GATES",
     "ComparisonRow",
+    "SpeedupRow",
+    "check_speedups",
     "compare_reports",
     "load_report",
     "render_comparison",
+    "render_speedups",
 ]
 
 #: Normalised slowdown (percent) above which an experiment fails the
@@ -41,6 +45,18 @@ DEFAULT_MAX_REGRESSION_PCT = 50.0
 #: at sub-100ms scale, interpreter and allocator noise dwarfs any
 #: real regression signal.
 _MIN_GATED_SECONDS = 0.1
+
+#: Intra-report speedup invariants: ``(fast_key, slow_key,
+#: min_ratio)`` — the ``slow_key`` timing must be at least
+#: ``min_ratio`` times the ``fast_key`` timing *within one report*.
+#: Unlike the baseline comparison, this needs no calibration: both
+#: timings come from the same machine and process.  The fit
+#: experiment measures 4.6-5.8x at its default grid; the gate floor
+#: sits at the smoke scale (24 points x 200 samples), where the
+#: batch amortises less, and leaves headroom for scheduler noise.
+DEFAULT_SPEEDUP_GATES: tuple[tuple[str, str, float], ...] = (
+    ("fit_batch", "fit_serial", 1.5),
+)
 
 
 def load_report(path: str) -> dict:
@@ -163,6 +179,107 @@ def compare_reports(
             )
         )
     return tuple(rows)
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One intra-report speedup invariant's judgement.
+
+    Attributes:
+        fast_key: Timing key expected to be the faster side.
+        slow_key: Timing key expected to be the slower side.
+        fast: Wall seconds of the fast side.
+        slow: Wall seconds of the slow side.
+        ratio: ``slow / fast`` — the achieved speedup.
+        min_ratio: Required floor for ``ratio``.
+        failed: Whether the invariant was violated.
+    """
+
+    fast_key: str
+    slow_key: str
+    fast: float
+    slow: float
+    ratio: float
+    min_ratio: float
+    failed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "fast_key": self.fast_key,
+            "slow_key": self.slow_key,
+            "fast_s": self.fast,
+            "slow_s": self.slow,
+            "speedup": self.ratio,
+            "min_speedup": self.min_ratio,
+            "failed": self.failed,
+        }
+
+
+def check_speedups(
+    report: dict,
+    gates: tuple[tuple[str, str, float], ...] = DEFAULT_SPEEDUP_GATES,
+) -> tuple[SpeedupRow, ...]:
+    """Check intra-report speedup invariants on one perf report.
+
+    Each gate asserts the report's ``slow_key`` timing is at least
+    ``min_ratio`` times its ``fast_key`` timing.  Gates whose keys
+    the report does not carry are skipped — an old baseline without
+    the fit-throughput experiment passes vacuously until re-recorded.
+
+    Raises:
+        ParameterError: When a gate's ``min_ratio`` is not positive.
+    """
+    timings = report.get("timings_s", {})
+    rows = []
+    for fast_key, slow_key, min_ratio in gates:
+        if min_ratio <= 0.0:
+            raise ParameterError(
+                f"speedup floor must be > 0, got {min_ratio} "
+                f"for {fast_key!r} vs {slow_key!r}"
+            )
+        if fast_key not in timings or slow_key not in timings:
+            continue
+        fast = float(timings[fast_key])
+        slow = float(timings[slow_key])
+        if fast <= 0.0:
+            continue
+        ratio = slow / fast
+        rows.append(
+            SpeedupRow(
+                fast_key=fast_key,
+                slow_key=slow_key,
+                fast=fast,
+                slow=slow,
+                ratio=ratio,
+                min_ratio=min_ratio,
+                failed=ratio < min_ratio,
+            )
+        )
+    return tuple(rows)
+
+
+def render_speedups(rows: tuple[SpeedupRow, ...]) -> str:
+    """Human-readable speedup-invariant table plus verdict line."""
+    if not rows:
+        return "no speedup invariants applicable to this report"
+    lines = []
+    for row in rows:
+        marker = "  FAIL" if row.failed else ""
+        lines.append(
+            f"{row.fast_key} vs {row.slow_key}: "
+            f"{row.fast:.3f}s vs {row.slow:.3f}s = "
+            f"{row.ratio:.2f}x (floor {row.min_ratio:g}x){marker}"
+        )
+    failed = [f"{row.fast_key}" for row in rows if row.failed]
+    if failed:
+        lines.append(
+            "speedup regression: "
+            + ", ".join(failed)
+            + " fell below the required floor"
+        )
+    else:
+        lines.append("ok: all speedup invariants hold")
+    return "\n".join(lines)
 
 
 def render_comparison(

@@ -26,6 +26,7 @@ or simulated NaNs degrade the fit rather than poisoning it.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,10 @@ from repro.runtime.report import FitAttempt, FitContext, FitOutcome
 from repro.stats.em import EMConfig
 
 __all__ = ["DEFAULT_RUNGS", "FitPolicy"]
+
+#: Sentinel distinguishing "no precomputed first-rung result" from a
+#: legitimately captured ``None``/exception.
+_UNSET = object()
 
 #: Ladder rungs in degradation order.
 DEFAULT_RUNGS = (
@@ -181,6 +186,81 @@ class FitPolicy:
             condition=context.condition if context else "",
         ):
             outcome = self._walk_ladder(samples, context)
+        self._record_outcome(outcome)
+        return outcome
+
+    def fit_batch_iter(
+        self,
+        samples_list: Sequence[np.ndarray],
+        contexts: Sequence[FitContext | None] | None = None,
+    ) -> Iterator[FitOutcome]:
+        """Walk the ladder for many grid points, batching the first rung.
+
+        When the first rung is ``LVF2``, all points are fitted up front
+        by :meth:`LVF2Model.fit_batch` — the vectorized multi-start EM
+        that is bit-identical to the serial fit — grouped by finite
+        sample count so NaN-dropped points still batch together.  The
+        generator then replays the ladder per point in serial order:
+        fault-injection hooks fire exactly once per (point, rung) in
+        the order a serial loop would consult them, the precomputed
+        first-rung result (model or captured exception) substitutes for
+        the serial first-rung call, and every later rung runs serially.
+        Outcomes are yielded one point at a time so a mid-grid failure
+        leaves exactly the serial loop's partial progress behind.
+
+        Args:
+            samples_list: Raw per-point Monte-Carlo samples.
+            contexts: Optional per-point arc identities, same length.
+
+        Yields:
+            One :class:`FitOutcome` per point, in input order.
+        """
+        items = [
+            np.asarray(samples, dtype=float).ravel()
+            for samples in samples_list
+        ]
+        if contexts is None:
+            context_list: list[FitContext | None] = [None] * len(items)
+        else:
+            context_list = list(contexts)
+            if len(context_list) != len(items):
+                raise FittingError(
+                    f"contexts length {len(context_list)} does not "
+                    f"match {len(items)} sample sets"
+                )
+        prefits: dict[int, LVF2Model | Exception] = {}
+        if self.rungs[0] == "LVF2" and items:
+            groups: dict[int, list[int]] = {}
+            finite_rows: dict[int, np.ndarray] = {}
+            for index, raw in enumerate(items):
+                finite = raw[np.isfinite(raw)]
+                if finite.size:
+                    finite_rows[index] = finite
+                    groups.setdefault(finite.size, []).append(index)
+            with telemetry.span(
+                "fit.prefit_batch", stage="fitting", n_points=len(items)
+            ):
+                for members in groups.values():
+                    batch = LVF2Model.fit_batch(
+                        np.stack([finite_rows[i] for i in members]),
+                        errors="capture",
+                    )
+                    for index, outcome in zip(members, batch):
+                        prefits[index] = outcome
+        for index, raw in enumerate(items):
+            context = context_list[index]
+            with telemetry.span(
+                "fit.ladder",
+                stage="fitting",
+                condition=context.condition if context else "",
+            ):
+                outcome = self._walk_ladder(
+                    raw, context, prefit=prefits.get(index, _UNSET)
+                )
+            self._record_outcome(outcome)
+            yield outcome
+
+    def _record_outcome(self, outcome: FitOutcome) -> None:
         telemetry.observe(
             "fit.fallback_rung", self.rungs.index(outcome.rung)
         )
@@ -191,12 +271,12 @@ class FitPolicy:
             telemetry.counter_inc(
                 "fit.dropped_samples", outcome.n_dropped
             )
-        return outcome
 
     def _walk_ladder(
         self,
         samples: np.ndarray,
         context: FitContext | None,
+        prefit: object = _UNSET,
     ) -> FitOutcome:
         raw = np.asarray(samples, dtype=float).ravel()
         finite = raw[np.isfinite(raw)]
@@ -207,18 +287,37 @@ class FitPolicy:
                 "no finite samples to fit"
                 + (f" ({n_dropped} non-finite dropped)" if n_dropped else "")
             )
-        for rung in self.rungs:
+        for position, rung in enumerate(self.rungs):
             injected = faults.fit_should_fail(context, rung)
             if injected is not None:
                 attempts.append(FitAttempt(rung, injected))
                 continue
-            try:
-                model = self._rung_fitter(rung)(finite)
-            except _NUMERICAL_ERRORS as error:
-                attempts.append(
-                    FitAttempt(rung, f"{type(error).__name__}: {error}")
-                )
-                continue
+            if position == 0 and prefit is not _UNSET:
+                # Precomputed first-rung result from the batched fit:
+                # a captured numerical error degrades exactly like the
+                # serial catch below; other errors propagate as the
+                # serial call would raise them.
+                if isinstance(prefit, Exception):
+                    if isinstance(prefit, _NUMERICAL_ERRORS):
+                        attempts.append(
+                            FitAttempt(
+                                rung,
+                                f"{type(prefit).__name__}: {prefit}",
+                            )
+                        )
+                        continue
+                    raise prefit
+                model = prefit
+            else:
+                try:
+                    model = self._rung_fitter(rung)(finite)
+                except _NUMERICAL_ERRORS as error:
+                    attempts.append(
+                        FitAttempt(
+                            rung, f"{type(error).__name__}: {error}"
+                        )
+                    )
+                    continue
             return FitOutcome(
                 model=model,
                 rung=rung,

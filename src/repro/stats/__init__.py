@@ -5,15 +5,28 @@ the timing-model semantics live in :mod:`repro.models`.
 """
 
 from repro.stats.empirical import EmpiricalDistribution, cdf_grid, ecdf
-from repro.stats.em import ComponentFamily, EMConfig, EMResult, fit_mixture_em
+from repro.stats.em import (
+    ComponentFamily,
+    EMConfig,
+    EMResult,
+    fit_mixture_em,
+    fit_mixture_em_batch,
+)
 from repro.stats.extended_skew_normal import ExtendedSkewNormal
-from repro.stats.kmeans import KMeansResult, kmeans_1d, kmeans_nd
+from repro.stats.kmeans import (
+    KMeansResult,
+    kmeans_1d,
+    kmeans_1d_batch,
+    kmeans_nd,
+)
 from repro.stats.lhs import discrepancy, latin_hypercube, lhs_normal, lhs_transform
 from repro.stats.mixtures import Mixture, mixture_moments
 from repro.stats.moments import (
     MomentSummary,
     sample_moments,
+    sample_moments_batch,
     weighted_moments,
+    weighted_moments_batch,
 )
 from repro.stats.skew_normal import (
     MAX_SKEWNESS,
@@ -39,7 +52,9 @@ __all__ = [
     "discrepancy",
     "ecdf",
     "fit_mixture_em",
+    "fit_mixture_em_batch",
     "kmeans_1d",
+    "kmeans_1d_batch",
     "kmeans_nd",
     "latin_hypercube",
     "lhs_normal",
@@ -48,5 +63,7 @@ __all__ = [
     "moments_to_params",
     "params_to_moments",
     "sample_moments",
+    "sample_moments_batch",
     "weighted_moments",
+    "weighted_moments_batch",
 ]

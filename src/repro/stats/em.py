@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.errors import ConvergenceWarningError, FittingError
 from repro.runtime import telemetry
-from repro.stats.kmeans import kmeans_1d, split_by_labels
+from repro.stats.kmeans import (
+    KMeansResult,
+    kmeans_1d,
+    kmeans_1d_batch,
+    split_by_labels,
+)
 from repro.stats.mixtures import Mixture
 from repro.stats.moments import validate_samples
 
@@ -35,6 +40,7 @@ __all__ = [
     "EMResult",
     "concentric_initial",
     "fit_mixture_em",
+    "fit_mixture_em_batch",
     "fit_mixture_em_multi",
 ]
 
@@ -48,11 +54,35 @@ class ComponentFamily:
         fit: Unweighted fit used on the initial k-means groups.
         fit_weighted: Weighted fit used in the M-step; receives all
             samples plus that component's responsibilities.
+        logpdf_batch: Optional vectorized density — receives one
+            component per stacked row plus the ``(n_points, n_samples)``
+            data stack and returns per-row log densities bit-identical
+            to calling each component's ``logpdf`` on its row.  When
+            absent, :func:`fit_mixture_em_batch` falls back to the
+            serial loop per row.
+        fit_weighted_batch: Optional vectorized M-step — receives the
+            data stack plus per-row responsibilities and returns one
+            fitted component (or the captured exception) per row.
+            The components it returns may be lightweight stand-ins
+            (carrying just what ``logpdf_batch`` reads) as long as
+            ``realize`` can turn each one into the exact model the
+            serial ``fit_weighted`` would have produced.
+        realize: Optional finisher for ``fit_weighted_batch``
+            stand-ins — called on every component of a converged
+            mixture before it is returned.  ``None`` means the batch
+            M-step already returns real components.
     """
 
     name: str
     fit: Callable[[np.ndarray], Any]
     fit_weighted: Callable[[np.ndarray, np.ndarray], Any]
+    logpdf_batch: (
+        Callable[[Sequence[Any], np.ndarray], np.ndarray] | None
+    ) = None
+    fit_weighted_batch: (
+        Callable[[np.ndarray, np.ndarray], list[Any]] | None
+    ) = None
+    realize: Callable[[Any], Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +146,15 @@ def _initial_mixture(
             n_restarts=config.kmeans_restarts,
             seed=config.seed,
         )
+    return _initial_from_kmeans(samples, family, result)
+
+
+def _initial_from_kmeans(
+    samples: np.ndarray,
+    family: ComponentFamily,
+    result: KMeansResult,
+) -> Mixture:
+    """Per-group method-of-moments estimates from a k-means split."""
     groups = split_by_labels(samples, result.labels)
     weights: list[float] = []
     components: list[Any] = []
@@ -196,6 +235,15 @@ def _fit_mixture_em_impl(
     config: EMConfig | None,
     initial: Mixture | Sequence[Any] | None,
 ) -> EMResult:
+    # An accidental (n_points, n_samples) stack would silently flatten
+    # in validate_samples and fit one garbage mixture to the whole
+    # grid; reject it loudly instead.
+    if np.ndim(samples) > 1:
+        raise FittingError(
+            "fit_mixture_em expects 1-D samples, got "
+            f"ndim={np.ndim(samples)}; use fit_mixture_em_batch for "
+            "stacked (n_points, n_samples) grids"
+        )
     data = validate_samples(samples, minimum=max(16, 8 * n_components))
     cfg = config or EMConfig()
     if n_components < 1:
@@ -308,6 +356,453 @@ def _fit_mixture_em_impl(
     )
 
 
+def fit_mixture_em_batch(
+    samples: np.ndarray,
+    family: ComponentFamily,
+    n_components: int = 2,
+    *,
+    config: EMConfig | None = None,
+    initials: Sequence[Mixture | Sequence[Any] | None] | None = None,
+    errors: str = "raise",
+) -> list[EMResult | Exception]:
+    """Fit one mixture per row of a ``(n_points, n_samples)`` stack.
+
+    Bit-identical to looping :func:`fit_mixture_em` over the rows: the
+    E-step (log densities, responsibilities, weights) and the weighted
+    M-step moments run as batched numpy over every still-iterating row,
+    with all reductions along the last axis of C-contiguous stacks so
+    numpy's summation order matches the serial 1-D reductions exactly.
+    Rows that satisfy the convergence criterion freeze and are
+    compacted out while stragglers keep iterating.
+
+    Any row that leaves the common lockstep path — k-means init that
+    produced fewer components, a ``min_weight`` collapse, a non-
+    :class:`FittingError` from the weighted update, non-finite weights
+    — is *ejected*: recomputed through the serial implementation from
+    its already-built initial mixture, which reproduces the serial
+    result (and the serial exception) exactly.  Families without the
+    batch hooks run every row through the serial path.
+
+    Args:
+        samples: 2-D stack, one row of observations per grid point.
+        family: Component family (needs ``logpdf_batch`` /
+            ``fit_weighted_batch`` for the vectorized path).
+        n_components: Mixture size per row.
+        config: Loop configuration shared by all rows.
+        initials: Optional per-row warm starts, same convention as the
+            serial ``initial`` argument; ``None`` entries k-means-seed.
+        errors: ``"raise"`` re-raises the first failing row's error in
+            row order (serial-loop semantics); ``"capture"`` returns
+            the exception in that row's slot.
+
+    Returns:
+        One :class:`EMResult` per row, with captured exceptions
+        interleaved when ``errors="capture"``.
+    """
+    if errors not in ("raise", "capture"):
+        raise ValueError(f"unknown errors mode: {errors!r}")
+    stack = np.asarray(samples, dtype=float)
+    if stack.ndim != 2:
+        raise FittingError(
+            "batched samples must be a 2-D (n_points, n_samples) "
+            f"array, got ndim={stack.ndim}"
+        )
+    stack = np.ascontiguousarray(stack)
+    cfg = config or EMConfig()
+    n_points = stack.shape[0]
+    if initials is None:
+        initial_list: list[Mixture | Sequence[Any] | None] = (
+            [None] * n_points
+        )
+    else:
+        initial_list = list(initials)
+        if len(initial_list) != n_points:
+            raise FittingError(
+                f"initials length {len(initial_list)} does not match "
+                f"{n_points} rows"
+            )
+    results: list[EMResult | Exception | None] = [None] * n_points
+
+    with telemetry.span(
+        "em.fit_batch",
+        family=family.name,
+        n_components=n_components,
+        n_points=n_points,
+    ):
+        _fit_mixture_em_batch_impl(
+            stack, family, n_components, cfg, initial_list, results
+        )
+    for outcome in results:
+        if not isinstance(outcome, EMResult):
+            continue
+        telemetry.counter_inc("em.fits")
+        telemetry.observe("em.iterations", outcome.n_iter)
+        if outcome.collapsed:
+            telemetry.counter_inc("em.collapsed")
+        if not outcome.converged:
+            telemetry.counter_inc("em.nonconverged")
+    if errors == "raise":
+        for outcome in results:
+            if isinstance(outcome, Exception):
+                raise outcome
+    assert all(outcome is not None for outcome in results)
+    return results  # type: ignore[return-value]
+
+
+def _fit_mixture_em_batch_impl(
+    stack: np.ndarray,
+    family: ComponentFamily,
+    n_components: int,
+    cfg: EMConfig,
+    initial_list: list[Mixture | Sequence[Any] | None],
+    results: list[EMResult | Exception | None],
+) -> None:
+    """Fill ``results`` with one ``EMResult`` or exception per row."""
+    import math
+
+    n_points, n_samples = stack.shape
+    minimum = max(16, 8 * n_components)
+
+    def _eject(p: int, initial: Mixture) -> None:
+        """Replay a row through the serial path from its built initial."""
+        try:
+            results[p] = _fit_mixture_em_impl(
+                stack[p],
+                family,
+                n_components,
+                config=cfg,
+                initial=initial,
+            )
+        except Exception as error:  # captured; re-raised by the caller
+            results[p] = error
+
+    # --- per-row validation, mirroring the serial entry checks -------
+    active: list[int] = []
+    for p in range(n_points):
+        try:
+            validate_samples(stack[p], minimum=minimum)
+            if n_components < 1:
+                raise FittingError(
+                    f"n_components must be >= 1, got {n_components}"
+                )
+        except FittingError as error:
+            results[p] = error
+            continue
+        active.append(p)
+
+    # --- initial mixtures (batched k-means where not supplied) -------
+    need_seed = [p for p in active if initial_list[p] is None]
+    seed_results: dict[int, KMeansResult | FittingError] = {}
+    if need_seed:
+        with telemetry.span(
+            "kmeans.seed_batch",
+            n_points=len(need_seed),
+            n=int(n_samples) * len(need_seed),
+        ):
+            batch = kmeans_1d_batch(
+                stack[np.asarray(need_seed, dtype=np.intp)],
+                n_components,
+                n_restarts=cfg.kmeans_restarts,
+                seed=cfg.seed,
+                errors="capture",
+            )
+        seed_results = dict(zip(need_seed, batch))
+    mixtures: dict[int, Mixture] = {}
+    still: list[int] = []
+    for p in active:
+        initial = initial_list[p]
+        try:
+            if initial is None:
+                seeded = seed_results[p]
+                if isinstance(seeded, Exception):
+                    raise seeded
+                mixtures[p] = _initial_from_kmeans(
+                    stack[p], family, seeded
+                )
+            elif isinstance(initial, Mixture):
+                mixtures[p] = initial
+            else:
+                count = len(initial)
+                mixtures[p] = Mixture(
+                    tuple(1.0 / count for _ in range(count)),
+                    tuple(initial),
+                )
+        except Exception as error:
+            results[p] = error
+            continue
+        still.append(p)
+
+    # --- trivial / off-lockstep rows ---------------------------------
+    batch_rows: list[int] = []
+    for p in still:
+        mixture = mixtures[p]
+        if mixture.n_components == 1:
+            try:
+                single = _collapse(stack[p], family)
+                results[p] = EMResult(
+                    single,
+                    single.loglik(stack[p]),
+                    0,
+                    True,
+                    collapsed=True,
+                )
+            except Exception as error:
+                results[p] = error
+            continue
+        if mixture.n_components != n_components:
+            _eject(p, mixture)
+            continue
+        batch_rows.append(p)
+
+    if not batch_rows:
+        return
+    if family.logpdf_batch is None or family.fit_weighted_batch is None:
+        for p in batch_rows:
+            _eject(p, mixtures[p])
+        return
+
+    # --- lockstep E/M loop with per-row convergence masking ----------
+    logpdf_batch = family.logpdf_batch
+    fit_weighted_batch = family.fit_weighted_batch
+
+    def _log_rows_batch(
+        mixture_list: list[Mixture], data_c: np.ndarray
+    ) -> np.ndarray:
+        """Batched per-component weighted log densities."""
+        count = len(mixture_list)
+        # math.log(weight) is the serial scalar constant; the broadcast
+        # adds below are elementwise, hence lane-identical to the
+        # serial per-row ``log(w) + logpdf`` add.
+        if all(
+            w > 0.0 for m in mixture_list for w in m.weights
+        ):
+            # Common case (``min_weight`` ejection keeps every lockstep
+            # weight positive): one merged density call over all
+            # (row, component) pairs.  Each density row is an
+            # independent lane computation, so splitting the result
+            # per component is bit-identical to per-component calls.
+            comps = [
+                m.components[k]
+                for k in range(n_components)
+                for m in mixture_list
+            ]
+            consts = np.array(
+                [
+                    math.log(m.weights[k])
+                    for k in range(n_components)
+                    for m in mixture_list
+                ]
+            )
+            densities = logpdf_batch(
+                comps, np.concatenate([data_c] * n_components)
+            )
+            out = consts[:, None] + densities
+            rows = np.empty(
+                (count, n_components, data_c.shape[1])
+            )
+            for k in range(n_components):
+                rows[:, k, :] = out[k * count : (k + 1) * count]
+            return rows
+        rows = np.full((count, n_components, data_c.shape[1]), -np.inf)
+        for k in range(n_components):
+            pos = [
+                a
+                for a in range(count)
+                if mixture_list[a].weights[k] > 0.0
+            ]
+            if not pos:
+                continue
+            consts = np.array(
+                [math.log(mixture_list[a].weights[k]) for a in pos]
+            )
+            sub = data_c[np.asarray(pos, dtype=np.intp)]
+            densities = logpdf_batch(
+                [mixture_list[a].components[k] for a in pos], sub
+            )
+            rows[np.asarray(pos, dtype=np.intp), k] = (
+                consts[:, None] + densities
+            )
+        return rows
+
+    def _realized(mixture: Mixture) -> Mixture:
+        """Swap M-step stand-ins for the real components, if any."""
+        if family.realize is None:
+            return mixture
+        return Mixture(
+            mixture.weights,
+            tuple(family.realize(c) for c in mixture.components),
+        )
+
+    data_c = stack[np.asarray(batch_rows, dtype=np.intp)]
+    mixtures_c = [mixtures[p] for p in batch_rows]
+    idx_c = np.arange(len(batch_rows))
+    histories: list[list[float]] = [[] for _ in batch_rows]
+    finished: dict[int, EMResult] = {}
+    ejected: set[int] = set()
+
+    log_rows_c = _log_rows_batch(mixtures_c, data_c)
+    # ufunc.reduce along axis=1 of the C-contiguous (A, K, N) stack is
+    # the same sequential left fold over components the serial axis=0
+    # reduce performs; the outer sum is pairwise per contiguous row.
+    logliks = np.sum(np.logaddexp.reduce(log_rows_c, axis=1), axis=1)
+
+    iteration = 0
+    for iteration in range(1, cfg.max_iter + 1):
+        if not mixtures_c:
+            break
+        log_norm = np.logaddexp.reduce(log_rows_c, axis=1)
+        responsibilities = np.exp(log_rows_c - log_norm[:, None, :])
+        weights_c = responsibilities.mean(axis=2)
+
+        # Rows that would prune a component (or produced non-finite
+        # weights) leave the lockstep path; the serial replay applies
+        # the exact collapse/pruning semantics.
+        off_path = np.any(weights_c < cfg.min_weight, axis=1) | ~np.all(
+            np.isfinite(weights_c), axis=1
+        )
+        if np.any(off_path):
+            for a in np.nonzero(off_path)[0]:
+                ejected.add(int(idx_c[a]))
+            keep = ~off_path
+            data_c = data_c[keep]
+            log_rows_c = log_rows_c[keep]
+            responsibilities = responsibilities[keep]
+            weights_c = weights_c[keep]
+            logliks = logliks[keep]
+            idx_c = idx_c[keep]
+            mixtures_c = [
+                m for m, flag in zip(mixtures_c, keep) if flag
+            ]
+            if not mixtures_c:
+                break
+
+        # One merged weighted-moment call over all (row, component)
+        # pairs: every row of the stacked arrays is an independent
+        # lane/row-reduction computation, so slicing the result back
+        # per component is bit-identical to per-component calls.
+        alive = len(mixtures_c)
+        flat_updates = fit_weighted_batch(
+            np.concatenate([data_c] * n_components),
+            np.concatenate(
+                [responsibilities[:, k, :] for k in range(n_components)]
+            ),
+        )
+        updates = [
+            flat_updates[k * alive : (k + 1) * alive]
+            for k in range(n_components)
+        ]
+        # One batched normalize replaces the serial per-point
+        # ``weights / weights.sum()``: the last-axis row reduce of the
+        # C-contiguous (A, K) array is the same sequential/pairwise sum
+        # as the serial 1-D ``sum()``, and the broadcast divide is
+        # elementwise, so each row is bit-identical.
+        norm_weights = (
+            weights_c / weights_c.sum(axis=1)[:, None]
+        ).tolist()
+        new_mixtures: list[Mixture | None] = []
+        off_mask = np.zeros(len(mixtures_c), dtype=bool)
+        for a in range(len(mixtures_c)):
+            components: list[Any] = []
+            for k in range(n_components):
+                update = updates[k][a]
+                if isinstance(update, FittingError):
+                    # Serial semantics: keep the previous estimate when
+                    # the weighted update is degenerate this iteration.
+                    components.append(mixtures_c[a].components[k])
+                elif isinstance(update, Exception):
+                    off_mask[a] = True
+                    break
+                else:
+                    components.append(update)
+            if off_mask[a]:
+                new_mixtures.append(None)
+                continue
+            try:
+                new_mixtures.append(
+                    Mixture(tuple(norm_weights[a]), tuple(components))
+                )
+            except Exception:
+                off_mask[a] = True
+                new_mixtures.append(None)
+        if np.any(off_mask):
+            for a in np.nonzero(off_mask)[0]:
+                ejected.add(int(idx_c[a]))
+            keep = ~off_mask
+            data_c = data_c[keep]
+            logliks = logliks[keep]
+            idx_c = idx_c[keep]
+            mixtures_c = [
+                m for m, flag in zip(new_mixtures, keep) if flag
+            ]
+        else:
+            mixtures_c = [m for m in new_mixtures if m is not None]
+        if not mixtures_c:
+            break
+
+        log_rows_c = _log_rows_batch(mixtures_c, data_c)
+        new_logliks = np.sum(
+            np.logaddexp.reduce(log_rows_c, axis=1), axis=1
+        )
+        # ``tolist`` converts each element exactly like ``float(x[a])``
+        # in one C pass; the hoisted lists feed the bookkeeping loops.
+        idx_l = idx_c.tolist()
+        new_logliks_l = new_logliks.tolist()
+        for a in range(len(mixtures_c)):
+            histories[idx_l[a]].append(new_logliks_l[a])
+        conv = np.abs(new_logliks - logliks) <= cfg.tol * (
+            np.abs(logliks) + 1e-12
+        )
+        logliks = new_logliks
+        if np.any(conv):
+            for a in np.nonzero(conv)[0]:
+                i = idx_l[a]
+                try:
+                    finished[i] = EMResult(
+                        _realized(mixtures_c[a]).sorted_by_mean(),
+                        new_logliks_l[a],
+                        iteration,
+                        True,
+                        collapsed=False,
+                        history=tuple(histories[i]),
+                    )
+                except Exception:
+                    ejected.add(i)
+            keep = ~conv
+            data_c = data_c[keep]
+            log_rows_c = log_rows_c[keep]
+            logliks = logliks[keep]
+            idx_c = idx_c[keep]
+            mixtures_c = [
+                m for m, flag in zip(mixtures_c, keep) if flag
+            ]
+
+    # --- max_iter exhausted: non-converged leftovers -----------------
+    for a in range(len(mixtures_c)):
+        i = int(idx_c[a])
+        if cfg.require_convergence:
+            results[batch_rows[i]] = ConvergenceWarningError(
+                f"EM did not converge in {cfg.max_iter} iterations "
+                f"(last loglik {float(logliks[a]):.6g})"
+            )
+            continue
+        try:
+            finished[i] = EMResult(
+                _realized(mixtures_c[a]).sorted_by_mean(),
+                float(logliks[a]),
+                iteration,
+                False,
+                collapsed=False,
+                history=tuple(histories[i]),
+            )
+        except Exception:
+            ejected.add(i)
+
+    for i, outcome in finished.items():
+        results[batch_rows[i]] = outcome
+    for i in sorted(ejected):
+        _eject(batch_rows[i], mixtures[batch_rows[i]])
+
+
 def concentric_initial(
     samples: np.ndarray,
     family: ComponentFamily,
@@ -352,6 +847,12 @@ def fit_mixture_em_multi(
     dominate Norm2 on the paper's Minor Saddle / Kurtosis scenarios,
     where the default k-means basin is not the global one.
     """
+    if np.ndim(samples) > 1:
+        raise FittingError(
+            "fit_mixture_em_multi expects 1-D samples, got "
+            f"ndim={np.ndim(samples)}; use fit_mixture_em_batch for "
+            "stacked (n_points, n_samples) grids"
+        )
     data = validate_samples(samples, minimum=max(16, 8 * n_components))
     results = [
         fit_mixture_em(data, family, n_components, config=config)

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.errors import FittingError
 
-__all__ = ["KMeansResult", "kmeans_1d", "kmeans_nd", "split_by_labels"]
+__all__ = [
+    "KMeansResult",
+    "kmeans_1d",
+    "kmeans_1d_batch",
+    "kmeans_nd",
+    "split_by_labels",
+]
 
 
 @dataclass(frozen=True)
@@ -96,7 +102,13 @@ def kmeans_1d(
     Raises:
         FittingError: If there are fewer distinct values than clusters.
     """
-    data = np.asarray(samples, dtype=float).ravel()
+    array = np.asarray(samples, dtype=float)
+    if array.ndim > 1:
+        raise FittingError(
+            f"kmeans_1d expects 1-D samples, got ndim={array.ndim}; "
+            "use kmeans_1d_batch for stacked (n_points, n_samples) grids"
+        )
+    data = array.ravel()
     if data.size < n_clusters:
         raise FittingError(
             f"need at least {n_clusters} samples for {n_clusters} clusters"
@@ -140,6 +152,160 @@ def kmeans_1d(
             best = candidate
     assert best is not None
     return best
+
+
+def kmeans_1d_batch(
+    samples: np.ndarray,
+    n_clusters: int = 2,
+    *,
+    max_iter: int = 100,
+    n_restarts: int = 4,
+    seed: int | None = 0,
+    errors: str = "raise",
+) -> list[KMeansResult | FittingError]:
+    """Batched :func:`kmeans_1d` over a ``(n_points, n_samples)`` stack.
+
+    Bit-identical to calling :func:`kmeans_1d` on each row with the
+    same ``seed``: every row gets its own freshly seeded generator
+    (exactly what a serial loop constructs per call), seeding itself
+    stays per-row so RNG consumption matches draw for draw, and the
+    Lloyd assignment step — the hot part — runs as one vectorized
+    ``argmin`` over the stacked rows.  Centre updates reduce over
+    boolean-compacted per-row subsets (fresh contiguous copies), which
+    keeps numpy's pairwise summation order identical to the serial
+    path.  Rows whose assignments stabilise are frozen and compacted
+    out while stragglers keep iterating.
+
+    Args:
+        samples: 2-D stack, one row of observations per grid point.
+        n_clusters: Number of clusters ``k`` per row.
+        max_iter: Lloyd-iteration cap per restart.
+        n_restarts: Independent seedings per row; lowest inertia wins.
+        seed: RNG seed; every row's generator is seeded with it.
+        errors: ``"raise"`` re-raises the first failing row's error in
+            row order; ``"capture"`` stores the error in that row's
+            result slot.
+
+    Returns:
+        One :class:`KMeansResult` (or captured :class:`FittingError`)
+        per row.
+    """
+    if errors not in ("raise", "capture"):
+        raise ValueError(f"unknown errors mode: {errors!r}")
+    stack = np.asarray(samples, dtype=float)
+    if stack.ndim != 2:
+        raise FittingError(
+            "batched samples must be a 2-D (n_points, n_samples) "
+            f"array, got ndim={stack.ndim}"
+        )
+    stack = np.ascontiguousarray(stack)
+    n_points, n_samples = stack.shape
+    results: list[KMeansResult | FittingError | None] = [None] * n_points
+    valid_rows: list[int] = []
+    for p in range(n_points):
+        error: FittingError | None = None
+        if n_samples < n_clusters:
+            error = FittingError(
+                f"need at least {n_clusters} samples for "
+                f"{n_clusters} clusters"
+            )
+        elif np.unique(stack[p]).size < n_clusters:
+            error = FittingError(
+                f"need at least {n_clusters} distinct values for k-means"
+            )
+        if error is None:
+            valid_rows.append(p)
+            continue
+        if errors == "raise":
+            raise error
+        results[p] = error
+    # One generator per row, seeded identically — a serial loop calls
+    # ``default_rng(seed)`` afresh for every row, so this matches its
+    # draw sequence exactly.
+    rngs = {p: np.random.default_rng(seed) for p in valid_rows}
+    best: dict[int, KMeansResult] = {}
+    for _ in range(max(1, n_restarts)):
+        n_active = len(valid_rows)
+        if n_active == 0:
+            break
+        data_c = stack[np.asarray(valid_rows, dtype=np.intp)]
+        centers_c = np.empty((n_active, n_clusters), dtype=float)
+        for a, p in enumerate(valid_rows):
+            centers_c[a] = np.sort(
+                _seed_plus_plus(stack[p], n_clusters, rngs[p])
+            )
+        labels_c = np.zeros((n_active, n_samples), dtype=np.intp)
+        idx_c = np.arange(n_active)
+        iters = np.zeros(n_active, dtype=np.intp)
+        conv_flags = np.zeros(n_active, dtype=bool)
+        final_labels: list[np.ndarray | None] = [None] * n_active
+        final_centers: list[np.ndarray | None] = [None] * n_active
+        iteration = 0
+        for iteration in range(1, max_iter + 1):
+            new_labels = np.argmin(
+                np.abs(data_c[:, :, None] - centers_c[:, None, :]),
+                axis=2,
+            )
+            # Centre updates stay per-row Python: the serial path's
+            # empty-cluster re-seeding reads partially updated centres
+            # sequentially, and masked-subset means must reduce over
+            # compacted copies to keep pairwise summation identical.
+            for a in range(data_c.shape[0]):
+                row = data_c[a]
+                row_labels = new_labels[a]
+                for cluster in range(n_clusters):
+                    mask = row_labels == cluster
+                    if np.any(mask):
+                        centers_c[a, cluster] = row[mask].mean()
+                    else:
+                        distances = np.abs(
+                            row - centers_c[a][row_labels]
+                        )
+                        centers_c[a, cluster] = row[
+                            int(np.argmax(distances))
+                        ]
+            done = np.all(new_labels == labels_c, axis=1) & (
+                iteration > 1
+            )
+            for a in np.nonzero(done)[0]:
+                i = int(idx_c[a])
+                conv_flags[i] = True
+                iters[i] = iteration
+                final_labels[i] = new_labels[a].copy()
+                final_centers[i] = centers_c[a].copy()
+            labels_c = new_labels
+            keep = ~done
+            if not np.all(keep):
+                data_c = data_c[keep]
+                centers_c = centers_c[keep]
+                labels_c = labels_c[keep]
+                idx_c = idx_c[keep]
+            if data_c.shape[0] == 0:
+                break
+        for a in range(data_c.shape[0]):
+            i = int(idx_c[a])
+            iters[i] = iteration
+            final_labels[i] = labels_c[a].copy()
+            final_centers[i] = centers_c[a].copy()
+        for i, p in enumerate(valid_rows):
+            centers = final_centers[i]
+            labels = final_labels[i]
+            assert centers is not None and labels is not None
+            order = np.argsort(centers)
+            centers = centers[order]
+            remap = np.empty_like(order)
+            remap[order] = np.arange(n_clusters)
+            labels = remap[labels]
+            inertia = float(np.sum((stack[p] - centers[labels]) ** 2))
+            candidate = KMeansResult(
+                centers, labels, inertia, int(iters[i]), bool(conv_flags[i])
+            )
+            previous = best.get(p)
+            if previous is None or candidate.inertia < previous.inertia:
+                best[p] = candidate
+    for p in valid_rows:
+        results[p] = best[p]
+    return results  # type: ignore[return-value]
 
 
 def kmeans_nd(

@@ -26,10 +26,13 @@ __all__ = [
     "central_moment",
     "excess_kurtosis",
     "sample_moments",
+    "sample_moments_batch",
     "skewness",
     "standard_error_of_mean",
     "validate_samples",
+    "validate_samples_batch",
     "weighted_moments",
+    "weighted_moments_batch",
 ]
 
 
@@ -90,6 +93,47 @@ def validate_samples(samples: np.ndarray, minimum: int = 2) -> np.ndarray:
         )
     if not np.all(np.isfinite(array)):
         bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise FittingError(f"samples contain {bad} non-finite values")
+    return np.ascontiguousarray(array)
+
+
+def validate_samples_batch(
+    samples: np.ndarray, minimum: int = 2
+) -> np.ndarray:
+    """Coerce a stacked ``(n_points, n_samples)`` batch to finite floats.
+
+    The batched counterpart of :func:`validate_samples`: every row must
+    individually pass the serial checks, and the error raised for a bad
+    row carries the exact message the serial validator would produce for
+    that row, so a batched caller fails identically to a per-row loop.
+
+    Args:
+        samples: 2-D array-like, one row per grid point.
+        minimum: Minimum acceptable number of samples per row.
+
+    Returns:
+        A C-contiguous 2-D ``float64`` array.  Row-contiguity is what
+        makes per-row reductions (``axis=-1``) bit-identical to the
+        serial 1-D reductions.
+
+    Raises:
+        FittingError: If the input is not 2-D, a row is too short, or a
+            row contains non-finite values.
+    """
+    array = np.asarray(samples, dtype=float)
+    if array.ndim != 2:
+        raise FittingError(
+            "batched samples must be a 2-D (n_points, n_samples) "
+            f"array, got ndim={array.ndim}"
+        )
+    if array.shape[1] < minimum:
+        raise FittingError(
+            f"need at least {minimum} samples, got {array.shape[1]}"
+        )
+    finite = np.isfinite(array)
+    if not np.all(finite):
+        row = int(np.argmin(np.all(finite, axis=1)))
+        bad = int(np.count_nonzero(~finite[row]))
         raise FittingError(f"samples contain {bad} non-finite values")
     return np.ascontiguousarray(array)
 
@@ -169,20 +213,186 @@ def weighted_moments(samples: np.ndarray, weights: np.ndarray) -> MomentSummary:
     total = weight.sum()
     if not np.isfinite(total) or total <= 0.0:
         raise FittingError("total weight must be positive and finite")
+    # Reductions are explicit elementwise-product + pairwise ``np.sum``
+    # (not ``np.dot``): BLAS dot products use a different accumulation
+    # order, and the batched kernel below must reproduce these sums
+    # bit-for-bit with ``axis=1`` reductions.
     probability = weight / total
-    mean = float(np.dot(probability, array))
+    mean = float(np.sum(probability * array))
     deviations = array - mean
     squared = deviations * deviations
-    variance = float(np.dot(probability, squared))
+    variance = float(np.sum(probability * squared))
     if variance <= 0.0:
         raise FittingError("weighted variance is zero")
-    std = variance**0.5
+    std = float(np.sqrt(variance))
     cubed = squared * deviations
-    skew = float(np.dot(probability, cubed)) / std**3
-    kurt = float(np.dot(probability, cubed * deviations)) / std**4 - 3.0
+    skew = float(np.sum(probability * cubed)) / std**3
+    kurt = (
+        float(np.sum(probability * (cubed * deviations))) / std**4 - 3.0
+    )
     # Effective sample size a la Kish; informative for diagnostics.
-    effective = int(round(total**2 / float(np.dot(weight, weight))))
+    effective = int(round(total**2 / float(np.sum(weight * weight))))
     return MomentSummary(mean, std, skew, kurt, count=effective)
+
+
+def sample_moments_batch(samples: np.ndarray) -> list[MomentSummary]:
+    """Batched :func:`sample_moments` over a ``(n_points, n_samples)`` stack.
+
+    Every reduction runs along the last axis of a C-contiguous stack,
+    where numpy's pairwise summation visits each row in exactly the
+    order the serial 1-D reduction does — the results are bit-identical
+    to calling :func:`sample_moments` on each row, not approximately
+    equal.
+
+    Raises:
+        FittingError: With the serial error message if any row is
+            degenerate (zero variance) or fails validation; raised for
+            the first offending row in row order, exactly where a
+            serial loop would stop.
+    """
+    with telemetry.span(
+        "moments.sample_batch",
+        n_points=int(np.shape(samples)[0]) if np.ndim(samples) else 0,
+        n=int(np.size(samples)),
+    ):
+        array = validate_samples_batch(samples)
+        means = array.mean(axis=1)
+        stds = array.std(axis=1)
+        if np.any(stds == 0.0):
+            raise FittingError("samples have zero variance")
+        deviations = (array - means[:, None]) / stds[:, None]
+        skews = np.mean(deviations**3, axis=1)
+        kurts = np.mean(deviations**4, axis=1) - 3.0
+    count = array.shape[1]
+    return [
+        MomentSummary(
+            float(means[p]),
+            float(stds[p]),
+            float(skews[p]),
+            float(kurts[p]),
+            count=count,
+        )
+        for p in range(array.shape[0])
+    ]
+
+
+def weighted_moments_batch(
+    samples: np.ndarray,
+    weights: np.ndarray,
+    *,
+    errors: str = "raise",
+    raw: bool = False,
+) -> "list[MomentSummary | tuple | Exception]":
+    """Batched :func:`weighted_moments` over stacked rows.
+
+    The EM M-step calls this once per component with the whole grid's
+    responsibilities stacked row-wise.  All sums run along ``axis=1``
+    of C-contiguous stacks (bit-identical to the serial pairwise sums);
+    the scalar finishing arithmetic per row (``/ std**3`` etc.) is
+    plain Python, mirroring the serial expressions token for token.
+
+    Args:
+        samples: ``(n_points, n_samples)`` observations.
+        weights: Non-negative responsibilities, same shape.
+        errors: ``"raise"`` re-raises the first failing row's error in
+            row order (serial-loop semantics); ``"capture"`` returns
+            the exception in that row's slot instead, so the caller
+            can eject just the bad rows.
+        raw: Return plain ``(mean, std, skewness)`` tuples instead of
+            :class:`MomentSummary` objects.  Every scalar (and every
+            possible error, including the Kish effective-count
+            arithmetic) is still computed identically — only the
+            container allocation is skipped, for callers on the EM hot
+            path that read just the moment triple.
+
+    Returns:
+        One :class:`MomentSummary` (or raw triple) per row, with
+        captured errors interleaved when ``errors="capture"``.
+    """
+    if errors not in ("raise", "capture"):
+        raise ValueError(f"unknown errors mode: {errors!r}")
+    array = np.asarray(samples, dtype=float)
+    weight = np.asarray(weights, dtype=float)
+    if array.ndim != 2 or weight.ndim != 2:
+        raise FittingError(
+            "batched samples/weights must be 2-D (n_points, n_samples) "
+            f"arrays, got ndim={array.ndim} vs ndim={weight.ndim}"
+        )
+    if array.shape != weight.shape:
+        raise FittingError(
+            f"samples/weights shape mismatch: {array.shape} vs "
+            f"{weight.shape}"
+        )
+    array = np.ascontiguousarray(array)
+    weight = np.ascontiguousarray(weight)
+    negative = np.any(weight < 0.0, axis=1)
+    totals = weight.sum(axis=1)
+    bad_total = ~np.isfinite(totals) | (totals <= 0.0)
+    # Rows with a bad total divide by zero/inf below; their lanes are
+    # discarded per-row, and lanes are independent, so suppress the
+    # warnings rather than branch per row.
+    with np.errstate(invalid="ignore", divide="ignore", over="ignore"):
+        probability = weight / totals[:, None]
+        means = np.sum(probability * array, axis=1)
+        deviations = array - means[:, None]
+        squared = deviations * deviations
+        variances = np.sum(probability * squared, axis=1)
+        cubed = squared * deviations
+        sums3 = np.sum(probability * cubed, axis=1)
+        sums4 = np.sum(probability * (cubed * deviations), axis=1)
+        sumw2 = np.sum(weight * weight, axis=1)
+        stds = np.sqrt(variances)
+    results: list[MomentSummary | Exception] = []
+    # ``tolist`` converts every lane to a Python float in one C pass —
+    # exactly ``float(x[p])`` per element, hoisted out of the hot loop.
+    # ``totals`` stays an array: the serial Kish formula squares the
+    # ``np.float64`` total, and that operation must stay identical.
+    negative_l = negative.tolist()
+    bad_total_l = bad_total.tolist()
+    variances_l = variances.tolist()
+    means_l = means.tolist()
+    stds_l = stds.tolist()
+    sums3_l = sums3.tolist()
+    sums4_l = sums4.tolist()
+    sumw2_l = sumw2.tolist()
+    for p in range(array.shape[0]):
+        error: FittingError | None = None
+        if negative_l[p]:
+            error = FittingError("weights must be non-negative")
+        elif bad_total_l[p]:
+            error = FittingError(
+                "total weight must be positive and finite"
+            )
+        elif variances_l[p] <= 0.0:
+            error = FittingError("weighted variance is zero")
+        if error is not None:
+            if errors == "raise":
+                raise error
+            results.append(error)
+            continue
+        try:
+            # The finishing arithmetic can itself raise — e.g.
+            # ``ZeroDivisionError`` when a positive variance is small
+            # enough that ``std**3`` underflows to zero — exactly as
+            # the serial expressions would for that row.
+            std = stds_l[p]
+            skew = sums3_l[p] / std**3
+            kurt = sums4_l[p] / std**4 - 3.0
+            effective = int(round(totals[p] ** 2 / sumw2_l[p]))
+        except Exception as finishing_error:  # noqa: BLE001 — serial parity
+            if errors == "raise":
+                raise
+            results.append(finishing_error)
+            continue
+        if raw:
+            results.append((means_l[p], std, skew))
+        else:
+            results.append(
+                MomentSummary(
+                    means_l[p], std, skew, kurt, count=effective
+                )
+            )
+    return results
 
 
 def standard_error_of_mean(samples: np.ndarray) -> float:

@@ -49,6 +49,11 @@ MAX_SKEWNESS = (
 #: attainable range; keeps ``alpha`` finite and well-conditioned.
 DEFAULT_SKEW_MARGIN = 1e-4
 
+#: ``(0.5 * (4 - pi)) ** (2/3)``, the constant denominator term of the
+#: moments->params inversion — hoisted because the EM M-step runs the
+#: inversion once per component update.
+_HALF_GAP = (0.5 * (4.0 - math.pi)) ** (2.0 / 3.0)
+
 
 def delta_from_alpha(alpha: float) -> float:
     """Return ``delta = alpha / sqrt(1 + alpha^2)``."""
@@ -76,8 +81,16 @@ def clamp_skewness(
     Returns:
         The clamped skewness.
     """
+    # Scalar clip in plain Python: ``np.clip`` on a 0-d input costs a
+    # full ufunc dispatch, and this runs once per EM component update.
+    # Branch order matches ``minimum(maximum(g, -b), b)`` exactly,
+    # including NaN (both comparisons false -> NaN passes through).
     bound = MAX_SKEWNESS - margin
-    return float(np.clip(gamma, -bound, bound))
+    if gamma > bound:
+        return float(bound)
+    if gamma < -bound:
+        return float(-bound)
+    return float(gamma)
 
 
 def moments_to_params(
@@ -114,9 +127,8 @@ def moments_to_params(
     if magnitude < 1e-14:
         return (float(mean), float(std), 0.0)
     ratio = magnitude ** (2.0 / 3.0)
-    half_gap = (0.5 * (4.0 - math.pi)) ** (2.0 / 3.0)
     abs_delta = math.sqrt(
-        (math.pi / 2.0) * ratio / (ratio + half_gap)
+        (math.pi / 2.0) * ratio / (ratio + _HALF_GAP)
     )
     delta = math.copysign(min(abs_delta, 1.0 - 1e-12), gamma)
     alpha = alpha_from_delta(delta)

@@ -328,7 +328,7 @@ class TestCharacterizationTelemetry:
             "characterize.arc",
             "mc.condition",
             "fit.ladder",
-            "em.fit",
+            "em.fit_batch",
             "liberty.tables",
         } <= names
 

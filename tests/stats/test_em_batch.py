@@ -1,0 +1,337 @@
+"""Byte-identity suite: batched fits vs the serial per-point loops.
+
+The batched pipeline's load-bearing invariant is exactness, not
+closeness: ``fit_mixture_em_batch`` (and the batched k-means seeding
+and ``LVF2Model.fit_batch`` on top of it) must reproduce the serial
+loop *bit for bit* — same floats, same iteration counts, same
+convergence flags, same exceptions in the same rows.  Every
+comparison here therefore canonicalises results through ``float.hex``
+JSON and asserts string equality; ``pytest.approx`` would defeat the
+point.
+
+The randomized sweep draws grid configurations (shape, family,
+separation, degeneracy injection) from seeded RNGs so each case is
+reproducible from its index.  ``REPRO_EM_BATCH_CASES`` widens the
+sweep locally (default 20, the acceptance floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import FittingError
+from repro.models.lvf2 import LVF2Model, SKEW_NORMAL_FAMILY
+from repro.models.norm2 import GAUSSIAN_FAMILY
+from repro.stats.em import (
+    EMConfig,
+    fit_mixture_em,
+    fit_mixture_em_batch,
+)
+from repro.stats.kmeans import kmeans_1d, kmeans_1d_batch
+from repro.stats.mixtures import Mixture
+from repro.stats.skew_normal import SkewNormal
+
+CASES = int(os.environ.get("REPRO_EM_BATCH_CASES", "20"))
+SWEEP_SEED = 20260808
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization: float.hex() captures every bit of every float,
+# so equal canon strings mean bit-identical results.
+
+
+def canon_component(component) -> list[str]:
+    if hasattr(component, "theta"):
+        values = list(component.theta())
+        sn = component.skew_normal
+        values += [sn.xi, sn.omega, sn.alpha]
+    else:
+        values = [component.mu, component.sigma]
+    return [float(v).hex() for v in values]
+
+
+def canon_result(result) -> str:
+    if isinstance(result, Exception):
+        return json.dumps(
+            {"error": type(result).__name__, "message": str(result)}
+        )
+    return json.dumps(
+        {
+            "weights": [float(w).hex() for w in result.mixture.weights],
+            "components": [
+                canon_component(c) for c in result.mixture.components
+            ],
+            "loglik": float(result.loglik).hex(),
+            "n_iter": result.n_iter,
+            "converged": result.converged,
+            "collapsed": result.collapsed,
+            "history": [float(h).hex() for h in result.history],
+        },
+        sort_keys=True,
+    )
+
+
+def serial_loop(stack, family, n_components=2, config=None, initials=None):
+    """The reference: one ``fit_mixture_em`` call per row, errors kept."""
+    results = []
+    for index in range(stack.shape[0]):
+        initial = None if initials is None else initials[index]
+        try:
+            results.append(
+                fit_mixture_em(
+                    stack[index],
+                    family,
+                    n_components,
+                    config=config,
+                    initial=initial,
+                )
+            )
+        except Exception as error:  # noqa: BLE001 — parity includes errors
+            results.append(error)
+    return results
+
+
+def assert_batch_matches_serial(
+    stack, family, n_components=2, config=None, initials=None
+):
+    serial = serial_loop(
+        stack, family, n_components, config=config, initials=initials
+    )
+    batched = fit_mixture_em_batch(
+        stack,
+        family,
+        n_components,
+        config=config,
+        initials=initials,
+        errors="capture",
+    )
+    assert len(batched) == len(serial)
+    for index, (a, b) in enumerate(zip(serial, batched)):
+        assert canon_result(a) == canon_result(b), f"row {index} diverged"
+    return serial, batched
+
+
+# ---------------------------------------------------------------------------
+# Grid generators.
+
+
+def bimodal_stack(rng, n_points, n_samples, spread=1.0):
+    rows = []
+    for index in range(n_points):
+        shift = spread * index / max(1, n_points - 1)
+        weight = 0.55 + 0.1 * rng.random()
+        mixture = Mixture(
+            (weight, 1.0 - weight),
+            (
+                SkewNormal.from_moments(
+                    1.0 + shift, 0.04 + 0.03 * rng.random(), 0.5
+                ),
+                SkewNormal.from_moments(
+                    1.3 + shift, 0.05 + 0.02 * rng.random(), -0.3
+                ),
+            ),
+        )
+        rows.append(mixture.rvs(n_samples, rng=rng))
+    return np.stack(rows)
+
+
+def degenerate_stack(rng, n_samples):
+    """Rows engineered to exercise failure and collapse paths."""
+    rows = [
+        np.full(n_samples, 1.25),  # constant: moment fit must fail
+        rng.normal(1.0, 1e-9, n_samples),  # near-constant
+        np.repeat([1.0, 2.0], n_samples // 2 + 1)[:n_samples],  # two spikes
+        rng.normal(0.0, 1.0, n_samples),  # clean unimodal
+    ]
+    return np.stack(rows)
+
+
+# ---------------------------------------------------------------------------
+# The randomized acceptance sweep (>= 20 configurations).
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_random_grid_matches_serial(self, case):
+        rng = np.random.default_rng([SWEEP_SEED, case])
+        n_points = int(rng.integers(2, 9))
+        n_samples = int(rng.integers(24, 140))
+        family = (
+            SKEW_NORMAL_FAMILY if case % 2 == 0 else GAUSSIAN_FAMILY
+        )
+        stack = bimodal_stack(
+            rng, n_points, n_samples, spread=float(rng.uniform(0.0, 2.0))
+        )
+        if rng.random() < 0.4:
+            # Inject a degenerate row: the batch must eject it and
+            # still match the serial loop bit for bit.
+            victim = int(rng.integers(n_points))
+            stack[victim] = 1.0 + 1e-12 * np.arange(n_samples)
+        config = EMConfig(
+            max_iter=int(rng.integers(5, 60)),
+            tol=float(10.0 ** rng.integers(-10, -5)),
+            seed=int(rng.integers(1 << 16)),
+        )
+        assert_batch_matches_serial(stack, family, config=config)
+
+
+class TestDegenerateRows:
+    def test_degenerate_grid_matches_serial(self):
+        rng = np.random.default_rng(77)
+        stack = degenerate_stack(rng, 64)
+        serial, batched = assert_batch_matches_serial(
+            stack, SKEW_NORMAL_FAMILY
+        )
+        # The harness only proves parity; make sure the grid actually
+        # exercised the error path it was built for.
+        assert any(isinstance(r, Exception) for r in batched)
+        assert any(not isinstance(r, Exception) for r in batched)
+
+    def test_raise_mode_raises_first_row_error(self):
+        rng = np.random.default_rng(78)
+        stack = degenerate_stack(rng, 48)
+        serial = serial_loop(stack, SKEW_NORMAL_FAMILY)
+        first_error = next(
+            r for r in serial if isinstance(r, Exception)
+        )
+        with pytest.raises(type(first_error)) as excinfo:
+            fit_mixture_em_batch(stack, SKEW_NORMAL_FAMILY)
+        assert str(excinfo.value) == str(first_error)
+
+    def test_collapse_inputs_match_serial(self):
+        # Unimodal rows at 2 components: collapse/overlap territory.
+        rng = np.random.default_rng(79)
+        stack = np.stack(
+            [rng.normal(0.0, 1.0, 90) for _ in range(5)]
+        )
+        assert_batch_matches_serial(stack, GAUSSIAN_FAMILY)
+
+
+class TestMixedConvergence:
+    def test_tight_iteration_cap_mixes_converged_rows(self):
+        # Easy and hard rows under a tight cap: some converge, some
+        # hit max_iter — the per-row masking must keep them exact.
+        rng = np.random.default_rng(80)
+        easy = bimodal_stack(rng, 3, 80, spread=3.0)
+        hard = np.stack([rng.normal(0.0, 1.0, 80) for _ in range(3)])
+        stack = np.concatenate([easy, hard])
+        config = EMConfig(max_iter=6)
+        serial, batched = assert_batch_matches_serial(
+            stack, SKEW_NORMAL_FAMILY, config=config
+        )
+        flags = {
+            r.converged
+            for r in batched
+            if not isinstance(r, Exception)
+        }
+        assert flags == {True, False}
+
+    def test_warm_starts_match_serial(self):
+        rng = np.random.default_rng(81)
+        stack = bimodal_stack(rng, 4, 70)
+        initials = [
+            None,
+            Mixture(
+                (0.5, 0.5),
+                (
+                    SkewNormal.from_moments(1.0, 0.05, 0.0),
+                    SkewNormal.from_moments(1.3, 0.05, 0.0),
+                ),
+            ),
+            None,
+            Mixture(
+                (0.4, 0.6),
+                (
+                    SkewNormal.from_moments(0.9, 0.06, 0.1),
+                    SkewNormal.from_moments(1.4, 0.04, -0.1),
+                ),
+            ),
+        ]
+        assert_batch_matches_serial(
+            stack, SKEW_NORMAL_FAMILY, initials=initials
+        )
+
+
+class TestValidation:
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(FittingError, match="2-D"):
+            fit_mixture_em_batch(
+                np.zeros(10), SKEW_NORMAL_FAMILY
+            )
+        with pytest.raises(FittingError, match="ndim=3"):
+            fit_mixture_em_batch(
+                np.zeros((2, 3, 4)), SKEW_NORMAL_FAMILY
+            )
+
+    def test_rejects_initials_length_mismatch(self):
+        stack = np.random.default_rng(1).normal(0, 1, (3, 40))
+        with pytest.raises(FittingError, match="does not match"):
+            fit_mixture_em_batch(
+                stack, SKEW_NORMAL_FAMILY, initials=[None, None]
+            )
+
+    def test_rejects_unknown_errors_mode(self):
+        stack = np.random.default_rng(2).normal(0, 1, (2, 40))
+        with pytest.raises(ValueError, match="errors mode"):
+            fit_mixture_em_batch(
+                stack, SKEW_NORMAL_FAMILY, errors="ignore"
+            )
+
+
+class TestKMeansBatch:
+    @pytest.mark.parametrize("case", range(6))
+    def test_kmeans_batch_matches_serial(self, case):
+        rng = np.random.default_rng([SWEEP_SEED, 1000, case])
+        n_points = int(rng.integers(2, 7))
+        n_samples = int(rng.integers(16, 120))
+        stack = bimodal_stack(rng, n_points, n_samples)
+        seed = int(rng.integers(1 << 16))
+        batched = kmeans_1d_batch(stack, 2, seed=seed)
+        for index, b in enumerate(batched):
+            s = kmeans_1d(stack[index], 2, seed=seed)
+            assert s.centers.tolist() == b.centers.tolist()
+            assert s.labels.tolist() == b.labels.tolist()
+            assert float(s.inertia).hex() == float(b.inertia).hex()
+            assert (s.iterations, s.converged) == (
+                b.iterations,
+                b.converged,
+            )
+
+    def test_kmeans_batch_captures_degenerate_rows(self):
+        stack = np.stack(
+            [np.full(20, 3.0), np.linspace(0.0, 1.0, 20)]
+        )
+        results = kmeans_1d_batch(stack, 2, errors="capture")
+        assert isinstance(results[0], FittingError)
+        serial = kmeans_1d(stack[1], 2)
+        assert results[1].centers.tolist() == serial.centers.tolist()
+        with pytest.raises(FittingError, match="distinct"):
+            kmeans_1d_batch(stack, 2)
+
+
+class TestLVF2FitBatch:
+    def test_fit_batch_matches_serial_fit(self):
+        rng = np.random.default_rng(90)
+        stack = bimodal_stack(rng, 6, 80)
+        serial = [
+            LVF2Model.fit(stack[index])
+            for index in range(stack.shape[0])
+        ]
+        batched = LVF2Model.fit_batch(stack)
+        for a, b in zip(serial, batched):
+            assert a.parameters() == b.parameters()
+
+    def test_fit_batch_captures_row_errors(self):
+        rng = np.random.default_rng(91)
+        stack = bimodal_stack(rng, 3, 64)
+        stack[1] = 2.5  # constant row
+        batched = LVF2Model.fit_batch(stack, errors="capture")
+        assert isinstance(batched[1], Exception)
+        with pytest.raises(type(batched[1])):
+            LVF2Model.fit(stack[1])
+        serial0 = LVF2Model.fit(stack[0])
+        assert batched[0].parameters() == serial0.parameters()

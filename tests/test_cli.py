@@ -311,7 +311,7 @@ class TestObservabilityFlags:
         assert {
             "characterize.run",
             "mc.condition",
-            "em.fit",
+            "em.fit_batch",
             "fit.ladder",
             "export.write",
         } <= names
@@ -654,6 +654,7 @@ class TestBenchParallel:
             "run_fig4",
             "run_fig5",
             "run_clt_convergence",
+            "run_fit_throughput",
         ):
             stub = name.removeprefix("run_")
             monkeypatch.setattr(
@@ -907,9 +908,29 @@ class TestBenchCompareCli:
         base = self._report(tmp_path, "base.json", {"fig3": 2.0})
         cur = self._report(tmp_path, "cur.json", {"fig3": 2.0})
         assert main(["bench", "compare", base, cur, "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
-        assert rows[0]["key"] == "fig3"
-        assert rows[0]["failed"] is False
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparison"][0]["key"] == "fig3"
+        assert payload["comparison"][0]["failed"] is False
+        # No fit_serial/fit_batch keys: the invariant is vacuous.
+        assert payload["speedups"] == []
+
+    def test_compare_speedup_gate_passes(self, tmp_path, capsys):
+        timings = {"fig3": 2.0, "fit_serial": 2.0, "fit_batch": 0.5}
+        base = self._report(tmp_path, "base.json", timings)
+        cur = self._report(tmp_path, "cur.json", timings)
+        assert main(["bench", "compare", base, cur]) == 0
+        out = capsys.readouterr().out
+        assert "ok: all speedup invariants hold" in out
+        assert "4.00x" in out
+
+    def test_compare_speedup_gate_fails(self, tmp_path, capsys):
+        # Batched fit slower than serial: the intra-report invariant
+        # must fail the gate even with zero baseline regression.
+        timings = {"fig3": 2.0, "fit_serial": 1.0, "fit_batch": 1.2}
+        base = self._report(tmp_path, "base.json", timings)
+        cur = self._report(tmp_path, "cur.json", timings)
+        assert main(["bench", "compare", base, cur]) == 1
+        assert "speedup regression: fit_batch" in capsys.readouterr().out
 
     def test_compare_missing_baseline_errors(self, tmp_path, capsys):
         cur = self._report(tmp_path, "cur.json", {"fig3": 2.0})
